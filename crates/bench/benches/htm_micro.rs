@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the HTM substrate itself: transactional
+//! read/write throughput, commit/rollback costs, and conflict-detection
+//! overhead with concurrent transactions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm_sim::{Budgets, TxMemory};
+
+fn big() -> Budgets {
+    Budgets { read_lines: 1 << 20, write_lines: 1 << 20 }
+}
+
+fn bench_tx_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txmem");
+    g.sample_size(20);
+    g.bench_function("write_commit_64_lines", |b| {
+        let mut m: TxMemory<u64> = TxMemory::new(64 * 8, 8, 2, 0);
+        b.iter(|| {
+            m.begin(0, big()).unwrap();
+            for i in 0..64 {
+                m.write(0, i * 8, i as u64).unwrap();
+            }
+            m.commit(0).unwrap();
+        });
+    });
+    g.bench_function("write_rollback_64_lines", |b| {
+        let mut m: TxMemory<u64> = TxMemory::new(64 * 8, 8, 2, 0);
+        b.iter(|| {
+            m.begin(0, big()).unwrap();
+            for i in 0..64 {
+                m.write(0, i * 8, i as u64).unwrap();
+            }
+            m.tabort(0, 1);
+        });
+    });
+    g.bench_function("read_with_concurrent_tx", |b| {
+        // Conflict checks must scan the other thread's sets.
+        let mut m: TxMemory<u64> = TxMemory::new(1024 * 8, 8, 2, 0);
+        m.begin(1, big()).unwrap();
+        for i in 512..640 {
+            m.write(1, i * 8, 1).unwrap();
+        }
+        b.iter(|| {
+            m.begin(0, big()).unwrap();
+            for i in 0..128 {
+                let _ = m.read(0, i * 8).unwrap();
+            }
+            m.commit(0).unwrap();
+        });
+    });
+    g.bench_function("plain_rw_no_tx", |b| {
+        let mut m: TxMemory<u64> = TxMemory::new(1024, 8, 2, 0);
+        b.iter(|| {
+            for i in 0..128 {
+                m.write(0, i, i as u64).unwrap();
+                let _ = m.read(0, i).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tx_ops);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the simulator's hot paths: interpreter
+//! stepping, the While/Iterator micro workloads end-to-end, and a small
+//! NPB kernel per runtime mode. These measure *host* performance of the
+//! simulation (useful for keeping figure sweeps fast), not simulated
+//! time — the figures come from the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_gil_core::{ExecConfig, Executor, LengthPolicy, RuntimeMode};
+use machine_sim::MachineProfile;
+use ruby_vm::VmConfig;
+
+fn run_once(src: &str, mode: RuntimeMode, threads: usize) -> u64 {
+    let profile = MachineProfile::generic(4);
+    let mut vmc = VmConfig::default();
+    vmc.max_threads = threads + 2;
+    let cfg = ExecConfig::new(mode, &profile);
+    let mut ex = Executor::new(src, vmc, profile, cfg).expect("boot");
+    ex.run().expect("run").elapsed_cycles
+}
+
+fn bench_micro_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("while_micro");
+    g.sample_size(10);
+    for mode in [
+        RuntimeMode::Gil,
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+        RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        RuntimeMode::Ideal,
+    ] {
+        let w = workloads::micro::while_bench(2, 150);
+        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &w, |b, w| {
+            b.iter(|| run_once(&w.source, mode, w.threads));
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpreter_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    g.sample_size(10);
+    g.bench_function("fib_single_thread", |b| {
+        let src = "def fib(n)\n  return n if n < 2\n  fib(n - 1) + fib(n - 2)\nend\nfib(13)";
+        b.iter(|| run_once(src, RuntimeMode::Gil, 1));
+    });
+    g.bench_function("string_heavy", |b| {
+        let src = r#"
+s = ""
+i = 0
+while i < 60
+  s = s + i.to_s + ","
+  i += 1
+end
+s.length
+"#;
+        b.iter(|| run_once(src, RuntimeMode::Gil, 1));
+    });
+    g.finish();
+}
+
+fn bench_npb_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("npb_cg");
+    g.sample_size(10);
+    for mode in [RuntimeMode::Gil, RuntimeMode::Htm { length: LengthPolicy::Fixed(16) }] {
+        let w = workloads::npb::cg(2, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &w, |b, w| {
+            b.iter(|| run_once(&w.source, mode, w.threads));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro_modes, bench_interpreter_throughput, bench_npb_kernel);
+criterion_main!(benches);

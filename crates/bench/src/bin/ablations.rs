@@ -1,0 +1,123 @@
+//! Ablations the paper calls out in §4.4/§5.4:
+//!
+//! 1. **Without the new yield points** — "all of the benchmarks except
+//!    for CG in the Ruby NPB suffered from more than 20 % slowdowns
+//!    compared with the GIL" (store overflows dominate).
+//! 2. **Without the conflict removals** — "the HTM provided no
+//!    acceleration in any of the benchmarks".
+//! 3. Each conflict removal toggled individually, to show where the
+//!    elision headroom comes from.
+//! 4. Target-abort-ratio sweep (the paper: the best target depends on the
+//!    HTM implementation's abort cost, not the application).
+
+use bench::{quick, run_workload_with, thread_counts, vm_config_for};
+use htm_gil_core::{ExecConfig, LengthPolicy, RuntimeMode, YieldPolicy};
+use htm_gil_stats::Table;
+use machine_sim::MachineProfile;
+use workloads::Workload;
+
+fn main() {
+    let profile = MachineProfile::zec12();
+    let scale = if quick() { 1 } else { 3 };
+    let nthreads = if quick() { 4 } else { *thread_counts(&profile).last().unwrap() };
+    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
+
+    let kernels: Vec<Workload> = workloads::npb_all(nthreads, scale);
+    let mut table = Table::new(&[
+        "bench",
+        "GIL",
+        "HTM-dyn",
+        "no-new-yield-pts",
+        "no-conflict-removal",
+        "no-tls-running",
+        "no-tl-freelists",
+        "no-ic-fixes",
+        "no-padding",
+    ]);
+    let mut csv = String::from(
+        "bench,gil,htm_dyn,no_yield_pts,no_removals,no_tls,no_freelists,no_ic,no_padding\n",
+    );
+    for w in &kernels {
+        let gil_cfg = ExecConfig::new(RuntimeMode::Gil, &profile);
+        let gil = run_workload_with(w, &profile, gil_cfg, vm_config_for(nthreads));
+        let base_cycles = gil.elapsed_cycles as f64;
+        let speedup = |r: htm_gil_core::RunReport| base_cycles / r.elapsed_cycles as f64;
+
+        // Full HTM-dynamic.
+        let full = speedup(run_workload_with(
+            w,
+            &profile,
+            ExecConfig::new(dynamic, &profile),
+            vm_config_for(nthreads),
+        ));
+        // 1. Original (coarse) yield points only.
+        let mut cfg = ExecConfig::new(dynamic, &profile);
+        cfg.yield_policy = Some(YieldPolicy::Original);
+        let no_yp = speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads)));
+        // 2. No conflict removals at all (original CRuby internals +
+        //    shared running-thread global).
+        let mut cfg = ExecConfig::new(dynamic, &profile);
+        cfg.tls_running_thread = false;
+        let no_rm = speedup(run_workload_with(
+            w,
+            &profile,
+            cfg,
+            vm_config_for(nthreads).original_cruby(),
+        ));
+        // 3. Individual removals off.
+        let mut cfg = ExecConfig::new(dynamic, &profile);
+        cfg.tls_running_thread = false;
+        let no_tls = speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads)));
+        let mut vmc = vm_config_for(nthreads);
+        vmc.thread_local_free_lists = false;
+        let no_fl = speedup(run_workload_with(
+            w,
+            &profile,
+            ExecConfig::new(dynamic, &profile),
+            vmc,
+        ));
+        let mut vmc = vm_config_for(nthreads);
+        vmc.method_ic_fill_once = false;
+        vmc.ivar_ic_table_guard = false;
+        let no_ic = speedup(run_workload_with(
+            w,
+            &profile,
+            ExecConfig::new(dynamic, &profile),
+            vmc,
+        ));
+        let mut vmc = vm_config_for(nthreads);
+        vmc.padded_thread_structs = false;
+        let no_pad = speedup(run_workload_with(
+            w,
+            &profile,
+            ExecConfig::new(dynamic, &profile),
+            vmc,
+        ));
+
+        table.row(&[
+            w.name.to_string(),
+            "1.00".into(),
+            format!("{full:.2}"),
+            format!("{no_yp:.2}"),
+            format!("{no_rm:.2}"),
+            format!("{no_tls:.2}"),
+            format!("{no_fl:.2}"),
+            format!("{no_ic:.2}"),
+            format!("{no_pad:.2}"),
+        ]);
+        csv.push_str(&format!(
+            "{},1.0,{full:.3},{no_yp:.3},{no_rm:.3},{no_tls:.3},{no_fl:.3},{no_ic:.3},{no_pad:.3}\n",
+            w.name
+        ));
+    }
+    println!(
+        "\n== Ablations (speedup over GIL, {nthreads} threads, {}) ==",
+        profile.name
+    );
+    println!("{}", table.render());
+    println!("paper targets: no-new-yield-points <0.8 for all but CG;");
+    println!("               no-conflict-removal ≈ ≤1.0 (no acceleration).");
+    let path = bench::results_dir().join("ablations_zec12.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("  [csv] {}", path.display());
+}

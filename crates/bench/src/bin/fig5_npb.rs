@@ -1,0 +1,69 @@
+//! Figure 5: throughput of the seven Ruby NAS Parallel Benchmarks on
+//! zEC12 (1–12 threads) and Xeon E3-1275 v3 (1–8 threads), for GIL,
+//! HTM-1, HTM-16, HTM-256 and HTM-dynamic, normalized to 1-thread GIL.
+//!
+//! Shape targets from the paper: HTM-dynamic 1.9×–4.4× at 12 threads on
+//! zEC12 (best or near best); HTM-256 ≈ flat (fallback-dominated);
+//! HTM-16 best on the Xeon, with an SMT cliff past 4 threads.
+//!
+//! `--bench NAME` limits to one kernel; `--machine zec12|xeon` to one
+//! machine; `HTMGIL_QUICK=1` shrinks the sweep.
+
+use bench::{print_panel, quick, sweep_panel, thread_counts, write_csv};
+use machine_sim::MachineProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only_bench = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1).cloned());
+    let only_machine = args
+        .iter()
+        .position(|a| a == "--machine")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let scale = if quick() { 1 } else { 8 };
+    let machines: Vec<MachineProfile> = [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()]
+        .into_iter()
+        .filter(|m| match &only_machine {
+            Some(sel) => m.name.to_lowercase().contains(&sel.to_lowercase()),
+            None => true,
+        })
+        .collect();
+    let kernel_names = ["BT", "CG", "FT", "IS", "LU", "MG", "SP"];
+    for profile in machines {
+        let threads = if quick() {
+            vec![1, 2, profile.hw_threads().min(4)]
+        } else {
+            thread_counts(&profile)
+        };
+        for name in kernel_names {
+            if let Some(sel) = &only_bench {
+                if !name.eq_ignore_ascii_case(sel) {
+                    continue;
+                }
+            }
+            let title = format!("Fig.5 {name} / {}", profile.name);
+            let set = sweep_panel(&title, &profile, &threads, |n| build(name, n, scale));
+            print_panel(&set);
+            write_csv(
+                &format!("fig5_{}_{}", name.to_lowercase(), profile.name.replace(' ', "_")),
+                &set,
+            );
+        }
+    }
+}
+
+fn build(name: &str, threads: usize, scale: usize) -> workloads::Workload {
+    match name {
+        "BT" => workloads::npb::bt(threads, scale),
+        "CG" => workloads::npb::cg(threads, scale),
+        "FT" => workloads::npb::ft(threads, scale),
+        "IS" => workloads::npb::is(threads, scale),
+        "LU" => workloads::npb::lu(threads, scale),
+        "MG" => workloads::npb::mg(threads, scale),
+        "SP" => workloads::npb::sp(threads, scale),
+        other => panic!("unknown kernel {other}"),
+    }
+}

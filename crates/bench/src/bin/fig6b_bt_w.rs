@@ -1,0 +1,36 @@
+//! Figure 6(b): BT with a bigger class (W) on the Xeon.
+//!
+//! The point of the figure: on short runs the Xeon's learning predictor
+//! (Fig. 6a) keeps HTM-dynamic below HTM-16, but "we ran the benchmarks
+//! longer by increasing the class sizes and confirmed HTM-dynamic was
+//! equal to or better than HTM-16". This binary runs BT at a larger scale
+//! and prints the HTM-dynamic/HTM-16 ratio per thread count.
+
+use bench::{print_panel, quick, sweep_panel, write_csv};
+use machine_sim::MachineProfile;
+
+fn main() {
+    let profile = MachineProfile::xeon_e3_1275_v3();
+    // "Class W": several times the Fig. 5 scale.
+    let scale = if quick() { 3 } else { 24 };
+    let threads = if quick() { vec![1, 2, 4] } else { vec![1, 2, 4, 6, 8] };
+    let set = sweep_panel(
+        &format!("Fig.6b BT class W / {}", profile.name),
+        &profile,
+        &threads,
+        |n| workloads::npb::bt(n, scale),
+    );
+    print_panel(&set);
+    write_csv("fig6b_bt_w_xeon", &set);
+    for &n in &threads {
+        let dynamic = set.get("HTM-dynamic").and_then(|s| s.y_at(n as f64));
+        let fixed16 = set.get("HTM-16").and_then(|s| s.y_at(n as f64));
+        if let (Some(d), Some(f)) = (dynamic, fixed16) {
+            println!(
+                "  {n} threads: HTM-dynamic/HTM-16 = {:.2} ({})",
+                d / f,
+                if d >= f * 0.95 { "dynamic holds up on long runs" } else { "dynamic behind" }
+            );
+        }
+    }
+}

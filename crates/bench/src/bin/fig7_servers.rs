@@ -1,0 +1,83 @@
+//! Figure 7: WEBrick on zEC12 and Xeon, Ruby on Rails on Xeon —
+//! throughput vs concurrent clients (normalized to 1-client GIL), plus
+//! HTM-dynamic abort ratios.
+//!
+//! Shape targets: the GIL itself gains from I/O overlap (17 %/26 %);
+//! HTM-1 and HTM-dynamic win overall (paper: +14 %/+57 % over GIL for
+//! WEBrick, +24 % for Rails); HTM-dynamic abort ratios stay elevated
+//! because most lengths bottom out at 1.
+
+use bench::{paper_modes, print_panel, quick, run_workload, throughput_of, write_csv};
+use htm_gil_stats::{Series, SeriesSet};
+use machine_sim::MachineProfile;
+use workloads::Workload;
+
+fn main() {
+    let requests = if quick() { 48 } else { 600 };
+    let clients: Vec<usize> = if quick() { vec![1, 2, 4] } else { vec![1, 2, 3, 4, 5, 6] };
+    type Builder = fn(usize, usize) -> Workload;
+    let cases: Vec<(&str, MachineProfile, Builder)> = vec![
+        ("WEBrick", MachineProfile::zec12(), workloads::webrick::webrick),
+        ("WEBrick", MachineProfile::xeon_e3_1275_v3(), workloads::webrick::webrick),
+        ("Rails", MachineProfile::xeon_e3_1275_v3(), workloads::rails::rails),
+    ];
+    let mut abort_panel = SeriesSet::new(
+        "Fig.7 abort ratios of HTM-dynamic",
+        "clients",
+        "abort ratio %",
+    );
+    for (name, profile, build) in cases {
+        let mut set = SeriesSet::new(
+            format!("Fig.7 {name} / {}", profile.name),
+            "clients",
+            "throughput (1 = 1-client GIL)",
+        );
+        let mut aborts = Series::new(format!("{name} / {}", profile.name));
+        for mode in paper_modes() {
+            let mut s = Series::new(mode.label());
+            for &c in &clients {
+                let w = build(c, requests);
+                let r = run_workload(&w, mode, &profile);
+                s.push(c as f64, throughput_of(&w, &r));
+                if mode.label() == "HTM-dynamic" {
+                    aborts.push(c as f64, r.abort_ratio_pct());
+                }
+            }
+            set.add(s);
+        }
+        let set = set.normalize_to("GIL", clients[0] as f64);
+        print_panel(&set);
+        write_csv(
+            &format!("fig7_{}_{}", name.to_lowercase(), profile.name.replace(' ', "_")),
+            &set,
+        );
+        // Paper headline numbers.
+        let cmax = *clients.last().unwrap() as f64;
+        let best_clients = clients.iter().map(|&c| c as f64).collect::<Vec<_>>();
+        let peak = |label: &str| -> f64 {
+            best_clients
+                .iter()
+                .filter_map(|&c| set.get(label).and_then(|s| s.y_at(c)))
+                .fold(f64::MIN, f64::max)
+        };
+        let best_htm = ["HTM-1", "HTM-16", "HTM-256", "HTM-dynamic"]
+            .iter()
+            .map(|l| (l, peak(l)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!(
+            "  {name}/{}: peak GIL {:.2}x | best HTM = {} {:.2}x ({:+.0}% vs GIL) | \
+             HTM-dynamic {:.2}x ({:.2} of GIL) at up to {cmax} clients",
+            profile.name,
+            peak("GIL"),
+            best_htm.0,
+            best_htm.1,
+            100.0 * (best_htm.1 / peak("GIL") - 1.0),
+            peak("HTM-dynamic"),
+            peak("HTM-dynamic") / peak("GIL"),
+        );
+        abort_panel.add(aborts);
+    }
+    print_panel(&abort_panel);
+    write_csv("fig7_abort_ratios", &abort_panel);
+}

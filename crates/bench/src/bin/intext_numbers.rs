@@ -1,0 +1,80 @@
+//! The quantitative claims of the paper's running text (§5.4–§5.6),
+//! reproduced as one table:
+//!
+//! * NPB speedups at 12 threads, zEC12: 1.9× (CG/IS/LU) to 4.4× (FT);
+//! * single-thread overhead of HTM-dynamic vs GIL: 18–35 %;
+//! * GIL-wait cycles exceed aborted-transaction cycles at 12 threads;
+//! * >80 % of fallback-causing aborts are read-set conflicts; >50 % of
+//!   > those at object allocation;
+//! * ≈40 % of frequently-executed yield points end at length 1.
+
+use bench::{quick, run_workload, thread_counts};
+use htm_gil_core::{LengthPolicy, RuntimeMode};
+use htm_gil_stats::Table;
+use machine_sim::MachineProfile;
+
+fn main() {
+    let profile = MachineProfile::zec12();
+    let scale = if quick() { 1 } else { 4 };
+    let nmax = if quick() { 4 } else { *thread_counts(&profile).last().unwrap() };
+    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
+    let mut table = Table::new(&[
+        "bench",
+        "speedup@12",
+        "1T-overhead%",
+        "gilwait>aborted",
+        "read-confl%",
+        "alloc-share%",
+        "len1-share%",
+    ]);
+    let mut csv = String::from(
+        "bench,speedup,overhead_1t_pct,gilwait_gt_aborted,read_conflict_pct,alloc_share_pct,len1_share_pct\n",
+    );
+    for name in ["BT", "CG", "FT", "IS", "LU", "MG", "SP"] {
+        let w1 = build(name, 1, scale);
+        let gil1 = run_workload(&w1, RuntimeMode::Gil, &profile);
+        let htm1 = run_workload(&w1, dynamic, &profile);
+        let overhead =
+            100.0 * (htm1.elapsed_cycles as f64 / gil1.elapsed_cycles as f64 - 1.0);
+        let wn = build(name, nmax, scale);
+        let giln = run_workload(&wn, RuntimeMode::Gil, &profile);
+        let htmn = run_workload(&wn, dynamic, &profile);
+        let speedup = giln.elapsed_cycles as f64 / htmn.elapsed_cycles as f64;
+        let gil_gt = htmn.breakdown.gil_wait > htmn.breakdown.aborted;
+        table.row(&[
+            name.to_string(),
+            format!("{speedup:.2}"),
+            format!("{overhead:.0}"),
+            format!("{gil_gt}"),
+            format!("{:.0}", htmn.htm.read_conflict_share_pct()),
+            format!("{:.0}", htmn.allocator_conflict_share_pct()),
+            format!("{:.0}", 100.0 * htmn.share_length_one),
+        ]);
+        csv.push_str(&format!(
+            "{name},{speedup:.3},{overhead:.2},{gil_gt},{:.2},{:.2},{:.2}\n",
+            htmn.htm.read_conflict_share_pct(),
+            htmn.allocator_conflict_share_pct(),
+            100.0 * htmn.share_length_one
+        ));
+    }
+    println!("\n== In-text numbers (zEC12, {nmax} threads, HTM-dynamic) ==");
+    println!("{}", table.render());
+    println!("paper: speedups 1.9–4.4; 1T overhead 18–35%; gil-wait > aborted;");
+    println!("       read conflicts >80%; allocation >50% of them; ~40% length-1 sites.");
+    let path = bench::results_dir().join("intext_numbers_zec12.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("  [csv] {}", path.display());
+}
+
+fn build(name: &str, threads: usize, scale: usize) -> workloads::Workload {
+    match name {
+        "BT" => workloads::npb::bt(threads, scale),
+        "CG" => workloads::npb::cg(threads, scale),
+        "FT" => workloads::npb::ft(threads, scale),
+        "IS" => workloads::npb::is(threads, scale),
+        "LU" => workloads::npb::lu(threads, scale),
+        "MG" => workloads::npb::mg(threads, scale),
+        "SP" => workloads::npb::sp(threads, scale),
+        other => panic!("unknown kernel {other}"),
+    }
+}

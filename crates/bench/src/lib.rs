@@ -1,0 +1,186 @@
+//! # bench
+//!
+//! The experiment harness: shared drivers used by the per-figure binaries
+//! (`fig4_micro`, `fig5_npb`, `fig6a_writeset`, `fig6b_bt_w`,
+//! `fig7_servers`, `fig8_aborts`, `fig9_scalability`, `ablations`,
+//! `intext_numbers`).
+//!
+//! Every binary prints paper-style tables and ASCII charts to stdout and
+//! writes CSV files under `bench-results/` for external plotting.
+//! `HTMGIL_QUICK=1` shrinks every sweep for smoke runs (the integration
+//! tests use it).
+
+use std::fs;
+use std::path::PathBuf;
+
+use htm_gil_core::{ExecConfig, Executor, LengthPolicy, RunReport, RuntimeMode};
+use htm_gil_stats::{Series, SeriesSet};
+use machine_sim::MachineProfile;
+use ruby_vm::VmConfig;
+use workloads::Workload;
+
+/// The paper's five throughput configurations (Figs. 5–7).
+pub fn paper_modes() -> Vec<RuntimeMode> {
+    vec![
+        RuntimeMode::Gil,
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(256) },
+        RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+    ]
+}
+
+/// Thread counts per machine, as in Fig. 5 ("1 to 2, 4, 6, and 8 on Xeon
+/// …, and to 12 on zEC12").
+pub fn thread_counts(profile: &MachineProfile) -> Vec<usize> {
+    if profile.hw_threads() >= 12 {
+        vec![1, 2, 4, 6, 8, 12]
+    } else {
+        vec![1, 2, 4, 6, 8]
+    }
+}
+
+/// True when quick (smoke) mode is requested.
+pub fn quick() -> bool {
+    std::env::var("HTMGIL_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// VM sizing for a workload: paper's enlarged heap, enough thread slots.
+pub fn vm_config_for(threads: usize) -> VmConfig {
+    VmConfig {
+        max_threads: threads + 2,
+        ..VmConfig::default()
+    }
+}
+
+/// Run one workload in one mode on one machine; panics on failure (the
+/// harness treats any failed run as a bug).
+pub fn run_workload(w: &Workload, mode: RuntimeMode, profile: &MachineProfile) -> RunReport {
+    let cfg = ExecConfig::new(mode, profile);
+    run_workload_with(w, profile, cfg, vm_config_for(w.threads))
+}
+
+/// Run with explicit configurations (ablations).
+pub fn run_workload_with(
+    w: &Workload,
+    profile: &MachineProfile,
+    cfg: ExecConfig,
+    vm_config: VmConfig,
+) -> RunReport {
+    let mut ex = Executor::new(&w.source, vm_config, profile.clone(), cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    ex.run().unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, profile.name))
+}
+
+/// Throughput metric for normalization: requests/cycle for server
+/// workloads, committed-work/cycle for fixed-work benchmarks.
+pub fn throughput_of(w: &Workload, r: &RunReport) -> f64 {
+    if w.requests > 0 {
+        w.requests as f64 / r.elapsed_cycles.max(1) as f64
+    } else {
+        1.0 / r.elapsed_cycles.max(1) as f64
+    }
+}
+
+/// Sweep a workload builder over thread counts × the paper modes,
+/// producing a Fig. 5-style panel normalized to 1-thread GIL.
+pub fn sweep_panel(
+    title: &str,
+    profile: &MachineProfile,
+    threads: &[usize],
+    build: impl Fn(usize) -> Workload,
+) -> SeriesSet {
+    let mut set = SeriesSet::new(title, "threads", "throughput (1 = 1-thread GIL)");
+    for mode in paper_modes() {
+        let mut s = Series::new(mode.label());
+        for &n in threads {
+            let w = build(n);
+            let r = run_workload(&w, mode, profile);
+            s.push(n as f64, throughput_of(&w, &r));
+        }
+        set.add(s);
+    }
+    set.normalize_to("GIL", threads[0] as f64)
+}
+
+/// Where CSV results go.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a panel's CSV.
+pub fn write_csv(name: &str, set: &SeriesSet) {
+    let path = results_dir().join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, set.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  [csv] {}", path.display());
+    }
+}
+
+/// Print a panel as table + chart.
+pub fn print_panel(set: &SeriesSet) {
+    let mut xs: Vec<f64> = set
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let mut header: Vec<String> = vec!["threads".into()];
+    header.extend(set.series.iter().map(|s| s.label.clone()));
+    let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = htm_gil_stats::Table::new(&hdr_refs);
+    for x in &xs {
+        let mut row = vec![format!("{x}")];
+        for s in &set.series {
+            row.push(
+                s.y_at(*x)
+                    .map(|y| format!("{y:.2}"))
+                    .unwrap_or_default(),
+            );
+        }
+        table.row(&row);
+    }
+    println!("\n== {} ==", set.title);
+    println!("{}", table.render());
+    println!("{}", htm_gil_stats::ascii_chart(set, 56, 14));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_modes_are_the_five_figure_configs() {
+        let labels: Vec<String> = paper_modes().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["GIL", "HTM-1", "HTM-16", "HTM-256", "HTM-dynamic"]);
+    }
+
+    #[test]
+    fn thread_counts_match_figure_axes() {
+        assert_eq!(thread_counts(&MachineProfile::zec12()), vec![1, 2, 4, 6, 8, 12]);
+        assert_eq!(
+            thread_counts(&MachineProfile::xeon_e3_1275_v3()),
+            vec![1, 2, 4, 6, 8]
+        );
+    }
+
+    #[test]
+    fn micro_workload_runs_in_two_modes() {
+        let w = workloads::micro::while_bench(2, 60);
+        let profile = MachineProfile::generic(4);
+        let gil = run_workload(&w, RuntimeMode::Gil, &profile);
+        let htm = run_workload(
+            &w,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            &profile,
+        );
+        assert_eq!(gil.stdout, htm.stdout);
+        assert_eq!(gil.stdout, workloads::micro::expected_output(2, 60));
+    }
+}

@@ -1,0 +1,1261 @@
+//! The deterministic executor: drives the Ruby VM one bytecode at a time
+//! over the discrete-event scheduler, implementing the paper's Figures 1–3
+//! as a per-thread state machine.
+//!
+//! State per thread (HTM modes): exactly one of
+//! * *in transaction* — registers snapshotted at begin; aborts roll the
+//!   memory back via the undo log and the registers via the snapshot;
+//! * *holding the GIL* — the fallback (or single-thread) path;
+//! * *neither* — about to run `transaction_begin` at its current pc;
+//! * *parked* — on the GIL queue, a mutex/barrier/join, or sleeping on
+//!   simulated I/O.
+//!
+//! Cycle accounting follows the paper's Fig. 8 categories; work done
+//! inside a transaction is held in escrow and lands in `tx_success` or
+//! `aborted` at commit/abort time.
+
+use std::collections::HashMap;
+
+use htm_sim::abort::abort_codes;
+use htm_sim::{AbortReason, Budgets, OverflowPredictor};
+use machine_sim::{Cycles, MachineProfile, Scheduler, ThreadId};
+use ruby_vm::bytecode::InsnKind;
+use ruby_vm::{BlockOn, StepOk, Vm, VmAbort, VmConfig, Word};
+
+use crate::config::{ExecConfig, LengthPolicy, RuntimeMode, YieldPolicy};
+use crate::gil::{GilState, GilWait};
+use crate::locks::FineGrainedModel;
+use crate::report::{ConflictSite, CycleBreakdown, RunReport};
+use crate::tle::LengthTables;
+
+/// Fatal run failure.
+#[derive(Debug)]
+pub enum RunError {
+    Boot(String),
+    Vm(String),
+    Deadlock(String),
+    CycleLimit(u64),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Boot(m) => write!(f, "boot error: {m}"),
+            RunError::Vm(m) => write!(f, "vm error: {m}"),
+            RunError::Deadlock(m) => write!(f, "deadlock: {m}"),
+            RunError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Active-transaction bookkeeping.
+#[derive(Debug, Clone)]
+struct TxInfo {
+    /// Global pc of the yield point the transaction started at.
+    start_pc: u32,
+    snapshot: ruby_vm::vm::RegSnapshot,
+    /// Work cycles accumulated inside the transaction (escrow).
+    work: Cycles,
+    /// Instructions retired inside the transaction (escrow).
+    insns: u64,
+}
+
+/// Per-thread TLE controller state (paper Fig. 1's local variables).
+#[derive(Debug, Clone)]
+struct TleThread {
+    tx: Option<TxInfo>,
+    holds_gil: bool,
+    transient_retries: u32,
+    gil_retries: u32,
+    first_retry: bool,
+    /// Pending begin at this global pc (after an abort or a yield).
+    resume_pc: Option<u32>,
+    /// Committed to acquiring the GIL (paper Fig. 1 `gil_acquire()` blocks
+    /// until ownership): survives parking, so a woken thread completes the
+    /// acquisition instead of attempting another transaction.
+    want_gil: bool,
+    /// The context (transaction or GIL) was just established at the
+    /// current pc: the instruction there must execute before the next
+    /// yield-point decision, matching Fig. 1's retry loop, which re-enters
+    /// the critical section without re-running `transaction_yield`.
+    fresh: bool,
+    /// The next `transaction_begin` is a *retry* of the same attempt
+    /// sequence (Fig. 1's `goto transaction_retry`): keep the retry
+    /// counters and do not re-run `set_transaction_length`.
+    retrying: bool,
+}
+
+impl TleThread {
+    fn new() -> Self {
+        TleThread {
+            tx: None,
+            holds_gil: false,
+            transient_retries: 0,
+            gil_retries: 0,
+            first_retry: true,
+            resume_pc: None,
+            want_gil: false,
+            fresh: false,
+            retrying: false,
+        }
+    }
+
+    fn reset_retries(&mut self, c: &crate::config::TleConstants) {
+        self.transient_retries = c.transient_retry_max;
+        self.gil_retries = c.gil_retry_max;
+        self.first_retry = true;
+    }
+}
+
+/// What a thread parked on (beyond the GIL queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ParkKey {
+    Mutex(usize),
+    Barrier(usize),
+    Join(ThreadId),
+}
+
+/// The executor.
+pub struct Executor {
+    pub vm: Vm,
+    pub sched: Scheduler,
+    pub profile: MachineProfile,
+    pub cfg: ExecConfig,
+    gil: GilState,
+    tle: Vec<TleThread>,
+    tables: LengthTables,
+    fine: FineGrainedModel,
+    /// Parked threads by key.
+    parked: HashMap<ParkKey, Vec<ThreadId>>,
+    /// Committed/wasted instruction counts.
+    committed_insns: u64,
+    wasted_insns: u64,
+    breakdown: CycleBreakdown,
+    conflict_sites: HashMap<ConflictSite, u64>,
+    /// Allocation count at the previous step (per-step delta source).
+    last_allocs: u64,
+}
+
+impl Executor {
+    /// Boot a VM for `source` and prepare a run.
+    pub fn new(
+        source: &str,
+        vm_config: VmConfig,
+        profile: MachineProfile,
+        cfg: ExecConfig,
+    ) -> Result<Executor, RunError> {
+        let mut vm = Vm::boot(source, vm_config, &profile)
+            .map_err(|e| RunError::Boot(e.to_string()))?;
+        // Install the Intel learning predictor per hardware thread.
+        if profile.htm.learning_predictor {
+            for t in 0..vm.config.max_threads {
+                vm.mem.set_predictor(
+                    t,
+                    OverflowPredictor::intel(profile.htm.predictor_memory, cfg.seed ^ t as u64),
+                );
+            }
+        }
+        let mut sched = Scheduler::new(
+            profile.cores,
+            profile.smt_per_core,
+            profile.cost.context_switch,
+        );
+        let t0 = sched.spawn(0);
+        debug_assert_eq!(t0, 0);
+        let total_pcs = vm.program.total_insns();
+        let length_policy = match cfg.mode {
+            RuntimeMode::Htm { length } => length,
+            _ => LengthPolicy::Fixed(1),
+        };
+        let tables = LengthTables::new(total_pcs, length_policy, cfg.tle);
+        let first_timer = profile.cost.timer_interval;
+        Ok(Executor {
+            vm,
+            sched,
+            profile,
+            cfg,
+            gil: GilState::new(first_timer),
+            tle: vec![TleThread::new()],
+            tables,
+            fine: FineGrainedModel::default(),
+            parked: HashMap::new(),
+            committed_insns: 0,
+            wasted_insns: 0,
+            breakdown: CycleBreakdown::default(),
+            conflict_sites: HashMap::new(),
+            last_allocs: 0,
+        })
+    }
+
+    /// Run the program to completion and report.
+    pub fn run(&mut self) -> Result<RunReport, RunError> {
+        loop {
+            let Some(t) = self.sched.next() else {
+                if self.sched.all_finished() {
+                    break;
+                }
+                return Err(RunError::Deadlock(self.deadlock_dump()));
+            };
+            if self.cfg.max_cycles != 0 && self.sched.clock(t) > self.cfg.max_cycles {
+                return Err(RunError::CycleLimit(self.cfg.max_cycles));
+            }
+            if self.vm.threads[t].finished {
+                self.sched.finish(t);
+                continue;
+            }
+            // GIL-mode timer thread: wake up every interval and flag the
+            // running (GIL-holding) thread (paper §3.2).
+            if self.cfg.mode == RuntimeMode::Gil {
+                let now = self.sched.clock(t);
+                while now >= self.gil.next_timer {
+                    self.gil.next_timer += self.profile.cost.timer_interval;
+                    if let Some(h) = self.gil.holder {
+                        let flag = self.vm.layout.thread_struct(h) + ruby_vm::layout::ts::INTERRUPT;
+                        self.vm
+                            .mem
+                            .write(h, flag, Word::Int(1))
+                            .expect("timer flag write");
+                    }
+                }
+            }
+            match self.cfg.mode {
+                RuntimeMode::Gil => self.step_gil(t)?,
+                RuntimeMode::Htm { .. } => self.step_htm(t)?,
+                RuntimeMode::FineGrained | RuntimeMode::Ideal => self.step_free(t)?,
+            }
+            // Wakes produced by the VM (mutex unlock, barrier release).
+            self.drain_wakes(t);
+        }
+        Ok(self.report())
+    }
+
+    /// Diagnostic snapshot for deadlock errors.
+    fn deadlock_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("no runnable thread; {} live\n", self.sched.live_count());
+        for t in 0..self.sched.len() {
+            let c = &self.vm.threads[t];
+            let _ = writeln!(
+                out,
+                "  t{t}: sched={:?} fin={} gil={} tx={} want_gil={} resume={:?} at {}:{}",
+                self.sched.state(t),
+                c.finished,
+                self.tle.get(t).is_some_and(|x| x.holds_gil),
+                self.tle.get(t).is_some_and(|x| x.tx.is_some()),
+                self.tle.get(t).is_some_and(|x| x.want_gil),
+                self.tle.get(t).and_then(|x| x.resume_pc),
+                self.vm.program.iseq(c.iseq).name,
+                c.pc,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  gil holder={:?} waiters={:?} parked_keys={:?}",
+            self.gil.holder,
+            self.gil.waiters,
+            self.parked.keys().collect::<Vec<_>>()
+        );
+        out
+    }
+
+    fn report(&self) -> RunReport {
+        let elapsed = (0..self.sched.len())
+            .map(|t| self.sched.clock(t))
+            .max()
+            .unwrap_or(0);
+        RunReport {
+            mode_label: self.cfg.mode.label(),
+            machine: self.profile.name,
+            threads_used: self.sched.len(),
+            elapsed_cycles: elapsed,
+            committed_insns: self.committed_insns,
+            wasted_insns: self.wasted_insns,
+            breakdown: self.breakdown.clone(),
+            htm: self.vm.mem.stats().clone(),
+            gil_acquisitions: self.gil.acquisitions,
+            conflict_sites: self.conflict_sites.clone(),
+            share_length_one: self.tables.share_of_length_one(),
+            length_adjustments: self.tables.total_adjustments,
+            allocations: self.vm.allocations,
+            gc_runs: self.vm.gc_runs,
+            stdout: self.vm.stdout_text(),
+        }
+    }
+
+    // ---- common helpers ------------------------------------------------------
+
+    /// Current instruction's global pc for thread `t`.
+    fn global_pc(&self, t: ThreadId) -> u32 {
+        let c = &self.vm.threads[t];
+        self.vm.program.global_pc(c.iseq, c.pc)
+    }
+
+    /// Kind of the instruction `t` is about to execute.
+    fn insn_kind(&self, t: ThreadId) -> InsnKind {
+        let c = &self.vm.threads[t];
+        self.vm.program.insn(c.iseq, c.pc).kind()
+    }
+
+    fn is_yield_point(&self, kind: InsnKind) -> bool {
+        match self.cfg.effective_yield_policy() {
+            YieldPolicy::Original => kind.is_original_yield_point(),
+            YieldPolicy::Extended => kind.is_extended_yield_point(),
+        }
+    }
+
+    /// HTM footprint budgets for `t` right now (SMT halving, §5.4).
+    fn budgets(&self, t: ThreadId) -> Budgets {
+        let b = Budgets {
+            read_lines: self.profile.cache.read_set_lines(),
+            write_lines: self.profile.cache.write_set_lines(),
+        };
+        if self.sched.smt_sibling_busy(t) {
+            b.halved()
+        } else {
+            b
+        }
+    }
+
+    /// Execute one VM instruction and charge its cycles to `t`. Returns
+    /// the VM outcome and the charged work cycles.
+    fn raw_step(&mut self, t: ThreadId) -> (Result<StepOk, VmAbort>, Cycles) {
+        self.vm.reset_step_counters();
+        let r = self.vm.step(t);
+        let cost = self.profile.cost.dispatch
+            + Cycles::from(self.vm.step_mem_refs) * self.profile.cost.mem_ref
+            + self.vm.step_native_cost;
+        self.sched.advance(t, cost);
+        (r, cost)
+    }
+
+    /// Classify a conflicting line into a VM region.
+    fn classify_line(&self, line: usize) -> ConflictSite {
+        let addr = line * self.vm.mem.line_words();
+        let l = &self.vm.layout;
+        let line_of = |a: usize| a / self.vm.mem.line_words();
+        if line == line_of(l.gil) {
+            ConflictSite::Gil
+        } else if line == line_of(l.running_thread) {
+            ConflictSite::RunningThread
+        } else if addr >= l.free_head && addr < l.gvar_base {
+            ConflictSite::Allocator
+        } else if addr < l.ic_base {
+            ConflictSite::Globals
+        } else if addr < l.thread_struct_base {
+            ConflictSite::InlineCache
+        } else if addr < l.slots_base {
+            ConflictSite::ThreadStruct
+        } else if addr < l.malloc_base {
+            ConflictSite::HeapSlots
+        } else if addr < l.stack_base {
+            ConflictSite::MallocArea
+        } else if addr < l.total_words {
+            ConflictSite::Stack
+        } else {
+            // Grown heap ranges live past the initial layout.
+            ConflictSite::HeapSlots
+        }
+    }
+
+    fn record_conflict(&mut self, reason: AbortReason) {
+        if let AbortReason::ConflictRead { line, .. } | AbortReason::ConflictWrite { line, .. } =
+            reason
+        {
+            let site = self.classify_line(line);
+            *self.conflict_sites.entry(site).or_insert(0) += 1;
+        }
+    }
+
+    /// Handle StepOk common to all modes. Returns true when the thread
+    /// can continue normally.
+    fn handle_outcome(&mut self, t: ThreadId, ok: StepOk) -> Result<(), RunError> {
+        match ok {
+            StepOk::Normal => Ok(()),
+            StepOk::Finished => {
+                self.on_thread_finished(t);
+                Ok(())
+            }
+            StepOk::Spawned { tid } => {
+                let s = self.sched.spawn(self.sched.clock(t));
+                debug_assert_eq!(s, tid, "scheduler/vm thread ids must stay in lockstep");
+                self.tle.push(TleThread::new());
+                Ok(())
+            }
+            StepOk::Block(on) => {
+                self.park_on(t, on);
+                Ok(())
+            }
+        }
+    }
+
+    /// Publish thread completion: thread-object state, scheduler, joiners.
+    fn on_thread_finished(&mut self, t: ThreadId) {
+        let (obj, result) = {
+            let c = &self.vm.threads[t];
+            (c.thread_obj, c.result.clone())
+        };
+        if obj != 0 {
+            // Non-transactional state publication; dooms stale readers.
+            self.vm.mem.write(t, obj + 2, Word::Int(1)).expect("state");
+            self.vm.mem.write(t, obj + 3, result).expect("result");
+        }
+        self.sched.finish(t);
+        let now = self.sched.clock(t);
+        if let Some(waiters) = self.parked.remove(&ParkKey::Join(t)) {
+            for w in waiters {
+                self.sched.unpark(w, now);
+            }
+        }
+    }
+
+    fn park_on(&mut self, t: ThreadId, on: BlockOn) {
+        let now = self.sched.clock(t);
+        match on {
+            BlockOn::Io(units) => {
+                let until = now + u64::from(units) * self.profile.cost.io_latency;
+                self.breakdown.io_wait += until - now;
+                self.sched.sleep_until(t, until);
+            }
+            BlockOn::Mutex(addr) => {
+                self.parked.entry(ParkKey::Mutex(addr)).or_default().push(t);
+                self.sched.park(t);
+            }
+            BlockOn::Barrier(addr) => {
+                self.parked
+                    .entry(ParkKey::Barrier(addr))
+                    .or_default()
+                    .push(t);
+                self.sched.park(t);
+            }
+            BlockOn::Join(target) => {
+                if self.vm.threads[target].finished {
+                    // Raced with completion: retry immediately.
+                    return;
+                }
+                self.parked.entry(ParkKey::Join(target)).or_default().push(t);
+                self.sched.park(t);
+            }
+        }
+    }
+
+    fn drain_wakes(&mut self, t: ThreadId) {
+        let now = self.sched.clock(t);
+        let wakes = std::mem::take(&mut self.vm.pending_wakes);
+        for key in wakes {
+            let pk = match key {
+                ruby_vm::vm::WakeKey::Mutex(a) => ParkKey::Mutex(a),
+                ruby_vm::vm::WakeKey::Barrier(a) => ParkKey::Barrier(a),
+            };
+            if let Some(waiters) = self.parked.remove(&pk) {
+                for w in waiters {
+                    self.sched.unpark(w, now);
+                }
+            }
+        }
+    }
+
+    /// Release the GIL held by `t` and wake its waiter queue.
+    fn gil_release(&mut self, t: ThreadId) {
+        let now = self.sched.clock(t);
+        self.sched.advance(t, self.profile.cost.gil_release);
+        let woken = self.gil.release(&mut self.vm, t);
+        for (w, _intent) in woken {
+            self.sched
+                .unpark(w, now + self.profile.cost.gil_wait_wakeup);
+        }
+    }
+
+    // ---- GIL mode ---------------------------------------------------------------
+
+    fn step_gil(&mut self, t: ThreadId) -> Result<(), RunError> {
+        // Must hold the GIL to run.
+        if !self.gil.held_by(t) {
+            if self.gil.is_held() {
+                self.gil.push_waiter(t, GilWait::Acquire);
+                self.sched.park(t);
+                return Ok(());
+            }
+            self.sched.advance(t, self.profile.cost.gil_acquire);
+            self.breakdown.gil_wait += self.profile.cost.gil_acquire;
+            self.gil.acquire(&mut self.vm, t, self.cfg.tls_running_thread);
+        }
+        // Yield points: yield only when the timer flagged us and another
+        // live thread exists (paper §3.2).
+        let kind = self.insn_kind(t);
+        if self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
+            let flag_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::INTERRUPT;
+            let flag = self
+                .vm
+                .mem
+                .read(t, flag_addr)
+                .expect("interrupt flag read");
+            self.sched.advance(t, 2 * self.profile.cost.mem_ref);
+            self.breakdown.gil_held += 2 * self.profile.cost.mem_ref;
+            if flag == Word::Int(1) {
+                self.vm
+                    .mem
+                    .write(t, flag_addr, Word::Int(0))
+                    .expect("interrupt flag clear");
+                self.gil_release(t);
+                self.sched.advance(t, self.profile.cost.sched_yield);
+                self.breakdown.gil_wait += self.profile.cost.sched_yield;
+                // Re-acquire on the next scheduling round (others, woken
+                // with earlier clocks, get the lock first).
+                return Ok(());
+            }
+        }
+        let (r, cost) = self.raw_step(t);
+        self.breakdown.gil_held += cost;
+        match r {
+            Ok(ok) => {
+                self.committed_insns += 1;
+                let was_block = matches!(ok, StepOk::Block(_));
+                let finished = matches!(ok, StepOk::Finished);
+                if was_block || finished {
+                    // Blocking region / exit: release the GIL first.
+                    self.gil_release(t);
+                }
+                self.handle_outcome(t, ok)
+            }
+            Err(VmAbort::Err(e)) => Err(RunError::Vm(e.to_string())),
+            Err(VmAbort::Tx(r)) => Err(RunError::Vm(format!(
+                "transaction abort in GIL mode: {r:?}"
+            ))),
+        }
+    }
+
+    // ---- free modes (FineGrained / Ideal) ------------------------------------------
+
+    fn step_free(&mut self, t: ThreadId) -> Result<(), RunError> {
+        let (r, cost) = self.raw_step(t);
+        self.breakdown.tx_success += cost;
+        // JRuby-like allocation serialization.
+        if self.cfg.mode == RuntimeMode::FineGrained {
+            let allocs = self.vm.allocations;
+            let delta = allocs - self.last_allocs;
+            self.last_allocs = allocs;
+            if delta > 0 {
+                let extra = self.fine.on_allocations(self.sched.clock(t), delta);
+                self.sched.advance(t, extra);
+                self.breakdown.other += extra;
+            }
+        }
+        match r {
+            Ok(ok) => {
+                self.committed_insns += 1;
+                self.handle_outcome(t, ok)
+            }
+            Err(VmAbort::Err(e)) => Err(RunError::Vm(e.to_string())),
+            Err(VmAbort::Tx(r)) => Err(RunError::Vm(format!(
+                "transaction abort without transactions: {r:?}"
+            ))),
+        }
+    }
+
+    // ---- HTM (TLE) mode --------------------------------------------------------------
+
+    fn step_htm(&mut self, t: ThreadId) -> Result<(), RunError> {
+        // 1. Ensure an execution context: transaction or GIL.
+        if self.tle[t].tx.is_none() && !self.tle[t].holds_gil {
+            if self.tle[t].want_gil {
+                // A forcible acquisition is in progress (Fig. 1 line 27 /
+                // persistent-abort fallback): finish it before anything
+                // else.
+                if !self.gil_acquire_or_park(t) {
+                    return Ok(());
+                }
+            } else if !self.transaction_begin(t)? {
+                return Ok(()); // parked waiting for the GIL
+            }
+        }
+        // 2. transaction_yield (paper Fig. 2): at yield points, decrement
+        //    the counter; on zero, end + begin. Skipped when the context
+        //    was just (re-)established at this pc — the instruction here
+        //    belongs to the new transaction/GIL tenure.
+        let fresh = std::mem::take(&mut self.tle[t].fresh);
+        let kind = self.insn_kind(t);
+        if !fresh && self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
+            let counter_addr =
+                self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
+            let c = match self.vm.mem.read(t, counter_addr) {
+                Ok(Word::Int(c)) => c,
+                Ok(_) => 0,
+                Err(reason) => {
+                    // The counter read itself hit a doomed transaction
+                    // (false sharing on unpadded thread structs!).
+                    self.sched.advance(t, self.profile.cost.mem_ref);
+                    return self.on_tx_abort(t, reason);
+                }
+            };
+            self.sched.advance(t, 2 * self.profile.cost.mem_ref);
+            if let Some(tx) = self.tle[t].tx.as_mut() {
+                tx.work += 2 * self.profile.cost.mem_ref;
+            } else {
+                self.breakdown.gil_held += 2 * self.profile.cost.mem_ref;
+            }
+            if c <= 1 {
+                // End here; begin at this pc.
+                if !self.transaction_end_and_restart(t)? {
+                    return Ok(()); // aborted at commit or parked
+                }
+            } else if let Err(reason) = self.vm.mem.write(t, counter_addr, Word::Int(c - 1)) {
+                return self.on_tx_abort(t, reason);
+            }
+        }
+        // 3. Execute the instruction.
+        let (r, cost) = self.raw_step(t);
+        if let Some(tx) = self.tle[t].tx.as_mut() {
+            tx.work += cost;
+            tx.insns += 1;
+        } else {
+            self.breakdown.gil_held += cost;
+            self.committed_insns += 1;
+        }
+        match r {
+            Ok(ok) => {
+                let finished = matches!(ok, StepOk::Finished);
+                let was_block = matches!(ok, StepOk::Block(_));
+                if finished || was_block {
+                    // Commit any open transaction before leaving/parking.
+                    if self.tle[t].tx.is_some() {
+                        match self.commit_tx(t) {
+                            Ok(()) => {}
+                            Err(reason) => return self.on_tx_abort(t, reason),
+                        }
+                    }
+                    if self.tle[t].holds_gil {
+                        self.tle[t].holds_gil = false;
+                        self.gil_release(t);
+                    }
+                }
+                self.handle_outcome(t, ok)
+            }
+            Err(VmAbort::Err(e)) => Err(RunError::Vm(e.to_string())),
+            Err(VmAbort::Tx(reason)) => self.on_tx_abort(t, reason),
+        }
+    }
+
+    /// Commit `t`'s transaction, moving escrowed work to `tx_success`.
+    fn commit_tx(&mut self, t: ThreadId) -> Result<(), AbortReason> {
+        let info = self.tle[t].tx.take().expect("commit without tx");
+        self.sched.advance(t, self.profile.cost.tend);
+        self.breakdown.tx_begin_end += self.profile.cost.tend;
+        match self.vm.mem.commit(t) {
+            Ok(()) => {
+                self.breakdown.tx_success += info.work;
+                self.committed_insns += info.insns;
+                Ok(())
+            }
+            Err(reason) => {
+                // Already rolled back; restore registers and report.
+                self.vm.restore(t, info.snapshot);
+                self.breakdown.aborted += info.work;
+                self.wasted_insns += info.insns;
+                self.tle[t].resume_pc = Some(info.start_pc);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Paper Fig. 2 lines 11–13: end the current context and begin a new
+    /// transaction at the current pc. Returns false if the thread parked
+    /// or aborted (caller returns to the scheduler).
+    fn transaction_end_and_restart(&mut self, t: ThreadId) -> Result<bool, RunError> {
+        if self.tle[t].holds_gil {
+            // GIL path of transaction_end (Fig. 2 line 2).
+            self.tle[t].holds_gil = false;
+            self.gil_release(t);
+        } else if self.tle[t].tx.is_some() {
+            if let Err(reason) = self.commit_tx(t) {
+                self.on_tx_abort(t, reason)?;
+                return Ok(false);
+            }
+        }
+        self.transaction_begin(t)
+    }
+
+    /// Paper Fig. 1. Returns false when the thread parked (GIL busy).
+    fn transaction_begin(&mut self, t: ThreadId) -> Result<bool, RunError> {
+        // Line 2: single-thread fast path — just take the GIL.
+        if self.sched.other_live_threads(t) == 0 {
+            return Ok(self.gil_acquire_or_park(t));
+        }
+        let pc = self.tle[t].resume_pc.take().unwrap_or_else(|| self.global_pc(t));
+        // Fig. 1 lines 5 and 9-11: a *fresh* begin consults the length
+        // table (counting the transaction for the site's profiling window)
+        // and re-arms the retry budgets; a retry re-enters below both.
+        let retry = std::mem::take(&mut self.tle[t].retrying);
+        let len = if retry {
+            self.tables.peek_length(pc)
+        } else {
+            self.tle[t].reset_retries(&self.cfg.tle);
+            self.tables.set_transaction_length(pc)
+        };
+        let counter_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
+        // Lines 6-8: wait for a held GIL before even trying (optimization).
+        if self.gil.is_held() {
+            self.breakdown.gil_wait += self.profile.cost.spin_bound;
+            self.sched.advance(t, self.profile.cost.spin_bound);
+            self.gil.push_waiter(t, GilWait::RetryTx);
+            self.tle[t].resume_pc = Some(pc);
+            // Keep the sequence identity across the park: a retry that
+            // waits here must not have its budgets re-armed on wake.
+            self.tle[t].retrying = retry;
+            self.sched.park(t);
+            return Ok(false);
+        }
+        // TBEGIN + surrounding bookkeeping.
+        self.sched.advance(t, self.profile.cost.tbegin);
+        self.breakdown.tx_begin_end += self.profile.cost.tbegin;
+        let snapshot = self.vm.snapshot(t);
+        if let Err(reason) = self.vm.mem.begin(t, self.budgets(t)) {
+            // Predictor kill (EagerPredicted): take the abort path.
+            self.sched.advance(t, self.profile.cost.abort_penalty);
+            self.breakdown.aborted += self.profile.cost.abort_penalty;
+            self.tle[t].resume_pc = Some(pc);
+            self.abort_path(t, pc, reason)?;
+            return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
+        }
+        // Subscribe to the GIL (Fig. 1 lines 14-15): read it inside the
+        // transaction; TABORT if held (cannot happen here — we checked
+        // above and nothing ran in between in discrete-event time — but
+        // keep the faithful sequence).
+        let gil_word = self
+            .vm
+            .mem
+            .read(t, self.vm.layout.gil)
+            .expect("fresh transaction cannot be doomed yet");
+        self.sched.advance(t, self.profile.cost.mem_ref);
+        if gil_word == Word::Int(1) {
+            let reason = self.vm.mem.tabort(t, abort_codes::GIL_LOCKED);
+            self.tle[t].resume_pc = Some(pc);
+            self.abort_path(t, pc, reason)?;
+            return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
+        }
+        // §4.4 #1 ablation: write the running-thread global inside the
+        // transaction — every thread, every transaction, same line.
+        if !self.cfg.tls_running_thread {
+            if let Err(reason) = self
+                .vm
+                .mem
+                .write(t, self.vm.layout.running_thread, Word::Int(t as i64))
+            {
+                self.tle[t].resume_pc = Some(pc);
+                self.abort_path(t, pc, reason)?;
+                return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
+            }
+            self.sched.advance(t, self.profile.cost.mem_ref);
+        }
+        // Install the yield-point counter (Fig. 3's yield_point_counter).
+        if let Err(reason) = self
+            .vm
+            .mem
+            .write(t, counter_addr, Word::Int(i64::from(len)))
+        {
+            self.tle[t].resume_pc = Some(pc);
+            self.abort_path(t, pc, reason)?;
+            return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
+        }
+        self.tle[t].tx = Some(TxInfo { start_pc: pc, snapshot, work: 0, insns: 0 });
+        self.tle[t].fresh = true;
+        Ok(true)
+    }
+
+    /// A transaction abort surfaced while stepping (the VM already rolled
+    /// the memory back). Restore registers and run the Fig. 1 abort path.
+    fn on_tx_abort(&mut self, t: ThreadId, reason: AbortReason) -> Result<(), RunError> {
+        let Some(info) = self.tle[t].tx.take() else {
+            return Err(RunError::Vm(format!(
+                "abort {reason:?} outside any transaction"
+            )));
+        };
+        self.vm.restore(t, info.snapshot);
+        self.sched.advance(t, self.profile.cost.abort_penalty);
+        self.breakdown.aborted += info.work + self.profile.cost.abort_penalty;
+        self.wasted_insns += info.insns;
+        self.tle[t].resume_pc = Some(info.start_pc);
+        self.abort_path(t, info.start_pc, reason)
+    }
+
+    /// Paper Fig. 1 lines 16-37. May retry (arming `resume_pc`), park on
+    /// the GIL, or acquire the GIL.
+    fn abort_path(&mut self, t: ThreadId, pc: u32, reason: AbortReason) -> Result<(), RunError> {
+        #[cfg(debug_assertions)]
+        if std::env::var_os("HTMGIL_TRACE").is_some() {
+            eprintln!(
+                "[{}] t{t} abort pc={pc} {reason:?} tr={} gr={} gil={:?}",
+                self.sched.clock(t),
+                self.tle[t].transient_retries,
+                self.tle[t].gil_retries,
+                self.gil.holder
+            );
+        }
+        self.record_conflict(reason);
+        // Lines 17-20: first abort of this transaction adjusts the length.
+        if self.tle[t].first_retry {
+            self.tle[t].first_retry = false;
+            self.tables.adjust_transaction_length(pc);
+        }
+        // Lines 21-27: conflict at the GIL.
+        let gil_locked = matches!(reason, AbortReason::Explicit(c) if c == abort_codes::GIL_LOCKED)
+            || (reason.is_conflict() && self.gil.is_held());
+        if gil_locked {
+            self.tle[t].gil_retries = self.tle[t].gil_retries.saturating_sub(1);
+            if self.tle[t].gil_retries > 0 {
+                self.tle[t].retrying = true;
+                // spin_and_gil_acquire: wait for release, then retry.
+                if self.gil.is_held() {
+                    self.breakdown.gil_wait += self.profile.cost.spin_bound;
+                    self.sched.advance(t, self.profile.cost.spin_bound);
+                    self.gil.push_waiter(t, GilWait::RetryTx);
+                    self.sched.park(t);
+                }
+                return Ok(());
+            }
+            // Line 27: forcibly acquire.
+            self.gil_acquire_or_park(t);
+            return Ok(());
+        }
+        // Lines 28-29: persistent → GIL.
+        if reason.is_persistent() {
+            self.gil_acquire_or_park(t);
+            return Ok(());
+        }
+        // Lines 31-35: transient retry.
+        self.tle[t].transient_retries = self.tle[t].transient_retries.saturating_sub(1);
+        if self.tle[t].transient_retries == 0 {
+            self.gil_acquire_or_park(t);
+        } else {
+            self.tle[t].retrying = true;
+        }
+        // Otherwise: resume_pc is armed; the next scheduling of `t`
+        // re-runs transaction_begin at the same yield point.
+        Ok(())
+    }
+
+    /// `gil_acquire()` with parking. Returns true when the GIL was taken.
+    fn gil_acquire_or_park(&mut self, t: ThreadId) -> bool {
+        #[cfg(debug_assertions)]
+        if std::env::var_os("HTMGIL_TRACE").is_some() {
+            eprintln!(
+                "[{}] t{t} gil_acquire_or_park held_by={:?}",
+                self.sched.clock(t),
+                self.gil.holder
+            );
+        }
+        if self.gil.is_held() {
+            self.tle[t].want_gil = true;
+            self.gil.push_waiter(t, GilWait::Acquire);
+            self.sched.park(t);
+            return false;
+        }
+        self.tle[t].want_gil = false;
+        self.sched.advance(t, self.profile.cost.gil_acquire);
+        self.breakdown.gil_wait += self.profile.cost.gil_acquire;
+        self.gil.acquire(&mut self.vm, t, self.cfg.tls_running_thread);
+        self.tle[t].holds_gil = true;
+        self.tle[t].reset_retries(&self.cfg.tle);
+        // Fig. 3 note: the transaction length is consumed even under the
+        // GIL — install the counter so the GIL is released at the same
+        // yield point a transaction would have ended at.
+        let pc = self.tle[t]
+            .resume_pc
+            .take()
+            .unwrap_or_else(|| self.global_pc(t));
+        let len = self.tables.set_transaction_length(pc);
+        let counter_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
+        self.vm
+            .mem
+            .write(t, counter_addr, Word::Int(i64::from(len)))
+            .expect("counter write outside transaction");
+        self.tle[t].fresh = true;
+        true
+    }
+}
+
+// When a thread holding the GIL parks (blocking builtin), `step_htm`
+// releases it first; when it finishes, likewise — see the
+// finished/was_block branch in `step_htm`.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_mode(src: &str, mode: RuntimeMode, profile: MachineProfile) -> RunReport {
+        let cfg = ExecConfig::new(mode, &profile);
+        let mut ex = Executor::new(src, VmConfig::default(), profile, cfg).unwrap();
+        ex.run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    const COUNT_SRC: &str = "x = 0\ni = 1\nwhile i <= 500\n  x += i\n  i += 1\nend\nputs(x)";
+
+    #[test]
+    fn gil_mode_runs_single_thread() {
+        let r = run_mode(COUNT_SRC, RuntimeMode::Gil, MachineProfile::generic(4));
+        assert_eq!(r.stdout, "125250");
+        assert!(r.committed_insns > 500);
+        assert!(r.elapsed_cycles > 0);
+        assert_eq!(r.htm.begins, 0, "no transactions in GIL mode");
+    }
+
+    #[test]
+    fn htm_mode_single_thread_uses_gil_fast_path() {
+        let r = run_mode(
+            COUNT_SRC,
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+            MachineProfile::generic(4),
+        );
+        assert_eq!(r.stdout, "125250");
+        // Fig. 1 line 2: with no other live thread, no transactions begin.
+        assert_eq!(r.htm.begins, 0);
+        assert!(r.gil_acquisitions >= 1);
+    }
+
+    #[test]
+    fn all_modes_agree_on_output() {
+        let src = r#"
+results = Array.new(3, 0)
+threads = []
+3.times do |i|
+  threads << Thread.new(i) do |tid|
+    s = 0
+    j = 1
+    while j <= 200
+      s += j * (tid + 1)
+      j += 1
+    end
+    results[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(results.join(","))
+"#;
+        let expected = "20100,40200,60300";
+        for mode in [
+            RuntimeMode::Gil,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(256) },
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+            RuntimeMode::FineGrained,
+            RuntimeMode::Ideal,
+        ] {
+            let r = run_mode(src, mode, MachineProfile::generic(4));
+            assert_eq!(r.stdout, expected, "mode {}", mode.label());
+        }
+    }
+
+    #[test]
+    fn htm_multithreaded_actually_uses_transactions() {
+        let src = r#"
+results = Array.new(2, 0)
+threads = []
+2.times do |i|
+  threads << Thread.new(i) do |tid|
+    s = 0
+    j = 1
+    while j <= 300
+      s += j
+      j += 1
+    end
+    results[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(results[0] + results[1])
+"#;
+        let r = run_mode(
+            src,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            MachineProfile::generic(4),
+        );
+        assert_eq!(r.stdout, "90300");
+        assert!(r.htm.begins > 10, "worker threads must run transactionally");
+        assert!(r.htm.commits > 10);
+        assert!(r.breakdown.tx_success > 0);
+    }
+
+    #[test]
+    fn htm_scales_versus_gil_on_parallel_work() {
+        // The core claim, in miniature: with 4 independent compute
+        // threads, HTM elision beats the GIL.
+        let src = r#"
+results = Array.new(4, 0)
+threads = []
+4.times do |i|
+  threads << Thread.new(i) do |tid|
+    s = 0
+    j = 1
+    while j <= 400
+      s += j
+      j += 1
+    end
+    results[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(results.join(","))
+"#;
+        let gil = run_mode(src, RuntimeMode::Gil, MachineProfile::generic(4));
+        let htm = run_mode(
+            src,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            MachineProfile::generic(4),
+        );
+        assert_eq!(gil.stdout, htm.stdout);
+        let speedup = gil.elapsed_cycles as f64 / htm.elapsed_cycles as f64;
+        assert!(
+            speedup > 1.5,
+            "HTM-16 must beat the GIL on embarrassingly parallel work; got {speedup:.2}×"
+        );
+    }
+
+    #[test]
+    fn mutex_workload_is_serializable_under_htm() {
+        let src = r#"
+m = Mutex.new()
+count = 0
+threads = []
+3.times do |i|
+  threads << Thread.new() do
+    j = 0
+    while j < 30
+      m.synchronize do
+        count += 1
+      end
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(count)
+"#;
+        for mode in [
+            RuntimeMode::Gil,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        ] {
+            let r = run_mode(src, mode, MachineProfile::generic(4));
+            assert_eq!(r.stdout, "90", "mode {}", mode.label());
+        }
+    }
+
+    #[test]
+    fn dynamic_adjustment_reacts_to_aborts() {
+        // Two threads hammering the same array line: conflicts force the
+        // dynamic policy to shorten lengths somewhere.
+        let src = r#"
+shared = Array.new(4, 0)
+threads = []
+2.times do |i|
+  threads << Thread.new(i) do |tid|
+    j = 0
+    while j < 1500
+      shared[tid] = shared[tid] + 1
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(shared[0] + shared[1])
+"#;
+        let r = run_mode(
+            src,
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+            MachineProfile::generic(4),
+        );
+        assert_eq!(r.stdout, "3000");
+        assert!(
+            r.length_adjustments > 0,
+            "conflict-heavy run must shrink some lengths"
+        );
+        assert!(r.htm.total_aborts() > 0);
+    }
+
+    #[test]
+    fn conflicts_are_attributed_to_regions() {
+        let src = r#"
+shared = Array.new(2, 0)
+threads = []
+2.times do |i|
+  threads << Thread.new(i) do |tid|
+    j = 0
+    while j < 800
+      shared[tid] = shared[tid] + 1
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(shared[0] + shared[1])
+"#;
+        let r = run_mode(
+            src,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            MachineProfile::generic(4),
+        );
+        assert_eq!(r.stdout, "1600");
+        let total: u64 = r.conflict_sites.values().sum();
+        assert!(total > 0, "conflicting run must attribute conflicts");
+    }
+
+    #[test]
+    fn io_workload_overlaps_under_gil() {
+        // GIL released during I/O: two I/O-bound threads overlap.
+        let src = r#"
+threads = []
+2.times do |i|
+  threads << Thread.new() do
+    j = 0
+    while j < 5
+      io_wait(1)
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts("done")
+"#;
+        let r = run_mode(src, RuntimeMode::Gil, MachineProfile::generic(4));
+        assert_eq!(r.stdout, "done");
+        // 10 sequential I/Os would cost 10×io_latency; overlap must beat
+        // ~8×.
+        let seq = 10 * MachineProfile::generic(4).cost.io_latency;
+        assert!(
+            r.elapsed_cycles < seq * 9 / 10,
+            "I/O must overlap: {} vs sequential {}",
+            r.elapsed_cycles,
+            seq
+        );
+        assert!(r.breakdown.io_wait > 0);
+    }
+}
+
+#[cfg(test)]
+mod livelock_regressions {
+    //! Regression tests for two livelocks found during bring-up:
+    //! 1. a thread that committed to `gil_acquire()` lost that intent when
+    //!    parked (the requester-wins conflict dance with a mutex owner
+    //!    then ping-ponged forever) — fixed by `TleThread::want_gil`;
+    //! 2. with length-1 transactions, a persistent abort's GIL fallback
+    //!    re-ran the yield-point decision at the same pc, releasing the
+    //!    GIL before executing the restricted instruction — fixed by
+    //!    `TleThread::fresh`.
+
+    use super::*;
+
+    fn run_capped(src: &str, mode: RuntimeMode) -> RunReport {
+        let profile = MachineProfile::generic(4);
+        let mut cfg = ExecConfig::new(mode, &profile);
+        cfg.max_cycles = 500_000_000;
+        let mut ex = Executor::new(src, VmConfig::default(), profile, cfg).unwrap();
+        ex.run().unwrap_or_else(|e| panic!("{} livelocked: {e}", mode.label()))
+    }
+
+    #[test]
+    fn mutex_contention_does_not_livelock() {
+        let src = r#"
+m = Mutex.new()
+count = 0
+threads = []
+3.times do |i|
+  threads << Thread.new() do
+    j = 0
+    while j < 30
+      m.synchronize do
+        count += 1
+      end
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(count)
+"#;
+        for mode in [
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(256) },
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        ] {
+            let r = run_capped(src, mode);
+            assert_eq!(r.stdout, "90", "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn htm1_mutex_handoff_does_not_livelock() {
+        // Minimal trigger found by the cross-stack proptest: under HTM-1
+        // the unlocker's one-instruction commit window races the woken
+        // waiter's lock-read, which dooms it (requester wins). Progress
+        // relies on the retry budgets surviving the lines-6-8 GIL park —
+        // losing the `retrying` flag there re-armed the budgets forever.
+        let src = r#"
+m = Mutex.new()
+count = Array.new(1, 0)
+threads = []
+3.times do |t|
+  threads << Thread.new(t) do |tid|
+    j = 0
+    while j < 3
+      m.synchronize do
+        count[0] = count[0] + 1
+      end
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(count[0])
+"#;
+        let r = run_capped(src, RuntimeMode::Htm { length: LengthPolicy::Fixed(1) });
+        assert_eq!(r.stdout, "9");
+    }
+
+    #[test]
+    fn htm1_thread_spawn_does_not_livelock() {
+        // Thread.new is a restricted op: under HTM-1 every spawn goes
+        // through the persistent-abort → GIL path at a yield point.
+        let src = r#"
+results = Array.new(3, 0)
+threads = []
+3.times do |i|
+  threads << Thread.new(i) do |tid|
+    s = 0
+    j = 1
+    while j <= 200
+      s += j * (tid + 1)
+      j += 1
+    end
+    results[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(results.join(","))
+"#;
+        let r = run_capped(src, RuntimeMode::Htm { length: LengthPolicy::Fixed(1) });
+        assert_eq!(r.stdout, "20100,40200,60300");
+    }
+}

@@ -1,0 +1,142 @@
+//! The Giant VM Lock itself.
+//!
+//! The GIL state is one word of simulated memory (`layout.gil`): writing
+//! it non-transactionally on acquisition dooms every active transaction —
+//! that is the TLE subscription mechanism keeping the fallback safe (every
+//! transaction reads the GIL word right after `TBEGIN`, paper Fig. 1
+//! line 15). The waiter queue and timer bookkeeping are executor-side
+//! metadata, like CRuby's `gvl` struct.
+
+use machine_sim::{Cycles, ThreadId};
+use ruby_vm::{Vm, Word};
+
+/// Why a parked thread is waiting on the GIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GilWait {
+    /// Wants to own the GIL (GIL mode, or HTM fallback after retries).
+    Acquire,
+    /// Waiting only for release, then retries its transaction
+    /// (`spin_and_gil_acquire` returning "released", Fig. 1 lines 40–44).
+    RetryTx,
+}
+
+/// GIL runtime state.
+#[derive(Debug, Clone)]
+pub struct GilState {
+    pub holder: Option<ThreadId>,
+    /// Parked waiters with their intent.
+    pub waiters: Vec<(ThreadId, GilWait)>,
+    /// Total acquisitions (report statistic).
+    pub acquisitions: u64,
+    /// Next 250 ms-timer deadline (GIL mode only).
+    pub next_timer: Cycles,
+}
+
+impl GilState {
+    pub fn new(first_timer: Cycles) -> Self {
+        GilState {
+            holder: None,
+            waiters: Vec::new(),
+            acquisitions: 0,
+            next_timer: first_timer,
+        }
+    }
+
+    /// Acquire the GIL for `t`. Caller must have checked it is free.
+    /// The memory write dooms all subscribed transactions.
+    pub fn acquire(&mut self, vm: &mut Vm, t: ThreadId, tls_running_thread: bool) {
+        debug_assert!(self.holder.is_none(), "GIL already held");
+        self.holder = Some(t);
+        self.acquisitions += 1;
+        let gil = vm.layout.gil;
+        vm.mem
+            .write(t, gil, Word::Int(1))
+            .expect("GIL word write cannot fail outside a transaction");
+        if !tls_running_thread {
+            // §4.4 #1 ablation: the running-thread global gets rewritten on
+            // every acquisition — "the most severe conflicts".
+            let rt = vm.layout.running_thread;
+            vm.mem
+                .write(t, rt, Word::Int(t as i64))
+                .expect("running-thread write");
+        }
+    }
+
+    /// Release the GIL held by `t`. Returns the waiters to wake.
+    pub fn release(&mut self, vm: &mut Vm, t: ThreadId) -> Vec<(ThreadId, GilWait)> {
+        debug_assert_eq!(self.holder, Some(t), "release by non-holder");
+        self.holder = None;
+        let gil = vm.layout.gil;
+        vm.mem
+            .write(t, gil, Word::Int(0))
+            .expect("GIL word write cannot fail outside a transaction");
+        std::mem::take(&mut self.waiters)
+    }
+
+    pub fn is_held(&self) -> bool {
+        self.holder.is_some()
+    }
+
+    pub fn held_by(&self, t: ThreadId) -> bool {
+        self.holder == Some(t)
+    }
+
+    /// Park `t` in the waiter queue.
+    pub fn push_waiter(&mut self, t: ThreadId, wait: GilWait) {
+        debug_assert!(self.waiters.iter().all(|&(w, _)| w != t));
+        self.waiters.push((t, wait));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine_sim::MachineProfile;
+    use ruby_vm::VmConfig;
+
+    fn vm() -> Vm {
+        Vm::boot("nil", VmConfig::default(), &MachineProfile::generic(2)).unwrap()
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut vm = vm();
+        let mut g = GilState::new(1000);
+        assert!(!g.is_held());
+        g.acquire(&mut vm, 0, true);
+        assert!(g.held_by(0));
+        assert_eq!(*vm.mem.peek(vm.layout.gil), Word::Int(1));
+        g.push_waiter(1, GilWait::Acquire);
+        let woken = g.release(&mut vm, 0);
+        assert!(!g.is_held());
+        assert_eq!(*vm.mem.peek(vm.layout.gil), Word::Int(0));
+        assert_eq!(woken, vec![(1, GilWait::Acquire)]);
+        assert_eq!(g.acquisitions, 1);
+    }
+
+    #[test]
+    fn acquisition_dooms_subscribed_transactions() {
+        let mut vm = vm();
+        let mut g = GilState::new(0);
+        let budgets = htm_sim::Budgets { read_lines: 1 << 20, write_lines: 1 << 20 };
+        vm.mem.begin(1, budgets).unwrap();
+        // Thread 1 subscribes to the GIL word, as TLE requires.
+        let gil = vm.layout.gil;
+        let _ = vm.mem.read(1, gil).unwrap();
+        g.acquire(&mut vm, 0, true);
+        assert!(vm.mem.poll_doomed(1).is_some(), "subscriber must be doomed");
+    }
+
+    #[test]
+    fn running_thread_global_written_when_not_tls() {
+        let mut vm = vm();
+        let mut g = GilState::new(0);
+        g.acquire(&mut vm, 0, false);
+        assert_eq!(*vm.mem.peek(vm.layout.running_thread), Word::Int(0));
+        let _ = g.release(&mut vm, 0);
+        let mut g2 = GilState::new(0);
+        g2.acquire(&mut vm, 1, true);
+        // TLS mode: the global is untouched (still 0 from before).
+        assert_eq!(*vm.mem.peek(vm.layout.running_thread), Word::Int(0));
+    }
+}

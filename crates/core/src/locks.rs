@@ -1,0 +1,125 @@
+//! Lock-contention model for the fine-grained (JRuby-like) mode.
+//!
+//! JRuby removes the GIL but protects shared VM services with
+//! `synchronized` blocks and concurrent data structures; the paper notes
+//! (§5.7/§6) that its remaining internal bottlenecks cap scalability
+//! around 3.5× at 12 threads on the NPB. We model the dominant one —
+//! allocation going through a shared young-generation region — as a global
+//! lock taken once per TLAB-style refill, plus a small per-allocation
+//! overhead. The lock serializes in simulated time: an acquire at time `x`
+//! with the lock busy until `f` starts at `max(x, f)`.
+
+use machine_sim::Cycles;
+
+/// One serialization point in simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct LockSim {
+    free_at: Cycles,
+    /// Total contention cycles inflicted (report statistic).
+    pub total_wait: Cycles,
+    pub acquisitions: u64,
+}
+
+impl LockSim {
+    /// Acquire at local time `now`, holding for `hold` cycles. Returns the
+    /// total cycles the calling thread spends (wait + hold).
+    pub fn acquire(&mut self, now: Cycles, hold: Cycles) -> Cycles {
+        let start = now.max(self.free_at);
+        let wait = start - now;
+        self.free_at = start + hold;
+        self.total_wait += wait;
+        self.acquisitions += 1;
+        wait + hold
+    }
+}
+
+/// The fine-grained mode's contention points and coefficients.
+#[derive(Debug, Clone)]
+pub struct FineGrainedModel {
+    /// Shared allocation-region lock, taken per refill.
+    pub alloc_region: LockSim,
+    /// Allocations per refill (TLAB-style batching).
+    pub allocs_per_refill: u64,
+    /// Hold time of a refill.
+    pub refill_hold: Cycles,
+    /// Uncontended per-allocation overhead (CAS + fences).
+    pub per_alloc_overhead: Cycles,
+    /// Allocations seen so far (drives the refill cadence).
+    allocs: u64,
+}
+
+impl Default for FineGrainedModel {
+    fn default() -> Self {
+        FineGrainedModel {
+            alloc_region: LockSim::default(),
+            allocs_per_refill: 16,
+            refill_hold: 1_500,
+            per_alloc_overhead: 20,
+            allocs: 0,
+        }
+    }
+}
+
+impl FineGrainedModel {
+    /// Charge `n` allocations happening at local time `now`; returns extra
+    /// cycles for the calling thread.
+    pub fn on_allocations(&mut self, now: Cycles, n: u64) -> Cycles {
+        let mut extra = n * self.per_alloc_overhead;
+        let before = self.allocs / self.allocs_per_refill;
+        self.allocs += n;
+        let after = self.allocs / self.allocs_per_refill;
+        for _ in before..after {
+            extra += self.alloc_region.acquire(now + extra, self.refill_hold);
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_lock_just_holds() {
+        let mut l = LockSim::default();
+        assert_eq!(l.acquire(100, 50), 50);
+        assert_eq!(l.total_wait, 0);
+        // Next acquire after the hold window: still uncontended.
+        assert_eq!(l.acquire(1_000, 50), 50);
+        assert_eq!(l.total_wait, 0);
+    }
+
+    #[test]
+    fn contended_lock_serializes() {
+        let mut l = LockSim::default();
+        assert_eq!(l.acquire(0, 100), 100); // holds [0,100)
+        // A second thread arriving at 30 waits 70 then holds 100.
+        assert_eq!(l.acquire(30, 100), 170);
+        assert_eq!(l.total_wait, 70);
+        assert_eq!(l.acquisitions, 2);
+    }
+
+    #[test]
+    fn refills_happen_on_cadence() {
+        let mut m = FineGrainedModel::default();
+        // 15 allocations: no refill yet, only per-alloc overhead.
+        let e = m.on_allocations(0, 15);
+        assert_eq!(e, 15 * m.per_alloc_overhead);
+        assert_eq!(m.alloc_region.acquisitions, 0);
+        // The 64th triggers a refill.
+        let e = m.on_allocations(1_000, 1);
+        assert!(e >= m.refill_hold);
+        assert_eq!(m.alloc_region.acquisitions, 1);
+    }
+
+    #[test]
+    fn heavy_allocation_from_many_threads_contends() {
+        let mut m = FineGrainedModel::default();
+        // Two "threads" interleaving big allocation bursts at the same
+        // simulated time must serialize their refills.
+        let a = m.on_allocations(0, 640);
+        let b = m.on_allocations(0, 640);
+        assert!(b > a / 2, "second burst must feel the first's refills");
+        assert!(m.alloc_region.total_wait > 0);
+    }
+}

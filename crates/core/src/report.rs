@@ -1,0 +1,207 @@
+//! Run results: throughput, cycle breakdowns, abort attribution.
+
+use std::collections::HashMap;
+
+use htm_sim::HtmStats;
+use machine_sim::Cycles;
+
+/// Where in the VM address space a conflicting line lives — used for the
+/// paper's §5.6 attribution ("more than 50 % of those read-set conflicts
+/// occurred at the time of object allocation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConflictSite {
+    /// The GIL word itself.
+    Gil,
+    /// The running-thread global (§4.4 #1).
+    RunningThread,
+    /// Heap metadata: free-list head, sweep cursor, malloc bump/class
+    /// heads — the allocator (§4.4 #2 / §5.6).
+    Allocator,
+    /// Global variables / constants.
+    Globals,
+    /// Inline-cache words (§4.4 #4).
+    InlineCache,
+    /// Thread structs — false sharing when unpadded (§4.4 #5).
+    ThreadStruct,
+    /// Object slots (shared application data, lazy-sweep links).
+    HeapSlots,
+    /// Malloc'd buffers (array/ivar/string data).
+    MallocArea,
+    /// Another thread's stack (escaped environments).
+    Stack,
+}
+
+/// Cycle breakdown in the categories of the paper's Fig. 8.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CycleBreakdown {
+    /// `TBEGIN`/`TEND` and the surrounding begin/end bookkeeping.
+    pub tx_begin_end: Cycles,
+    /// Work inside transactions that committed.
+    pub tx_success: Cycles,
+    /// Work executed while holding the GIL (fallback or GIL mode).
+    pub gil_held: Cycles,
+    /// Work discarded by aborts, plus the hardware abort penalty.
+    pub aborted: Cycles,
+    /// Spinning/parked time waiting for the GIL to be released.
+    pub gil_wait: Cycles,
+    /// Blocked on simulated I/O.
+    pub io_wait: Cycles,
+    /// Everything else (scheduler overhead, blocked on app sync).
+    pub other: Cycles,
+}
+
+impl CycleBreakdown {
+    pub fn total(&self) -> Cycles {
+        self.tx_begin_end
+            + self.tx_success
+            + self.gil_held
+            + self.aborted
+            + self.gil_wait
+            + self.io_wait
+            + self.other
+    }
+
+    /// Category shares in percent, in Fig. 8 order.
+    pub fn shares_pct(&self) -> [(&'static str, f64); 7] {
+        let t = self.total().max(1) as f64;
+        [
+            ("tx-begin/end", 100.0 * self.tx_begin_end as f64 / t),
+            ("successful-tx", 100.0 * self.tx_success as f64 / t),
+            ("gil-held", 100.0 * self.gil_held as f64 / t),
+            ("aborted-tx", 100.0 * self.aborted as f64 / t),
+            ("gil-wait", 100.0 * self.gil_wait as f64 / t),
+            ("io-wait", 100.0 * self.io_wait as f64 / t),
+            ("other", 100.0 * self.other as f64 / t),
+        ]
+    }
+}
+
+/// Everything a figure harness needs from one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub mode_label: String,
+    pub machine: &'static str,
+    pub threads_used: usize,
+    /// Wall-clock of the run: max thread clock.
+    pub elapsed_cycles: Cycles,
+    /// Bytecodes whose effects committed (work metric).
+    pub committed_insns: u64,
+    /// Bytecodes rolled back with aborted transactions.
+    pub wasted_insns: u64,
+    pub breakdown: CycleBreakdown,
+    pub htm: HtmStats,
+    pub gil_acquisitions: u64,
+    /// Read-set conflicts attributed to VM regions (line classification).
+    pub conflict_sites: HashMap<ConflictSite, u64>,
+    /// Dynamic-adjustment outcome: share of active yield points that ended
+    /// at length 1, and total shrink events.
+    pub share_length_one: f64,
+    pub length_adjustments: u64,
+    /// From the VM: allocation count and GC runs.
+    pub allocations: u64,
+    pub gc_runs: u64,
+    /// Program output (correctness oracle across modes).
+    pub stdout: String,
+}
+
+impl RunReport {
+    /// Work per cycle — the throughput measure normalized by the figure
+    /// harnesses. For fixed-work workloads, relative speedup equals the
+    /// inverse ratio of `elapsed_cycles`.
+    pub fn throughput(&self) -> f64 {
+        self.committed_insns as f64 / self.elapsed_cycles.max(1) as f64
+    }
+
+    /// Abort ratio in percent (aborts / begins).
+    pub fn abort_ratio_pct(&self) -> f64 {
+        self.htm.abort_ratio_pct()
+    }
+
+    /// Share of read-set conflicts that hit the allocator (paper §5.6).
+    pub fn allocator_conflict_share_pct(&self) -> f64 {
+        let total: u64 = self.conflict_sites.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let alloc = self
+            .conflict_sites
+            .get(&ConflictSite::Allocator)
+            .copied()
+            .unwrap_or(0)
+            + self
+                .conflict_sites
+                .get(&ConflictSite::HeapSlots)
+                .copied()
+                .unwrap_or(0);
+        100.0 * alloc as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_shares_sum_to_100() {
+        let b = CycleBreakdown {
+            tx_begin_end: 10,
+            tx_success: 40,
+            gil_held: 20,
+            aborted: 10,
+            gil_wait: 10,
+            io_wait: 5,
+            other: 5,
+        };
+        let sum: f64 = b.shares_pct().iter().map(|(_, v)| v).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn throughput_is_work_per_cycle() {
+        let r = RunReport {
+            mode_label: "HTM-16".into(),
+            machine: "zEC12",
+            threads_used: 4,
+            elapsed_cycles: 1_000,
+            committed_insns: 500,
+            wasted_insns: 50,
+            breakdown: CycleBreakdown::default(),
+            htm: HtmStats::default(),
+            gil_acquisitions: 0,
+            conflict_sites: HashMap::new(),
+            share_length_one: 0.0,
+            length_adjustments: 0,
+            allocations: 0,
+            gc_runs: 0,
+            stdout: String::new(),
+        };
+        assert!((r.throughput() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocator_share_combines_metadata_and_slots() {
+        let mut sites = HashMap::new();
+        sites.insert(ConflictSite::Allocator, 30);
+        sites.insert(ConflictSite::HeapSlots, 30);
+        sites.insert(ConflictSite::InlineCache, 40);
+        let r = RunReport {
+            mode_label: String::new(),
+            machine: "x",
+            threads_used: 1,
+            elapsed_cycles: 1,
+            committed_insns: 0,
+            wasted_insns: 0,
+            breakdown: CycleBreakdown::default(),
+            htm: HtmStats::default(),
+            gil_acquisitions: 0,
+            conflict_sites: sites,
+            share_length_one: 0.0,
+            length_adjustments: 0,
+            allocations: 0,
+            gc_runs: 0,
+            stdout: String::new(),
+        };
+        assert!((r.allocator_conflict_share_pct() - 60.0).abs() < 1e-9);
+    }
+}

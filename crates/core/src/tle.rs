@@ -1,0 +1,254 @@
+//! Dynamic per-yield-point transaction-length tables (paper Fig. 3).
+//!
+//! Transactions "start" at the yield point where the previous one ended;
+//! the tables are keyed by that yield point's global pc. The length of a
+//! transaction is the number of yield points it passes through plus one
+//! (§4.3). The two figure-3 operations are:
+//!
+//! * `set_transaction_length` — consulted at every `transaction_begin`;
+//!   initializes unseen sites to `INITIAL_TRANSACTION_LENGTH` and counts
+//!   the site's transactions up to `PROFILING_PERIOD`;
+//! * `adjust_transaction_length` — called on a transaction's *first* abort
+//!   (Fig. 1 lines 17–20); when the site accumulates more than
+//!   `ADJUSTMENT_THRESHOLD` aborts within a profiling window, its length
+//!   is attenuated by `ATTENUATION_RATE` and the window restarts.
+
+use crate::config::{LengthPolicy, TleConstants};
+
+/// Per-yield-point adjustment state (dense over global pcs).
+#[derive(Debug, Clone)]
+pub struct LengthTables {
+    consts: TleConstants,
+    policy: LengthPolicy,
+    /// `transaction_length[pc]`; 0 = not yet initialized.
+    length: Vec<u32>,
+    /// `transaction_counter[pc]` (transactions begun in this window).
+    tx_counter: Vec<u32>,
+    /// `abort_counter[pc]` (first-aborts in this window).
+    abort_counter: Vec<u32>,
+    /// Lifetime statistics (not part of the algorithm; for reports).
+    pub total_adjustments: u64,
+}
+
+impl LengthTables {
+    pub fn new(total_pcs: u32, policy: LengthPolicy, consts: TleConstants) -> Self {
+        LengthTables {
+            consts,
+            policy,
+            length: vec![0; total_pcs as usize],
+            tx_counter: vec![0; total_pcs as usize],
+            abort_counter: vec![0; total_pcs as usize],
+            total_adjustments: 0,
+        }
+    }
+
+    /// Paper Fig. 3, `set_transaction_length`: the yield-point budget the
+    /// transaction starting at `pc` gets (assigned to the thread's
+    /// `yield_point_counter`).
+    pub fn set_transaction_length(&mut self, pc: u32) -> u32 {
+        match self.policy {
+            LengthPolicy::Fixed(n) => n.max(1),
+            LengthPolicy::Dynamic => {
+                let i = pc as usize;
+                if self.length[i] == 0 {
+                    self.length[i] = self.consts.initial_transaction_length;
+                }
+                if self.tx_counter[i] < self.consts.profiling_period {
+                    self.tx_counter[i] += 1;
+                }
+                self.length[i]
+            }
+        }
+    }
+
+    /// Paper Fig. 3, `adjust_transaction_length`: called on the first
+    /// abort of a transaction that started at `pc`.
+    pub fn adjust_transaction_length(&mut self, pc: u32) {
+        if self.policy != LengthPolicy::Dynamic {
+            return;
+        }
+        let i = pc as usize;
+        // Freeze once the profiling window completed without a shrink:
+        // §4.3's "to avoid the overhead of monitoring the abort ratio
+        // after the program reaches a steady state". (Fig. 3's literal
+        // `<=` guard combined with the capped counter would keep the
+        // window open forever and slowly decay every site to length 1;
+        // the text's steady-state freeze is clearly the intent.)
+        if self.length[i] <= 1 || self.tx_counter[i] >= self.consts.profiling_period {
+            return;
+        }
+        let num_aborts = self.abort_counter[i];
+        if num_aborts <= self.consts.adjustment_threshold {
+            self.abort_counter[i] = num_aborts + 1;
+        } else {
+            let shortened =
+                (f64::from(self.length[i]) * self.consts.attenuation_rate).floor() as u32;
+            self.length[i] = shortened.max(1);
+            self.tx_counter[i] = 0;
+            self.abort_counter[i] = 0;
+            self.total_adjustments += 1;
+        }
+    }
+
+    /// Current length of a site (for reports; 0 = never begun there).
+    pub fn length_at(&self, pc: u32) -> u32 {
+        self.length[pc as usize]
+    }
+
+    /// Length for a *retry* of a transaction from `pc`: no window
+    /// counting (Fig. 1's `goto transaction_retry` re-enters after line
+    /// 5).
+    pub fn peek_length(&mut self, pc: u32) -> u32 {
+        match self.policy {
+            LengthPolicy::Fixed(n) => n.max(1),
+            LengthPolicy::Dynamic => {
+                let l = self.length[pc as usize];
+                if l == 0 {
+                    self.consts.initial_transaction_length
+                } else {
+                    l
+                }
+            }
+        }
+    }
+
+    /// Sites that ever began a transaction, with their final lengths.
+    pub fn active_sites(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.length
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l != 0)
+            .map(|(pc, &l)| (pc as u32, l))
+    }
+
+    /// Share (0–1) of active sites whose final length is exactly 1
+    /// (paper §5.5: "40 % of the frequently executed yield points had the
+    /// transaction length of 1" on 12-thread zEC12).
+    pub fn share_of_length_one(&self) -> f64 {
+        let mut active = 0usize;
+        let mut ones = 0usize;
+        for &l in &self.length {
+            if l != 0 {
+                active += 1;
+                if l == 1 {
+                    ones += 1;
+                }
+            }
+        }
+        if active == 0 {
+            0.0
+        } else {
+            ones as f64 / active as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine_sim::MachineProfile;
+
+    fn consts() -> TleConstants {
+        TleConstants::for_profile(&MachineProfile::zec12())
+    }
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let mut t = LengthTables::new(10, LengthPolicy::Fixed(16), consts());
+        assert_eq!(t.set_transaction_length(3), 16);
+        for _ in 0..100 {
+            t.adjust_transaction_length(3);
+        }
+        assert_eq!(t.set_transaction_length(3), 16);
+    }
+
+    #[test]
+    fn dynamic_initializes_to_255() {
+        let mut t = LengthTables::new(10, LengthPolicy::Dynamic, consts());
+        assert_eq!(t.set_transaction_length(7), 255);
+        assert_eq!(t.length_at(7), 255);
+        assert_eq!(t.length_at(6), 0, "other sites untouched");
+    }
+
+    #[test]
+    fn shortening_requires_threshold_exceeded() {
+        let mut t = LengthTables::new(4, LengthPolicy::Dynamic, consts());
+        t.set_transaction_length(0);
+        // threshold = 3 on zEC12: the first 4 calls only count (0→1→2→3,
+        // then 3 > 3 is false on the 4th? — num_aborts <= threshold grows
+        // the counter; the shrink happens on the call that *sees* the
+        // counter above the threshold).
+        for _ in 0..4 {
+            t.adjust_transaction_length(0);
+            assert_eq!(t.length_at(0), 255);
+        }
+        t.adjust_transaction_length(0);
+        assert_eq!(t.length_at(0), (255.0_f64 * 0.75).floor() as u32);
+    }
+
+    #[test]
+    fn geometric_shrink_reaches_one_and_stops() {
+        let mut t = LengthTables::new(1, LengthPolicy::Dynamic, consts());
+        t.set_transaction_length(0);
+        let mut lengths = vec![t.length_at(0)];
+        for _ in 0..400 {
+            t.adjust_transaction_length(0);
+            let l = t.length_at(0);
+            if *lengths.last().unwrap() != l {
+                lengths.push(l);
+            }
+        }
+        assert_eq!(*lengths.last().unwrap(), 1, "must bottom out at 1");
+        // Monotone non-increasing with ratio 0.75.
+        for w in lengths.windows(2) {
+            assert!(w[1] < w[0]);
+            assert_eq!(w[1], ((f64::from(w[0]) * 0.75).floor() as u32).max(1));
+        }
+    }
+
+    #[test]
+    fn steady_state_freezes_adjustment() {
+        // After PROFILING_PERIOD transactions with few aborts, the length
+        // must stop changing (Fig. 3 line 14 guard).
+        let mut t = LengthTables::new(1, LengthPolicy::Dynamic, consts());
+        for _ in 0..=300 {
+            t.set_transaction_length(0);
+        }
+        let before = t.length_at(0);
+        for _ in 0..100 {
+            t.adjust_transaction_length(0);
+        }
+        assert_eq!(t.length_at(0), before, "profiling period over: frozen");
+    }
+
+    #[test]
+    fn window_resets_after_shrink() {
+        let mut t = LengthTables::new(1, LengthPolicy::Dynamic, consts());
+        t.set_transaction_length(0);
+        for _ in 0..5 {
+            t.adjust_transaction_length(0);
+        }
+        assert_eq!(t.length_at(0), 191);
+        // Window reset: the next shrink again needs threshold+2 calls.
+        for _ in 0..4 {
+            t.adjust_transaction_length(0);
+            assert_eq!(t.length_at(0), 191);
+        }
+        t.adjust_transaction_length(0);
+        assert_eq!(t.length_at(0), 143);
+        assert_eq!(t.total_adjustments, 2);
+    }
+
+    #[test]
+    fn share_of_length_one() {
+        let mut t = LengthTables::new(4, LengthPolicy::Dynamic, consts());
+        t.set_transaction_length(0);
+        t.set_transaction_length(1);
+        // Shrink site 0 to 1 by hammering it.
+        for _ in 0..2_000 {
+            t.adjust_transaction_length(0);
+        }
+        assert_eq!(t.length_at(0), 1);
+        assert!((t.share_of_length_one() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Abort reasons and their transient/persistent classification.
+//!
+//! On zEC12 the condition code after `TBEGIN`, and on Haswell the `EAX`
+//! register after `XBEGIN`, report whether an abort is worth retrying
+//! (paper §2.1). The TLE runtime's retry policy (paper Fig. 1) branches on
+//! exactly this classification plus the "GIL was held" special case.
+
+use machine_sim::ThreadId;
+
+/// Software abort code passed to `TABORT`/`XABORT`.
+pub type ExplicitCode = u32;
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Another thread's (possibly non-transactional) access collided with
+    /// a line in this transaction's read set. `line` is the conflicting
+    /// cache line (lets the analysis attribute conflicts to VM structures,
+    /// as the paper does in §5.6).
+    ConflictRead { with: ThreadId, line: usize },
+    /// Another thread's access collided with a line in this transaction's
+    /// write set.
+    ConflictWrite { with: ThreadId, line: usize },
+    /// Distinct read lines exceeded the read-set budget.
+    ReadOverflow,
+    /// Distinct written lines exceeded the write-set budget.
+    WriteOverflow,
+    /// Software abort (`TABORT`/`XABORT`) with a code. The TLE runtime uses
+    /// [`abort_codes::GIL_LOCKED`] when it reads `GIL.acquired == true`
+    /// inside a transaction.
+    Explicit(ExplicitCode),
+    /// The machine's learning predictor killed the transaction before it
+    /// ran, based on overflow history (Intel behaviour, paper Fig. 6a).
+    /// Reported like a capacity abort: retrying does not help.
+    EagerPredicted,
+    /// The operation attempted is not allowed in a transaction (system
+    /// call, blocking I/O, GC). Always persistent.
+    Restricted,
+}
+
+/// Well-known `TABORT` codes used by the TLE runtime.
+pub mod abort_codes {
+    use super::ExplicitCode;
+
+    /// Aborted because the GIL was observed held inside the transaction
+    /// (paper Fig. 1 line 15).
+    pub const GIL_LOCKED: ExplicitCode = 0xff;
+}
+
+impl AbortReason {
+    /// True when retrying the same transaction cannot succeed and the
+    /// thread should fall back to the GIL immediately (paper Fig. 1 lines
+    /// 28-29): capacity overflows, restricted operations and predictor
+    /// kills. Conflicts and software aborts are transient.
+    pub fn is_persistent(self) -> bool {
+        matches!(
+            self,
+            AbortReason::ReadOverflow
+                | AbortReason::WriteOverflow
+                | AbortReason::EagerPredicted
+                | AbortReason::Restricted
+        )
+    }
+
+    /// True for either conflict variant.
+    pub fn is_conflict(self) -> bool {
+        matches!(
+            self,
+            AbortReason::ConflictRead { .. } | AbortReason::ConflictWrite { .. }
+        )
+    }
+
+    /// True for either capacity-overflow variant (excluding predictor
+    /// kills, which are reported separately in statistics).
+    pub fn is_overflow(self) -> bool {
+        matches!(self, AbortReason::ReadOverflow | AbortReason::WriteOverflow)
+    }
+
+    /// Short label used in statistics tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::ConflictRead { .. } => "conflict-read",
+            AbortReason::ConflictWrite { .. } => "conflict-write",
+            AbortReason::ReadOverflow => "overflow-read",
+            AbortReason::WriteOverflow => "overflow-write",
+            AbortReason::Explicit(_) => "explicit",
+            AbortReason::EagerPredicted => "eager-predicted",
+            AbortReason::Restricted => "restricted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_classification_matches_paper() {
+        // Overflows and restricted ops force the GIL fallback…
+        assert!(AbortReason::ReadOverflow.is_persistent());
+        assert!(AbortReason::WriteOverflow.is_persistent());
+        assert!(AbortReason::Restricted.is_persistent());
+        assert!(AbortReason::EagerPredicted.is_persistent());
+        // …while conflicts and TABORTs are retried.
+        assert!(!AbortReason::ConflictRead { with: 1, line: 0 }.is_persistent());
+        assert!(!AbortReason::ConflictWrite { with: 1, line: 0 }.is_persistent());
+        assert!(!AbortReason::Explicit(abort_codes::GIL_LOCKED).is_persistent());
+    }
+
+    #[test]
+    fn conflict_and_overflow_predicates() {
+        assert!(AbortReason::ConflictRead { with: 0, line: 0 }.is_conflict());
+        assert!(!AbortReason::ReadOverflow.is_conflict());
+        assert!(AbortReason::WriteOverflow.is_overflow());
+        assert!(!AbortReason::EagerPredicted.is_overflow());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            AbortReason::ConflictRead { with: 0, line: 0 }.label(),
+            AbortReason::ConflictWrite { with: 0, line: 0 }.label(),
+            AbortReason::ReadOverflow.label(),
+            AbortReason::WriteOverflow.label(),
+            AbortReason::Explicit(1).label(),
+            AbortReason::EagerPredicted.label(),
+            AbortReason::Restricted.label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,163 @@
+//! Model of Intel Haswell's undocumented "learning" abort behaviour.
+//!
+//! Paper §5.4 discovered (with a write-set-shrinking probe, Fig. 6a) that
+//! the Xeon E3-1275 v3 "eagerly aborts a transaction that has suffered from
+//! many footprint overflows and thus cannot quickly adapt to change in the
+//! data set size": after the probe's write set dropped below capacity, the
+//! success ratio recovered only gradually, over roughly 5 000 iterations.
+//!
+//! We model this as a per-hardware-thread confidence counter:
+//!
+//! * every genuine footprint overflow *raises* confidence (saturating);
+//! * every transaction attempt *decays* confidence by one;
+//! * an attempt is eagerly killed with probability `confidence / memory`.
+//!
+//! With `memory = 5000` this yields a linear ≈5 000-attempt recovery ramp
+//! once overflows stop — exactly the Fig. 6a shape. The randomness is a
+//! seeded [`SmallRng`], so runs remain deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-hardware-thread overflow-history predictor.
+#[derive(Debug, Clone)]
+pub struct OverflowPredictor {
+    enabled: bool,
+    confidence: u32,
+    /// Saturation level and decay horizon (attempts to forget).
+    memory: u32,
+    /// Confidence gained per observed overflow.
+    gain: u32,
+    rng: SmallRng,
+}
+
+impl OverflowPredictor {
+    /// A predictor that never interferes (zEC12 and generic machines).
+    pub fn disabled() -> Self {
+        OverflowPredictor {
+            enabled: false,
+            confidence: 0,
+            memory: 1,
+            gain: 0,
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// An Intel-like predictor with the given memory horizon. `seed`
+    /// decorrelates threads while keeping runs reproducible.
+    pub fn intel(memory: u32, seed: u64) -> Self {
+        OverflowPredictor {
+            enabled: true,
+            confidence: 0,
+            memory: memory.max(1),
+            gain: 8,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// True when the predictor is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current confidence (for tests and introspection).
+    pub fn confidence(&self) -> u32 {
+        self.confidence
+    }
+
+    /// Called at every transaction begin. Returns `true` when the hardware
+    /// kills the transaction eagerly based on overflow history. Confidence
+    /// decays by one per attempt regardless of outcome.
+    pub fn should_abort_eagerly(&mut self) -> bool {
+        if !self.enabled || self.confidence == 0 {
+            return false;
+        }
+        let p = f64::from(self.confidence) / f64::from(self.memory);
+        self.confidence -= 1;
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Called when a transaction genuinely overflows its footprint budget.
+    pub fn on_overflow(&mut self) {
+        if self.enabled {
+            self.confidence = (self.confidence + self.gain).min(self.memory);
+        }
+    }
+
+    /// Called on a successful commit. Trust is regained per *attempt*
+    /// (see [`OverflowPredictor::should_abort_eagerly`]); with a memory of
+    /// 5 000 that yields the ≈5 000-iteration linear recovery ramp of the
+    /// paper's Fig. 6(a).
+    pub fn on_commit(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_predictor_never_aborts() {
+        let mut p = OverflowPredictor::disabled();
+        for _ in 0..10_000 {
+            p.on_overflow();
+            assert!(!p.should_abort_eagerly());
+        }
+        assert_eq!(p.confidence(), 0);
+    }
+
+    #[test]
+    fn confidence_saturates_and_decays() {
+        let mut p = OverflowPredictor::intel(100, 42);
+        for _ in 0..1_000 {
+            p.on_overflow();
+        }
+        assert_eq!(p.confidence(), 100);
+        // Attempts decay confidence one by one.
+        for _ in 0..100 {
+            let _ = p.should_abort_eagerly();
+        }
+        assert_eq!(p.confidence(), 0);
+        assert!(!p.should_abort_eagerly());
+    }
+
+    #[test]
+    fn recovery_is_gradual_not_instant() {
+        // Mimic Fig. 6a: saturate with overflows, then stop overflowing and
+        // measure the success ratio in windows. Early windows must fail
+        // mostly; late windows must succeed mostly; the middle must be
+        // genuinely intermediate — that gradual ramp is the whole point.
+        let mut p = OverflowPredictor::intel(5_000, 7);
+        for _ in 0..10_000 {
+            p.on_overflow();
+        }
+        let window = |p: &mut OverflowPredictor, n: u32| -> f64 {
+            let mut ok = 0;
+            for _ in 0..n {
+                if !p.should_abort_eagerly() {
+                    ok += 1;
+                    p.on_commit();
+                }
+            }
+            f64::from(ok) / f64::from(n)
+        };
+        let early = window(&mut p, 500);
+        let mid = window(&mut p, 500);
+        let _skip = window(&mut p, 3_500);
+        let late = window(&mut p, 500);
+        assert!(early < 0.35, "early window too successful: {early}");
+        assert!(late > 0.8, "late window should have recovered: {late}");
+        assert!(mid > early && mid < late, "recovery must be gradual: {early} {mid} {late}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut p = OverflowPredictor::intel(1_000, 123);
+            for _ in 0..2_000 {
+                p.on_overflow();
+            }
+            (0..500).map(|_| p.should_abort_eagerly()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

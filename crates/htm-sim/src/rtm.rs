@@ -1,0 +1,99 @@
+//! Real Intel RTM (`XBEGIN`/`XEND`/`XABORT`) backend — **experimental**.
+//!
+//! Provided for fidelity to the paper's Haswell implementation: on a
+//! machine whose CPU still exposes working TSX, these wrappers issue the
+//! actual instructions. No experiment in this repository uses them — TSX is
+//! disabled by microcode on all recent parts and this build host has no
+//! TSX — so the module is compiled only with `--features rtm-hardware` and
+//! callers must check [`rtm_supported`] first.
+//!
+//! The instruction encodings are emitted as raw bytes so the module
+//! assembles on toolchains whose `asm!` dialect lacks the mnemonics.
+
+#![allow(unsafe_code)]
+
+use std::arch::asm;
+
+/// `XBEGIN` status meaning the transaction started (Intel SDM: RTM sets
+/// EAX to this value only on the abort path; the started path leaves the
+/// destination untouched, for which the wrapper pre-loads this marker).
+pub const RTM_STARTED: u32 = u32::MAX;
+
+/// Bit set in the abort status when the abort may succeed on retry.
+pub const RTM_RETRY_BIT: u32 = 1 << 1;
+
+/// True when the CPU advertises RTM in CPUID.07H:EBX\[11\].
+pub fn rtm_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let ebx: u32;
+        unsafe {
+            asm!(
+                "push rbx",
+                "cpuid",
+                "mov {out:e}, ebx",
+                "pop rbx",
+                inout("eax") 7u32 => _,
+                inout("ecx") 0u32 => _,
+                out("edx") _,
+                out = out(reg) ebx,
+            );
+        }
+        (ebx >> 11) & 1 == 1
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Begin a hardware transaction. Returns [`RTM_STARTED`] on entry into the
+/// transactional path, or the abort status word after an abort.
+///
+/// # Safety
+/// The caller must have verified [`rtm_supported`]; executing `XBEGIN` on a
+/// CPU without RTM raises `#UD`.
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn xbegin() -> u32 {
+    let mut status: u32 = RTM_STARTED;
+    // xbegin rel32(0): C7 F8 00 00 00 00 — fall through on start, jump to
+    // the next instruction with EAX = abort status on abort.
+    asm!(
+        ".byte 0xc7, 0xf8, 0x00, 0x00, 0x00, 0x00",
+        inout("eax") status,
+        options(nomem, nostack)
+    );
+    status
+}
+
+/// Commit the current hardware transaction.
+///
+/// # Safety
+/// Must only execute inside a transaction started by [`xbegin`].
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn xend() {
+    // xend: 0F 01 D5
+    asm!(".byte 0x0f, 0x01, 0xd5", options(nomem, nostack));
+}
+
+/// Abort the current transaction with `code` in bits 31:24 of the status.
+///
+/// # Safety
+/// Must only execute inside a transaction started by [`xbegin`].
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn xabort_ff() {
+    // xabort imm8(0xff): C6 F8 FF
+    asm!(".byte 0xc6, 0xf8, 0xff", options(nomem, nostack));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_does_not_crash() {
+        // On this host RTM is expected to be absent; either way the CPUID
+        // probe must be safe to execute.
+        let _ = rtm_supported();
+    }
+}

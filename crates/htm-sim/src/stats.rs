@@ -1,0 +1,129 @@
+//! Aggregate HTM event counters.
+//!
+//! The TLE runtime keeps its own per-yield-point statistics (those drive
+//! the dynamic length adjustment); this struct counts raw hardware events
+//! for the abort-ratio and abort-reason breakdowns of the paper's Figures 7
+//! and 8 and §5.6.
+
+use crate::abort::AbortReason;
+
+/// Counters of simulated HTM events for one run.
+#[derive(Debug, Clone, Default)]
+pub struct HtmStats {
+    /// Transactions started (`TBEGIN` that returned 0).
+    pub begins: u64,
+    /// Transactions committed (`TEND` succeeded).
+    pub commits: u64,
+    /// Aborts by cause.
+    pub conflicts_read: u64,
+    pub conflicts_write: u64,
+    pub overflow_read: u64,
+    pub overflow_write: u64,
+    pub explicit: u64,
+    pub eager_predicted: u64,
+    pub restricted: u64,
+    /// Non-transactional accesses that doomed at least one transaction
+    /// (e.g. GIL-holder writes).
+    pub nontx_dooms: u64,
+}
+
+impl HtmStats {
+    /// Record one abort of the given reason.
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::ConflictRead { .. } => self.conflicts_read += 1,
+            AbortReason::ConflictWrite { .. } => self.conflicts_write += 1,
+            AbortReason::ReadOverflow => self.overflow_read += 1,
+            AbortReason::WriteOverflow => self.overflow_write += 1,
+            AbortReason::Explicit(_) => self.explicit += 1,
+            AbortReason::EagerPredicted => self.eager_predicted += 1,
+            AbortReason::Restricted => self.restricted += 1,
+        }
+    }
+
+    /// Total aborts of every cause.
+    pub fn total_aborts(&self) -> u64 {
+        self.conflicts_read
+            + self.conflicts_write
+            + self.overflow_read
+            + self.overflow_write
+            + self.explicit
+            + self.eager_predicted
+            + self.restricted
+    }
+
+    /// Abort ratio in percent: aborts / begins (the paper's Fig. 7/8
+    /// metric). Zero when nothing began.
+    pub fn abort_ratio_pct(&self) -> f64 {
+        if self.begins == 0 {
+            0.0
+        } else {
+            100.0 * self.total_aborts() as f64 / self.begins as f64
+        }
+    }
+
+    /// Share of aborts that were read-set conflicts, in percent (paper
+    /// §5.6: ">80 % for all of the Ruby NPB with 12 threads").
+    pub fn read_conflict_share_pct(&self) -> f64 {
+        let total = self.total_aborts();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.conflicts_read as f64 / total as f64
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &HtmStats) {
+        self.begins += other.begins;
+        self.commits += other.commits;
+        self.conflicts_read += other.conflicts_read;
+        self.conflicts_write += other.conflicts_write;
+        self.overflow_read += other.overflow_read;
+        self.overflow_write += other.overflow_write;
+        self.explicit += other.explicit;
+        self.eager_predicted += other.eager_predicted;
+        self.restricted += other.restricted;
+        self.nontx_dooms += other.nontx_dooms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_ratio_math() {
+        let mut s = HtmStats::default();
+        s.begins = 200;
+        s.record_abort(AbortReason::ConflictRead { with: 1, line: 0 });
+        s.record_abort(AbortReason::WriteOverflow);
+        assert_eq!(s.total_aborts(), 2);
+        assert!((s.abort_ratio_pct() - 1.0).abs() < 1e-9);
+        assert!((s.read_conflict_share_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = HtmStats::default();
+        assert_eq!(s.abort_ratio_pct(), 0.0);
+        assert_eq!(s.read_conflict_share_pct(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = HtmStats::default();
+        a.begins = 5;
+        a.commits = 3;
+        a.record_abort(AbortReason::Restricted);
+        let mut b = HtmStats::default();
+        b.begins = 7;
+        b.record_abort(AbortReason::EagerPredicted);
+        b.nontx_dooms = 2;
+        a.merge(&b);
+        assert_eq!(a.begins, 12);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.total_aborts(), 2);
+        assert_eq!(a.nontx_dooms, 2);
+    }
+}

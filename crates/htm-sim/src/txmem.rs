@@ -1,0 +1,555 @@
+//! Word-addressed transactional memory with undo-log rollback.
+//!
+//! All shared interpreter state (and, deliberately, the threads' private
+//! stack areas — they occupy real cache lines and therefore real HTM
+//! footprint) lives in one `Vec<W>`. Every access goes through
+//! [`TxMemory::read`]/[`TxMemory::write`], which:
+//!
+//! 1. abort the caller first if a remote conflict already doomed it;
+//! 2. record the touched cache line in the active transaction's read or
+//!    write set and check the footprint budgets;
+//! 3. doom every *other* active transaction whose set conflicts with the
+//!    access (requester wins, the policy of both zEC12 and Haswell where
+//!    the incoming coherence request kills the local transaction).
+//!
+//! A doomed transaction is rolled back *immediately* (its undo log is
+//! replayed in reverse) so the requester always observes committed data,
+//! mirroring how real HTM buffers speculative stores; the victim thread
+//! learns of the abort at its next access or at an explicit
+//! [`TxMemory::poll_doomed`].
+
+use std::collections::HashSet;
+
+use machine_sim::ThreadId;
+
+use crate::abort::{AbortReason, ExplicitCode};
+use crate::predictor::OverflowPredictor;
+use crate::stats::HtmStats;
+
+/// Footprint budgets for one transaction, in whole cache lines.
+///
+/// The TLE runtime computes these from the machine profile and halves them
+/// when the thread's SMT sibling is busy (paper §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budgets {
+    pub read_lines: usize,
+    pub write_lines: usize,
+}
+
+impl Budgets {
+    /// Halve both budgets (SMT sibling active), keeping at least one line.
+    pub fn halved(self) -> Budgets {
+        Budgets {
+            read_lines: (self.read_lines / 2).max(1),
+            write_lines: (self.write_lines / 2).max(1),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Tx {
+    read_lines: HashSet<usize>,
+    write_lines: HashSet<usize>,
+    /// (address, previous word) pairs, in write order.
+    undo: Vec<(usize, WordSlot)>,
+    budgets: Budgets,
+}
+
+/// Placeholder so `Tx` need not be generic; real undo entries live in the
+/// parallel `undo_words` storage of `TxMemory`. (Kept simple: the undo log
+/// stores indices into `undo_words`.)
+type WordSlot = usize;
+
+/// Word-addressed shared memory with best-effort transactions.
+#[derive(Debug)]
+pub struct TxMemory<W: Clone> {
+    words: Vec<W>,
+    line_words: usize,
+    txs: Vec<Option<Tx>>,
+    /// Undo payloads, one arena per thread (index-linked from `Tx::undo`).
+    undo_words: Vec<Vec<W>>,
+    doomed: Vec<Option<AbortReason>>,
+    predictors: Vec<OverflowPredictor>,
+    stats: HtmStats,
+}
+
+impl<W: Clone> TxMemory<W> {
+    /// Create a memory of `size` words, all initialized to `init`, with
+    /// cache lines of `line_words` words, supporting up to `max_threads`
+    /// hardware threads.
+    pub fn new(size: usize, line_words: usize, max_threads: usize, init: W) -> Self {
+        assert!(line_words.is_power_of_two(), "line size must be 2^k words");
+        TxMemory {
+            words: vec![init; size],
+            line_words,
+            txs: (0..max_threads).map(|_| None).collect(),
+            undo_words: (0..max_threads).map(|_| Vec::new()).collect(),
+            doomed: vec![None; max_threads],
+            predictors: (0..max_threads)
+                .map(|_| OverflowPredictor::disabled())
+                .collect(),
+            stats: HtmStats::default(),
+        }
+    }
+
+    /// Install an overflow predictor for thread `t` (Intel profile).
+    pub fn set_predictor(&mut self, t: ThreadId, p: OverflowPredictor) {
+        self.predictors[t] = p;
+    }
+
+    /// Total words.
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words per cache line.
+    pub fn line_words(&self) -> usize {
+        self.line_words
+    }
+
+    /// Grow the memory by `extra` words initialized to `init` (heap
+    /// growth). Only legal while no transaction is active — in the full
+    /// system growth happens under the GIL after every transaction was
+    /// doomed by the GIL-word write.
+    pub fn grow(&mut self, extra: usize, init: W) {
+        assert!(
+            self.txs.iter().all(Option::is_none),
+            "memory growth with active transactions"
+        );
+        let new = self.words.len() + extra;
+        self.words.resize(new, init);
+    }
+
+    /// Immutable view of the aggregate statistics.
+    pub fn stats(&self) -> &HtmStats {
+        &self.stats
+    }
+
+    /// Cache line of an address.
+    #[inline]
+    pub fn line_of(&self, addr: usize) -> usize {
+        addr / self.line_words
+    }
+
+    /// True when thread `t` has an active transaction.
+    pub fn in_tx(&self, t: ThreadId) -> bool {
+        self.txs[t].is_some()
+    }
+
+    /// Number of currently active transactions.
+    pub fn active_tx_count(&self) -> usize {
+        self.txs.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// (read lines, write lines) of `t`'s active transaction.
+    pub fn footprint(&self, t: ThreadId) -> (usize, usize) {
+        self.txs[t]
+            .as_ref()
+            .map_or((0, 0), |tx| (tx.read_lines.len(), tx.write_lines.len()))
+    }
+
+    /// Begin a transaction for thread `t` with the given budgets
+    /// (`TBEGIN`/`XBEGIN`). Fails immediately when the learning predictor
+    /// kills it ([`AbortReason::EagerPredicted`]).
+    pub fn begin(&mut self, t: ThreadId, budgets: Budgets) -> Result<(), AbortReason> {
+        assert!(self.txs[t].is_none(), "nested transaction on thread {t}");
+        self.doomed[t] = None;
+        if self.predictors[t].should_abort_eagerly() {
+            let reason = AbortReason::EagerPredicted;
+            self.stats.begins += 1;
+            self.stats.record_abort(reason);
+            return Err(reason);
+        }
+        self.stats.begins += 1;
+        self.undo_words[t].clear();
+        self.txs[t] = Some(Tx {
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            undo: Vec::new(),
+            budgets,
+        });
+        Ok(())
+    }
+
+    /// Commit thread `t`'s transaction (`TEND`/`XEND`). Fails if a remote
+    /// conflict doomed it first (the transaction is already rolled back).
+    pub fn commit(&mut self, t: ThreadId) -> Result<(), AbortReason> {
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        let _tx = self.txs[t].take().expect("commit without transaction");
+        self.stats.commits += 1;
+        self.predictors[t].on_commit();
+        Ok(())
+    }
+
+    /// Explicit software abort of `t`'s own transaction
+    /// (`TABORT`/`XABORT code`). Rolls back and reports the reason.
+    pub fn tabort(&mut self, t: ThreadId, code: ExplicitCode) -> AbortReason {
+        let reason = AbortReason::Explicit(code);
+        self.abort_self(t, reason);
+        reason
+    }
+
+    /// Abort `t`'s transaction because it attempted an operation that is
+    /// illegal inside transactions (system call, blocking I/O, GC).
+    pub fn abort_restricted(&mut self, t: ThreadId) -> AbortReason {
+        let reason = AbortReason::Restricted;
+        self.abort_self(t, reason);
+        reason
+    }
+
+    /// Check whether a remote conflict doomed `t`'s transaction. The
+    /// transaction memory effects are already rolled back; this consumes
+    /// the pending abort reason.
+    pub fn poll_doomed(&mut self, t: ThreadId) -> Option<AbortReason> {
+        self.take_doom(t)
+    }
+
+    /// Transactional or plain read of one word by thread `t`.
+    ///
+    /// Outside a transaction the read is immediate but still dooms remote
+    /// transactions that speculatively *wrote* the line (a real coherence
+    /// read request would abort them).
+    pub fn read(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
+        debug_assert!(addr < self.words.len(), "read out of bounds: {addr}");
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        let line = self.line_of(addr);
+        // Requester wins: kill remote writers of this line.
+        self.doom_conflicting(t, line, false);
+        if let Some(tx) = self.txs[t].as_mut() {
+            tx.read_lines.insert(line);
+            if tx.read_lines.len() > tx.budgets.read_lines {
+                let reason = AbortReason::ReadOverflow;
+                self.abort_self(t, reason);
+                self.predictors[t].on_overflow();
+                return Err(reason);
+            }
+        }
+        Ok(self.words[addr].clone())
+    }
+
+    /// Transactional or plain write of one word by thread `t`.
+    pub fn write(&mut self, t: ThreadId, addr: usize, value: W) -> Result<(), AbortReason> {
+        debug_assert!(addr < self.words.len(), "write out of bounds: {addr}");
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        let line = self.line_of(addr);
+        // Kill remote readers *and* writers of this line.
+        self.doom_conflicting(t, line, true);
+        if let Some(tx) = self.txs[t].as_mut() {
+            let slot = self.undo_words[t].len();
+            self.undo_words[t].push(self.words[addr].clone());
+            tx.undo.push((addr, slot));
+            tx.write_lines.insert(line);
+            if tx.write_lines.len() > tx.budgets.write_lines {
+                let reason = AbortReason::WriteOverflow;
+                self.abort_self(t, reason);
+                self.predictors[t].on_overflow();
+                return Err(reason);
+            }
+        }
+        self.words[addr] = value;
+        Ok(())
+    }
+
+    /// Read bypassing all transaction machinery — *debug/verification
+    /// only* (used by tests and by the GC root scanner, which runs with
+    /// every transaction already doomed by the GIL-word write).
+    pub fn peek(&self, addr: usize) -> &W {
+        &self.words[addr]
+    }
+
+    /// Write bypassing transaction machinery — initialization only.
+    pub fn poke(&mut self, addr: usize, value: W) {
+        debug_assert!(
+            self.txs.iter().all(Option::is_none),
+            "poke with active transactions"
+        );
+        self.words[addr] = value;
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn take_doom(&mut self, t: ThreadId) -> Option<AbortReason> {
+        self.doomed[t].take()
+    }
+
+    /// Doom every active transaction other than `t` that conflicts with an
+    /// access to `line`. A read (`is_write == false`) conflicts only with
+    /// remote write sets; a write conflicts with remote read and write
+    /// sets.
+    fn doom_conflicting(&mut self, t: ThreadId, line: usize, is_write: bool) {
+        let in_tx = self.txs[t].is_some();
+        let mut doomed_any = false;
+        for victim in 0..self.txs.len() {
+            if victim == t {
+                continue;
+            }
+            let Some(tx) = self.txs[victim].as_ref() else {
+                continue;
+            };
+            let reason = if tx.write_lines.contains(&line) {
+                Some(AbortReason::ConflictWrite { with: t, line })
+            } else if is_write && tx.read_lines.contains(&line) {
+                Some(AbortReason::ConflictRead { with: t, line })
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                self.rollback(victim);
+                self.doomed[victim] = Some(reason);
+                self.stats.record_abort(reason);
+                doomed_any = true;
+            }
+        }
+        if doomed_any && !in_tx {
+            self.stats.nontx_dooms += 1;
+        }
+    }
+
+    /// Roll back and discard `t`'s transaction, recording `reason`.
+    fn abort_self(&mut self, t: ThreadId, reason: AbortReason) {
+        self.rollback(t);
+        self.doomed[t] = None;
+        self.stats.record_abort(reason);
+    }
+
+    /// Replay `t`'s undo log in reverse and drop the transaction.
+    fn rollback(&mut self, t: ThreadId) {
+        if let Some(tx) = self.txs[t].take() {
+            for &(addr, slot) in tx.undo.iter().rev() {
+                self.words[addr] = self.undo_words[t][slot].clone();
+            }
+            self.undo_words[t].clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abort::abort_codes;
+
+    fn mem() -> TxMemory<u64> {
+        // 1024 words, 8-word (64-byte) lines, 4 threads.
+        TxMemory::new(1024, 8, 4, 0)
+    }
+
+    fn big_budgets() -> Budgets {
+        Budgets {
+            read_lines: 1 << 20,
+            write_lines: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn plain_read_write_roundtrip() {
+        let mut m = mem();
+        m.write(0, 17, 99).unwrap();
+        assert_eq!(m.read(0, 17).unwrap(), 99);
+        assert_eq!(m.read(1, 17).unwrap(), 99);
+    }
+
+    #[test]
+    fn commit_makes_writes_durable() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 5, 1).unwrap();
+        m.write(0, 6, 2).unwrap();
+        m.commit(0).unwrap();
+        assert_eq!(m.read(1, 5).unwrap(), 1);
+        assert_eq!(m.read(1, 6).unwrap(), 2);
+        assert_eq!(m.stats().commits, 1);
+    }
+
+    #[test]
+    fn tabort_rolls_back() {
+        let mut m = mem();
+        m.write(0, 5, 42).unwrap();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 5, 1).unwrap();
+        m.write(0, 5, 2).unwrap();
+        let r = m.tabort(0, abort_codes::GIL_LOCKED);
+        assert_eq!(r, AbortReason::Explicit(abort_codes::GIL_LOCKED));
+        assert!(!m.in_tx(0));
+        assert_eq!(m.read(1, 5).unwrap(), 42, "original value restored");
+    }
+
+    #[test]
+    fn write_write_conflict_dooms_victim() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.begin(1, big_budgets()).unwrap();
+        m.write(0, 100, 7).unwrap();
+        // Thread 1 writes the same line: requester (1) wins, 0 is doomed.
+        m.write(1, 101, 8).unwrap();
+        assert!(matches!(m.poll_doomed(0), Some(AbortReason::ConflictWrite { with: 1, .. })));
+        assert!(!m.in_tx(0), "victim rolled back eagerly");
+        // Thread 0's speculative write is gone; thread 1's is visible to 1.
+        assert_eq!(m.read(1, 100).unwrap(), 0);
+        assert_eq!(m.read(1, 101).unwrap(), 8);
+        m.commit(1).unwrap();
+    }
+
+    #[test]
+    fn read_write_conflict_dooms_reader_on_remote_write() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        let _ = m.read(0, 200).unwrap();
+        m.begin(1, big_budgets()).unwrap();
+        m.write(1, 200, 5).unwrap(); // write hits 0's read set
+        assert!(matches!(m.poll_doomed(0), Some(AbortReason::ConflictRead { with: 1, .. })));
+        m.commit(1).unwrap();
+        assert_eq!(m.read(2, 200).unwrap(), 5);
+    }
+
+    #[test]
+    fn read_read_sharing_is_fine() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.begin(1, big_budgets()).unwrap();
+        let _ = m.read(0, 300).unwrap();
+        let _ = m.read(1, 300).unwrap();
+        m.commit(0).unwrap();
+        m.commit(1).unwrap();
+        assert_eq!(m.stats().total_aborts(), 0);
+    }
+
+    #[test]
+    fn nontx_write_dooms_transactions_gil_subscription() {
+        // This is exactly how the GIL fallback stays safe: every
+        // transaction reads the GIL word at begin; the GIL holder's
+        // non-transactional write dooms them all.
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.begin(1, big_budgets()).unwrap();
+        let gil_addr = 0;
+        let _ = m.read(0, gil_addr).unwrap();
+        let _ = m.read(1, gil_addr).unwrap();
+        m.write(2, gil_addr, 1).unwrap(); // thread 2 acquires the "GIL"
+        assert!(m.poll_doomed(0).is_some());
+        assert!(m.poll_doomed(1).is_some());
+        assert_eq!(m.stats().nontx_dooms, 1);
+    }
+
+    #[test]
+    fn write_overflow_is_persistent_and_rolls_back() {
+        let mut m = mem();
+        m.write(0, 0, 111).unwrap();
+        m.begin(0, Budgets { read_lines: 100, write_lines: 2 }).unwrap();
+        m.write(0, 0, 1).unwrap(); // line 0
+        m.write(0, 8, 2).unwrap(); // line 1
+        let err = m.write(0, 16, 3).unwrap_err(); // line 2 > budget
+        assert_eq!(err, AbortReason::WriteOverflow);
+        assert!(err.is_persistent());
+        assert!(!m.in_tx(0));
+        assert_eq!(*m.peek(0), 111, "undo restored first line");
+        assert_eq!(*m.peek(8), 0);
+        assert_eq!(*m.peek(16), 0, "overflowing write never applied");
+    }
+
+    #[test]
+    fn read_overflow_aborts() {
+        let mut m = mem();
+        m.begin(0, Budgets { read_lines: 2, write_lines: 100 }).unwrap();
+        let _ = m.read(0, 0).unwrap();
+        let _ = m.read(0, 8).unwrap();
+        let err = m.read(0, 16).unwrap_err();
+        assert_eq!(err, AbortReason::ReadOverflow);
+    }
+
+    #[test]
+    fn same_line_accesses_do_not_grow_footprint() {
+        let mut m = mem();
+        m.begin(0, Budgets { read_lines: 1, write_lines: 1 }).unwrap();
+        for i in 0..8 {
+            let _ = m.read(0, i).unwrap();
+            m.write(0, i, i as u64).unwrap();
+        }
+        assert_eq!(m.footprint(0), (1, 1));
+        m.commit(0).unwrap();
+    }
+
+    #[test]
+    fn doomed_transaction_errors_on_next_access() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 50, 1).unwrap();
+        m.write(1, 50, 2).unwrap(); // dooms 0
+        let err = m.read(0, 60).unwrap_err();
+        assert!(err.is_conflict());
+        // After consuming the abort, thread 0 operates plainly again.
+        assert_eq!(m.read(0, 50).unwrap(), 2);
+    }
+
+    #[test]
+    fn commit_of_doomed_transaction_fails() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 50, 1).unwrap();
+        m.write(1, 50, 2).unwrap();
+        assert!(m.commit(0).is_err());
+        assert_eq!(m.stats().commits, 0);
+    }
+
+    #[test]
+    fn undo_restores_multi_write_history_in_order() {
+        let mut m = mem();
+        m.write(0, 9, 10).unwrap();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 9, 11).unwrap();
+        m.write(0, 9, 12).unwrap();
+        m.write(0, 9, 13).unwrap();
+        m.tabort(0, 1);
+        assert_eq!(*m.peek(9), 10);
+    }
+
+    #[test]
+    fn grow_extends_memory() {
+        let mut m = mem();
+        let old = m.size();
+        m.grow(512, 0);
+        assert_eq!(m.size(), old + 512);
+        m.write(0, old + 511, 5).unwrap();
+        assert_eq!(m.read(0, old + 511).unwrap(), 5);
+    }
+
+    #[test]
+    fn budgets_halve_with_floor() {
+        let b = Budgets { read_lines: 9, write_lines: 1 };
+        let h = b.halved();
+        assert_eq!(h.read_lines, 4);
+        assert_eq!(h.write_lines, 1);
+    }
+
+    #[test]
+    fn eager_predictor_aborts_at_begin() {
+        let mut m = mem();
+        let mut p = OverflowPredictor::intel(10, 1);
+        for _ in 0..100 {
+            p.on_overflow();
+        }
+        m.set_predictor(0, p);
+        // With confidence saturated the very first begin must be killed.
+        let err = m.begin(0, big_budgets()).unwrap_err();
+        assert_eq!(err, AbortReason::EagerPredicted);
+        assert!(!m.in_tx(0));
+        assert_eq!(m.stats().eager_predicted, 1);
+    }
+
+    #[test]
+    fn restricted_abort() {
+        let mut m = mem();
+        m.write(0, 3, 30).unwrap();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 3, 31).unwrap();
+        let r = m.abort_restricted(0);
+        assert_eq!(r, AbortReason::Restricted);
+        assert!(r.is_persistent());
+        assert_eq!(*m.peek(3), 30);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the transactional-memory substrate.
+//!
+//! The key invariants the GIL-elision correctness argument rests on:
+//!
+//! 1. **Rollback exactness** — an aborted transaction leaves no trace in
+//!    memory.
+//! 2. **Committed-state serializability (single writer)** — interleaved
+//!    transactions that all commit produced exactly the values they wrote;
+//!    conflicting ones were doomed, never half-applied.
+//! 3. **Footprint accounting** — distinct-line counting matches an oracle.
+
+use htm_sim::{AbortReason, Budgets, TxMemory};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const LINE_WORDS: usize = 8;
+const MEM_WORDS: usize = 512;
+const THREADS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Begin(usize),
+    Read(usize, usize),
+    Write(usize, usize, u64),
+    Commit(usize),
+    Abort(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..THREADS).prop_map(Op::Begin),
+        (0..THREADS, 0..MEM_WORDS).prop_map(|(t, a)| Op::Read(t, a)),
+        (0..THREADS, 0..MEM_WORDS, any::<u64>()).prop_map(|(t, a, v)| Op::Write(t, a, v)),
+        (0..THREADS).prop_map(Op::Commit),
+        (0..THREADS).prop_map(Op::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings: memory must always equal the "oracle" image
+    /// built from plain writes and *committed* transactional writes only.
+    /// Aborted/doomed transactions must contribute nothing.
+    #[test]
+    fn committed_writes_only_survive(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut m: TxMemory<u64> = TxMemory::new(MEM_WORDS, LINE_WORDS, THREADS, 0);
+        // Oracle: the durable image plus, per live transaction, its
+        // speculative overlay.
+        let mut durable: HashMap<usize, u64> = HashMap::new();
+        let mut overlay: Vec<Option<HashMap<usize, u64>>> = vec![None; THREADS];
+        let budgets = Budgets { read_lines: 1 << 20, write_lines: 1 << 20 };
+
+        for op in ops {
+            match op {
+                Op::Begin(t) => {
+                    if !m.in_tx(t) {
+                        // Consume any pending doom first, as the runtime would.
+                        let _ = m.poll_doomed(t);
+                        overlay[t] = None;
+                        if m.begin(t, budgets).is_ok() {
+                            overlay[t] = Some(HashMap::new());
+                        }
+                    }
+                }
+                Op::Read(t, a) => {
+                    match m.read(t, a) {
+                        Ok(v) => {
+                            let expect = overlay[t].as_ref().and_then(|o| o.get(&a).copied())
+                                .or_else(|| durable.get(&a).copied())
+                                .unwrap_or(0);
+                            prop_assert_eq!(v, expect, "read at {} by {}", a, t);
+                        }
+                        Err(_) => { overlay[t] = None; } // doomed: overlay discarded
+                    }
+                }
+                Op::Write(t, a, v) => {
+                    match m.write(t, a, v) {
+                        Ok(()) => {
+                            if m.in_tx(t) {
+                                overlay[t].as_mut().expect("tx overlay").insert(a, v);
+                            } else {
+                                durable.insert(a, v);
+                            }
+                        }
+                        Err(_) => { overlay[t] = None; }
+                    }
+                    // A successful plain/committing write may have doomed others.
+                    for u in 0..THREADS {
+                        if u != t && !m.in_tx(u) {
+                            overlay[u] = None;
+                        }
+                    }
+                }
+                Op::Commit(t) => {
+                    if m.in_tx(t) {
+                        match m.commit(t) {
+                            Ok(()) => {
+                                for (a, v) in overlay[t].take().expect("overlay on commit") {
+                                    durable.insert(a, v);
+                                }
+                            }
+                            Err(_) => { overlay[t] = None; }
+                        }
+                    }
+                }
+                Op::Abort(t) => {
+                    if m.in_tx(t) {
+                        m.tabort(t, 1);
+                        overlay[t] = None;
+                    }
+                }
+            }
+            // Sync: anyone doomed remotely has lost their overlay in memory
+            // already; our oracle drops it when observed. For the final
+            // check below we conservatively abort all live transactions.
+        }
+
+        // Tear down: abort every live transaction; durable image must match.
+        for t in 0..THREADS {
+            let _ = m.poll_doomed(t);
+            if m.in_tx(t) {
+                m.tabort(t, 9);
+            }
+        }
+        for a in 0..MEM_WORDS {
+            let expect = durable.get(&a).copied().unwrap_or(0);
+            prop_assert_eq!(*m.peek(a), expect, "address {}", a);
+        }
+    }
+
+    /// Footprint counting matches a recomputed distinct-line oracle, and
+    /// overflow triggers exactly when the oracle exceeds the budget.
+    #[test]
+    fn footprint_matches_oracle(
+        addrs in proptest::collection::vec(0..MEM_WORDS, 1..64),
+        write_budget in 1usize..8,
+    ) {
+        let mut m: TxMemory<u64> = TxMemory::new(MEM_WORDS, LINE_WORDS, 1, 0);
+        m.begin(0, Budgets { read_lines: 1 << 20, write_lines: write_budget }).unwrap();
+        let mut lines: HashSet<usize> = HashSet::new();
+        let mut overflowed = false;
+        for (i, &a) in addrs.iter().enumerate() {
+            lines.insert(a / LINE_WORDS);
+            match m.write(0, a, i as u64) {
+                Ok(()) => {
+                    prop_assert!(lines.len() <= write_budget);
+                    prop_assert_eq!(m.footprint(0).1, lines.len());
+                }
+                Err(e) => {
+                    prop_assert_eq!(e, AbortReason::WriteOverflow);
+                    prop_assert!(lines.len() > write_budget,
+                        "aborted though oracle says {} lines <= {}", lines.len(), write_budget);
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        if !overflowed {
+            m.commit(0).unwrap();
+        }
+    }
+
+    /// After an abort of any cause, a fresh transaction by the same thread
+    /// starts from clean sets.
+    #[test]
+    fn abort_then_restart_is_clean(
+        n in 1usize..20,
+    ) {
+        let mut m: TxMemory<u64> = TxMemory::new(MEM_WORDS, LINE_WORDS, 1, 0);
+        for round in 0..n {
+            m.begin(0, Budgets { read_lines: 4, write_lines: 2 }).unwrap();
+            m.write(0, (round * 8) % MEM_WORDS, round as u64).unwrap();
+            prop_assert_eq!(m.footprint(0), (0, 1));
+            m.tabort(0, 3);
+            prop_assert!(!m.in_tx(0));
+        }
+        for a in 0..MEM_WORDS {
+            prop_assert_eq!(*m.peek(a), 0u64);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # machine-sim
+//!
+//! Discrete-event simulation substrate for the HTM-GIL reproduction.
+//!
+//! The paper ran on two real machines — a 12-core IBM zEC12 and a 4-core ×
+//! 2-SMT Intel Xeon E3-1275 v3. Neither machine (nor working HTM silicon of
+//! any kind) is available, so every experiment in this repository runs on a
+//! *simulated* multicore: virtual threads carry their own cycle clocks, a
+//! deterministic scheduler always advances the runnable thread with the
+//! smallest clock, and all costs (bytecode dispatch, memory references,
+//! `TBEGIN`/`TEND`, aborts, GIL operations, blocking I/O) are taken from a
+//! per-machine [`CostModel`].
+//!
+//! Throughput is *committed work per simulated cycle*, so speedup curves are
+//! a function of the cost model plus the HTM conflict/overflow dynamics —
+//! not of host parallelism. Everything is deterministic: the same inputs
+//! always produce the same figure.
+//!
+//! The crate has three parts:
+//!
+//! * [`profile`] — machine descriptions ([`MachineProfile::zec12`],
+//!   [`MachineProfile::xeon_e3_1275_v3`]) including cache geometry and HTM
+//!   capacity budgets;
+//! * [`sched`] — the discrete-event scheduler and core/SMT topology;
+//! * [`profile::CostModel`] — cycle costs used by the interpreter and the
+//!   TLE runtime.
+
+pub mod profile;
+pub mod sched;
+
+pub use profile::{CacheGeometry, CostModel, HtmCharacteristics, MachineProfile};
+pub use sched::{Scheduler, ThreadId, ThreadState};
+
+/// Simulated time, in CPU cycles.
+pub type Cycles = u64;
+
+/// Number of bytes per machine word in the simulated address space.
+///
+/// All shared interpreter state lives in a word-addressed memory; cache-line
+/// and footprint arithmetic converts through this constant.
+pub const WORD_BYTES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_size_is_eight_bytes() {
+        // The capacity arithmetic in htm-sim depends on this.
+        assert_eq!(WORD_BYTES, 8);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ruby-lang
+//!
+//! Front-end for the Ruby subset interpreted by `ruby-vm`: a hand-written
+//! lexer, an AST, and a recursive-descent parser.
+//!
+//! The subset covers what CRuby 1.9.3 needs to run the paper's workloads —
+//! the NAS Parallel Benchmarks port, the WEBrick model, the Rails model and
+//! the micro-benchmarks of Fig. 4:
+//!
+//! * literals: integers, floats, double-quoted strings (with escapes),
+//!   symbols, `nil`/`true`/`false`, array/hash literals, ranges;
+//! * variables: locals, `@ivars`, `@@cvars`, `$globals`, `CONSTANTS`;
+//! * full operator set with Ruby precedence, `op=` assignments, ternary;
+//! * control flow: `if`/`elsif`/`else`/`unless`, `while`/`until`,
+//!   `break`/`next`/`return`;
+//! * methods (`def`, `def self.`), classes with single inheritance and
+//!   `attr_accessor`-family declarations;
+//! * blocks (`do |x| … end` and `{ |x| … }`) and `yield` — the machinery
+//!   behind the paper's Iterator micro-benchmark;
+//! * method calls require parentheses except for zero-argument calls
+//!   (a deliberate simplification; the bundled workloads comply).
+//!
+//! Parsing produces a [`ast::Node`] tree; compilation to YARV-like
+//! bytecode lives in `ruby-vm`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinOp, BlockDef, Node, UnOp};
+pub use lexer::{LexError, Lexer};
+pub use parser::{parse_program, ParseError};
+pub use token::{Token, TokenKind};

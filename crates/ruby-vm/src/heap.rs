@@ -1,0 +1,691 @@
+//! Object-slot allocation, malloc regions, and the mark-&-lazy-sweep GC.
+//!
+//! Faithful to the CRuby 1.9 structures the paper identifies as conflict
+//! points (§4.4 / §5.6):
+//!
+//! * a **single global free list** threaded through the slots themselves —
+//!   its head word is the hottest conflict address in unmodified CRuby;
+//! * optional **thread-local free lists** refilled in bulk (256 slots) from
+//!   the global list — the paper's conflict removal #2; the global head is
+//!   still touched occasionally, which is why §5.6 still attributes >50 %
+//!   of remaining read-set conflicts to allocation;
+//! * **lazy sweeping**: when the lists run dry the allocating thread sweeps
+//!   slots incrementally, writing free-list links into shared memory — the
+//!   paper notes this causes additional conflicts;
+//! * **GC only ever runs with the GIL held** — triggered inside a
+//!   transaction it raises a `Restricted` abort so the TLE runtime falls
+//!   back to the GIL and retries;
+//! * a **malloc** with global size-class free lists plus an optional
+//!   per-thread bump arena (the z/OS HEAPPOOLS option of §5.2).
+
+
+use machine_sim::ThreadId;
+
+use crate::layout::{ts, Layout, SLOT_WORDS};
+use crate::value::{Addr, ObjHeader, ObjKind, Word};
+use crate::vm::{Vm, VmAbort};
+
+impl Vm {
+    // ---- slot allocation -------------------------------------------------
+
+    /// Allocate one object slot for thread `t`. May trigger lazy sweeping;
+    /// triggers GC (restricted in transactions) when the heap is
+    /// exhausted.
+    pub fn alloc_slot(&mut self, t: ThreadId) -> Result<Addr, VmAbort> {
+        self.allocations += 1;
+        if self.config.thread_local_free_lists {
+            let ts_addr = self.layout.thread_struct(t) + ts::TL_FREE_HEAD;
+            let head = self.rd(t, ts_addr)?;
+            if let Word::Int(h) = head {
+                if h != 0 {
+                    let slot = h as Addr;
+                    let next = self.rd(t, slot + 1)?;
+                    self.wr(t, ts_addr, next)?;
+                    return Ok(slot);
+                }
+            }
+            // Refill from the global list in bulk.
+            if self.refill_thread_local(t)? {
+                let head = self.rd(t, ts_addr)?;
+                if let Word::Int(h) = head {
+                    if h != 0 {
+                        let slot = h as Addr;
+                        let next = self.rd(t, slot + 1)?;
+                        self.wr(t, ts_addr, next)?;
+                        return Ok(slot);
+                    }
+                }
+            }
+        } else if let Some(slot) = self.pop_global_free(t)? {
+            return Ok(slot);
+        }
+        // Lists dry: sweep lazily (thread-local partitions under the §5.6
+        // extension, the shared cursor otherwise), then GC, then grow.
+        if self.config.tl_lazy_sweep {
+            if let Some(slot) = self.tl_lazy_sweep(t, 64)? {
+                return Ok(slot);
+            }
+        } else if let Some(slot) = self.lazy_sweep(t, 64)? {
+            return Ok(slot);
+        }
+        // Need a collection — never inside a transaction.
+        if self.mem.in_tx(t) {
+            return Err(VmAbort::Tx(self.mem.abort_restricted(t)));
+        }
+        self.gc(t)?;
+        if self.config.tl_lazy_sweep {
+            if let Some(slot) = self.tl_lazy_sweep(t, usize::MAX)? {
+                return Ok(slot);
+            }
+        } else if let Some(slot) = self.lazy_sweep(t, usize::MAX)? {
+            return Ok(slot);
+        }
+        // Everything is live: grow the heap.
+        self.grow_heap(t)?;
+        self.pop_global_free(t)?
+            .ok_or_else(|| VmAbort::fatal("heap exhausted even after growth"))
+    }
+
+    /// Boot-time slot allocation (no thread, no transactions).
+    pub(crate) fn alloc_slot_boot(&mut self) -> Option<Addr> {
+        let head = self.mem.peek(self.layout.free_head).clone();
+        if let Word::Int(h) = head {
+            if h != 0 {
+                let slot = h as Addr;
+                let next = self.mem.peek(slot + 1).clone();
+                self.mem.poke(self.layout.free_head, next);
+                self.allocations += 1;
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Pop one slot from the global free list.
+    fn pop_global_free(&mut self, t: ThreadId) -> Result<Option<Addr>, VmAbort> {
+        let head = self.rd(t, self.layout.free_head)?;
+        if let Word::Int(h) = head {
+            if h != 0 {
+                let slot = h as Addr;
+                let next = self.rd(t, slot + 1)?;
+                self.wr(t, self.layout.free_head, next)?;
+                return Ok(Some(slot));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Move up to `free_list_refill` slots from the global list to `t`'s
+    /// local list. Returns false when the global list was empty.
+    fn refill_thread_local(&mut self, t: ThreadId) -> Result<bool, VmAbort> {
+        let ts_addr = self.layout.thread_struct(t) + ts::TL_FREE_HEAD;
+        let head = self.rd(t, self.layout.free_head)?;
+        let Word::Int(mut h) = head else { return Ok(false) };
+        if h == 0 {
+            return Ok(false);
+        }
+        let first = h;
+        let mut last = h as Addr;
+        let mut taken = 1usize;
+        while taken < self.config.free_list_refill {
+            let next = self.rd(t, last + 1)?;
+            match next {
+                Word::Int(n) if n != 0 => {
+                    last = n as Addr;
+                    h = n;
+                    taken += 1;
+                }
+                _ => break,
+            }
+        }
+        let _ = h;
+        // Detach: global head ← last.next; last.next ← old TL head (0).
+        let after = self.rd(t, last + 1)?;
+        self.wr(t, self.layout.free_head, after)?;
+        let old_tl = self.rd(t, ts_addr)?;
+        self.wr(t, last + 1, old_tl)?;
+        self.wr(t, ts_addr, Word::Int(first))?;
+        Ok(true)
+    }
+
+    /// Sweep up to `budget` slots from the sweep cursor, freeing garbage.
+    /// Returns a freshly freed slot if one was found (fast-path reuse).
+    fn lazy_sweep(&mut self, t: ThreadId, budget: usize) -> Result<Option<Addr>, VmAbort> {
+        let cursor_addr = self.layout.sweep_cursor;
+        let Word::Int(mut cursor) = self.rd(t, cursor_addr)? else {
+            return Err(VmAbort::fatal("corrupt sweep cursor"));
+        };
+        let total: usize = self.slot_ranges.iter().map(|&(_, n)| n).sum();
+        let mut swept = 0usize;
+        let mut found: Option<Addr> = None;
+        while (cursor as usize) < total && swept < budget {
+            let slot = self.slot_addr(cursor as usize);
+            let hdr = self.rd(t, slot)?;
+            match hdr.as_header() {
+                Some(h) if h.kind == ObjKind::Free => {}
+                Some(h) if h.marked => {
+                    // Live: clear the mark for the next cycle.
+                    self.wr(t, slot, Word::Hdr(ObjHeader { kind: h.kind, marked: false }))?;
+                }
+                Some(h) => {
+                    // Garbage: release buffers, relink as free.
+                    self.free_object_buffers(t, slot, h.kind)?;
+                    self.wr(t, slot, Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }))?;
+                    if found.is_none() {
+                        found = Some(slot);
+                        // Keep the found slot out of any list; caller owns it.
+                        self.wr(t, slot + 1, Word::Int(0))?;
+                    } else {
+                        self.push_free(t, slot)?;
+                    }
+                }
+                None => {
+                    // Uninitialized region of a grown heap: link as free.
+                    self.wr(t, slot, Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }))?;
+                    if found.is_none() {
+                        found = Some(slot);
+                        self.wr(t, slot + 1, Word::Int(0))?;
+                    } else {
+                        self.push_free(t, slot)?;
+                    }
+                }
+            }
+            cursor += 1;
+            swept += 1;
+        }
+        self.wr(t, cursor_addr, Word::Int(cursor))?;
+        Ok(found)
+    }
+
+    /// Push a freed slot onto the *global* free list. Sweeping always
+    /// frees globally (as CRuby does); thread-local lists are only filled
+    /// through bulk refills. Sweeping into the sweeper's private list
+    /// would let one thread hoard the whole reclaimed heap and starve the
+    /// others into immediate re-collections. The global-head writes a
+    /// transactional sweep performs are exactly the lazy-sweep conflicts
+    /// the paper reports (§5.6).
+    fn push_free(&mut self, t: ThreadId, slot: Addr) -> Result<(), VmAbort> {
+        let head_addr = self.layout.free_head;
+        let old = self.rd(t, head_addr)?;
+        self.wr(t, slot + 1, old)?;
+        self.wr(t, head_addr, Word::Int(slot as i64))?;
+        Ok(())
+    }
+
+    /// Address of slot index `i` across ranges.
+    pub fn slot_addr(&self, mut i: usize) -> Addr {
+        for &(base, n) in &self.slot_ranges {
+            if i < n {
+                return base + i * SLOT_WORDS;
+            }
+            i -= n;
+        }
+        panic!("slot index out of range");
+    }
+
+    /// Total slots across ranges.
+    pub fn total_slots(&self) -> usize {
+        self.slot_ranges.iter().map(|&(_, n)| n).sum()
+    }
+
+    // ---- garbage collection ----------------------------------------------
+
+    /// Stop-the-world mark phase. Caller guarantees no transaction is
+    /// active on `t`; in the full system this runs with the GIL held, and
+    /// the GIL-word write that acquired it already doomed all concurrent
+    /// transactions.
+    pub fn gc(&mut self, t: ThreadId) -> Result<(), VmAbort> {
+        debug_assert!(!self.mem.in_tx(t), "GC inside a transaction");
+        self.in_gc = true;
+        self.gc_runs += 1;
+        let mut worklist: Vec<Addr> = Vec::new();
+        // Roots: literal pool, constants, globals, all thread stacks.
+        for w in self.pooled_objs.clone() {
+            if let Word::Obj(a) = w {
+                worklist.push(a);
+            }
+        }
+        for idx in 0..self.const_map.len() {
+            let w = self.rd(t, self.layout.cnst(idx))?;
+            if let Word::Obj(a) = w {
+                worklist.push(a);
+            }
+        }
+        for idx in 0..self.gvar_map.len() {
+            let w = self.rd(t, self.layout.gvar(idx))?;
+            if let Word::Obj(a) = w {
+                worklist.push(a);
+            }
+        }
+        let stacks: Vec<(Addr, Addr, bool, Word)> = self
+            .threads
+            .iter()
+            .map(|c| (c.stack_base, c.sp, c.finished, c.result.clone()))
+            .collect();
+        for (base, sp, finished, result) in stacks {
+            if let Word::Obj(a) = result {
+                worklist.push(a);
+            }
+            if finished {
+                continue;
+            }
+            for addr in base..sp {
+                let w = self.rd(t, addr)?;
+                if let Word::Obj(a) = w {
+                    worklist.push(a);
+                }
+            }
+        }
+        let thread_objs: Vec<Addr> = self
+            .threads
+            .iter()
+            .filter(|c| c.thread_obj != 0)
+            .map(|c| c.thread_obj)
+            .collect();
+        worklist.extend(thread_objs);
+        // Rust-local temporaries of the in-flight step (conservative
+        // C-stack analogue).
+        for w in self.temp_roots.clone() {
+            if let Word::Obj(a) = w {
+                worklist.push(a);
+            }
+        }
+        // Heap-promoted block environments (see `Vm::promote_env`).
+        for (region, total) in self.promoted_envs.clone() {
+            for i in 0..total {
+                let w = self.rd(t, region + i)?;
+                if let Word::Obj(a) = w {
+                    worklist.push(a);
+                }
+            }
+        }
+        // Mark. Traversal termination uses a host-side visited set, NOT
+        // the mark bit: objects are *born* with the mark bit set (so an
+        // in-progress lazy sweep cannot reclaim them), and relying on the
+        // bit here would skip their children.
+        let mut visited: std::collections::HashSet<Addr> = std::collections::HashSet::new();
+        while let Some(obj) = worklist.pop() {
+            if !visited.insert(obj) {
+                continue;
+            }
+            let hdr = self.rd(t, obj)?;
+            let Some(h) = hdr.as_header() else {
+                // Conservative root scan can hit non-slot addresses if a
+                // stale Obj word survives on a dead stack region; skip.
+                continue;
+            };
+            if h.kind == ObjKind::Free {
+                continue;
+            }
+            if !h.marked {
+                self.wr(t, obj, Word::Hdr(ObjHeader { kind: h.kind, marked: true }))?;
+            }
+            self.scan_children(t, obj, h.kind, &mut worklist)?;
+        }
+        // Restart the lazy-sweep cursor(s): allocation sweeps from the
+        // top (per-thread partition starts under the §5.6 extension).
+        if self.config.tl_lazy_sweep {
+            self.gc_sweep_total = self.total_slots();
+            self.reset_tl_sweep_cursors(t)?;
+            // Keep the shared cursor parked at the end so the global
+            // sweep never double-frees partitioned slots.
+            let total = self.total_slots() as i64;
+            self.wr(t, self.layout.sweep_cursor, Word::Int(total))?;
+        } else {
+            self.wr(t, self.layout.sweep_cursor, Word::Int(0))?;
+        }
+        self.in_gc = false;
+        Ok(())
+    }
+
+    fn scan_children(
+        &mut self,
+        t: ThreadId,
+        obj: Addr,
+        kind: ObjKind,
+        out: &mut Vec<Addr>,
+    ) -> Result<(), VmAbort> {
+        let push = |w: &Word, out: &mut Vec<Addr>| {
+            if let Word::Obj(a) = w {
+                out.push(*a);
+            }
+        };
+        match kind {
+            ObjKind::Free | ObjKind::Float | ObjKind::String | ObjKind::Regexp
+            | ObjKind::Mutex | ObjKind::Barrier => {
+                // Mutex owner is a thread object — scan it.
+                if kind == ObjKind::Mutex {
+                    let w = self.rd(t, obj + 1)?;
+                    push(&w, out);
+                }
+            }
+            ObjKind::Array => {
+                let len = self.rd(t, obj + 1)?.as_int().unwrap_or(0) as usize;
+                let buf = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as Addr;
+                for i in 0..len {
+                    let w = self.rd(t, buf + i)?;
+                    push(&w, out);
+                }
+            }
+            ObjKind::Hash => {
+                let n = self.rd(t, obj + 1)?.as_int().unwrap_or(0) as usize;
+                let buf = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as Addr;
+                for i in 0..2 * n {
+                    let w = self.rd(t, buf + i)?;
+                    push(&w, out);
+                }
+            }
+            ObjKind::Object => {
+                let cls = self.rd(t, obj + 1)?;
+                push(&cls, out);
+                let nivars = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as usize;
+                let buf = self.rd(t, obj + 2)?.as_int().unwrap_or(0) as Addr;
+                for i in 0..nivars {
+                    let w = self.rd(t, buf + i)?;
+                    push(&w, out);
+                }
+            }
+            ObjKind::Class => {
+                let sup = self.rd(t, obj + 1)?;
+                push(&sup, out);
+                // Class variables hold values.
+                let cv = self.rd(t, obj + 5)?.as_int().unwrap_or(0) as Addr;
+                if cv != 0 {
+                    let n = self.rd(t, cv)?.as_int().unwrap_or(0) as usize;
+                    for i in 0..n {
+                        let w = self.rd(t, cv + 2 + 2 * i + 1)?;
+                        push(&w, out);
+                    }
+                }
+            }
+            ObjKind::Range => {
+                let lo = self.rd(t, obj + 1)?;
+                let hi = self.rd(t, obj + 2)?;
+                push(&lo, out);
+                push(&hi, out);
+            }
+            ObjKind::Thread => {
+                let r = self.rd(t, obj + 3)?;
+                push(&r, out);
+            }
+            ObjKind::Proc => {
+                let s = self.rd(t, obj + 3)?;
+                push(&s, out);
+            }
+            ObjKind::MatchData => {
+                let g = self.rd(t, obj + 1)?;
+                push(&g, out);
+            }
+            ObjKind::Table => {
+                let rows = self.rd(t, obj + 1)?;
+                push(&rows, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Release the malloc buffers owned by a dead object.
+    pub(crate) fn free_object_buffers(&mut self, t: ThreadId, obj: Addr, kind: ObjKind) -> Result<(), VmAbort> {
+        match kind {
+            ObjKind::Array | ObjKind::Hash => {
+                let cap = self.rd(t, obj + 2)?.as_int().unwrap_or(0) as usize;
+                let buf = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as Addr;
+                if buf != 0 {
+                    let words = if kind == ObjKind::Hash { 2 * cap } else { cap };
+                    self.mfree(t, buf, words)?;
+                }
+            }
+            ObjKind::String => {
+                let buf = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as Addr;
+                let cap = self.rd(t, obj + 4)?.as_int().unwrap_or(0) as usize;
+                if buf != 0 {
+                    self.mfree(t, buf, cap)?;
+                }
+            }
+            ObjKind::Object => {
+                let buf = self.rd(t, obj + 2)?.as_int().unwrap_or(0) as Addr;
+                let cap = self.rd(t, obj + 4)?.as_int().unwrap_or(0) as usize;
+                if buf != 0 {
+                    self.mfree(t, buf, cap)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Append a new slot range (heap growth). GIL-held only.
+    fn grow_heap(&mut self, t: ThreadId) -> Result<(), VmAbort> {
+        let current = self.total_slots();
+        if current >= self.config.max_heap_slots {
+            return Err(VmAbort::fatal(format!(
+                "heap limit reached ({current} slots; raise VmConfig::max_heap_slots)"
+            )));
+        }
+        let add = (current / 2).max(1024).min(self.config.max_heap_slots - current);
+        let base = self.mem.size();
+        self.mem.grow(add * SLOT_WORDS, Word::Uninit);
+        self.slot_ranges.push((base, add));
+        self.heap_grows += 1;
+        // Link the new slots straight onto the global free list.
+        for i in (0..add).rev() {
+            let slot = base + i * SLOT_WORDS;
+            let old = self.rd(t, self.layout.free_head)?;
+            self.wr(t, slot, Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }))?;
+            self.wr(t, slot + 1, old)?;
+            self.wr(t, self.layout.free_head, Word::Int(slot as i64))?;
+        }
+        Ok(())
+    }
+
+    // ---- malloc ------------------------------------------------------------
+
+    /// Allocate a buffer of at least `words` words. Uses the per-thread
+    /// bump arena when `malloc_thread_local` is set, else the global
+    /// size-class lists + bump pointer (the conflict-prone default
+    /// `malloc` of z/OS, §5.2/§5.5).
+    pub fn malloc(&mut self, t: ThreadId, words: usize) -> Result<(Addr, usize), VmAbort> {
+        let cls = Layout::size_class(words);
+        let cap = Layout::class_words(cls);
+        if cap < words {
+            return Err(VmAbort::fatal(format!("allocation of {words} words too large")));
+        }
+        // Freed buffers live on global size-class lists; check there first
+        // so memory is actually reused. Even with HEAPPOOLS the real
+        // allocator touches shared metadata occasionally — the paper saw
+        // exactly these residual malloc conflicts on zEC12 (§5.5).
+        let head_addr = self.layout.malloc_class_base + cls;
+        let head = self.rd(t, head_addr)?;
+        if let Word::Int(h) = head {
+            if h != 0 {
+                let next = self.rd(t, h as Addr)?;
+                self.wr(t, head_addr, next)?;
+                return Ok((h as Addr, cap));
+            }
+        }
+        if self.config.malloc_thread_local && cap <= self.config.tl_malloc_chunk / 2 {
+            let sbase = self.layout.thread_struct(t);
+            let bump = self.rd(t, sbase + ts::TL_MALLOC_BUMP)?.as_int().unwrap_or(0) as Addr;
+            let end = self.rd(t, sbase + ts::TL_MALLOC_END)?.as_int().unwrap_or(0) as Addr;
+            if bump != 0 && bump + cap <= end {
+                self.wr(t, sbase + ts::TL_MALLOC_BUMP, Word::Int((bump + cap) as i64))?;
+                return Ok((bump, cap));
+            }
+            // Grab a fresh chunk from the global bump region.
+            let chunk = self.config.tl_malloc_chunk;
+            let (cbase, _) = self.global_bump(t, chunk)?;
+            self.wr(t, sbase + ts::TL_MALLOC_BUMP, Word::Int((cbase + cap) as i64))?;
+            self.wr(t, sbase + ts::TL_MALLOC_END, Word::Int((cbase + chunk) as i64))?;
+            return Ok((cbase, cap));
+        }
+        // Global path: bump allocation (the class list was checked above).
+        self.global_bump(t, cap)
+    }
+
+    fn global_bump(&mut self, t: ThreadId, cap: usize) -> Result<(Addr, usize), VmAbort> {
+        let bump = self.rd(t, self.layout.malloc_bump)?.as_int().unwrap_or(0) as Addr;
+        let end = self.rd(t, self.layout.malloc_end)?.as_int().unwrap_or(0) as Addr;
+        if bump + cap > end {
+            // The arena is exhausted: mmap more, like a real malloc. Memory
+            // growth is GIL-only (all transactions must be quiesced), so
+            // inside a transaction this is a persistent abort and the
+            // retry grows under the GIL.
+            if self.mem.in_tx(t) {
+                return Err(VmAbort::Tx(self.mem.abort_restricted(t)));
+            }
+            let extra = (self.config.malloc_words / 2).max(cap + 1024);
+            let base = self.mem.size();
+            self.mem.grow(extra, Word::Uninit);
+            self.wr(t, self.layout.malloc_bump, Word::Int((base + cap) as i64))?;
+            self.wr(t, self.layout.malloc_end, Word::Int((base + extra) as i64))?;
+            self.heap_grows += 1;
+            return Ok((base, cap));
+        }
+        self.wr(t, self.layout.malloc_bump, Word::Int((bump + cap) as i64))?;
+        Ok((bump, cap))
+    }
+
+    /// Return a buffer to its size-class free list (first word becomes the
+    /// link). Buffers from thread-local arenas are returned to the global
+    /// lists too — arenas never shrink, like HEAPPOOLS.
+    pub fn mfree(&mut self, t: ThreadId, buf: Addr, words: usize) -> Result<(), VmAbort> {
+        if words == 0 || buf == 0 {
+            return Ok(());
+        }
+        let cls = Layout::size_class(words);
+        let head_addr = self.layout.malloc_class_base + cls;
+        let old = self.rd(t, head_addr)?;
+        self.wr(t, buf, old)?;
+        self.wr(t, head_addr, Word::Int(buf as i64))?;
+        Ok(())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmConfig;
+    use machine_sim::MachineProfile;
+
+    fn vm() -> Vm {
+        Vm::boot("nil", VmConfig::default(), &MachineProfile::generic(2)).unwrap()
+    }
+
+    #[test]
+    fn alloc_returns_distinct_slots() {
+        let mut vm = vm();
+        let a = vm.alloc_slot(0).unwrap();
+        let b = vm.alloc_slot(0).unwrap();
+        assert_ne!(a, b);
+        assert_eq!((a as i64 - b as i64).unsigned_abs() % SLOT_WORDS as u64, 0);
+    }
+
+    #[test]
+    fn thread_local_lists_refill_in_bulk() {
+        let mut vm = vm();
+        assert!(vm.config.thread_local_free_lists);
+        // First allocation triggers a bulk refill; the global head moves by
+        // ~refill slots at once.
+        let _ = vm.alloc_slot(1).unwrap();
+        let tl = vm
+            .mem
+            .peek(vm.layout.thread_struct(1) + ts::TL_FREE_HEAD)
+            .clone();
+        assert!(matches!(tl, Word::Int(h) if h != 0), "local list holds the rest");
+    }
+
+    #[test]
+    fn global_list_mode_pops_head() {
+        let mut cfg = VmConfig::default();
+        cfg.thread_local_free_lists = false;
+        let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
+        let before = vm.mem.peek(vm.layout.free_head).clone();
+        let a = vm.alloc_slot(0).unwrap();
+        assert_eq!(before, Word::Int(a as i64), "allocates from the head");
+    }
+
+    #[test]
+    fn malloc_size_classes_and_free_roundtrip() {
+        let mut vm = vm();
+        let (buf, cap) = vm.malloc(0, 10).unwrap();
+        assert!(cap >= 10);
+        vm.mfree(0, buf, cap).unwrap();
+        // Freed global-class buffers are reused (global path).
+        let mut cfg = VmConfig::default();
+        cfg.malloc_thread_local = false;
+        let mut vm2 = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
+        let (b1, c1) = vm2.malloc(0, 10).unwrap();
+        vm2.mfree(0, b1, c1).unwrap();
+        let (b2, _) = vm2.malloc(0, 10).unwrap();
+        assert_eq!(b1, b2, "size-class free list reuses the buffer");
+    }
+
+    #[test]
+    fn gc_reclaims_unreachable_slots() {
+        let mut cfg = VmConfig::default();
+        cfg.heap_slots = 512;
+        cfg.max_heap_slots = 512; // forbid growth: GC must reclaim
+        let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
+        // Allocate and drop many floats; the heap must not run out.
+        for i in 0..5_000 {
+            let slot = vm.alloc_slot(0).unwrap();
+            vm.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
+            vm.mem.poke(slot + 1, Word::F64(i as f64));
+        }
+        assert!(vm.gc_runs >= 1, "GC must have run");
+    }
+
+    #[test]
+    fn heap_grows_when_everything_is_live() {
+        let mut cfg = VmConfig::default();
+        cfg.heap_slots = 256;
+        cfg.max_heap_slots = 4_096;
+        let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
+        // Keep everything alive via a gvar-rooted chain: store object addrs
+        // into an array buffer we root through a constant.
+        let mut kept = Vec::new();
+        for i in 0..600 {
+            let slot = vm.alloc_slot(0).unwrap();
+            vm.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
+            vm.mem.poke(slot + 1, Word::F64(i as f64));
+            kept.push(slot);
+            // Root it: park in the result of thread 0 chained via an Array
+            // would be complex; instead pin via pooled objects list.
+            vm.pooled_objs.push(Word::Obj(slot));
+        }
+        assert!(vm.heap_grows >= 1, "heap must grow when all slots are live");
+        assert!(vm.total_slots() > 256);
+    }
+
+    #[test]
+    fn allocation_inside_transaction_never_runs_gc() {
+        let mut cfg = VmConfig::default();
+        cfg.heap_slots = 300;
+        cfg.max_heap_slots = 300;
+        let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
+        let budgets = htm_sim::Budgets { read_lines: 1 << 20, write_lines: 1 << 20 };
+        // Exhaust the free lists outside a transaction first.
+        let mut last = Ok(0);
+        for _ in 0..400 {
+            last = vm.alloc_slot(0).map_err(|e| e);
+            if last.is_err() {
+                break;
+            }
+            let slot = *last.as_ref().unwrap();
+            vm.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
+            vm.pooled_objs.push(Word::Obj(slot)); // keep live
+        }
+        // Now inside a transaction the allocator must abort, not collect.
+        vm.mem.begin(0, budgets).unwrap();
+        let before_gc = vm.gc_runs;
+        let r = vm.alloc_slot(0);
+        match r {
+            Err(VmAbort::Tx(reason)) => assert!(reason.is_persistent()),
+            other => panic!("expected restricted abort, got {other:?}"),
+        }
+        assert_eq!(vm.gc_runs, before_gc, "no GC inside a transaction");
+        assert!(!vm.mem.in_tx(0), "transaction rolled back");
+    }
+}
+

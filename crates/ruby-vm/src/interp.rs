@@ -1,0 +1,1297 @@
+//! The bytecode interpreter: frames, dispatch, specialized operators and
+//! inline caches.
+//!
+//! Call frames live in each thread's stack region of simulated memory:
+//!
+//! ```text
+//! fp+0  prev_fp   (Int; 0 for the root frame)
+//! fp+1  ret_pc    (Int)
+//! fp+2  ret_iseq  (Int; -1 for the root frame)
+//! fp+3  ret_sp    (Int; caller sp to restore before pushing the result)
+//! fp+4  self
+//! fp+5  block     (Int; Proc slot addr, 0 = none)
+//! fp+6  ep        (Int; defining frame of a block, 0 otherwise)
+//! fp+7  flags
+//! fp+8… locals, then the operand stack
+//! ```
+//!
+//! Because the whole frame is ordinary simulated memory, a transaction
+//! abort rolls the stack back via the undo log and the TLE runtime only
+//! restores four registers ([`crate::vm::RegSnapshot`]). Stack *writes*
+//! count toward HTM write sets — the effect that makes CRuby's original
+//! coarse yield points overflow (paper §4.2).
+
+use machine_sim::ThreadId;
+
+use crate::bytecode::{Insn, IseqId, RareBinOp};
+use crate::object::MethodEntry;
+use crate::symbols::SymId;
+use crate::value::{Addr, ObjKind, Word};
+use crate::vm::{BlockOn, StepOk, ThreadCtx, Vm, VmAbort};
+
+pub const F_PREV_FP: usize = 0;
+pub const F_RET_PC: usize = 1;
+pub const F_RET_ISEQ: usize = 2;
+pub const F_RET_SP: usize = 3;
+pub const F_SELF: usize = 4;
+pub const F_BLOCK: usize = 5;
+pub const F_EP: usize = 6;
+pub const F_FLAGS: usize = 7;
+pub const FRAME_WORDS: usize = 8;
+
+pub const FLAG_DISCARD: i64 = 1;
+pub const FLAG_BLOCK: i64 = 2;
+/// The frame's own iseq id is packed into the flags word above this shift
+/// so environment promotion can recover a frame's local count.
+pub const FLAG_ISEQ_SHIFT: u32 = 3;
+pub const FLAG_MASK: i64 = (1 << FLAG_ISEQ_SHIFT) - 1;
+
+/// What a builtin asks the interpreter to do.
+pub enum BResult {
+    /// Pop receiver+args, push this value, advance.
+    Value(Word),
+    /// Park the thread; retry this instruction on wake.
+    Block(BlockOn),
+    /// Pop receiver+args, optionally push `under` (pre-pushed result),
+    /// then enter `iseq` with the given self/args. `discard` frames do not
+    /// push their return value (used by `new` → `initialize`). A non-zero
+    /// `ep` enters the iseq as a block frame with that static link
+    /// (`Proc#call`).
+    Frame {
+        iseq: IseqId,
+        self_w: Word,
+        args: Vec<Word>,
+        block: Addr,
+        under: Option<Word>,
+        discard: bool,
+        ep: Addr,
+    },
+    /// Pop receiver+args, push the Thread object, advance, and tell the
+    /// executor a new thread exists.
+    Spawned { tid: ThreadId, thread_obj: Word },
+}
+
+impl Vm {
+    // ---- stack primitives -------------------------------------------------
+
+    #[inline]
+    pub fn push(&mut self, t: ThreadId, w: Word) -> Result<(), VmAbort> {
+        let sp = self.threads[t].sp;
+        if sp >= self.threads[t].stack_end {
+            return Err(VmAbort::fatal("stack overflow"));
+        }
+        self.wr(t, sp, w)?;
+        self.threads[t].sp = sp + 1;
+        Ok(())
+    }
+
+    #[inline]
+    pub fn pop(&mut self, t: ThreadId) -> Result<Word, VmAbort> {
+        let sp = self.threads[t].sp;
+        if sp == self.threads[t].stack_base {
+            return Err(VmAbort::fatal("stack underflow"));
+        }
+        let w = self.rd(t, sp - 1)?;
+        self.threads[t].sp = sp - 1;
+        Ok(w)
+    }
+
+    /// Read the word `n` below the top without popping.
+    #[inline]
+    pub fn peek_n(&mut self, t: ThreadId, n: usize) -> Result<Word, VmAbort> {
+        let sp = self.threads[t].sp;
+        self.rd(t, sp - 1 - n)
+    }
+
+    #[inline]
+    fn advance(&mut self, t: ThreadId) {
+        self.threads[t].pc += 1;
+    }
+
+    fn frame_self(&mut self, t: ThreadId) -> Result<Word, VmAbort> {
+        let fp = self.threads[t].fp;
+        self.rd(t, fp + F_SELF)
+    }
+
+    /// Frame base `depth` block hops up the static (ep) chain.
+    fn ep_at(&mut self, t: ThreadId, depth: u8) -> Result<Addr, VmAbort> {
+        let mut f = self.threads[t].fp;
+        for _ in 0..depth {
+            let ep = self.rd(t, f + F_EP)?.as_int().unwrap_or(0);
+            if ep == 0 {
+                return Err(VmAbort::fatal("broken static chain"));
+            }
+            f = ep as Addr;
+        }
+        Ok(f)
+    }
+
+    /// Set up the root frame of a thread (main or spawned).
+    pub fn push_root_frame(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        iseq: IseqId,
+        self_w: Word,
+        block: Addr,
+        ep: Addr,
+    ) {
+        let t = ctx.tid;
+        let fp = ctx.stack_base;
+        let is_block = self.program.iseq(iseq).is_block;
+        let nlocals = self.program.iseq(iseq).nlocals;
+        let words: [(usize, Word); 8] = [
+            (F_PREV_FP, Word::Int(0)),
+            (F_RET_PC, Word::Int(0)),
+            (F_RET_ISEQ, Word::Int(-1)),
+            (F_RET_SP, Word::Int(fp as i64)),
+            (F_SELF, self_w),
+            (
+                F_BLOCK,
+                // A heap reference: stored as Obj so the GC's stack scan
+                // keeps the Proc alive while any frame can still yield to
+                // it.
+                if block == 0 { Word::Nil } else { Word::Obj(block) },
+            ),
+            (F_EP, Word::Int(ep as i64)),
+            (
+                F_FLAGS,
+                Word::Int(
+                    (if is_block { FLAG_BLOCK } else { 0 })
+                        | (i64::from(iseq.0) << FLAG_ISEQ_SHIFT),
+                ),
+            ),
+        ];
+        for (off, w) in words {
+            self.mem.write(t, fp + off, w).expect("root frame write");
+        }
+        for i in 0..nlocals {
+            self.mem
+                .write(t, fp + FRAME_WORDS + i, Word::Nil)
+                .expect("root frame local");
+        }
+        ctx.fp = fp;
+        ctx.sp = fp + FRAME_WORDS + nlocals;
+        ctx.pc = 0;
+        ctx.iseq = iseq;
+    }
+
+    /// Push a frame whose arguments are the top `argc` stack words of the
+    /// caller (normal method dispatch).
+    #[allow(clippy::too_many_arguments)]
+    fn push_frame(
+        &mut self,
+        t: ThreadId,
+        iseq: IseqId,
+        self_w: Word,
+        block: Addr,
+        ep: Addr,
+        ret_sp: Addr,
+        flags: i64,
+        args: FrameArgs,
+    ) -> Result<(), VmAbort> {
+        let (nparams, nlocals, max_stack) = {
+            let i = self.program.iseq(iseq);
+            (i.nparams, i.nlocals, self.program.max_stack(iseq))
+        };
+        let ctx = &self.threads[t];
+        let new_fp = ctx.sp;
+        let old_pc = ctx.pc;
+        let old_iseq = ctx.iseq;
+        let old_fp = ctx.fp;
+        if new_fp + FRAME_WORDS + nlocals + max_stack >= ctx.stack_end {
+            return Err(VmAbort::fatal("stack too deep"));
+        }
+        self.wr(t, new_fp + F_PREV_FP, Word::Int(old_fp as i64))?;
+        self.wr(t, new_fp + F_RET_PC, Word::Int(old_pc as i64 + 1))?;
+        self.wr(t, new_fp + F_RET_ISEQ, Word::Int(i64::from(old_iseq.0)))?;
+        self.wr(t, new_fp + F_RET_SP, Word::Int(ret_sp as i64))?;
+        self.wr(t, new_fp + F_SELF, self_w)?;
+        self.wr(
+            t,
+            new_fp + F_BLOCK,
+            if block == 0 { Word::Nil } else { Word::Obj(block) },
+        )?;
+        self.wr(t, new_fp + F_EP, Word::Int(ep as i64))?;
+        self.wr(
+            t,
+            new_fp + F_FLAGS,
+            Word::Int(flags | (i64::from(iseq.0) << FLAG_ISEQ_SHIFT)),
+        )?;
+        // Parameters then remaining locals.
+        match args {
+            FrameArgs::Stack { base, argc } => {
+                for i in 0..nparams.min(argc) {
+                    let w = self.rd(t, base + i)?;
+                    self.wr(t, new_fp + FRAME_WORDS + i, w)?;
+                }
+                for i in argc.min(nparams)..nparams {
+                    self.wr(t, new_fp + FRAME_WORDS + i, Word::Nil)?;
+                }
+            }
+            FrameArgs::Vec(words) => {
+                let argc = words.len();
+                for (i, w) in words.into_iter().take(nparams).enumerate() {
+                    self.wr(t, new_fp + FRAME_WORDS + i, w)?;
+                }
+                for i in argc.min(nparams)..nparams {
+                    self.wr(t, new_fp + FRAME_WORDS + i, Word::Nil)?;
+                }
+            }
+        }
+        for i in nparams..nlocals {
+            self.wr(t, new_fp + FRAME_WORDS + i, Word::Nil)?;
+        }
+        let ctx = &mut self.threads[t];
+        ctx.fp = new_fp;
+        ctx.sp = new_fp + FRAME_WORDS + nlocals;
+        ctx.pc = 0;
+        ctx.iseq = iseq;
+        Ok(())
+    }
+
+    fn do_leave(&mut self, t: ThreadId) -> Result<StepOk, VmAbort> {
+        let value = self.pop(t)?;
+        let fp = self.threads[t].fp;
+        let prev_fp = self.rd(t, fp + F_PREV_FP)?.as_int().unwrap_or(0);
+        if prev_fp == 0 {
+            let ctx = &mut self.threads[t];
+            ctx.finished = true;
+            ctx.result = value;
+            return Ok(StepOk::Finished);
+        }
+        let ret_pc = self.rd(t, fp + F_RET_PC)?.as_int().unwrap_or(0) as usize;
+        let ret_iseq = self.rd(t, fp + F_RET_ISEQ)?.as_int().unwrap_or(0);
+        let ret_sp = self.rd(t, fp + F_RET_SP)?.as_int().unwrap_or(0) as Addr;
+        let flags = self.rd(t, fp + F_FLAGS)?.as_int().unwrap_or(0);
+        let ctx = &mut self.threads[t];
+        ctx.fp = prev_fp as Addr;
+        ctx.sp = ret_sp;
+        ctx.pc = ret_pc;
+        ctx.iseq = IseqId(ret_iseq as u32);
+        if flags & FLAG_DISCARD == 0 {
+            self.push(t, value)?;
+        }
+        Ok(StepOk::Normal)
+    }
+
+    // ---- the dispatcher ------------------------------------------------------
+
+    /// Execute exactly one bytecode for thread `t`.
+    pub fn step(&mut self, t: ThreadId) -> Result<StepOk, VmAbort> {
+        if let Some(reason) = self.mem.poll_doomed(t) {
+            return Err(VmAbort::Tx(reason));
+        }
+        if self.threads[t].finished {
+            return Ok(StepOk::Finished);
+        }
+        let (iseq, pc) = {
+            let c = &self.threads[t];
+            (c.iseq, c.pc)
+        };
+        let insn = self.program.insn(iseq, pc).clone();
+        match insn {
+            Insn::Nop => {
+                self.advance(t);
+            }
+            Insn::PutNil => {
+                self.push(t, Word::Nil)?;
+                self.advance(t);
+            }
+            Insn::PutTrue => {
+                self.push(t, Word::True)?;
+                self.advance(t);
+            }
+            Insn::PutFalse => {
+                self.push(t, Word::False)?;
+                self.advance(t);
+            }
+            Insn::PutSelf => {
+                let s = self.frame_self(t)?;
+                self.push(t, s)?;
+                self.advance(t);
+            }
+            Insn::PutInt(i) => {
+                self.push(t, Word::Int(i))?;
+                self.advance(t);
+            }
+            Insn::PutPooled(i) => {
+                let w = self.pooled_objs[i as usize].clone();
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::PutString(i) => {
+                let s = self.program.strings[i as usize].clone();
+                let w = self.make_string(t, &s)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::PutSym(s) => {
+                self.push(t, Word::Sym(s))?;
+                self.advance(t);
+            }
+            Insn::Pop => {
+                self.pop(t)?;
+                self.advance(t);
+            }
+            Insn::Dup => {
+                let w = self.peek_n(t, 0)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::DupN(n) => {
+                let n = n as usize;
+                for i in 0..n {
+                    let w = self.peek_n(t, n - 1)?;
+                    let _ = i;
+                    self.push(t, w)?;
+                }
+                self.advance(t);
+            }
+            Insn::GetLocal { idx, depth } => {
+                let f = self.ep_at(t, depth)?;
+                let w = self.rd(t, f + FRAME_WORDS + idx as usize)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::SetLocal { idx, depth } => {
+                let v = self.pop(t)?;
+                let f = self.ep_at(t, depth)?;
+                self.wr(t, f + FRAME_WORDS + idx as usize, v)?;
+                self.advance(t);
+            }
+            Insn::GetIvar { name, ic } => {
+                let w = self.ivar_get_cached(t, name, ic)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::SetIvar { name, ic } => {
+                let v = self.pop(t)?;
+                self.ivar_set_cached(t, name, ic, v)?;
+                self.advance(t);
+            }
+            Insn::GetCvar { name } => {
+                let owner = self.cvar_owner(t)?;
+                let w = self.cvar_get(t, owner, name)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::SetCvar { name } => {
+                let v = self.pop(t)?;
+                let owner = self.cvar_owner(t)?;
+                self.cvar_set(t, owner, name, v)?;
+                self.advance(t);
+            }
+            Insn::GetGlobal { name } => {
+                let addr = self.gvar_addr(name);
+                let w = match self.rd(t, addr)? {
+                    Word::Uninit => Word::Nil,
+                    w => w,
+                };
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::SetGlobal { name } => {
+                let v = self.pop(t)?;
+                let addr = self.gvar_addr(name);
+                self.wr(t, addr, v)?;
+                self.advance(t);
+            }
+            Insn::GetConst { name } => {
+                let addr = self.const_lookup(name).ok_or_else(|| {
+                    VmAbort::fatal(format!(
+                        "uninitialized constant {}",
+                        self.program.symbols.name(name)
+                    ))
+                })?;
+                let w = self.rd(t, addr)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::SetConst { name } => {
+                let v = self.pop(t)?;
+                let addr = self.const_define_addr(name);
+                self.wr(t, addr, v)?;
+                self.advance(t);
+            }
+            Insn::NewArray { n } => {
+                let n = n as usize;
+                let mut elems = vec![Word::Nil; n];
+                for i in (0..n).rev() {
+                    elems[i] = self.pop(t)?;
+                }
+                let w = self.make_array(t, &elems)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::NewHash { n } => {
+                let n = n as usize;
+                let mut pairs = vec![(Word::Nil, Word::Nil); n];
+                for i in (0..n).rev() {
+                    let v = self.pop(t)?;
+                    let k = self.pop(t)?;
+                    pairs[i] = (k, v);
+                }
+                let w = self.make_hash(t, &pairs)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::NewRange { excl } => {
+                let hi = self.pop(t)?;
+                let lo = self.pop(t)?;
+                let w = self.make_range(t, lo, hi, excl)?;
+                self.push(t, w)?;
+                self.advance(t);
+            }
+            Insn::Send { name, argc, block, ic } => {
+                return self.do_send(t, name, argc as usize, block, ic);
+            }
+            Insn::InvokeBlock { argc } => {
+                return self.do_invoke_block(t, argc as usize);
+            }
+            Insn::OptPlus { ic } => return self.op_arith(t, ArithOp::Add, ic),
+            Insn::OptMinus { ic } => return self.op_arith(t, ArithOp::Sub, ic),
+            Insn::OptMult { ic } => return self.op_arith(t, ArithOp::Mul, ic),
+            Insn::OptDiv { ic } => return self.op_arith(t, ArithOp::Div, ic),
+            Insn::OptMod { ic } => return self.op_arith(t, ArithOp::Mod, ic),
+            Insn::OptEq { ic } => return self.op_cmp(t, CmpOp::Eq, ic),
+            Insn::OptNeq { ic } => return self.op_cmp(t, CmpOp::Ne, ic),
+            Insn::OptLt { ic } => return self.op_cmp(t, CmpOp::Lt, ic),
+            Insn::OptLe { ic } => return self.op_cmp(t, CmpOp::Le, ic),
+            Insn::OptGt { ic } => return self.op_cmp(t, CmpOp::Gt, ic),
+            Insn::OptGe { ic } => return self.op_cmp(t, CmpOp::Ge, ic),
+            Insn::OptAref { ic } => return self.op_aref(t, ic),
+            Insn::OptAset { ic } => return self.op_aset(t, ic),
+            Insn::OptShl { ic } => return self.op_shl(t, ic),
+            Insn::OptNot => {
+                let w = self.pop(t)?;
+                self.push(t, if w.truthy() { Word::False } else { Word::True })?;
+                self.advance(t);
+            }
+            Insn::OptNeg => {
+                let w = self.pop(t)?;
+                match w {
+                    Word::Int(i) => self.push(t, Word::Int(i.wrapping_neg()))?,
+                    ref o @ Word::Obj(_) => {
+                        let f = self
+                            .as_number(t, o)?
+                            .ok_or_else(|| VmAbort::fatal("cannot negate non-numeric"))?;
+                        let w = self.make_float(t, -f)?;
+                        self.push(t, w)?;
+                    }
+                    other => {
+                        return Err(VmAbort::fatal(format!("cannot negate {other:?}")))
+                    }
+                }
+                self.advance(t);
+            }
+            Insn::RareOp(op) => return self.op_rare(t, op),
+            Insn::Jump(off) => {
+                let pc = self.threads[t].pc as i64 + i64::from(off);
+                self.threads[t].pc = pc as usize;
+            }
+            Insn::BranchIf(off) => {
+                let c = self.pop(t)?;
+                if c.truthy() {
+                    let pc = self.threads[t].pc as i64 + i64::from(off);
+                    self.threads[t].pc = pc as usize;
+                } else {
+                    self.advance(t);
+                }
+            }
+            Insn::BranchUnless(off) => {
+                let c = self.pop(t)?;
+                if !c.truthy() {
+                    let pc = self.threads[t].pc as i64 + i64::from(off);
+                    self.threads[t].pc = pc as usize;
+                } else {
+                    self.advance(t);
+                }
+            }
+            Insn::Leave => return self.do_leave(t),
+            Insn::DefineMethod { name, iseq, on_self } => {
+                let self_w = self.frame_self(t)?;
+                let cls = match self_w {
+                    Word::Obj(s) if self.kind_of(t, s)? == ObjKind::Class => s,
+                    _ => self.classes.object,
+                };
+                self.define_method(t, cls, name, MethodEntry::Iseq(iseq), on_self)?;
+                self.advance(t);
+            }
+            Insn::DefineClass { name, superclass, body } => {
+                return self.do_define_class(t, name, superclass, body);
+            }
+        }
+        Ok(StepOk::Normal)
+    }
+
+    // ---- sends -----------------------------------------------------------------
+
+    fn do_send(
+        &mut self,
+        t: ThreadId,
+        name: SymId,
+        argc: usize,
+        block: Option<IseqId>,
+        ic: u32,
+    ) -> Result<StepOk, VmAbort> {
+        let sp = self.threads[t].sp;
+        let recv_pos = sp - argc - 1;
+        let recv = self.rd(t, recv_pos)?;
+        // Receiver-class word for the cache guard; class objects guard on
+        // their own identity so Thread.new and Mutex.new never alias.
+        let recv_is_class =
+            matches!(&recv, Word::Obj(s) if self.kind_of(t, *s)? == ObjKind::Class);
+        let cls = if recv_is_class {
+            recv.as_obj().unwrap()
+        } else {
+            self.class_of(t, &recv)?
+        };
+        // Inline-cache probe (two words, like CRuby's call caches).
+        let ic_addr = self.ic_addr(t, ic);
+        let guard = self.rd(t, ic_addr)?;
+        let entry = if guard == Word::Int(cls as i64) {
+            let e = self.rd(t, ic_addr + 1)?;
+            Some(MethodEntry::decode(e.as_int().unwrap_or(0)))
+        } else {
+            None
+        };
+        let entry = match entry {
+            Some(e) => e,
+            None => {
+                // Slow path: method-table walk.
+                let found = if recv_is_class {
+                    match self.lookup_static(t, cls, name)? {
+                        Some(e) => Some(e),
+                        None => {
+                            let meta = self.class_of(t, &recv)?;
+                            self.lookup_method(t, meta, name)?
+                        }
+                    }
+                } else {
+                    self.lookup_method(t, cls, name)?
+                };
+                let Some(e) = found else {
+                    let n = self.program.symbols.name(name).to_string();
+                    let r = self.display(t, &recv)?;
+                    return Err(VmAbort::fatal(format!(
+                        "undefined method `{n}' for {r}"
+                    )));
+                };
+                // Fill policy (paper §4.4 #4a): the improved cache fills
+                // only the first time; the original rewrites on every miss.
+                let empty = matches!(guard, Word::Uninit);
+                if !self.config.method_ic_fill_once || empty {
+                    self.wr(t, ic_addr, Word::Int(cls as i64))?;
+                    self.wr(t, ic_addr + 1, Word::Int(e.encode()))?;
+                }
+                e
+            }
+        };
+        // Materialize the block (allocates a Proc — CRuby passes blocks on
+        // the control-frame stack without allocation; the cost difference
+        // is one slot per block-taking call, negligible for the workloads).
+        let block_addr = match block {
+            Some(bi) => {
+                let self_w = self.frame_self(t)?;
+                let fp = self.threads[t].fp;
+                let p = self.make_proc(t, bi, fp, self_w)?;
+                // Pin until a frame's F_BLOCK word (or the builtin) roots
+                // it — allocations inside the callee setup can GC.
+                self.temp_roots.push(p.clone());
+                p.as_obj().unwrap()
+            }
+            None => 0,
+        };
+        match entry {
+            MethodEntry::Iseq(iseq) => {
+                self.push_frame(
+                    t,
+                    iseq,
+                    recv,
+                    block_addr,
+                    0,
+                    recv_pos,
+                    0,
+                    FrameArgs::Stack { base: recv_pos + 1, argc },
+                )?;
+                Ok(StepOk::Normal)
+            }
+            MethodEntry::Builtin(id) => {
+                let mut args = Vec::with_capacity(argc);
+                for i in 0..argc {
+                    args.push(self.rd(t, recv_pos + 1 + i)?);
+                }
+                let r = crate::builtins::call(self, t, id, recv.clone(), args, block_addr)?;
+                self.apply_bresult(t, r, argc)
+            }
+        }
+    }
+
+    /// Apply a builtin's outcome (stack manipulation + control).
+    fn apply_bresult(&mut self, t: ThreadId, r: BResult, argc: usize) -> Result<StepOk, VmAbort> {
+        match r {
+            BResult::Value(w) => {
+                for _ in 0..argc + 1 {
+                    self.pop(t)?;
+                }
+                self.push(t, w)?;
+                self.advance(t);
+                Ok(StepOk::Normal)
+            }
+            BResult::Block(on) => {
+                if let BlockOn::Io(_) = on {
+                    // I/O completes while the thread sleeps: consume the
+                    // call now and resume at the *next* instruction.
+                    for _ in 0..argc + 1 {
+                        self.pop(t)?;
+                    }
+                    self.push(t, Word::Nil)?;
+                    self.advance(t);
+                }
+                Ok(StepOk::Block(on))
+            }
+            BResult::Frame { iseq, self_w, args, block, under, discard, ep } => {
+                for _ in 0..argc + 1 {
+                    self.pop(t)?;
+                }
+                if let Some(u) = under {
+                    self.push(t, u)?;
+                }
+                let ret_sp = self.threads[t].sp;
+                let mut flags = if discard { FLAG_DISCARD } else { 0 };
+                if ep != 0 {
+                    flags |= FLAG_BLOCK;
+                }
+                self.push_frame(t, iseq, self_w, block, ep, ret_sp, flags, FrameArgs::Vec(args))?;
+                Ok(StepOk::Normal)
+            }
+            BResult::Spawned { tid, thread_obj } => {
+                for _ in 0..argc + 1 {
+                    self.pop(t)?;
+                }
+                self.push(t, thread_obj)?;
+                self.advance(t);
+                Ok(StepOk::Spawned { tid })
+            }
+        }
+    }
+
+    fn do_invoke_block(&mut self, t: ThreadId, argc: usize) -> Result<StepOk, VmAbort> {
+        // Find the method frame up the static chain (yield inside nested
+        // blocks refers to the enclosing method's block).
+        let mut f = self.threads[t].fp;
+        loop {
+            let flags = self.rd(t, f + F_FLAGS)?.as_int().unwrap_or(0);
+            if flags & FLAG_BLOCK == 0 {
+                break;
+            }
+            let ep = self.rd(t, f + F_EP)?.as_int().unwrap_or(0);
+            if ep == 0 {
+                break;
+            }
+            f = ep as Addr;
+        }
+        let proc_addr = self.rd(t, f + F_BLOCK)?.as_obj().unwrap_or(0);
+        if proc_addr == 0 {
+            return Err(VmAbort::fatal("no block given (yield)"));
+        }
+        let iseq = IseqId(self.rd(t, proc_addr + 1)?.as_int().unwrap_or(0) as u32);
+        let captured_fp = self.rd(t, proc_addr + 2)?.as_int().unwrap_or(0) as Addr;
+        let self_w = self.rd(t, proc_addr + 3)?;
+        let sp = self.threads[t].sp;
+        let args_base = sp - argc;
+        let ret_sp = args_base;
+        self.push_frame(
+            t,
+            iseq,
+            self_w,
+            0,
+            captured_fp,
+            ret_sp,
+            FLAG_BLOCK,
+            FrameArgs::Stack { base: args_base, argc },
+        )?;
+        Ok(StepOk::Normal)
+    }
+
+    /// Promote a block-frame chain to heap-allocated environments
+    /// (CRuby's env objects). Called when a block escapes its dynamic
+    /// extent — i.e. when it is handed to `Thread.new` — because the
+    /// spawner keeps running and will reuse the stack words the chain
+    /// lives in. Copies every *block* frame (header + locals) into the
+    /// malloc area, relinking `ep`s; stops at the first non-block frame,
+    /// which by the workload discipline outlives the spawned thread
+    /// (spawn and join happen in the same method).
+    ///
+    /// Note the semantics this buys exactly match what the paper's
+    /// workloads need: outer *method/main* locals stay shared (reduction
+    /// variables, result arrays), while enclosing block locals (loop
+    /// counters) are snapshotted per spawn.
+    pub fn promote_env(&mut self, t: ThreadId, fp: Addr) -> Result<Addr, VmAbort> {
+        let flags = self.rd(t, fp + F_FLAGS)?.as_int().unwrap_or(0);
+        if flags & FLAG_BLOCK == 0 {
+            return Ok(fp);
+        }
+        let iseq = IseqId((flags >> FLAG_ISEQ_SHIFT) as u32);
+        let nlocals = self.program.iseq(iseq).nlocals;
+        let total = FRAME_WORDS + nlocals;
+        let parent = self.rd(t, fp + F_EP)?.as_int().unwrap_or(0) as Addr;
+        let new_parent = if parent != 0 { self.promote_env(t, parent)? } else { 0 };
+        let (region, _cap) = self.malloc(t, total)?;
+        for i in 0..total {
+            let w = self.rd(t, fp + i)?;
+            self.wr(t, region + i, w)?;
+        }
+        self.wr(t, region + F_EP, Word::Int(new_parent as i64))?;
+        // Promoted envs are GC roots for as long as the VM runs (they are
+        // few: one chain per spawned thread).
+        self.promoted_envs.push((region, total));
+        Ok(region)
+    }
+
+    /// Invoke a Proc object as a block with explicit args (used by
+    /// builtins like `Array#sort_by` — and by spawned threads' roots).
+    pub fn invoke_proc(
+        &mut self,
+        t: ThreadId,
+        proc_addr: Addr,
+        args: Vec<Word>,
+    ) -> Result<(), VmAbort> {
+        let iseq = IseqId(self.rd(t, proc_addr + 1)?.as_int().unwrap_or(0) as u32);
+        let captured_fp = self.rd(t, proc_addr + 2)?.as_int().unwrap_or(0) as Addr;
+        let self_w = self.rd(t, proc_addr + 3)?;
+        let ret_sp = self.threads[t].sp;
+        self.push_frame(t, iseq, self_w, 0, captured_fp, ret_sp, FLAG_BLOCK, FrameArgs::Vec(args))
+    }
+
+    fn do_define_class(
+        &mut self,
+        t: ThreadId,
+        name: SymId,
+        superclass: Option<SymId>,
+        body: IseqId,
+    ) -> Result<StepOk, VmAbort> {
+        let existing = match self.const_lookup(name) {
+            Some(addr) => match self.rd(t, addr)? {
+                Word::Obj(s) if self.kind_of(t, s)? == ObjKind::Class => Some(s),
+                _ => None,
+            },
+            None => None,
+        };
+        let cls = match existing {
+            Some(c) => c,
+            None => {
+                let sup = match superclass {
+                    Some(s) => {
+                        let addr = self.const_lookup(s).ok_or_else(|| {
+                            VmAbort::fatal(format!(
+                                "uninitialized constant {} (superclass)",
+                                self.program.symbols.name(s)
+                            ))
+                        })?;
+                        self.rd(t, addr)?
+                            .as_obj()
+                            .ok_or_else(|| VmAbort::fatal("superclass is not a class"))?
+                    }
+                    None => self.classes.object,
+                };
+                let slot = self.alloc_slot(t)?;
+                self.set_header(t, slot, ObjKind::Class)?;
+                self.wr(t, slot + 1, Word::Obj(sup))?;
+                self.wr(t, slot + 2, Word::Int(0))?;
+                self.wr(t, slot + 3, Word::Int(0))?;
+                self.wr(t, slot + 4, Word::Int(0))?;
+                self.wr(t, slot + 5, Word::Int(0))?;
+                self.wr(t, slot + 6, Word::Sym(name))?;
+                self.wr(t, slot + 7, Word::Int(0))?;
+                let caddr = self.const_define_addr(name);
+                self.wr(t, caddr, Word::Obj(slot))?;
+                slot
+            }
+        };
+        let ret_sp = self.threads[t].sp;
+        self.push_frame(
+            t,
+            body,
+            Word::Obj(cls),
+            0,
+            0,
+            ret_sp,
+            0,
+            FrameArgs::Vec(Vec::new()),
+        )?;
+        Ok(StepOk::Normal)
+    }
+
+    // ---- inline-cached ivars ------------------------------------------------
+
+    fn ivar_self_slot(&mut self, t: ThreadId) -> Result<Addr, VmAbort> {
+        let s = self.frame_self(t)?;
+        s.as_obj()
+            .ok_or_else(|| VmAbort::fatal("instance variable access on immediate"))
+    }
+
+    /// The guard word this site would match (paper §4.4 #4b): class
+    /// identity originally, ivar-table identity in the improved scheme.
+    fn ivar_guard(&mut self, t: ThreadId, cls: Addr) -> Result<Option<i64>, VmAbort> {
+        if self.config.ivar_ic_table_guard {
+            let ivtbl = self.rd(t, cls + 4)?.as_int().unwrap_or(0);
+            Ok(if ivtbl == 0 { None } else { Some(ivtbl) })
+        } else {
+            Ok(Some(cls as i64))
+        }
+    }
+
+    fn ivar_get_cached(&mut self, t: ThreadId, name: SymId, ic: u32) -> Result<Word, VmAbort> {
+        let slot = self.ivar_self_slot(t)?;
+        if self.kind_of(t, slot)? != ObjKind::Object {
+            return Err(VmAbort::fatal("ivars are only supported on plain objects"));
+        }
+        let cls = self
+            .rd(t, slot + 1)?
+            .as_obj()
+            .ok_or_else(|| VmAbort::fatal("object without class"))?;
+        let ic_addr = self.ic_addr(t, ic);
+        let guard = self.rd(t, ic_addr)?;
+        if let Some(expected) = self.ivar_guard(t, cls)? {
+            if guard == Word::Int(expected) {
+                let idx = self.rd(t, ic_addr + 1)?.as_int().unwrap_or(0) as usize;
+                return self.obj_ivar_get(t, slot, idx);
+            }
+        }
+        match self.ivar_index(t, cls, name, false)? {
+            Some(idx) => {
+                if let Some(expected) = self.ivar_guard(t, cls)? {
+                    self.wr(t, ic_addr, Word::Int(expected))?;
+                    self.wr(t, ic_addr + 1, Word::Int(idx as i64))?;
+                }
+                self.obj_ivar_get(t, slot, idx)
+            }
+            None => Ok(Word::Nil),
+        }
+    }
+
+    fn ivar_set_cached(
+        &mut self,
+        t: ThreadId,
+        name: SymId,
+        ic: u32,
+        v: Word,
+    ) -> Result<(), VmAbort> {
+        let slot = self.ivar_self_slot(t)?;
+        if self.kind_of(t, slot)? != ObjKind::Object {
+            return Err(VmAbort::fatal("ivars are only supported on plain objects"));
+        }
+        let cls = self
+            .rd(t, slot + 1)?
+            .as_obj()
+            .ok_or_else(|| VmAbort::fatal("object without class"))?;
+        let ic_addr = self.ic_addr(t, ic);
+        let guard = self.rd(t, ic_addr)?;
+        if let Some(expected) = self.ivar_guard(t, cls)? {
+            if guard == Word::Int(expected) {
+                let idx = self.rd(t, ic_addr + 1)?.as_int().unwrap_or(0) as usize;
+                return self.obj_ivar_set(t, slot, idx, v);
+            }
+        }
+        let idx = self
+            .ivar_index(t, cls, name, true)?
+            .expect("create=true always yields an index");
+        if let Some(expected) = self.ivar_guard(t, cls)? {
+            self.wr(t, ic_addr, Word::Int(expected))?;
+            self.wr(t, ic_addr + 1, Word::Int(idx as i64))?;
+        }
+        self.obj_ivar_set(t, slot, idx, v)
+    }
+
+    fn cvar_owner(&mut self, t: ThreadId) -> Result<Addr, VmAbort> {
+        let s = self.frame_self(t)?;
+        match s {
+            Word::Obj(slot) if self.kind_of(t, slot)? == ObjKind::Class => Ok(slot),
+            other => self.class_of(t, &other),
+        }
+    }
+
+    // ---- specialized operators -------------------------------------------------
+
+    fn op_arith(&mut self, t: ThreadId, op: ArithOp, ic: u32) -> Result<StepOk, VmAbort> {
+        let rhs = self.pop(t)?;
+        let lhs = self.pop(t)?;
+        match (&lhs, &rhs) {
+            (Word::Int(a), Word::Int(b)) => {
+                let (a, b) = (*a, *b);
+                let r = match op {
+                    ArithOp::Add => a.wrapping_add(b),
+                    ArithOp::Sub => a.wrapping_sub(b),
+                    ArithOp::Mul => a.wrapping_mul(b),
+                    ArithOp::Div => {
+                        if b == 0 {
+                            return Err(VmAbort::fatal("divided by 0"));
+                        }
+                        crate::value::ruby_div(a, b)
+                    }
+                    ArithOp::Mod => {
+                        if b == 0 {
+                            return Err(VmAbort::fatal("divided by 0"));
+                        }
+                        crate::value::ruby_mod(a, b)
+                    }
+                };
+                self.push(t, Word::Int(r))?;
+                self.advance(t);
+                Ok(StepOk::Normal)
+            }
+            _ => {
+                // Float path (heap-allocates the result, CRuby 1.9 style).
+                let lf = self.as_number(t, &lhs)?;
+                let rf = self.as_number(t, &rhs)?;
+                if let (Some(a), Some(b)) = (lf, rf) {
+                    let r = match op {
+                        ArithOp::Add => a + b,
+                        ArithOp::Sub => a - b,
+                        ArithOp::Mul => a * b,
+                        ArithOp::Div => a / b,
+                        ArithOp::Mod => a.rem_euclid(b),
+                    };
+                    let w = self.make_float(t, r)?;
+                    self.push(t, w)?;
+                    self.advance(t);
+                    return Ok(StepOk::Normal);
+                }
+                // String + String.
+                if op == ArithOp::Add {
+                    if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
+                        if self.kind_of(t, *a)? == ObjKind::String
+                            && self.kind_of(t, *b)? == ObjKind::String
+                        {
+                            let sa = self.string_content(t, *a)?;
+                            let sb = self.string_content(t, *b)?;
+                            let joined = format!("{sa}{sb}");
+                            self.step_native_cost += (joined.len() / 8) as u64;
+                            let w = self.make_string(t, &joined)?;
+                            self.push(t, w)?;
+                            self.advance(t);
+                            return Ok(StepOk::Normal);
+                        }
+                        if self.kind_of(t, *a)? == ObjKind::Array
+                            && self.kind_of(t, *b)? == ObjKind::Array
+                        {
+                            let mut elems = Vec::new();
+                            for i in 0..self.array_len(t, *a)? {
+                                elems.push(self.array_get(t, *a, i as i64)?);
+                            }
+                            for i in 0..self.array_len(t, *b)? {
+                                elems.push(self.array_get(t, *b, i as i64)?);
+                            }
+                            let w = self.make_array(t, &elems)?;
+                            self.push(t, w)?;
+                            self.advance(t);
+                            return Ok(StepOk::Normal);
+                        }
+                    }
+                }
+                // Generic dispatch to a user-defined operator.
+                self.push(t, lhs)?;
+                self.push(t, rhs)?;
+                let name = self.program.symbols.lookup(op.name()).expect("ops interned");
+                self.do_send(t, name, 1, None, ic)
+            }
+        }
+    }
+
+    fn op_cmp(&mut self, t: ThreadId, op: CmpOp, ic: u32) -> Result<StepOk, VmAbort> {
+        let rhs = self.pop(t)?;
+        let lhs = self.pop(t)?;
+        let result: Option<bool> = match (&lhs, &rhs) {
+            (Word::Int(a), Word::Int(b)) => Some(op.apply_ord(a.cmp(b))),
+            _ => {
+                match op {
+                    CmpOp::Eq => Some(self.words_eq(t, &lhs, &rhs)?),
+                    CmpOp::Ne => Some(!self.words_eq(t, &lhs, &rhs)?),
+                    _ => {
+                        let lf = self.as_number(t, &lhs)?;
+                        let rf = self.as_number(t, &rhs)?;
+                        if let (Some(a), Some(b)) = (lf, rf) {
+                            a.partial_cmp(&b).map(|o| op.apply_ord(o))
+                        } else if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
+                            if self.kind_of(t, *a)? == ObjKind::String
+                                && self.kind_of(t, *b)? == ObjKind::String
+                            {
+                                let sa = self.string_content(t, *a)?;
+                                let sb = self.string_content(t, *b)?;
+                                Some(op.apply_ord(sa.cmp(&sb)))
+                            } else {
+                                None
+                            }
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        };
+        match result {
+            Some(b) => {
+                self.push(t, if b { Word::True } else { Word::False })?;
+                self.advance(t);
+                Ok(StepOk::Normal)
+            }
+            None => {
+                self.push(t, lhs)?;
+                self.push(t, rhs)?;
+                let name = self.program.symbols.lookup(op.name()).expect("ops interned");
+                self.do_send(t, name, 1, None, ic)
+            }
+        }
+    }
+
+    fn op_aref(&mut self, t: ThreadId, ic: u32) -> Result<StepOk, VmAbort> {
+        let idx = self.pop(t)?;
+        let recv = self.pop(t)?;
+        if let Word::Obj(slot) = recv {
+            match self.kind_of(t, slot)? {
+                ObjKind::Array => {
+                    if let Word::Int(i) = idx {
+                        let w = self.array_get(t, slot, i)?;
+                        self.push(t, w)?;
+                        self.advance(t);
+                        return Ok(StepOk::Normal);
+                    }
+                }
+                ObjKind::Hash => {
+                    let w = self.hash_get(t, slot, &idx)?;
+                    self.push(t, w)?;
+                    self.advance(t);
+                    return Ok(StepOk::Normal);
+                }
+                ObjKind::String => {
+                    if let Word::Int(i) = idx {
+                        let s = self.string_content(t, slot)?;
+                        let len = s.len() as i64;
+                        let i = if i < 0 { len + i } else { i };
+                        let w = if i < 0 || i >= len {
+                            Word::Nil
+                        } else {
+                            let ch = &s[i as usize..i as usize + 1];
+                            self.make_string(t, ch)?
+                        };
+                        self.push(t, w)?;
+                        self.advance(t);
+                        return Ok(StepOk::Normal);
+                    }
+                }
+                ObjKind::MatchData => {
+                    if let Word::Int(i) = idx {
+                        let groups = self.rd(t, slot + 1)?;
+                        if let Word::Obj(g) = groups {
+                            let w = self.array_get(t, g, i)?;
+                            self.push(t, w)?;
+                            self.advance(t);
+                            return Ok(StepOk::Normal);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Generic `[]`.
+        self.push(t, recv)?;
+        self.push(t, idx)?;
+        let name = self.program.intern("[]");
+        self.do_send(t, name, 1, None, ic)
+    }
+
+    fn op_aset(&mut self, t: ThreadId, ic: u32) -> Result<StepOk, VmAbort> {
+        let value = self.pop(t)?;
+        let idx = self.pop(t)?;
+        let recv = self.pop(t)?;
+        if let Word::Obj(slot) = recv {
+            match self.kind_of(t, slot)? {
+                ObjKind::Array => {
+                    if let Word::Int(i) = idx {
+                        self.array_set(t, slot, i, value.clone())?;
+                        self.push(t, value)?;
+                        self.advance(t);
+                        return Ok(StepOk::Normal);
+                    }
+                }
+                ObjKind::Hash => {
+                    self.hash_set(t, slot, idx, value.clone())?;
+                    self.push(t, value)?;
+                    self.advance(t);
+                    return Ok(StepOk::Normal);
+                }
+                _ => {}
+            }
+        }
+        self.push(t, recv)?;
+        self.push(t, idx)?;
+        self.push(t, value)?;
+        let name = self.program.intern("[]=");
+        self.do_send(t, name, 2, None, ic)
+    }
+
+    fn op_shl(&mut self, t: ThreadId, ic: u32) -> Result<StepOk, VmAbort> {
+        let rhs = self.pop(t)?;
+        let lhs = self.pop(t)?;
+        match &lhs {
+            Word::Int(a) => {
+                let b = rhs
+                    .as_int()
+                    .ok_or_else(|| VmAbort::fatal("shift amount must be an Integer"))?;
+                self.push(t, Word::Int(a.wrapping_shl(b as u32)))?;
+                self.advance(t);
+                Ok(StepOk::Normal)
+            }
+            Word::Obj(slot) => match self.kind_of(t, *slot)? {
+                ObjKind::Array => {
+                    self.array_push(t, *slot, rhs)?;
+                    self.push(t, lhs)?;
+                    self.advance(t);
+                    Ok(StepOk::Normal)
+                }
+                ObjKind::String => {
+                    let sa = self.string_content(t, *slot)?;
+                    let sb = self.display(t, &rhs)?;
+                    let joined = format!("{sa}{sb}");
+                    self.step_native_cost += (joined.len() / 8) as u64;
+                    self.string_replace(t, *slot, &joined)?;
+                    self.push(t, lhs)?;
+                    self.advance(t);
+                    Ok(StepOk::Normal)
+                }
+                _ => {
+                    self.push(t, lhs)?;
+                    self.push(t, rhs)?;
+                    let name = self.program.intern("<<");
+                    self.do_send(t, name, 1, None, ic)
+                }
+            },
+            _ => Err(VmAbort::fatal("unsupported << receiver")),
+        }
+    }
+
+    fn op_rare(&mut self, t: ThreadId, op: RareBinOp) -> Result<StepOk, VmAbort> {
+        let rhs = self.pop(t)?;
+        let lhs = self.pop(t)?;
+        let w = match (op, &lhs, &rhs) {
+            (RareBinOp::BitAnd, Word::Int(a), Word::Int(b)) => Word::Int(a & b),
+            (RareBinOp::BitOr, Word::Int(a), Word::Int(b)) => Word::Int(a | b),
+            (RareBinOp::BitXor, Word::Int(a), Word::Int(b)) => Word::Int(a ^ b),
+            (RareBinOp::Shr, Word::Int(a), Word::Int(b)) => Word::Int(a.wrapping_shr(*b as u32)),
+            (RareBinOp::BitAnd, Word::True | Word::False, Word::True | Word::False) => {
+                if lhs.truthy() && rhs.truthy() { Word::True } else { Word::False }
+            }
+            (RareBinOp::BitOr, Word::True | Word::False, Word::True | Word::False) => {
+                if lhs.truthy() || rhs.truthy() { Word::True } else { Word::False }
+            }
+            (RareBinOp::Pow, Word::Int(a), Word::Int(b)) if *b >= 0 => {
+                Word::Int(a.wrapping_pow(*b as u32))
+            }
+            (RareBinOp::Pow, _, _) => {
+                let a = self
+                    .as_number(t, &lhs)?
+                    .ok_or_else(|| VmAbort::fatal("non-numeric base for **"))?;
+                let b = self
+                    .as_number(t, &rhs)?
+                    .ok_or_else(|| VmAbort::fatal("non-numeric exponent for **"))?;
+                self.make_float(t, a.powf(b))?
+            }
+            (RareBinOp::Cmp, _, _) => {
+                let la = self.as_number(t, &lhs)?;
+                let lb = self.as_number(t, &rhs)?;
+                let ord = if let (Some(a), Some(b)) = (la, lb) {
+                    a.partial_cmp(&b)
+                } else if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
+                    if self.kind_of(t, *a)? == ObjKind::String
+                        && self.kind_of(t, *b)? == ObjKind::String
+                    {
+                        let sa = self.string_content(t, *a)?;
+                        let sb = self.string_content(t, *b)?;
+                        Some(sa.cmp(&sb))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                match ord {
+                    Some(std::cmp::Ordering::Less) => Word::Int(-1),
+                    Some(std::cmp::Ordering::Equal) => Word::Int(0),
+                    Some(std::cmp::Ordering::Greater) => Word::Int(1),
+                    None => Word::Nil,
+                }
+            }
+            _ => {
+                return Err(VmAbort::fatal(format!(
+                    "unsupported operands for {op:?}: {lhs:?}, {rhs:?}"
+                )))
+            }
+        };
+        self.push(t, w)?;
+        self.advance(t);
+        Ok(StepOk::Normal)
+    }
+}
+
+enum FrameArgs {
+    /// Copy `argc` words starting at stack address `base`.
+    Stack { base: Addr, argc: usize },
+    Vec(Vec<Word>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    fn name(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn apply_ord(self, o: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => o == Equal,
+            CmpOp::Ne => o != Equal,
+            CmpOp::Lt => o == Less,
+            CmpOp::Le => o != Greater,
+            CmpOp::Gt => o == Greater,
+            CmpOp::Ge => o != Less,
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Address-space layout of the simulated interpreter.
+//!
+//! Mirrors the memory map of a real CRuby process closely enough that the
+//! paper's conflict points land on distinct (or deliberately shared) cache
+//! lines:
+//!
+//! ```text
+//! ┌─────────────────────────────────────────────────────────────┐
+//! │ GIL word (alone on its line — every transaction reads it)   │
+//! │ running-thread global (the paper's worst conflict point)    │
+//! │ heap metadata: free-list head, sweep cursor, malloc bump    │
+//! │ malloc size-class free-list heads                           │
+//! │ global-variable slots                                       │
+//! │ constant slots                                              │
+//! │ inline-cache area (2 words per call/ivar site, packed)      │
+//! │ thread structs (padded to a line each, or packed — §4.4)    │
+//! │ object slots (8 words each, the CRuby RVALUE heap)          │
+//! │ malloc area (array/hash/ivar buffers, string shadows)       │
+//! │ per-thread stacks (frames + operand stacks)                 │
+//! └─────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The slot area can grow at the end of memory (heap growth adds slot
+//! ranges); everything else is fixed at boot.
+
+use crate::value::Addr;
+
+/// Words per object slot (64 bytes — one full line on the Xeon, a quarter
+/// line on zEC12, like CRuby's 40-byte RVALUEs).
+pub const SLOT_WORDS: usize = 8;
+
+/// Number of malloc size classes (powers of two from 4 words up).
+pub const MALLOC_CLASSES: usize = 12;
+
+/// Words per thread struct when unpadded (the paper's false-sharing case).
+pub const THREAD_STRUCT_WORDS: usize = 8;
+
+/// Offsets within a thread struct.
+pub mod ts {
+    /// `yield_point_counter` of paper Fig. 2 (written at every yield point).
+    pub const YIELD_COUNTER: usize = 0;
+    /// Timer-thread interrupt flag (GIL mode, paper §3.2).
+    pub const INTERRUPT: usize = 1;
+    /// Thread-local free-list head (paper §4.4 conflict removal #2).
+    pub const TL_FREE_HEAD: usize = 2;
+    /// Thread-local malloc bump pointer (z/OS HEAPPOOLS analogue).
+    pub const TL_MALLOC_BUMP: usize = 3;
+    /// End of the thread-local malloc arena chunk.
+    pub const TL_MALLOC_END: usize = 4;
+    /// Private sweep cursor for the §5.6 thread-local lazy-sweep
+    /// extension.
+    pub const TL_SWEEP_CURSOR: usize = 5;
+    /// Scratch word (spin counters etc.).
+    pub const SCRATCH: usize = 6;
+    /// Reserved/padding.
+    pub const RESERVED: usize = 7;
+}
+
+/// Computed address map.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    pub line_words: usize,
+    pub gil: Addr,
+    pub running_thread: Addr,
+    pub free_head: Addr,
+    pub sweep_cursor: Addr,
+    pub malloc_bump: Addr,
+    pub malloc_end: Addr,
+    pub malloc_class_base: Addr,
+    pub gvar_base: Addr,
+    pub gvar_cap: usize,
+    pub const_base: Addr,
+    pub const_cap: usize,
+    pub ic_base: Addr,
+    pub ic_count: usize,
+    /// Copies of the IC area (1 shared, or one per thread for the §5.6
+    /// thread-local inline-cache extension).
+    pub ic_copies: usize,
+    pub thread_struct_base: Addr,
+    pub thread_struct_stride: usize,
+    pub max_threads: usize,
+    pub slots_base: Addr,
+    pub initial_slots: usize,
+    pub malloc_base: Addr,
+    pub malloc_words: usize,
+    pub stack_base: Addr,
+    pub stack_words: usize,
+    /// First address past the initial layout (heap growth appends here).
+    pub total_words: usize,
+}
+
+impl Layout {
+    /// Build the address map.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        line_words: usize,
+        ic_count: usize,
+        max_threads: usize,
+        initial_slots: usize,
+        malloc_words: usize,
+        stack_words: usize,
+        gvar_cap: usize,
+        const_cap: usize,
+        padded_thread_structs: bool,
+        ic_copies: usize,
+    ) -> Layout {
+        let align = |a: usize| a.div_ceil(line_words) * line_words;
+        let gil = 0;
+        let running_thread = align(gil + 1);
+        let free_head = align(running_thread + 1);
+        let sweep_cursor = free_head + 1;
+        let malloc_bump = free_head + 2;
+        let malloc_end = free_head + 3;
+        let malloc_class_base = align(free_head + 4);
+        let gvar_base = align(malloc_class_base + MALLOC_CLASSES);
+        let const_base = align(gvar_base + gvar_cap);
+        let ic_base = align(const_base + const_cap);
+        let thread_struct_base = align(ic_base + 2 * ic_count.max(1) * ic_copies.max(1));
+        let thread_struct_stride = if padded_thread_structs {
+            align(THREAD_STRUCT_WORDS).max(line_words)
+        } else {
+            THREAD_STRUCT_WORDS
+        };
+        let slots_base = align(thread_struct_base + thread_struct_stride * max_threads);
+        let malloc_base = align(slots_base + initial_slots * SLOT_WORDS);
+        let stack_base = align(malloc_base + malloc_words);
+        let total_words = align(stack_base + stack_words * max_threads);
+        Layout {
+            line_words,
+            gil,
+            running_thread,
+            free_head,
+            sweep_cursor,
+            malloc_bump,
+            malloc_end,
+            malloc_class_base,
+            gvar_base,
+            gvar_cap,
+            const_base,
+            const_cap,
+            ic_base,
+            ic_count,
+            ic_copies: ic_copies.max(1),
+            thread_struct_base,
+            thread_struct_stride,
+            max_threads,
+            slots_base,
+            initial_slots,
+            malloc_base,
+            malloc_words,
+            stack_base,
+            stack_words,
+            total_words,
+        }
+    }
+
+    /// Address of inline-cache site `site` (2 words: guard, entry).
+    #[inline]
+    pub fn ic(&self, site: u32) -> Addr {
+        self.ic_base + 2 * site as usize
+    }
+
+    /// Address of global-variable slot `idx`.
+    #[inline]
+    pub fn gvar(&self, idx: usize) -> Addr {
+        assert!(idx < self.gvar_cap, "too many global variables");
+        self.gvar_base + idx
+    }
+
+    /// Address of constant slot `idx`.
+    #[inline]
+    pub fn cnst(&self, idx: usize) -> Addr {
+        assert!(idx < self.const_cap, "too many constants");
+        self.const_base + idx
+    }
+
+    /// Base address of thread `tid`'s struct.
+    #[inline]
+    pub fn thread_struct(&self, tid: usize) -> Addr {
+        self.thread_struct_base + tid * self.thread_struct_stride
+    }
+
+    /// Stack region of thread `tid`: (base, end-exclusive).
+    #[inline]
+    pub fn thread_stack(&self, tid: usize) -> (Addr, Addr) {
+        let base = self.stack_base + tid * self.stack_words;
+        (base, base + self.stack_words)
+    }
+
+    /// Size class index for a malloc request of `words` (powers of two
+    /// from 4). Returns `MALLOC_CLASSES - 1` for anything huge.
+    pub fn size_class(words: usize) -> usize {
+        let mut cls = 0usize;
+        let mut cap = 4usize;
+        while cap < words && cls + 1 < MALLOC_CLASSES {
+            cap *= 2;
+            cls += 1;
+        }
+        cls
+    }
+
+    /// Capacity in words of a size class.
+    pub fn class_words(cls: usize) -> usize {
+        4usize << cls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(padded: bool) -> Layout {
+        Layout::new(8, 100, 4, 1000, 10_000, 2_000, 64, 128, padded, 1)
+    }
+
+    #[test]
+    fn regions_do_not_overlap_and_are_ordered() {
+        let l = layout(true);
+        let points = [
+            l.gil,
+            l.running_thread,
+            l.free_head,
+            l.malloc_class_base,
+            l.gvar_base,
+            l.const_base,
+            l.ic_base,
+            l.thread_struct_base,
+            l.slots_base,
+            l.malloc_base,
+            l.stack_base,
+        ];
+        for w in points.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        assert!(l.stack_base + 4 * l.stack_words <= l.total_words);
+    }
+
+    #[test]
+    fn gil_and_running_thread_on_distinct_lines() {
+        let l = layout(true);
+        assert_ne!(l.gil / l.line_words, l.running_thread / l.line_words);
+        assert_ne!(l.running_thread / l.line_words, l.free_head / l.line_words);
+    }
+
+    #[test]
+    fn padded_thread_structs_have_line_stride() {
+        let l = layout(true);
+        assert_eq!(l.thread_struct_stride % l.line_words, 0);
+        // Distinct threads' structs land on distinct lines.
+        assert_ne!(
+            l.thread_struct(0) / l.line_words,
+            l.thread_struct(1) / l.line_words
+        );
+    }
+
+    #[test]
+    fn unpadded_thread_structs_share_lines() {
+        // zEC12-style 32-word lines: four unpadded 8-word structs per line.
+        let l = Layout::new(32, 100, 4, 1000, 10_000, 2_000, 64, 128, false, 1);
+        assert_eq!(l.thread_struct_stride, THREAD_STRUCT_WORDS);
+        assert_eq!(
+            l.thread_struct(0) / l.line_words,
+            (l.thread_struct(1)) / l.line_words
+        );
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(Layout::size_class(1), 0);
+        assert_eq!(Layout::size_class(4), 0);
+        assert_eq!(Layout::size_class(5), 1);
+        assert_eq!(Layout::size_class(8), 1);
+        assert_eq!(Layout::size_class(9), 2);
+        assert_eq!(Layout::class_words(0), 4);
+        assert_eq!(Layout::class_words(2), 16);
+        // Huge requests cap at the last class.
+        assert_eq!(Layout::size_class(1 << 30), MALLOC_CLASSES - 1);
+    }
+
+    #[test]
+    fn ic_slots_are_two_words() {
+        let l = layout(true);
+        assert_eq!(l.ic(1) - l.ic(0), 2);
+        assert!(l.ic(99) + 1 < l.thread_struct_base);
+    }
+
+    #[test]
+    fn stacks_are_disjoint() {
+        let l = layout(true);
+        let (b0, e0) = l.thread_stack(0);
+        let (b1, _e1) = l.thread_stack(1);
+        assert_eq!(e0, b1);
+        assert!(b0 < e0);
+    }
+}

@@ -1,0 +1,985 @@
+//! Object layouts, constructors, class bootstrap and lookup machinery.
+//!
+//! Slot payloads (word offsets from the slot base; word 0 is the header):
+//!
+//! | kind     | 1                | 2               | 3              | 4            |
+//! |----------|------------------|-----------------|----------------|--------------|
+//! | Float    | `F64` payload    |                 |                |              |
+//! | String   | `Str` content    | `Int` byte len  | `Int` shadow   | `Int` cap    |
+//! | Array    | `Int` len        | `Int` cap       | `Int` buf      |              |
+//! | Hash     | `Int` pairs      | `Int` cap pairs | `Int` buf      |              |
+//! | Object   | `Obj` class      | `Int` ivar buf  | `Int` nivars   | `Int` cap    |
+//! | Class    | super            | `Int` mtbl      | `Int` smtbl    | `Int` ivtbl  |
+//! |          | (5: `Int` cvtbl, 6: `Sym` name)                                    |
+//! | Range    | lo               | hi              | `Int` excl     |              |
+//! | Thread   | `Int` tid        | `Int` state     | result         |              |
+//! | Mutex    | owner            |                 |                |              |
+//! | Barrier  | `Int` n          | `Int` arrived   | `Int` gen      |              |
+//! | Regexp   | `Str` pattern    |                 |                |              |
+//! | MatchData| `Obj` groups     |                 |                |              |
+//! | Proc     | `Int` iseq       | `Int` captured fp | self         | `Int` tid    |
+//! | Table    | `Obj` rows array | `Int` ncols     |                |              |
+//!
+//! Assoc buffers (method tables, ivar-index tables, cvar tables) are
+//! malloc regions: `[len, cap, (key, value) × cap]`. Method-table values
+//! encode user iseqs as non-negative ints and builtins as `-(id + 1)`.
+
+use machine_sim::ThreadId;
+
+use crate::symbols::SymId;
+use crate::value::{Addr, ObjHeader, ObjKind, Word};
+use crate::vm::{Vm, VmAbort};
+
+/// Method-table entry: user iseq or builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodEntry {
+    Iseq(crate::bytecode::IseqId),
+    Builtin(u32),
+}
+
+impl MethodEntry {
+    pub fn encode(self) -> i64 {
+        match self {
+            MethodEntry::Iseq(id) => i64::from(id.0),
+            MethodEntry::Builtin(b) => -i64::from(b) - 1,
+        }
+    }
+
+    pub fn decode(v: i64) -> MethodEntry {
+        if v >= 0 {
+            MethodEntry::Iseq(crate::bytecode::IseqId(v as u32))
+        } else {
+            MethodEntry::Builtin((-v - 1) as u32)
+        }
+    }
+}
+
+impl Vm {
+    // ---- constructors ------------------------------------------------------
+
+    /// Write a slot header. Objects are *born live* (`marked: true`): a
+    /// lazy-sweep cycle may still be in progress (some cursor has not
+    /// passed this slot yet), and an unmarked fresh object ahead of a
+    /// cursor would be reclaimed while alive. The next sweep pass clears
+    /// the mark; the one after that can collect it if it is garbage —
+    /// the standard one-cycle delay of incremental sweeping.
+    pub fn set_header(&mut self, t: ThreadId, slot: Addr, kind: ObjKind) -> Result<(), VmAbort> {
+        self.wr(t, slot, Word::Hdr(ObjHeader { kind, marked: true }))
+    }
+
+    /// Heap-allocate a Float (CRuby 1.9 semantics: every float result is a
+    /// new object — the paper's allocation-pressure source).
+    pub fn make_float(&mut self, t: ThreadId, f: f64) -> Result<Word, VmAbort> {
+        let slot = self.alloc_slot(t)?;
+        self.set_header(t, slot, ObjKind::Float)?;
+        self.wr(t, slot + 1, Word::F64(f))?;
+        Ok(Word::Obj(slot))
+    }
+
+    /// Allocate a String. Content lives host-side; a shadow buffer of
+    /// ⌈len/8⌉ words is written so the bytes occupy simulated cache lines.
+    pub fn make_string(&mut self, t: ThreadId, s: &str) -> Result<Word, VmAbort> {
+        let slot = self.alloc_slot(t)?;
+        let len = s.len();
+        let shadow_words = len.div_ceil(8).max(1);
+        let (buf, cap) = self.malloc(t, shadow_words)?;
+        for i in 0..shadow_words {
+            self.wr(t, buf + i, Word::Int(0))?;
+        }
+        self.set_header(t, slot, ObjKind::String)?;
+        self.wr(t, slot + 1, Word::Str(s.into()))?;
+        self.wr(t, slot + 2, Word::Int(len as i64))?;
+        self.wr(t, slot + 3, Word::Int(buf as i64))?;
+        self.wr(t, slot + 4, Word::Int(cap as i64))?;
+        Ok(Word::Obj(slot))
+    }
+
+    /// Replace a String's content in place (`<<`, `sub!`…): new `Rc`, new
+    /// length, shadow grown if needed and rewritten.
+    pub fn string_replace(&mut self, t: ThreadId, slot: Addr, s: &str) -> Result<(), VmAbort> {
+        let len = s.len();
+        let need = len.div_ceil(8).max(1);
+        let buf = self.rd(t, slot + 3)?.as_int().unwrap_or(0) as Addr;
+        let cap = self.rd(t, slot + 4)?.as_int().unwrap_or(0) as usize;
+        let (buf, cap) = if need > cap {
+            let (nb, nc) = self.malloc(t, need)?;
+            if buf != 0 {
+                self.mfree(t, buf, cap)?;
+            }
+            self.wr(t, slot + 3, Word::Int(nb as i64))?;
+            self.wr(t, slot + 4, Word::Int(nc as i64))?;
+            (nb, nc)
+        } else {
+            (buf, cap)
+        };
+        let _ = cap;
+        for i in 0..need {
+            self.wr(t, buf + i, Word::Int(0))?;
+        }
+        self.wr(t, slot + 1, Word::Str(s.into()))?;
+        self.wr(t, slot + 2, Word::Int(len as i64))?;
+        Ok(())
+    }
+
+    /// Read a String's content (touching its shadow buffer for footprint).
+    pub fn string_content(&mut self, t: ThreadId, slot: Addr) -> Result<std::rc::Rc<str>, VmAbort> {
+        let w = self.rd(t, slot + 1)?;
+        let len = self.rd(t, slot + 2)?.as_int().unwrap_or(0) as usize;
+        let buf = self.rd(t, slot + 3)?.as_int().unwrap_or(0) as Addr;
+        if buf != 0 {
+            for i in 0..len.div_ceil(8).max(1) {
+                let _ = self.rd(t, buf + i)?;
+            }
+        }
+        w.as_str()
+            .cloned()
+            .ok_or_else(|| VmAbort::fatal("corrupt string payload"))
+    }
+
+    /// Allocate an Array with the given elements.
+    pub fn make_array(&mut self, t: ThreadId, elems: &[Word]) -> Result<Word, VmAbort> {
+        // Pin the elements: they may live only in a Rust Vec (popped off
+        // the operand stack) and the slot allocation below can run a GC.
+        self.temp_roots.extend_from_slice(elems);
+        let slot = self.alloc_slot(t)?;
+        let cap = elems.len().max(4);
+        let (buf, cap) = self.malloc(t, cap)?;
+        for (i, w) in elems.iter().enumerate() {
+            self.wr(t, buf + i, w.clone())?;
+        }
+        self.set_header(t, slot, ObjKind::Array)?;
+        self.wr(t, slot + 1, Word::Int(elems.len() as i64))?;
+        self.wr(t, slot + 2, Word::Int(cap as i64))?;
+        self.wr(t, slot + 3, Word::Int(buf as i64))?;
+        Ok(Word::Obj(slot))
+    }
+
+    pub fn array_len(&mut self, t: ThreadId, slot: Addr) -> Result<usize, VmAbort> {
+        Ok(self.rd(t, slot + 1)?.as_int().unwrap_or(0) as usize)
+    }
+
+    pub fn array_get(&mut self, t: ThreadId, slot: Addr, idx: i64) -> Result<Word, VmAbort> {
+        let len = self.array_len(t, slot)? as i64;
+        let idx = if idx < 0 { len + idx } else { idx };
+        if idx < 0 || idx >= len {
+            return Ok(Word::Nil);
+        }
+        let buf = self.rd(t, slot + 3)?.as_int().unwrap_or(0) as Addr;
+        self.rd(t, buf + idx as usize)
+    }
+
+    pub fn array_set(&mut self, t: ThreadId, slot: Addr, idx: i64, v: Word) -> Result<(), VmAbort> {
+        let len = self.rd(t, slot + 1)?.as_int().unwrap_or(0);
+        let idx = if idx < 0 { len + idx } else { idx };
+        if idx < 0 {
+            return Err(VmAbort::fatal("negative array index out of range"));
+        }
+        let idx = idx as usize;
+        let cap = self.rd(t, slot + 2)?.as_int().unwrap_or(0) as usize;
+        let mut buf = self.rd(t, slot + 3)?.as_int().unwrap_or(0) as Addr;
+        if idx >= cap {
+            // Grow: new buffer, copy, free old (all real memory traffic).
+            let (nb, nc) = self.malloc(t, (idx + 1).max(cap * 2))?;
+            for i in 0..len as usize {
+                let w = self.rd(t, buf + i)?;
+                self.wr(t, nb + i, w)?;
+            }
+            self.mfree(t, buf, cap)?;
+            self.wr(t, slot + 2, Word::Int(nc as i64))?;
+            self.wr(t, slot + 3, Word::Int(nb as i64))?;
+            buf = nb;
+        }
+        if idx as i64 >= len {
+            for i in len as usize..idx {
+                self.wr(t, buf + i, Word::Nil)?;
+            }
+            self.wr(t, slot + 1, Word::Int(idx as i64 + 1))?;
+        }
+        self.wr(t, buf + idx, v)
+    }
+
+    pub fn array_push(&mut self, t: ThreadId, slot: Addr, v: Word) -> Result<(), VmAbort> {
+        let len = self.array_len(t, slot)? as i64;
+        self.array_set(t, slot, len, v)
+    }
+
+    /// Allocate a Hash from `pairs`.
+    pub fn make_hash(&mut self, t: ThreadId, pairs: &[(Word, Word)]) -> Result<Word, VmAbort> {
+        for (k, v) in pairs {
+            self.temp_roots.push(k.clone());
+            self.temp_roots.push(v.clone());
+        }
+        let slot = self.alloc_slot(t)?;
+        let cap = pairs.len().max(4);
+        let (buf, capw) = self.malloc(t, 2 * cap)?;
+        let cap = capw / 2;
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            self.wr(t, buf + 2 * i, k.clone())?;
+            self.wr(t, buf + 2 * i + 1, v.clone())?;
+        }
+        self.set_header(t, slot, ObjKind::Hash)?;
+        self.wr(t, slot + 1, Word::Int(pairs.len() as i64))?;
+        self.wr(t, slot + 2, Word::Int(cap as i64))?;
+        self.wr(t, slot + 3, Word::Int(buf as i64))?;
+        Ok(Word::Obj(slot))
+    }
+
+    /// Linear-scan hash lookup (CRuby's st_table is a hash; linear scan
+    /// over a handful of entries reads a comparable number of lines for
+    /// the small hashes the workloads build).
+    pub fn hash_get(&mut self, t: ThreadId, slot: Addr, key: &Word) -> Result<Word, VmAbort> {
+        let n = self.rd(t, slot + 1)?.as_int().unwrap_or(0) as usize;
+        let buf = self.rd(t, slot + 3)?.as_int().unwrap_or(0) as Addr;
+        for i in 0..n {
+            let k = self.rd(t, buf + 2 * i)?;
+            if self.words_eq(t, &k, key)? {
+                return self.rd(t, buf + 2 * i + 1);
+            }
+        }
+        Ok(Word::Nil)
+    }
+
+    pub fn hash_set(&mut self, t: ThreadId, slot: Addr, key: Word, v: Word) -> Result<(), VmAbort> {
+        let n = self.rd(t, slot + 1)?.as_int().unwrap_or(0) as usize;
+        let cap = self.rd(t, slot + 2)?.as_int().unwrap_or(0) as usize;
+        let mut buf = self.rd(t, slot + 3)?.as_int().unwrap_or(0) as Addr;
+        for i in 0..n {
+            let k = self.rd(t, buf + 2 * i)?;
+            if self.words_eq(t, &k, &key)? {
+                return self.wr(t, buf + 2 * i + 1, v);
+            }
+        }
+        if n == cap {
+            let (nb, ncw) = self.malloc(t, 4 * cap.max(2))?;
+            for i in 0..2 * n {
+                let w = self.rd(t, buf + i)?;
+                self.wr(t, nb + i, w)?;
+            }
+            self.mfree(t, buf, 2 * cap)?;
+            self.wr(t, slot + 2, Word::Int((ncw / 2) as i64))?;
+            self.wr(t, slot + 3, Word::Int(nb as i64))?;
+            buf = nb;
+        }
+        self.wr(t, buf + 2 * n, key)?;
+        self.wr(t, buf + 2 * n + 1, v)?;
+        self.wr(t, slot + 1, Word::Int(n as i64 + 1))
+    }
+
+    pub fn make_range(&mut self, t: ThreadId, lo: Word, hi: Word, excl: bool) -> Result<Word, VmAbort> {
+        let slot = self.alloc_slot(t)?;
+        self.set_header(t, slot, ObjKind::Range)?;
+        self.wr(t, slot + 1, lo)?;
+        self.wr(t, slot + 2, hi)?;
+        self.wr(t, slot + 3, Word::Int(i64::from(excl)))?;
+        Ok(Word::Obj(slot))
+    }
+
+    /// Allocate a plain instance of `cls`.
+    pub fn make_object(&mut self, t: ThreadId, cls: Addr) -> Result<Word, VmAbort> {
+        let slot = self.alloc_slot(t)?;
+        self.set_header(t, slot, ObjKind::Object)?;
+        self.wr(t, slot + 1, Word::Obj(cls))?;
+        self.wr(t, slot + 2, Word::Int(0))?;
+        self.wr(t, slot + 3, Word::Int(0))?;
+        self.wr(t, slot + 4, Word::Int(0))?;
+        Ok(Word::Obj(slot))
+    }
+
+    /// Allocate a Proc capturing (`iseq`, defining frame, self, thread).
+    pub fn make_proc(
+        &mut self,
+        t: ThreadId,
+        iseq: crate::bytecode::IseqId,
+        captured_fp: Addr,
+        self_w: Word,
+    ) -> Result<Word, VmAbort> {
+        let slot = self.alloc_slot(t)?;
+        self.set_header(t, slot, ObjKind::Proc)?;
+        self.wr(t, slot + 1, Word::Int(i64::from(iseq.0)))?;
+        self.wr(t, slot + 2, Word::Int(captured_fp as i64))?;
+        self.wr(t, slot + 3, self_w)?;
+        self.wr(t, slot + 4, Word::Int(t as i64))?;
+        Ok(Word::Obj(slot))
+    }
+
+    // ---- assoc buffers -----------------------------------------------------
+
+    /// Create an assoc buffer with capacity `cap` pairs; returns its
+    /// address.
+    pub fn assoc_new(&mut self, t: ThreadId, cap: usize) -> Result<Addr, VmAbort> {
+        let (buf, _w) = self.malloc(t, 2 + 2 * cap)?;
+        self.wr(t, buf, Word::Int(0))?;
+        self.wr(t, buf + 1, Word::Int(cap as i64))?;
+        Ok(buf)
+    }
+
+    /// Look up `key`, returning (pair index, value).
+    pub fn assoc_get(
+        &mut self,
+        t: ThreadId,
+        buf: Addr,
+        key: SymId,
+    ) -> Result<Option<(usize, Word)>, VmAbort> {
+        if buf == 0 {
+            return Ok(None);
+        }
+        let n = self.rd(t, buf)?.as_int().unwrap_or(0) as usize;
+        for i in 0..n {
+            let k = self.rd(t, buf + 2 + 2 * i)?;
+            if k == Word::Sym(key) {
+                let v = self.rd(t, buf + 2 + 2 * i + 1)?;
+                return Ok(Some((i, v)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Insert or update `key` in the assoc buffer held by the word at
+    /// `holder` (the holder is rewritten when the buffer grows). Creates
+    /// the buffer on first use.
+    pub fn assoc_set(
+        &mut self,
+        t: ThreadId,
+        holder: Addr,
+        key: SymId,
+        value: Word,
+    ) -> Result<(), VmAbort> {
+        let mut buf = self.rd(t, holder)?.as_int().unwrap_or(0) as Addr;
+        if buf == 0 {
+            buf = self.assoc_new(t, 4)?;
+            self.wr(t, holder, Word::Int(buf as i64))?;
+        }
+        if let Some((i, _)) = self.assoc_get(t, buf, key)? {
+            return self.wr(t, buf + 2 + 2 * i + 1, value);
+        }
+        let n = self.rd(t, buf)?.as_int().unwrap_or(0) as usize;
+        let cap = self.rd(t, buf + 1)?.as_int().unwrap_or(0) as usize;
+        if n == cap {
+            let nbuf = self.assoc_new(t, cap * 2)?;
+            for i in 0..2 * n {
+                let w = self.rd(t, buf + 2 + i)?;
+                self.wr(t, nbuf + 2 + i, w)?;
+            }
+            self.wr(t, nbuf, Word::Int(n as i64))?;
+            self.mfree(t, buf, 2 + 2 * cap)?;
+            self.wr(t, holder, Word::Int(nbuf as i64))?;
+            buf = nbuf;
+        }
+        self.wr(t, buf + 2 + 2 * n, Word::Sym(key))?;
+        self.wr(t, buf + 2 + 2 * n + 1, value)?;
+        self.wr(t, buf, Word::Int(n as i64 + 1))
+    }
+
+    // ---- classes -----------------------------------------------------------
+
+    /// Object kind of a heap reference (reads the header: one memory ref,
+    /// like reading `RBASIC(obj)->flags`).
+    pub fn kind_of(&mut self, t: ThreadId, slot: Addr) -> Result<ObjKind, VmAbort> {
+        self.rd(t, slot)?
+            .as_header()
+            .map(|h| h.kind)
+            .ok_or_else(|| VmAbort::fatal(format!("not an object at {slot}")))
+    }
+
+    /// Class (heap address) of any value.
+    pub fn class_of(&mut self, t: ThreadId, w: &Word) -> Result<Addr, VmAbort> {
+        Ok(match w {
+            Word::Nil => self.classes.nil_cls,
+            Word::True => self.classes.true_cls,
+            Word::False => self.classes.false_cls,
+            Word::Int(_) => self.classes.integer,
+            Word::Sym(_) => self.classes.symbol,
+            Word::Obj(slot) => match self.kind_of(t, *slot)? {
+                ObjKind::Float => self.classes.float_cls,
+                ObjKind::String => self.classes.string,
+                ObjKind::Array => self.classes.array,
+                ObjKind::Hash => self.classes.hash,
+                ObjKind::Range => self.classes.range,
+                ObjKind::Thread => self.classes.thread_cls,
+                ObjKind::Mutex => self.classes.mutex_cls,
+                ObjKind::Barrier => self.classes.barrier_cls,
+                ObjKind::Regexp => self.classes.regexp,
+                ObjKind::MatchData => self.classes.matchdata,
+                ObjKind::Proc => self.classes.proc_cls,
+                ObjKind::Table => self.classes.store,
+                ObjKind::Class => self.classes.class_cls,
+                ObjKind::Object => {
+                    let c = self.rd(t, *slot + 1)?;
+                    c.as_obj()
+                        .ok_or_else(|| VmAbort::fatal("object without class"))?
+                }
+                ObjKind::Free => return Err(VmAbort::fatal("use of freed object")),
+            },
+            _ => return Err(VmAbort::fatal(format!("not a value: {w:?}"))),
+        })
+    }
+
+    /// Instance-method lookup along the superclass chain. Reads method
+    /// tables from simulated memory (the footprint CRuby's `st_lookup`
+    /// would generate).
+    pub fn lookup_method(
+        &mut self,
+        t: ThreadId,
+        cls: Addr,
+        name: SymId,
+    ) -> Result<Option<MethodEntry>, VmAbort> {
+        let mut c = cls;
+        loop {
+            let mtbl = self.rd(t, c + 2)?.as_int().unwrap_or(0) as Addr;
+            if let Some((_, v)) = self.assoc_get(t, mtbl, name)? {
+                let e = v.as_int().ok_or_else(|| VmAbort::fatal("corrupt method entry"))?;
+                return Ok(Some(MethodEntry::decode(e)));
+            }
+            match self.rd(t, c + 1)? {
+                Word::Obj(s) => c = s,
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    /// Static (class-level) method lookup along the superclass chain.
+    pub fn lookup_static(
+        &mut self,
+        t: ThreadId,
+        cls: Addr,
+        name: SymId,
+    ) -> Result<Option<MethodEntry>, VmAbort> {
+        let mut c = cls;
+        loop {
+            let smtbl = self.rd(t, c + 3)?.as_int().unwrap_or(0) as Addr;
+            if let Some((_, v)) = self.assoc_get(t, smtbl, name)? {
+                let e = v.as_int().ok_or_else(|| VmAbort::fatal("corrupt method entry"))?;
+                return Ok(Some(MethodEntry::decode(e)));
+            }
+            match self.rd(t, c + 1)? {
+                Word::Obj(s) => c = s,
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    /// Define a method on `cls` (instance table, or static when
+    /// `on_self`).
+    pub fn define_method(
+        &mut self,
+        t: ThreadId,
+        cls: Addr,
+        name: SymId,
+        entry: MethodEntry,
+        on_self: bool,
+    ) -> Result<(), VmAbort> {
+        let holder = if on_self { cls + 3 } else { cls + 2 };
+        self.assoc_set(t, holder, name, Word::Int(entry.encode()))
+    }
+
+    /// Resolve (creating on `create`) the ivar index of `name` for `cls`.
+    pub fn ivar_index(
+        &mut self,
+        t: ThreadId,
+        cls: Addr,
+        name: SymId,
+        create: bool,
+    ) -> Result<Option<usize>, VmAbort> {
+        let ivtbl = self.rd(t, cls + 4)?.as_int().unwrap_or(0) as Addr;
+        if let Some((_, v)) = self.assoc_get(t, ivtbl, name)? {
+            return Ok(v.as_int().map(|i| i as usize));
+        }
+        if !create {
+            return Ok(None);
+        }
+        let n = if ivtbl == 0 {
+            0
+        } else {
+            self.rd(t, ivtbl)?.as_int().unwrap_or(0) as usize
+        };
+        self.assoc_set(t, cls + 4, name, Word::Int(n as i64))?;
+        Ok(Some(n))
+    }
+
+    /// Read ivar by index from an Object instance.
+    pub fn obj_ivar_get(&mut self, t: ThreadId, obj: Addr, idx: usize) -> Result<Word, VmAbort> {
+        let n = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as usize;
+        if idx >= n {
+            return Ok(Word::Nil);
+        }
+        let buf = self.rd(t, obj + 2)?.as_int().unwrap_or(0) as Addr;
+        self.rd(t, buf + idx)
+    }
+
+    /// Write ivar by index, growing the buffer as needed.
+    pub fn obj_ivar_set(
+        &mut self,
+        t: ThreadId,
+        obj: Addr,
+        idx: usize,
+        v: Word,
+    ) -> Result<(), VmAbort> {
+        let n = self.rd(t, obj + 3)?.as_int().unwrap_or(0) as usize;
+        let cap = self.rd(t, obj + 4)?.as_int().unwrap_or(0) as usize;
+        let mut buf = self.rd(t, obj + 2)?.as_int().unwrap_or(0) as Addr;
+        if idx >= cap {
+            let (nb, nc) = self.malloc(t, (idx + 1).max(cap * 2).max(4))?;
+            for i in 0..n {
+                let w = self.rd(t, buf + i)?;
+                self.wr(t, nb + i, w)?;
+            }
+            if buf != 0 {
+                self.mfree(t, buf, cap)?;
+            }
+            self.wr(t, obj + 2, Word::Int(nb as i64))?;
+            self.wr(t, obj + 4, Word::Int(nc as i64))?;
+            buf = nb;
+        }
+        if idx >= n {
+            for i in n..idx {
+                self.wr(t, buf + i, Word::Nil)?;
+            }
+            self.wr(t, obj + 3, Word::Int(idx as i64 + 1))?;
+        }
+        self.wr(t, buf + idx, v)
+    }
+
+    /// Class-variable read: walk the superclass chain.
+    pub fn cvar_get(&mut self, t: ThreadId, cls: Addr, name: SymId) -> Result<Word, VmAbort> {
+        let mut c = cls;
+        loop {
+            let cvtbl = self.rd(t, c + 5)?.as_int().unwrap_or(0) as Addr;
+            if let Some((_, v)) = self.assoc_get(t, cvtbl, name)? {
+                return Ok(v);
+            }
+            match self.rd(t, c + 1)? {
+                Word::Obj(s) => c = s,
+                _ => return Ok(Word::Nil),
+            }
+        }
+    }
+
+    /// Class-variable write: update where defined, else define on `cls`.
+    pub fn cvar_set(&mut self, t: ThreadId, cls: Addr, name: SymId, v: Word) -> Result<(), VmAbort> {
+        let mut c = cls;
+        loop {
+            let cvtbl = self.rd(t, c + 5)?.as_int().unwrap_or(0) as Addr;
+            if self.assoc_get(t, cvtbl, name)?.is_some() {
+                return self.assoc_set(t, c + 5, name, v);
+            }
+            match self.rd(t, c + 1)? {
+                Word::Obj(s) => c = s,
+                _ => return self.assoc_set(t, cls + 5, name, v),
+            }
+        }
+    }
+
+    // ---- equality / display -------------------------------------------------
+
+    /// Ruby `==` (value equality for strings/floats, identity otherwise).
+    pub fn words_eq(&mut self, t: ThreadId, a: &Word, b: &Word) -> Result<bool, VmAbort> {
+        if let Some(r) = a.immediate_eq(b) {
+            return Ok(r);
+        }
+        match (a, b) {
+            (Word::Obj(x), Word::Obj(y)) => {
+                if x == y {
+                    return Ok(true);
+                }
+                let kx = self.kind_of(t, *x)?;
+                let ky = self.kind_of(t, *y)?;
+                match (kx, ky) {
+                    (ObjKind::Float, ObjKind::Float) => {
+                        let fx = self.rd(t, *x + 1)?.as_f64().unwrap_or(f64::NAN);
+                        let fy = self.rd(t, *y + 1)?.as_f64().unwrap_or(f64::NAN);
+                        Ok(fx == fy)
+                    }
+                    (ObjKind::String, ObjKind::String) => {
+                        let sx = self.string_content(t, *x)?;
+                        let sy = self.string_content(t, *y)?;
+                        Ok(sx == sy)
+                    }
+                    _ => Ok(false),
+                }
+            }
+            (Word::Obj(x), Word::Int(i)) | (Word::Int(i), Word::Obj(x)) => {
+                if self.kind_of(t, *x)? == ObjKind::Float {
+                    let f = self.rd(t, *x + 1)?.as_f64().unwrap_or(f64::NAN);
+                    Ok(f == *i as f64)
+                } else {
+                    Ok(false)
+                }
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Numeric view of a value (Int or Float object).
+    pub fn as_number(&mut self, t: ThreadId, w: &Word) -> Result<Option<f64>, VmAbort> {
+        Ok(match w {
+            Word::Int(i) => Some(*i as f64),
+            Word::Obj(s) if self.kind_of(t, *s)? == ObjKind::Float => {
+                Some(self.rd(t, *s + 1)?.as_f64().unwrap_or(f64::NAN))
+            }
+            _ => None,
+        })
+    }
+
+    /// `to_s` used by `puts` and string concatenation.
+    pub fn display(&mut self, t: ThreadId, w: &Word) -> Result<String, VmAbort> {
+        Ok(match w {
+            Word::Nil => String::new(),
+            Word::True => "true".into(),
+            Word::False => "false".into(),
+            Word::Int(i) => i.to_string(),
+            Word::Sym(s) => self.program.symbols.name(*s).to_string(),
+            Word::Obj(slot) => match self.kind_of(t, *slot)? {
+                ObjKind::Float => {
+                    let f = self.rd(t, *slot + 1)?.as_f64().unwrap_or(f64::NAN);
+                    format_ruby_float(f)
+                }
+                ObjKind::String => self.string_content(t, *slot)?.to_string(),
+                ObjKind::Array => {
+                    let len = self.array_len(t, *slot)?;
+                    let mut parts = Vec::with_capacity(len);
+                    for i in 0..len {
+                        let e = self.array_get(t, *slot, i as i64)?;
+                        parts.push(self.inspect(t, &e)?);
+                    }
+                    format!("[{}]", parts.join(", "))
+                }
+                ObjKind::Range => {
+                    let lo = self.rd(t, *slot + 1)?;
+                    let hi = self.rd(t, *slot + 2)?;
+                    let excl = self.rd(t, *slot + 3)?.as_int().unwrap_or(0) != 0;
+                    let l = self.display(t, &lo)?;
+                    let h = self.display(t, &hi)?;
+                    format!("{l}{}{h}", if excl { "..." } else { ".." })
+                }
+                ObjKind::Class => {
+                    let n = self.rd(t, *slot + 6)?;
+                    match n {
+                        Word::Sym(s) => self.program.symbols.name(s).to_string(),
+                        _ => "#<Class>".into(),
+                    }
+                }
+                k => format!("#<{k:?}:{slot}>"),
+            },
+            other => format!("{other:?}"),
+        })
+    }
+
+    /// `inspect` (strings quoted, nil printed).
+    pub fn inspect(&mut self, t: ThreadId, w: &Word) -> Result<String, VmAbort> {
+        Ok(match w {
+            Word::Nil => "nil".into(),
+            Word::Sym(s) => format!(":{}", self.program.symbols.name(*s)),
+            Word::Obj(slot) if self.kind_of(t, *slot)? == ObjKind::String => {
+                format!("{:?}", self.string_content(t, *slot)?)
+            }
+            other => self.display(t, other)?,
+        })
+    }
+
+    // ---- globals / constants -------------------------------------------------
+
+    pub fn gvar_addr(&mut self, name: SymId) -> Addr {
+        let next = self.gvar_map.len();
+        let idx = *self.gvar_map.entry(name).or_insert(next);
+        self.layout.gvar(idx)
+    }
+
+    pub fn const_lookup(&self, name: SymId) -> Option<Addr> {
+        self.const_map.get(&name).map(|&i| self.layout.cnst(i))
+    }
+
+    pub fn const_define_addr(&mut self, name: SymId) -> Addr {
+        let next = self.const_map.len();
+        let idx = *self.const_map.entry(name).or_insert(next);
+        self.layout.cnst(idx)
+    }
+
+    // ---- bootstrap -------------------------------------------------------------
+
+    /// Create the core class hierarchy and install builtins. Boot-time
+    /// only (uses `poke`, no transactions active).
+    pub fn bootstrap_classes(&mut self) {
+        let object = self.boot_class("Object", 0);
+        self.classes.object = object;
+        self.classes.class_cls = self.boot_class("Class", object);
+        self.classes.integer = self.boot_class("Integer", object);
+        self.classes.float_cls = self.boot_class("Float", object);
+        self.classes.string = self.boot_class("String", object);
+        self.classes.array = self.boot_class("Array", object);
+        self.classes.hash = self.boot_class("Hash", object);
+        self.classes.range = self.boot_class("Range", object);
+        self.classes.symbol = self.boot_class("Symbol", object);
+        self.classes.nil_cls = self.boot_class("NilClass", object);
+        self.classes.true_cls = self.boot_class("TrueClass", object);
+        self.classes.false_cls = self.boot_class("FalseClass", object);
+        self.classes.thread_cls = self.boot_class("Thread", object);
+        self.classes.mutex_cls = self.boot_class("Mutex", object);
+        self.classes.barrier_cls = self.boot_class("Barrier", object);
+        self.classes.regexp = self.boot_class("Regexp", object);
+        self.classes.matchdata = self.boot_class("MatchData", object);
+        self.classes.proc_cls = self.boot_class("Proc", object);
+        self.classes.math = self.boot_class("Math", object);
+        self.classes.store = self.boot_class("Store", object);
+        // Numeric alias used by some sources.
+        let fixnum_sym = self.program.intern("Fixnum");
+        let addr = self.const_define_addr(fixnum_sym);
+        self.mem.poke(addr, Word::Obj(self.classes.integer));
+        // The top-level main object.
+        let main = self
+            .alloc_slot_boot()
+            .expect("heap too small for bootstrap");
+        self.mem
+            .poke(main, Word::Hdr(ObjHeader { kind: ObjKind::Object, marked: false }));
+        self.mem.poke(main + 1, Word::Obj(object));
+        self.mem.poke(main + 2, Word::Int(0));
+        self.mem.poke(main + 3, Word::Int(0));
+        self.mem.poke(main + 4, Word::Int(0));
+        self.classes.main_obj = main;
+        crate::builtins::install(self);
+    }
+
+    fn boot_class(&mut self, name: &str, superclass: Addr) -> Addr {
+        let slot = self
+            .alloc_slot_boot()
+            .expect("heap too small for bootstrap classes");
+        let name_sym = self.program.intern(name);
+        self.mem
+            .poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Class, marked: false }));
+        self.mem.poke(
+            slot + 1,
+            if superclass == 0 { Word::Nil } else { Word::Obj(superclass) },
+        );
+        self.mem.poke(slot + 2, Word::Int(0));
+        self.mem.poke(slot + 3, Word::Int(0));
+        self.mem.poke(slot + 4, Word::Int(0));
+        self.mem.poke(slot + 5, Word::Int(0));
+        self.mem.poke(slot + 6, Word::Sym(name_sym));
+        self.mem.poke(slot + 7, Word::Int(0));
+        let caddr = self.const_define_addr(name_sym);
+        self.mem.poke(caddr, Word::Obj(slot));
+        slot
+    }
+
+    /// Boot-time method installation (used by `builtins::install`).
+    pub fn boot_define(&mut self, cls: Addr, name: &str, entry: MethodEntry, on_self: bool) {
+        let sym = self.program.intern(name);
+        self.define_method(0, cls, sym, entry, on_self)
+            .expect("boot method definition failed");
+    }
+}
+
+/// Ruby-style float formatting (always shows a decimal point).
+pub fn format_ruby_float(f: f64) -> String {
+    if f.is_nan() {
+        return "NaN".into();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        let s = format!("{f}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmConfig;
+    use machine_sim::MachineProfile;
+
+    fn vm() -> Vm {
+        Vm::boot("nil", VmConfig::default(), &MachineProfile::generic(2)).unwrap()
+    }
+
+    #[test]
+    fn float_objects_roundtrip() {
+        let mut vm = vm();
+        let w = vm.make_float(0, 2.5).unwrap();
+        let slot = w.as_obj().unwrap();
+        assert_eq!(vm.kind_of(0, slot).unwrap(), ObjKind::Float);
+        assert_eq!(vm.as_number(0, &w).unwrap(), Some(2.5));
+    }
+
+    #[test]
+    fn string_replace_grows_shadow() {
+        let mut vm = vm();
+        let w = vm.make_string(0, "ab").unwrap();
+        let slot = w.as_obj().unwrap();
+        let long = "x".repeat(200);
+        vm.string_replace(0, slot, &long).unwrap();
+        assert_eq!(&*vm.string_content(0, slot).unwrap(), long.as_str());
+        let cap = vm.mem.peek(slot + 4).as_int().unwrap() as usize;
+        assert!(cap >= 25, "shadow must cover 200 bytes, got {cap} words");
+    }
+
+    #[test]
+    fn array_growth_preserves_elements() {
+        let mut vm = vm();
+        let w = vm.make_array(0, &[Word::Int(0), Word::Int(1)]).unwrap();
+        let slot = w.as_obj().unwrap();
+        for i in 2..50 {
+            vm.array_push(0, slot, Word::Int(i)).unwrap();
+        }
+        assert_eq!(vm.array_len(0, slot).unwrap(), 50);
+        for i in 0..50 {
+            assert_eq!(vm.array_get(0, slot, i).unwrap(), Word::Int(i));
+        }
+        // Negative indexing.
+        assert_eq!(vm.array_get(0, slot, -1).unwrap(), Word::Int(49));
+        // Out of bounds reads nil.
+        assert_eq!(vm.array_get(0, slot, 99).unwrap(), Word::Nil);
+    }
+
+    #[test]
+    fn sparse_array_set_fills_nils() {
+        let mut vm = vm();
+        let w = vm.make_array(0, &[]).unwrap();
+        let slot = w.as_obj().unwrap();
+        vm.array_set(0, slot, 5, Word::Int(7)).unwrap();
+        assert_eq!(vm.array_len(0, slot).unwrap(), 6);
+        assert_eq!(vm.array_get(0, slot, 2).unwrap(), Word::Nil);
+        assert_eq!(vm.array_get(0, slot, 5).unwrap(), Word::Int(7));
+    }
+
+    #[test]
+    fn hash_set_get_update() {
+        let mut vm = vm();
+        let w = vm.make_hash(0, &[]).unwrap();
+        let slot = w.as_obj().unwrap();
+        vm.hash_set(0, slot, Word::Int(1), Word::Int(10)).unwrap();
+        vm.hash_set(0, slot, Word::Int(2), Word::Int(20)).unwrap();
+        vm.hash_set(0, slot, Word::Int(1), Word::Int(11)).unwrap();
+        assert_eq!(vm.hash_get(0, slot, &Word::Int(1)).unwrap(), Word::Int(11));
+        assert_eq!(vm.hash_get(0, slot, &Word::Int(2)).unwrap(), Word::Int(20));
+        assert_eq!(vm.hash_get(0, slot, &Word::Int(3)).unwrap(), Word::Nil);
+        // Growth past initial capacity.
+        for i in 3..40 {
+            vm.hash_set(0, slot, Word::Int(i), Word::Int(10 * i)).unwrap();
+        }
+        assert_eq!(vm.hash_get(0, slot, &Word::Int(39)).unwrap(), Word::Int(390));
+    }
+
+    #[test]
+    fn string_keys_compare_by_content() {
+        let mut vm = vm();
+        let h = vm.make_hash(0, &[]).unwrap();
+        let hs = h.as_obj().unwrap();
+        let k1 = vm.make_string(0, "key").unwrap();
+        let k2 = vm.make_string(0, "key").unwrap();
+        vm.hash_set(0, hs, k1, Word::Int(5)).unwrap();
+        assert_eq!(vm.hash_get(0, hs, &k2).unwrap(), Word::Int(5));
+    }
+
+    #[test]
+    fn method_definition_and_lookup_chain() {
+        let mut vm = vm();
+        let obj_cls = vm.classes.object;
+        let sub = vm.boot_class("Sub", obj_cls);
+        let sym = vm.program.intern("zzz_test_method");
+        vm.define_method(0, obj_cls, sym, MethodEntry::Builtin(1234), false)
+            .unwrap();
+        // Inherited through the chain:
+        let got = vm.lookup_method(0, sub, sym).unwrap();
+        assert_eq!(got, Some(MethodEntry::Builtin(1234)));
+        // Overriding in the subclass shadows:
+        vm.define_method(0, sub, sym, MethodEntry::Builtin(7), false)
+            .unwrap();
+        assert_eq!(vm.lookup_method(0, sub, sym).unwrap(), Some(MethodEntry::Builtin(7)));
+        assert_eq!(
+            vm.lookup_method(0, obj_cls, sym).unwrap(),
+            Some(MethodEntry::Builtin(1234))
+        );
+    }
+
+    #[test]
+    fn method_entry_encoding_roundtrip() {
+        for e in [
+            MethodEntry::Iseq(crate::bytecode::IseqId(0)),
+            MethodEntry::Iseq(crate::bytecode::IseqId(123)),
+            MethodEntry::Builtin(0),
+            MethodEntry::Builtin(999),
+        ] {
+            assert_eq!(MethodEntry::decode(e.encode()), e);
+        }
+    }
+
+    #[test]
+    fn ivar_index_allocation_is_per_class() {
+        let mut vm = vm();
+        let cls = vm.boot_class("IvarTest", vm.classes.object);
+        let a = vm.program.intern("a");
+        let b = vm.program.intern("b");
+        assert_eq!(vm.ivar_index(0, cls, a, true).unwrap(), Some(0));
+        assert_eq!(vm.ivar_index(0, cls, b, true).unwrap(), Some(1));
+        assert_eq!(vm.ivar_index(0, cls, a, true).unwrap(), Some(0));
+        assert_eq!(vm.ivar_index(0, cls, vm.program.symbols.lookup("a").unwrap(), false).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn object_ivars_grow() {
+        let mut vm = vm();
+        let cls = vm.classes.object;
+        let o = vm.make_object(0, cls).unwrap();
+        let slot = o.as_obj().unwrap();
+        for i in 0..10 {
+            vm.obj_ivar_set(0, slot, i, Word::Int(i as i64)).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(vm.obj_ivar_get(0, slot, i).unwrap(), Word::Int(i as i64));
+        }
+        assert_eq!(vm.obj_ivar_get(0, slot, 99).unwrap(), Word::Nil);
+    }
+
+    #[test]
+    fn cvar_walks_superclass_chain() {
+        let mut vm = vm();
+        let base = vm.boot_class("CvBase", vm.classes.object);
+        let sub = vm.boot_class("CvSub", base);
+        let name = vm.program.intern("count");
+        vm.cvar_set(0, base, name, Word::Int(1)).unwrap();
+        assert_eq!(vm.cvar_get(0, sub, name).unwrap(), Word::Int(1));
+        // Writing through the subclass updates the *base* definition.
+        vm.cvar_set(0, sub, name, Word::Int(2)).unwrap();
+        assert_eq!(vm.cvar_get(0, base, name).unwrap(), Word::Int(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut vm = vm();
+        assert_eq!(vm.display(0, &Word::Int(42)).unwrap(), "42");
+        assert_eq!(vm.display(0, &Word::Nil).unwrap(), "");
+        assert_eq!(vm.inspect(0, &Word::Nil).unwrap(), "nil");
+        let f = vm.make_float(0, 3.0).unwrap();
+        assert_eq!(vm.display(0, &f).unwrap(), "3.0");
+        let s = vm.make_string(0, "hey").unwrap();
+        assert_eq!(vm.display(0, &s).unwrap(), "hey");
+        assert_eq!(vm.inspect(0, &s).unwrap(), "\"hey\"");
+        let arr = vm.make_array(0, &[Word::Int(1), s.clone()]).unwrap();
+        assert_eq!(vm.display(0, &arr).unwrap(), "[1, \"hey\"]");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_ruby_float(3.0), "3.0");
+        assert_eq!(format_ruby_float(2.5), "2.5");
+        assert_eq!(format_ruby_float(-1.0), "-1.0");
+    }
+
+    #[test]
+    fn words_eq_semantics() {
+        let mut vm = vm();
+        let f1 = vm.make_float(0, 1.5).unwrap();
+        let f2 = vm.make_float(0, 1.5).unwrap();
+        assert!(vm.words_eq(0, &f1, &f2).unwrap());
+        let s1 = vm.make_string(0, "x").unwrap();
+        let s2 = vm.make_string(0, "x").unwrap();
+        assert!(vm.words_eq(0, &s1, &s2).unwrap());
+        assert!(!vm.words_eq(0, &s1, &f1).unwrap());
+        let i3 = Word::Int(3);
+        let f3 = vm.make_float(0, 3.0).unwrap();
+        assert!(vm.words_eq(0, &i3, &f3).unwrap(), "3 == 3.0 in Ruby");
+    }
+}

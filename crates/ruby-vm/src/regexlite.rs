@@ -1,0 +1,546 @@
+//! A small backtracking regex engine (the CRuby `oniguruma` stand-in).
+//!
+//! The paper found that in WEBrick and Rails "most of these aborts …
+//! occurred in the regular-expression library": regex matching is a C-level
+//! operation with *no yield points inside*, so a transaction that enters it
+//! must absorb the engine's whole footprint. The `ruby-vm` builtins
+//! reproduce that by touching the subject string's shadow buffer and
+//! charging native cycles proportional to the work this engine reports.
+//!
+//! Supported syntax: literals, `.`, `*`, `+`, `?`, alternation `|`,
+//! groups `(…)` (capturing), character classes `[a-z]`/`[^…]`, escapes
+//! (`\d`, `\w`, `\s`, `\.`, …), anchors `^`/`$`.
+
+/// Compiled pattern: a backtracking instruction program (the classic
+/// `Split`/`Jump`/`Save` form), so group contents backtrack correctly into
+/// their continuation.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Inst>,
+    pub source: String,
+    pub ngroups: usize,
+    anchored: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(char),
+    Any,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    /// Try `a` first, backtrack into `b`.
+    Split(usize, usize),
+    Jump(usize),
+    /// Record the current position in save slot `n` (2k = group-k start,
+    /// 2k+1 = group-k end).
+    Save(usize),
+    AnchorStart,
+    AnchorEnd,
+    Matched,
+}
+
+/// Backtracking-step budget per `find` attempt: keeps pathological
+/// patterns ((a+)+b) from hanging the simulator; exceeding it counts as
+/// "no match", which is also what oniguruma's backtrack limit does.
+const STEP_BUDGET: usize = 200_000;
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Char(char),
+    Any,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+    Group(usize, Vec<Vec<Ast>>),
+    /// Non-capturing alternation at top level is wrapped in group 0.
+    AnchorStart,
+    AnchorEnd,
+}
+
+/// Compile error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A successful match: overall span plus capture-group spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    pub start: usize,
+    pub end: usize,
+    /// Group spans by index (group 0 = whole match).
+    pub groups: Vec<Option<(usize, usize)>>,
+    /// Positions examined — the cost measure the VM charges cycles for.
+    pub steps: usize,
+}
+
+impl Regex {
+    pub fn compile(pattern: &str) -> Result<Regex, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0, ngroups: 0 };
+        let alts = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError(format!("trailing characters at {}", p.pos)));
+        }
+        let ngroups = p.ngroups;
+        let anchored = alts
+            .iter()
+            .all(|a| matches!(a.first(), Some(Ast::AnchorStart)));
+        let mut prog = Vec::new();
+        emit_alts(&mut prog, &alts);
+        prog.push(Inst::Matched);
+        Ok(Regex { prog, source: pattern.to_string(), ngroups, anchored })
+    }
+
+    /// Find the leftmost match in `subject`.
+    pub fn find(&self, subject: &str) -> Option<MatchResult> {
+        let chars: Vec<char> = subject.chars().collect();
+        let mut steps = 0usize;
+        for start in 0..=chars.len() {
+            let mut saves = vec![usize::MAX; 2 * (self.ngroups + 1)];
+            if let Some(end) = self.run(&chars, start, &mut saves, &mut steps) {
+                let mut groups = vec![None; self.ngroups + 1];
+                groups[0] = Some((start, end));
+                for g in 1..=self.ngroups {
+                    let (s, e) = (saves[2 * g], saves[2 * g + 1]);
+                    if s != usize::MAX && e != usize::MAX {
+                        groups[g] = Some((s, e));
+                    }
+                }
+                return Some(MatchResult { start, end, groups, steps });
+            }
+            if self.anchored || steps > STEP_BUDGET {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Backtracking executor with an explicit stack.
+    fn run(
+        &self,
+        chars: &[char],
+        start: usize,
+        saves: &mut Vec<usize>,
+        steps: &mut usize,
+    ) -> Option<usize> {
+        // (pc, pos, saves-at-branch) backtrack points; saves are cheap to
+        // clone (tiny vectors).
+        let mut stack: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        let mut pc = 0usize;
+        let mut pos = start;
+        loop {
+            *steps += 1;
+            if *steps > STEP_BUDGET {
+                return None;
+            }
+            let advance = match &self.prog[pc] {
+                Inst::Matched => return Some(pos),
+                Inst::Char(c) => chars.get(pos) == Some(c),
+                Inst::Any => pos < chars.len(),
+                Inst::Class { neg, ranges } => match chars.get(pos) {
+                    Some(&ch) => ranges.iter().any(|&(lo, hi)| ch >= lo && ch <= hi) != *neg,
+                    None => false,
+                },
+                Inst::AnchorStart => {
+                    if pos == 0 {
+                        pc += 1;
+                        continue;
+                    }
+                    false
+                }
+                Inst::AnchorEnd => {
+                    if pos == chars.len() {
+                        pc += 1;
+                        continue;
+                    }
+                    false
+                }
+                Inst::Save(n) => {
+                    // No undo entry needed: every Split snapshots the whole
+                    // save vector, so backtracking restores it wholesale.
+                    saves[*n] = pos;
+                    pc += 1;
+                    continue;
+                }
+                Inst::Jump(x) => {
+                    pc = *x;
+                    continue;
+                }
+                Inst::Split(a, b) => {
+                    stack.push((*b, pos, saves.clone()));
+                    pc = *a;
+                    continue;
+                }
+            };
+            if advance {
+                pc += 1;
+                pos += 1;
+            } else {
+                // Backtrack to the most recent split.
+                match stack.pop() {
+                    Some((bpc, bpos, bsaves)) => {
+                        pc = bpc;
+                        pos = bpos;
+                        *saves = bsaves;
+                    }
+                    None => return None,
+                }
+            }
+        }
+    }
+
+    /// Is there a match anywhere?
+    pub fn is_match(&self, subject: &str) -> bool {
+        self.find(subject).is_some()
+    }
+
+    /// Replace the first match with `rep` (no backreferences in `rep`).
+    pub fn replace_first(&self, subject: &str, rep: &str) -> (String, bool, usize) {
+        match self.find(subject) {
+            Some(m) => {
+                let chars: Vec<char> = subject.chars().collect();
+                let mut out: String = chars[..m.start].iter().collect();
+                out.push_str(rep);
+                out.extend(chars[m.end..].iter());
+                (out, true, m.steps)
+            }
+            None => (subject.to_string(), false, subject.len() + 1),
+        }
+    }
+
+    /// Replace all (non-overlapping) matches.
+    pub fn replace_all(&self, subject: &str, rep: &str) -> (String, usize, usize) {
+        let chars: Vec<char> = subject.chars().collect();
+        let mut out = String::new();
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        let mut total_steps = 0usize;
+        while pos <= chars.len() {
+            let rest: String = chars[pos..].iter().collect();
+            match self.find(&rest) {
+                Some(m) => {
+                    total_steps += m.steps;
+                    out.extend(chars[pos..pos + m.start].iter());
+                    out.push_str(rep);
+                    count += 1;
+                    let advance = if m.end == m.start { m.end + 1 } else { m.end };
+                    if m.start == m.end && pos + m.start < chars.len() {
+                        out.push(chars[pos + m.start]);
+                    }
+                    pos += advance.max(1);
+                }
+                None => {
+                    total_steps += rest.len() + 1;
+                    out.extend(chars[pos..].iter());
+                    break;
+                }
+            }
+        }
+        (out, count, total_steps)
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    ngroups: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Vec<Vec<Ast>>, RegexError> {
+        let mut alts = vec![self.sequence()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.sequence()?);
+        }
+        Ok(alts)
+    }
+
+    fn sequence(&mut self) -> Result<Vec<Ast>, RegexError> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom()?;
+            let atom = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    Ast::Star(Box::new(atom))
+                }
+                Some('+') => {
+                    self.bump();
+                    Ast::Plus(Box::new(atom))
+                }
+                Some('?') => {
+                    self.bump();
+                    Ast::Opt(Box::new(atom))
+                }
+                _ => atom,
+            };
+            seq.push(atom);
+        }
+        Ok(seq)
+    }
+
+    fn atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                self.ngroups += 1;
+                let idx = self.ngroups;
+                let alts = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError("unclosed group".into()));
+                }
+                Ok(Ast::Group(idx, alts))
+            }
+            Some('[') => self.class_atom(),
+            Some('.') => Ok(Ast::Any),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('\\') => {
+                let c = self
+                    .bump()
+                    .ok_or_else(|| RegexError("dangling escape".into()))?;
+                Ok(match c {
+                    'd' => Ast::Class { neg: false, ranges: vec![('0', '9')] },
+                    'w' => Ast::Class {
+                        neg: false,
+                        ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                    },
+                    's' => Ast::Class {
+                        neg: false,
+                        ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                    },
+                    'n' => Ast::Char('\n'),
+                    't' => Ast::Char('\t'),
+                    other => Ast::Char(other),
+                })
+            }
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                Err(RegexError(format!("dangling quantifier {c:?}")))
+            }
+            Some(c) => Ok(Ast::Char(c)),
+            None => Err(RegexError("unexpected end of pattern".into())),
+        }
+    }
+
+    fn class_atom(&mut self) -> Result<Ast, RegexError> {
+        let neg = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = self
+                .bump()
+                .ok_or_else(|| RegexError("unclosed character class".into()))?;
+            if c == ']' {
+                break;
+            }
+            let c = if c == '\\' {
+                self.bump()
+                    .ok_or_else(|| RegexError("dangling escape in class".into()))?
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| RegexError("unclosed range".into()))?;
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Ast::Class { neg, ranges })
+    }
+}
+
+/// Emit an alternation: Split chains over each branch.
+fn emit_alts(prog: &mut Vec<Inst>, alts: &[Vec<Ast>]) {
+    if alts.len() == 1 {
+        emit_seq(prog, &alts[0]);
+        return;
+    }
+    // split L1, L2; L1: alt0; jump END; L2: …
+    let mut jump_fixups = Vec::new();
+    let mut split_fixup: Option<usize> = None;
+    for (i, alt) in alts.iter().enumerate() {
+        if let Some(sf) = split_fixup.take() {
+            let here = prog.len();
+            if let Inst::Split(_, b) = &mut prog[sf] {
+                *b = here;
+            }
+        }
+        if i + 1 < alts.len() {
+            split_fixup = Some(prog.len());
+            prog.push(Inst::Split(prog.len() + 1, 0));
+        }
+        emit_seq(prog, alt);
+        if i + 1 < alts.len() {
+            jump_fixups.push(prog.len());
+            prog.push(Inst::Jump(0));
+        }
+    }
+    let end = prog.len();
+    for j in jump_fixups {
+        prog[j] = Inst::Jump(end);
+    }
+}
+
+fn emit_seq(prog: &mut Vec<Inst>, seq: &[Ast]) {
+    for a in seq {
+        emit_atom(prog, a);
+    }
+}
+
+fn emit_atom(prog: &mut Vec<Inst>, a: &Ast) {
+    match a {
+        Ast::Char(c) => prog.push(Inst::Char(*c)),
+        Ast::Any => prog.push(Inst::Any),
+        Ast::Class { neg, ranges } => {
+            prog.push(Inst::Class { neg: *neg, ranges: ranges.clone() })
+        }
+        Ast::AnchorStart => prog.push(Inst::AnchorStart),
+        Ast::AnchorEnd => prog.push(Inst::AnchorEnd),
+        Ast::Opt(inner) => {
+            // split BODY, END
+            let sp = prog.len();
+            prog.push(Inst::Split(sp + 1, 0));
+            emit_atom(prog, inner);
+            let end = prog.len();
+            if let Inst::Split(_, b) = &mut prog[sp] {
+                *b = end;
+            }
+        }
+        Ast::Star(inner) => {
+            // L1: split BODY, END; BODY: inner; jump L1; END:
+            let l1 = prog.len();
+            prog.push(Inst::Split(l1 + 1, 0));
+            emit_atom(prog, inner);
+            prog.push(Inst::Jump(l1));
+            let end = prog.len();
+            if let Inst::Split(_, b) = &mut prog[l1] {
+                *b = end;
+            }
+        }
+        Ast::Plus(inner) => {
+            // L1: inner; split L1, END
+            let l1 = prog.len();
+            emit_atom(prog, inner);
+            let sp = prog.len();
+            prog.push(Inst::Split(l1, sp + 1));
+        }
+        Ast::Group(idx, alts) => {
+            prog.push(Inst::Save(2 * idx));
+            emit_alts(prog, alts);
+            prog.push(Inst::Save(2 * idx + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, subj: &str) -> Option<(usize, usize)> {
+        Regex::compile(pat).unwrap().find(subj).map(|r| (r.start, r.end))
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(m("abc", "xxabczz"), Some((2, 5)));
+        assert_eq!(m("abc", "ab"), None);
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert_eq!(m("a.c", "abc"), Some((0, 3)));
+        assert_eq!(m("[0-9]+", "ab123cd"), Some((2, 5)));
+        assert_eq!(m("[^0-9]+", "12ab3"), Some((2, 4)));
+        assert_eq!(m("\\d\\d", "a42"), Some((1, 3)));
+        assert_eq!(m("\\w+", "  hi_there "), Some((2, 10)));
+        assert_eq!(m("\\s", "ab c"), Some((2, 3)));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(m("ab*c", "ac"), Some((0, 2)));
+        assert_eq!(m("ab*c", "abbbc"), Some((0, 5)));
+        assert_eq!(m("ab+c", "ac"), None);
+        assert_eq!(m("ab?c", "abc"), Some((0, 3)));
+        assert_eq!(m("ab?c", "ac"), Some((0, 2)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^ab", "abc"), Some((0, 2)));
+        assert_eq!(m("^b", "abc"), None);
+        assert_eq!(m("bc$", "abc"), Some((1, 3)));
+        assert_eq!(m("ab$", "abc"), None);
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        let r = Regex::compile("GET (.*) HTTP/(1\\.[01])").unwrap();
+        let res = r.find("GET /index.html HTTP/1.1").unwrap();
+        assert_eq!(res.groups[1], Some((4, 15)));
+        assert_eq!(res.groups[2], Some((21, 24)));
+        assert_eq!(m("cat|dog", "hotdog"), Some((3, 6)));
+        assert_eq!(m("(a|b)+c", "ababc"), Some((0, 5)));
+    }
+
+    #[test]
+    fn replace() {
+        let r = Regex::compile("o+").unwrap();
+        assert_eq!(r.replace_first("foo boo", "0").0, "f0 boo");
+        let (s, n, _) = r.replace_all("foo boo", "0");
+        assert_eq!(s, "f0 b0");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn steps_grow_with_subject() {
+        let r = Regex::compile("zzz").unwrap();
+        let short = r.replace_first("ab", "x").2;
+        let long = r.replace_first(&"ab".repeat(100), "x").2;
+        assert!(long > short, "cost must scale with subject length");
+    }
+
+    #[test]
+    fn backtracking_terminates() {
+        // Classic pathological pattern must still terminate.
+        let r = Regex::compile("(a+)+b").unwrap();
+        assert!(r.find("aaaaaaaaaaaaaaaa").is_none());
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::compile("(abc").is_err());
+        assert!(Regex::compile("[abc").is_err());
+        assert!(Regex::compile("*a").is_err());
+    }
+}

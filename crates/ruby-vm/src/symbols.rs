@@ -1,0 +1,81 @@
+//! Symbol interning.
+//!
+//! Symbols are interned at compile/boot time (and occasionally at runtime
+//! by `String#to_sym`); the table itself is host-side metadata, like
+//! CRuby's symbol table before 2.2 made symbols GC-able. Runtime interning
+//! contention is not modelled — the workloads intern everything up front.
+
+use std::collections::HashMap;
+
+/// Interned symbol id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+/// Bidirectional symbol table.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, SymId>,
+}
+
+impl SymbolTable {
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> SymId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = SymId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<SymId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name of a symbol id.
+    pub fn name(&self, id: SymId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("each");
+        let b = t.intern("map");
+        let a2 = t.intern("each");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "each");
+        assert_eq!(t.name(b), "map");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("x"), None);
+        let id = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(id));
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end coverage of the builtin library and prelude iterators
+//! (single-threaded driver — semantics only).
+
+use machine_sim::MachineProfile;
+use ruby_vm::{StepOk, Vm, VmConfig};
+
+fn run(src: &str) -> String {
+    let mut vm = Vm::boot(src, VmConfig::default(), &MachineProfile::generic(2))
+        .unwrap_or_else(|e| panic!("boot: {e}"));
+    for _ in 0..80_000_000u64 {
+        match vm.step(0) {
+            Ok(StepOk::Finished) => return vm.stdout_text(),
+            Ok(StepOk::Normal) => {}
+            Ok(other) => panic!("unexpected {other:?}"),
+            Err(e) => panic!("vm error: {e:?}\nin {src}"),
+        }
+    }
+    panic!("did not finish");
+}
+
+#[test]
+fn integer_methods() {
+    assert_eq!(run("puts(5.to_f + 0.5)"), "5.5");
+    assert_eq!(run("puts(-3.abs)"), "3");
+    assert_eq!(run("puts(4.even?())\nputs(4.odd?())\nputs(0.zero?())"), "true\nfalse\ntrue");
+    assert_eq!(run("puts(6.succ)"), "7");
+    assert_eq!(run("s = 0\n3.upto(5) { |i| s += i }\nputs(s)"), "12");
+    assert_eq!(run("s = 0\n5.downto(3) { |i| s += i }\nputs(s)"), "12");
+    assert_eq!(run("a = []\n1.step(9, 3) { |i| a << i }\nputs(a.join(\",\"))"), "1,4,7");
+}
+
+#[test]
+fn float_methods() {
+    assert_eq!(run("puts(2.7.floor)\nputs(2.2.ceil)\nputs(2.5.round)"), "2\n3\n3");
+    assert_eq!(run("puts((-1.5).abs)"), "1.5");
+    assert_eq!(run("puts(3.99.to_i)"), "3");
+    assert_eq!(run("puts(1.5.round(0))"), "2.0");
+}
+
+#[test]
+fn math_module() {
+    assert_eq!(run("puts(Math.sqrt(144.0).to_i)"), "12");
+    assert_eq!(run("puts(Math.exp(0.0))"), "1.0");
+    assert_eq!(run("puts(Math.log(1.0))"), "0.0");
+    assert_eq!(run("puts((Math.sin(0.0) + Math.cos(0.0)))"), "1.0");
+    assert_eq!(run("puts((Math.pi * 10000.0).to_i)"), "31415");
+}
+
+#[test]
+fn string_library() {
+    assert_eq!(run(r#"puts("a-b-c".split("-").length)"#), "3");
+    assert_eq!(run(r#"puts("  pad  ".strip + "!")"#), "pad!");
+    assert_eq!(run(r#"puts("hello".index("ll"))"#), "2");
+    assert_eq!(run(r#"puts("hello".index("z").nil?)"#), "true");
+    assert_eq!(run(r#"puts("abc".reverse)"#), "cba");
+    assert_eq!(run(r#"puts("aXbXc".sub("X", "-"))"#), "a-bXc");
+    assert_eq!(run(r#"puts("aXbXc".gsub("X", "-"))"#), "a-b-c");
+    assert_eq!(run(r#"puts("hello world".slice(6, 5))"#), "world");
+    assert_eq!(run(r#"puts("Ruby".start_with?("Ru"))
+puts("Ruby".end_with?("by"))"#), "true\ntrue");
+    assert_eq!(run(r#"puts("3.5".to_f + 0.5)"#), "4.0");
+    assert_eq!(run(r#"puts("hi"[0])
+puts("hi"[-1])"#), "h\ni");
+    assert_eq!(run(r#"puts("abc" * 1 == "abc")"#), "true");
+}
+
+#[test]
+fn array_library() {
+    assert_eq!(run("a = [3, 1, 2]\nputs(a.sort.join(\",\"))\nputs(a.join(\",\"))"), "1,2,3\n3,1,2");
+    assert_eq!(run("a = [3, 1, 2]\na.sort!()\nputs(a.join(\",\"))"), "1,2,3");
+    assert_eq!(run("a = [1, 2, 3]\nputs(a.shift)\nputs(a.join(\",\"))"), "1\n2,3");
+    assert_eq!(run("a = [1, 2, 3]\nputs(a.pop)\nputs(a.length)"), "3\n2");
+    assert_eq!(run("a = [1, 2, 3]\na.delete_at(1)\nputs(a.join(\",\"))"), "1,3");
+    assert_eq!(run("a = [1, 2]\nb = [3, 4]\na.concat(b)\nputs(a.join(\",\"))"), "1,2,3,4");
+    assert_eq!(run("puts(([1, 2] + [3]).join(\",\"))"), "1,2,3");
+    assert_eq!(run("a = [1, 2, 3]\nputs(a.include?(2))\nputs(a.include?(9))"), "true\nfalse");
+    assert_eq!(run("puts([5, 2, 9].index(9))"), "2");
+    assert_eq!(run("puts([].empty?())\nputs([1].empty?())"), "true\nfalse");
+    assert_eq!(run("puts([1, 2, 3].reverse.join(\",\"))"), "3,2,1");
+    assert_eq!(run("puts([1, 2, 3].each_with_index { |x, i| }.length)"), "3");
+    assert_eq!(run("s = 0\n[1, 2, 3].each_index { |i| s += i }\nputs(s)"), "3");
+    assert_eq!(run("puts([1, 2, 3, 4].reject { |x| x.even?() }.join(\",\"))"), "1,3");
+    assert_eq!(run("puts([\"b\", \"a\"].sort.join(\",\"))"), "a,b");
+    assert_eq!(run("a = [1, 2]\nb = a.dup()\nb << 3\nputs(a.length)\nputs(b.length)"), "2\n3");
+    assert_eq!(run("puts([1, 2, 3].first)\nputs([1, 2, 3].last)"), "1\n3");
+}
+
+#[test]
+fn hash_library() {
+    assert_eq!(
+        run("h = { 1 => \"a\", 2 => \"b\" }\nputs(h.keys.sort.join(\",\"))\nputs(h.values.sort.join(\",\"))"),
+        "1,2\na,b"
+    );
+    assert_eq!(run("h = Hash.new()\nh[:x] = 5\nputs(h.key?(:x))\nputs(h.key?(:y))"), "true\nfalse");
+    assert_eq!(run("h = { 1 => 2 }\nputs(h.delete(1))\nputs(h.empty?())"), "2\ntrue");
+    assert_eq!(run("h = { 1 => 10, 2 => 20 }\ns = 0\nh.each { |k, v| s += k + v }\nputs(s)"), "33");
+}
+
+#[test]
+fn range_library() {
+    assert_eq!(run("r = (2..5)\nputs(r.begin)\nputs(r.end)\nputs(r.size)"), "2\n5\n4");
+    assert_eq!(run("puts((1...4).size)"), "3");
+    assert_eq!(run("puts((1..10).include?(5))\nputs((1..10).include?(11))"), "true\nfalse");
+    assert_eq!(run("puts((1..4).to_a.join(\",\"))"), "1,2,3,4");
+    assert_eq!(run("puts((1..5).sum)"), "15");
+}
+
+#[test]
+fn object_protocol() {
+    assert_eq!(run("puts(1.class.name)"), "Integer");
+    assert_eq!(run("puts(\"s\".class.name)"), "String");
+    assert_eq!(run("puts([].class.name)"), "Array");
+    assert_eq!(run("puts(nil.nil?)\nputs(0.nil?)"), "true\nfalse");
+    assert_eq!(run("puts(42.to_s + \"!\")"), "42!");
+    assert_eq!(run("puts(3.7.inspect)"), "3.7");
+}
+
+#[test]
+fn kernel_output() {
+    assert_eq!(run("puts()"), "");
+    assert_eq!(run("print(\"a\")\nprint(\"b\")"), "ab");
+    assert_eq!(run("p(\"x\")"), "\"x\"");
+    assert_eq!(run("puts([1, \"two\"])"), "1\ntwo");
+}
+
+#[test]
+fn rand_is_deterministic_per_vm() {
+    let a = run("puts(rand(1000))\nputs(rand(1000))");
+    let b = run("puts(rand(1000))\nputs(rand(1000))");
+    assert_eq!(a, b, "seeded rand must reproduce");
+    let lines: Vec<&str> = a.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for l in lines {
+        let v: i64 = l.parse().unwrap();
+        assert!((0..1000).contains(&v));
+    }
+}
+
+#[test]
+fn proc_call() {
+    // Proc#call through a stored block.
+    let src = r#"
+def make_adder(n)
+  adder = nil
+  helper(n) { |x| x + n }
+end
+def helper(n)
+  yield(10)
+end
+puts(make_adder(5))
+"#;
+    assert_eq!(run(src), "15");
+}
+
+#[test]
+fn regexp_library() {
+    assert_eq!(run(r#"r = Regexp.new("[0-9]+")
+puts(r.match?("abc123"))
+puts(r.match?("abc"))"#), "true\nfalse");
+    assert_eq!(run(r#"r = Regexp.new("(\\w+)@(\\w+)")
+m = r.match("mail bob@example now")
+puts(m[1] + " at " + m[2])"#), "bob at example");
+    assert_eq!(run(r#"puts(Regexp.new("a+").source)"#), "a+");
+}
+
+#[test]
+fn mutex_try_lock_single_thread() {
+    assert_eq!(
+        run("m = Mutex.new()\nputs(m.try_lock())\nm.unlock()\nputs(m.try_lock())"),
+        "true\ntrue"
+    );
+}
+
+#[test]
+fn class_variables_shared_across_instances() {
+    let src = r#"
+class Registry
+  @@items = []
+  def add(x)
+    @@items << x
+  end
+  def self.count()
+    @@items.length
+  end
+end
+a = Registry.new()
+b = Registry.new()
+a.add(1)
+b.add(2)
+puts(Registry.count)
+"#;
+    assert_eq!(run(src), "2");
+}
+
+#[test]
+fn reopening_a_class_adds_methods() {
+    let src = r#"
+class Thing
+  def one()
+    1
+  end
+end
+class Thing
+  def two()
+    2
+  end
+end
+t = Thing.new()
+puts(t.one + t.two)
+"#;
+    assert_eq!(run(src), "3");
+}
+
+#[test]
+fn operator_method_definitions() {
+    let src = r#"
+class Vec
+  attr_accessor(:x)
+  def initialize(x)
+    @x = x
+  end
+  def +(other)
+    Vec.new(@x + other.x)
+  end
+  def [](i)
+    @x * i
+  end
+end
+v = Vec.new(3) + Vec.new(4)
+puts(v.x)
+puts(v[2])
+"#;
+    assert_eq!(run(src), "7\n14");
+}
+
+#[test]
+fn string_shadow_footprint_grows() {
+    // White-box: a long string's shadow buffer must consume simulated
+    // memory proportional to its length.
+    let mut vm = Vm::boot("s = \"x\"\nt = s\nputs(s)", VmConfig::default(), &MachineProfile::generic(2)).unwrap();
+    let before = vm.allocations;
+    loop {
+        match vm.step(0) {
+            Ok(StepOk::Finished) => break,
+            Ok(_) => {}
+            Err(e) => panic!("{e:?}"),
+        }
+    }
+    assert!(vm.allocations > before);
+}

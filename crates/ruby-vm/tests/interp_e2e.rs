@@ -1,0 +1,433 @@
+//! End-to-end interpreter tests: parse → compile → execute Ruby programs.
+//!
+//! Uses a minimal cooperative driver (round-robin, no GIL, no HTM, no
+//! cycle accounting) so VM *semantics* are validated independently of the
+//! TLE runtime in `htm-gil-core`.
+
+use machine_sim::MachineProfile;
+use ruby_vm::{BlockOn, StepOk, Vm, VmAbort, VmConfig};
+
+/// Run a program to completion under a simple cooperative scheduler.
+fn run_vm(src: &str) -> Vm {
+    let mut vm = Vm::boot(src, VmConfig::default(), &MachineProfile::generic(4))
+        .unwrap_or_else(|e| panic!("boot failed: {e}"));
+    let mut blocked: Vec<Option<BlockOn>> = vec![None];
+    let mut budget = 200_000_000u64;
+    loop {
+        let n = vm.threads.len();
+        blocked.resize(n, None);
+        let mut progressed = false;
+        let mut all_done = true;
+        for t in 0..n {
+            if vm.threads[t].finished {
+                continue;
+            }
+            all_done = false;
+            // Re-check blocking conditions.
+            if let Some(b) = blocked[t] {
+                let ready = match b {
+                    BlockOn::Join(target) => vm.threads[target].finished,
+                    BlockOn::Io(_) => true,
+                    BlockOn::Mutex(_) | BlockOn::Barrier(_) => true, // retry
+                };
+                if !ready {
+                    continue;
+                }
+                blocked[t] = None;
+            }
+            // Run a bounded burst for this thread.
+            for _ in 0..1000 {
+                budget = budget.checked_sub(1).expect("test budget exhausted");
+                match vm.step(t) {
+                    Ok(StepOk::Normal) => progressed = true,
+                    Ok(StepOk::Finished) => {
+                        progressed = true;
+                        // Publish result into the Thread object, as the
+                        // real executor does.
+                        let ctx = &vm.threads[t];
+                        let (obj, result) = (ctx.thread_obj, ctx.result.clone());
+                        if obj != 0 {
+                            vm.mem.write(t, obj + 2, ruby_vm::Word::Int(1)).unwrap();
+                            vm.mem.write(t, obj + 3, result).unwrap();
+                        }
+                        break;
+                    }
+                    Ok(StepOk::Spawned { .. }) => {
+                        progressed = true;
+                        break;
+                    }
+                    Ok(StepOk::Block(b)) => {
+                        blocked[t] = Some(b);
+                        break;
+                    }
+                    Err(VmAbort::Err(e)) => panic!("vm error: {e}"),
+                    Err(VmAbort::Tx(r)) => panic!("unexpected tx abort: {r:?}"),
+                }
+            }
+        }
+        if all_done {
+            return vm;
+        }
+        if !progressed {
+            // Mutex/Barrier waiters spin through their retry path; classic
+            // deadlock shows up as no thread making progress while none
+            // can be unblocked by another.
+            let any_unfinished_runnable = (0..vm.threads.len())
+                .any(|t| !vm.threads[t].finished && blocked[t].is_none());
+            assert!(
+                any_unfinished_runnable,
+                "deadlock: all live threads blocked"
+            );
+        }
+    }
+}
+
+fn run(src: &str) -> String {
+    run_vm(src).stdout_text()
+}
+
+#[test]
+fn arithmetic_and_puts() {
+    assert_eq!(run("puts(1 + 2 * 3)"), "7");
+    assert_eq!(run("puts(10 / 3)\nputs(10 % 3)"), "3\n1");
+    assert_eq!(run("puts(-7 / 2)"), "-4"); // Ruby floor division
+    assert_eq!(run("puts(2 ** 10)"), "1024");
+}
+
+#[test]
+fn float_arithmetic_allocates_objects() {
+    let vm = run_vm("x = 1.5 + 2.25\nputs(x)");
+    assert_eq!(vm.stdout_text(), "3.75");
+    assert!(vm.allocations > 0, "float results are heap objects");
+}
+
+#[test]
+fn string_operations() {
+    assert_eq!(run(r#"puts("foo" + "bar")"#), "foobar");
+    assert_eq!(run(r#"puts("Hello".length)"#), "5");
+    assert_eq!(run(r#"puts("Hello".upcase)"#), "HELLO");
+    assert_eq!(run(r#"puts("a,b,c".split(",").join("-"))"#), "a-b-c");
+    assert_eq!(run(r#"puts("hello world".include?("wor"))"#), "true");
+    assert_eq!(run(r#"puts("42abc".to_i + 1)"#), "43");
+    assert_eq!(run(r#"s = "ab"
+s << "cd"
+puts(s)"#), "abcd");
+}
+
+#[test]
+fn conditionals_and_loops() {
+    assert_eq!(run("if 1 < 2\nputs(\"yes\")\nelse\nputs(\"no\")\nend"), "yes");
+    assert_eq!(
+        run("x = 0\ni = 1\nwhile i <= 10\n  x += i\n  i += 1\nend\nputs(x)"),
+        "55"
+    );
+    assert_eq!(run("puts(5 > 3 ? \"big\" : \"small\")"), "big");
+    assert_eq!(
+        run("i = 0\nwhile true\n  i += 1\n  break if i == 7\nend\nputs(i)"),
+        "7"
+    );
+    assert_eq!(
+        run("s = 0\ni = 0\nwhile i < 10\n  i += 1\n  next if i.odd?()\n  s += i\nend\nputs(s)"),
+        "30"
+    );
+    assert_eq!(run("x = 5\nputs(\"neg\") unless x > 0\nputs(\"pos\") if x > 0"), "pos");
+}
+
+#[test]
+fn methods_and_recursion() {
+    assert_eq!(
+        run("def fib(n)\n  return n if n < 2\n  fib(n - 1) + fib(n - 2)\nend\nputs(fib(15))"),
+        "610"
+    );
+    assert_eq!(
+        run("def greet(name)\n  \"hi \" + name\nend\nputs(greet(\"bob\"))"),
+        "hi bob"
+    );
+}
+
+#[test]
+fn the_paper_while_microbenchmark() {
+    // Fig. 4 left: the While benchmark workload body.
+    let src = "def workload(num_iter)\n  x = 0\n  i = 1\n  while i <= num_iter\n    x += i\n    i += 1\n  end\n  x\nend\nputs(workload(1000))";
+    assert_eq!(run(src), "500500");
+}
+
+#[test]
+fn the_paper_iterator_microbenchmark() {
+    // Fig. 4 right: the Iterator benchmark workload body.
+    let src = "def workload(num_iter)\n  x = 0\n  (1..num_iter).each do |i|\n    x += i\n  end\n  x\nend\nputs(workload(1000))";
+    assert_eq!(run(src), "500500");
+}
+
+#[test]
+fn blocks_and_yield() {
+    assert_eq!(
+        run("def twice()\n  yield(1)\n  yield(2)\nend\ntwice() { |x| puts(x * 10) }"),
+        "10\n20"
+    );
+    assert_eq!(run("3.times do |i|\n  puts(i)\nend"), "0\n1\n2");
+    assert_eq!(run("puts((1..4).map { |x| x * x }.join(\",\"))"), "1,4,9,16");
+    assert_eq!(run("puts([3, 1, 2].sort.join(\",\"))"), "1,2,3");
+    assert_eq!(run("puts([1, 2, 3, 4].select { |x| x.even?() }.join(\",\"))"), "2,4");
+}
+
+#[test]
+fn arrays_and_hashes() {
+    assert_eq!(run("a = [1, 2, 3]\na.push(4)\na << 5\nputs(a.length)\nputs(a[4])"), "5\n5");
+    assert_eq!(run("a = Array.new(3, 7)\nputs(a.join(\",\"))"), "7,7,7");
+    assert_eq!(run("h = { \"a\" => 1, \"b\" => 2 }\nputs(h[\"b\"])\nh[\"c\"] = 3\nputs(h.size)"), "2\n3");
+    assert_eq!(run("a = [5, 3, 9]\nputs(a.min)\nputs(a.max)\nputs(a.sum)"), "3\n9\n17");
+    assert_eq!(run("a = [1, 2]\na[0] += 10\nputs(a[0])"), "11");
+}
+
+#[test]
+fn classes_ivars_inheritance() {
+    let src = r#"
+class Animal
+  def initialize(name)
+    @name = name
+  end
+  def name()
+    @name
+  end
+  def speak()
+    "..."
+  end
+end
+class Dog < Animal
+  def speak()
+    "Woof"
+  end
+end
+d = Dog.new("Rex")
+puts(d.name)
+puts(d.speak)
+puts(d.class.name)
+"#;
+    assert_eq!(run(src), "Rex\nWoof\nDog");
+}
+
+#[test]
+fn attr_accessor_and_class_vars() {
+    let src = r#"
+class Counter
+  @@total = 0
+  attr_accessor(:count)
+  def initialize()
+    @count = 0
+  end
+  def bump()
+    @count += 1
+    @@total += 1
+  end
+  def self.total()
+    @@total
+  end
+end
+a = Counter.new()
+b = Counter.new()
+a.bump()
+a.bump()
+b.bump()
+puts(a.count)
+puts(b.count)
+puts(Counter.total)
+a.count = 42
+puts(a.count)
+"#;
+    assert_eq!(run(src), "2\n1\n3\n42");
+}
+
+#[test]
+fn globals_and_constants() {
+    assert_eq!(run("$g = 5\n$g += 1\nputs($g)"), "6");
+    assert_eq!(run("LIMIT = 10\nputs(LIMIT * 2)"), "20");
+}
+
+#[test]
+fn threads_run_and_join() {
+    let src = r#"
+t = Thread.new(21) do |n|
+  n * 2
+end
+t.join()
+puts(t.value)
+"#;
+    assert_eq!(run(src), "42");
+}
+
+#[test]
+fn many_threads_with_shared_array() {
+    let src = r#"
+results = Array.new(4, 0)
+threads = []
+4.times do |i|
+  threads << Thread.new(i) do |tid|
+    s = 0
+    j = 1
+    while j <= 100
+      s += j * (tid + 1)
+      j += 1
+    end
+    results[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(results.join(","))
+"#;
+    assert_eq!(run(src), "5050,10100,15150,20200");
+}
+
+#[test]
+fn mutex_protects_counter() {
+    let src = r#"
+m = Mutex.new()
+count = 0
+threads = []
+3.times do |i|
+  threads << Thread.new() do
+    j = 0
+    while j < 50
+      m.synchronize do
+        count += 1
+      end
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(count)
+"#;
+    assert_eq!(run(src), "150");
+}
+
+#[test]
+fn barrier_synchronizes_phases() {
+    let src = r#"
+b = Barrier.new(3)
+marks = Array.new(3, 0)
+sums = Array.new(3, 0)
+threads = []
+3.times do |i|
+  threads << Thread.new(i) do |tid|
+    marks[tid] = 1
+    b.wait()
+    # After the barrier everyone must observe everyone's phase-1 mark.
+    sums[tid] = marks[0] + marks[1] + marks[2]
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(sums.join(","))
+"#;
+    assert_eq!(run(src), "3,3,3");
+}
+
+#[test]
+fn regexp_matching() {
+    let src = r#"
+r = Regexp.new("GET (.*) HTTP")
+m = r.match("GET /index.html HTTP/1.1")
+puts(m[1])
+puts(r.match("POST /x").nil?)
+"#;
+    assert_eq!(run(src), "/index.html\ntrue");
+}
+
+#[test]
+fn store_queries() {
+    let src = r#"
+books = Store.create(3)
+books.insert([1, "Dune", 1965])
+books.insert([2, "Neuromancer", 1984])
+books.insert([3, "Count Zero", 1984])
+rows = books.scan_eq(2, 1984)
+puts(rows.length)
+puts(rows[0][1])
+puts(books.count)
+"#;
+    assert_eq!(run(src), "2\nNeuromancer\n3");
+}
+
+#[test]
+fn io_wait_blocks_and_resumes() {
+    assert_eq!(run("puts(\"a\")\nio_wait(1)\nputs(\"b\")"), "a\nb");
+}
+
+#[test]
+fn math_functions() {
+    assert_eq!(run("puts(Math.sqrt(16.0))"), "4.0");
+    assert_eq!(run("puts(Math.pow(2.0, 8.0).to_i)"), "256");
+}
+
+#[test]
+fn nested_blocks_and_closures() {
+    let src = r#"
+total = 0
+(1..3).each do |i|
+  (1..3).each do |j|
+    total += i * j
+  end
+end
+puts(total)
+"#;
+    assert_eq!(run(src), "36");
+}
+
+#[test]
+fn logical_operators_short_circuit() {
+    assert_eq!(run("puts(nil || 5)"), "5");
+    assert_eq!(run("puts(false && broken_call())"), "false");
+    assert_eq!(run("x = nil\nx ||= 3\nx ||= 9\nputs(x)"), "3");
+}
+
+#[test]
+fn comparable_and_equality() {
+    assert_eq!(run("puts(1 == 1.0)"), "true");
+    assert_eq!(run("puts(\"a\" == \"a\")\nputs(\"a\" == \"b\")"), "true\nfalse");
+    assert_eq!(run("puts(3 <=> 5)\nputs(\"b\" <=> \"a\")"), "-1\n1");
+}
+
+#[test]
+fn two_dimensional_arrays_via_build() {
+    let src = r#"
+grid = Array.build(3) { |i| Array.new(3, i) }
+grid[1][2] = 9
+puts(grid[1].join(","))
+puts(grid[2].join(","))
+"#;
+    assert_eq!(run(src), "1,1,9\n2,2,2");
+}
+
+#[test]
+fn gc_survives_allocation_storm() {
+    // Allocate far more floats than the heap holds; GC + growth must cope
+    // and the result must still be right.
+    let src = r#"
+s = 0.0
+i = 0
+while i < 20000
+  s += 1.5
+  i += 1
+end
+puts(s)
+"#;
+    let mut cfg = VmConfig::default();
+    cfg.heap_slots = 2_000;
+    cfg.max_heap_slots = 20_000;
+    let mut vm = Vm::boot(src, cfg, &MachineProfile::generic(2)).unwrap();
+    loop {
+        match vm.step(0) {
+            Ok(StepOk::Finished) => break,
+            Ok(_) => {}
+            Err(e) => panic!("{e:?}"),
+        }
+    }
+    assert_eq!(vm.stdout_text(), "30000.0");
+    assert!(vm.gc_runs > 0, "GC must have run");
+}

@@ -1,0 +1,93 @@
+//! Quick ASCII line charts so figure shapes are inspectable in a terminal.
+
+use crate::series::SeriesSet;
+
+/// Render a panel as a small ASCII chart (`width`×`height` plot area).
+/// Each series is drawn with its own marker character; later series
+/// overwrite earlier ones at collisions.
+pub fn ascii_chart(set: &SeriesSet, width: usize, height: usize) -> String {
+    const MARKS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&'];
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (0.0f64, f64::MIN);
+    for s in &set.series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if xmin > xmax || ymax == f64::MIN {
+        return format!("{} (no data)\n", set.title);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in set.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{} [{}]\n", set.title, set.y_label));
+    for (r, row) in grid.iter().enumerate() {
+        let yv = ymax - (ymax - ymin) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yv:7.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:7} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:8}{:<10.1}{:>width$.1}  ({})\n",
+        "",
+        xmin,
+        xmax,
+        set.x_label,
+        width = width - 10
+    ));
+    // Legend.
+    for (si, s) in set.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Series, SeriesSet};
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let mut set = SeriesSet::new("FT", "threads", "speedup");
+        let mut a = Series::new("GIL");
+        a.push(1.0, 1.0);
+        a.push(12.0, 1.0);
+        let mut b = Series::new("HTM-dynamic");
+        b.push(1.0, 0.8);
+        b.push(12.0, 4.4);
+        set.add(a);
+        set.add(b);
+        let c = ascii_chart(&set, 40, 10);
+        assert!(c.contains('o'), "first series marker");
+        assert!(c.contains('+'), "second series marker");
+        assert!(c.contains("GIL"));
+        assert!(c.contains("HTM-dynamic"));
+        assert!(c.lines().count() > 10);
+    }
+
+    #[test]
+    fn empty_set_is_graceful() {
+        let set = SeriesSet::new("empty", "x", "y");
+        let c = ascii_chart(&set, 10, 5);
+        assert!(c.contains("no data"));
+    }
+}

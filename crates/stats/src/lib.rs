@@ -1,0 +1,14 @@
+//! # htm-gil-stats
+//!
+//! Result handling for the experiment harness: labelled series (one per
+//! figure line), summary statistics, fixed-width tables, quick ASCII line
+//! charts for terminal inspection, and CSV emission so the figures can be
+//! re-plotted with external tools.
+
+pub mod chart;
+pub mod series;
+pub mod table;
+
+pub use chart::ascii_chart;
+pub use series::{geomean, mean, Series, SeriesSet};
+pub use table::Table;

@@ -1,0 +1,106 @@
+//! The two embarrassingly parallel micro-benchmarks of paper Fig. 4.
+//!
+//! Each thread runs the workload body shown in the figure: the *While*
+//! benchmark is a plain counted loop of `opt_plus`/`opt_le` bytecodes; the
+//! *Iterator* benchmark does the same accumulation through `Range#each`
+//! with a block, exercising `send`/`invokeblock` dispatch. The paper
+//! reports 10–11× speedups over the GIL at 12 threads on zEC12.
+
+use crate::{instantiate, Workload};
+
+const WHILE_SRC: &str = r#"
+# Fig. 4 (left): the While micro-benchmark, one workload per thread.
+def workload(num_iter)
+  x = 0
+  i = 1
+  while i <= num_iter
+    x += i
+    i += 1
+  end
+  x
+end
+
+nthreads = %THREADS%
+iters = %SCALE%
+results = Array.new(nthreads, 0)
+threads = []
+nthreads.times do |t|
+  threads << Thread.new(t) do |tid|
+    results[tid] = workload(iters)
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0
+results.each do |r|
+  total += r
+end
+puts(total)
+"#;
+
+const ITER_SRC: &str = r#"
+# Fig. 4 (right): the Iterator micro-benchmark, one workload per thread.
+def workload(num_iter)
+  x = 0
+  (1..num_iter).each do |i|
+    x += i
+  end
+  x
+end
+
+nthreads = %THREADS%
+iters = %SCALE%
+results = Array.new(nthreads, 0)
+threads = []
+nthreads.times do |t|
+  threads << Thread.new(t) do |tid|
+    results[tid] = workload(iters)
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0
+results.each do |r|
+  total += r
+end
+puts(total)
+"#;
+
+/// While benchmark: `iters` loop iterations per thread. Each thread
+/// completes one workload, so the figure's throughput metric counts
+/// `threads` work units (the paper plots workloads/second).
+pub fn while_bench(threads: usize, iters: usize) -> Workload {
+    instantiate("While", WHILE_SRC, threads, iters, threads as u64)
+}
+
+/// Iterator benchmark: `iters` block invocations per thread.
+pub fn iterator_bench(threads: usize, iters: usize) -> Workload {
+    instantiate("Iterator", ITER_SRC, threads, iters, threads as u64)
+}
+
+/// Expected stdout for either micro-benchmark (n·Σ1..iters).
+pub fn expected_output(threads: usize, iters: usize) -> String {
+    let per = (iters as i64) * (iters as i64 + 1) / 2;
+    format!("{}", per * threads as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_instantiate() {
+        let w = while_bench(12, 1000);
+        assert!(w.source.contains("nthreads = 12"));
+        assert!(w.source.contains("iters = 1000"));
+        assert_eq!(w.threads, 12);
+    }
+
+    #[test]
+    fn expected_math() {
+        assert_eq!(expected_output(1, 10), "55");
+        assert_eq!(expected_output(4, 1000), format!("{}", 4 * 500500));
+    }
+}

@@ -1,0 +1,625 @@
+//! Scaled-down ports of the seven Ruby NAS Parallel Benchmarks.
+//!
+//! The real Ruby NPB (Nose's translation of NPB 3.0) runs thousands of
+//! lines per kernel; what the paper's evaluation depends on is each
+//! program's *parallel structure* — which determines its inherent
+//! scalability (paper §5.7: "the differences in the speedups … originated
+//! from each program's own scalability characteristics") — and its
+//! *memory behaviour* (float-heavy arithmetic that hammers the allocator,
+//! stencil reads that cross thread boundaries, reductions and barriers).
+//! Each port below keeps those:
+//!
+//! | kernel | structure kept |
+//! |--------|----------------|
+//! | BT     | grid sweeps + per-direction line solves, barrier per phase |
+//! | CG     | sparse matvec + dot-product reductions every iteration |
+//! | FT     | butterfly passes with all-threads barriers, complex arith |
+//! | IS     | integer bucket sort: local histograms + ranked merge |
+//! | LU     | red/black wavefront-style relaxation, two barriers/iter |
+//! | MG     | V-cycle over 3 levels: restrict → relax → prolong |
+//! | SP     | pentadiagonal-style scalar sweeps, lighter per-line work |
+//!
+//! All kernels: workers write partial results into per-thread slots;
+//! `main` joins and combines in thread-id order, so the printed checksum
+//! is identical across runtime modes and thread counts' interleavings
+//! (floating-point combination order is fixed).
+
+use crate::{instantiate, Workload};
+
+/// Shared prologue: thread/row helpers used by every kernel.
+const COMMON: &str = r#"
+NT = %THREADS%
+SCALE = %SCALE%
+
+def row_lo(rows, tid)
+  rows * tid / NT
+end
+
+def row_hi(rows, tid)
+  rows * (tid + 1) / NT
+end
+"#;
+
+const BT_SRC: &str = r#"
+# BT: block-tridiagonal-style grid solver. Per iteration: a 5-point
+# stencil RHS, then line solves along x and along y, a barrier between
+# phases (the real BT's add/x_solve/y_solve/z_solve cadence). SCALE
+# grows the grid (the paper's class knob), not the barrier count.
+N = 12 + 6 * SCALE
+ITERS = 2
+
+grid = Array.build(N) { |i| Array.build(N) { |j| ((i * 7 + j * 3) % 10).to_f * 0.1 + 1.0 } }
+rhs = Array.build(N) { |i| Array.new(N, 0.0) }
+b = Barrier.new(NT)
+sums = Array.new(NT, 0.0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    lo = row_lo(N, tid)
+    hi = row_hi(N, tid)
+    it = 0
+    while it < ITERS
+      # RHS: 5-point stencil (reads cross row boundaries).
+      i = lo
+      while i < hi
+        j = 0
+        row = grid[i]
+        up = grid[(i + N - 1) % N]
+        dn = grid[(i + 1) % N]
+        while j < N
+          l = row[(j + N - 1) % N]
+          r = row[(j + 1) % N]
+          rhs[i][j] = 0.25 * (up[j] + dn[j] + l + r) - row[j]
+          j += 1
+        end
+        i += 1
+      end
+      b.wait()
+      # x-solve: forward/backward sweep along each owned row.
+      i = lo
+      while i < hi
+        j = 1
+        row = rhs[i]
+        while j < N
+          row[j] = row[j] - 0.4 * row[j - 1]
+          j += 1
+        end
+        j = N - 2
+        while j >= 0
+          row[j] = row[j] - 0.4 * row[j + 1]
+          j -= 1
+        end
+        i += 1
+      end
+      b.wait()
+      # y-solve + update (columns need neighbours: barrier above).
+      i = lo
+      while i < hi
+        j = 0
+        while j < N
+          grid[i][j] = grid[i][j] + 0.2 * rhs[i][j]
+          j += 1
+        end
+        i += 1
+      end
+      b.wait()
+      it += 1
+    end
+    s = 0.0
+    i = lo
+    while i < hi
+      j = 0
+      while j < N
+        s += grid[i][j] * grid[i][j]
+        j += 1
+      end
+      i += 1
+    end
+    sums[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0.0
+sums.each do |s|
+  total += s
+end
+puts("BT checksum " + (total * 1000.0).round.to_s)
+"#;
+
+const CG_SRC: &str = r#"
+# CG: conjugate-gradient-style sparse matvec + reductions. The sparse
+# matrix is banded (5 entries/row); every iteration does q = A p and two
+# dot products combined across threads in tid order.
+N = 160 * SCALE
+ITERS = 4
+
+cols = Array.build(N) { |i| [ i, (i + 1) % N, (i + 7) % N, (i + 31) % N, (i + N - 1) % N ] }
+vals = Array.build(N) { |i| [ 2.5, -0.5, 0.25, -0.125, -0.5 ] }
+p = Array.build(N) { |i| 1.0 + (i % 5).to_f * 0.01 }
+q = Array.new(N, 0.0)
+partial = Array.new(NT, 0.0)
+b = Barrier.new(NT)
+rhos = Array.new(NT, 0.0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    lo = row_lo(N, tid)
+    hi = row_hi(N, tid)
+    it = 0
+    while it < ITERS
+      # q = A p over owned rows.
+      i = lo
+      while i < hi
+        c = cols[i]
+        v = vals[i]
+        s = 0.0
+        k = 0
+        while k < 5
+          s += v[k] * p[c[k]]
+          k += 1
+        end
+        q[i] = s
+        i += 1
+      end
+      # rho = p . q (per-thread partials; main-order combination).
+      s = 0.0
+      i = lo
+      while i < hi
+        s += p[i] * q[i]
+        i += 1
+      end
+      partial[tid] = s
+      b.wait()
+      # Everyone reads all partials in the same (tid) order.
+      rho = 0.0
+      k = 0
+      while k < NT
+        rho += partial[k]
+        k += 1
+      end
+      # p = q / rho over owned rows (normalization step).
+      inv = 1.0 / rho
+      i = lo
+      while i < hi
+        p[i] = q[i] * inv * N.to_f
+        i += 1
+      end
+      b.wait()
+      rhos[tid] = rho
+      it += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts("CG rho " + (rhos[0] * 100.0).round.to_s)
+"#;
+
+const FT_SRC: &str = r#"
+# FT: FFT-style butterfly passes over a complex array (split re/im),
+# double-buffered (read generation g, write generation g+1) with an
+# all-threads barrier between passes, then a checksum reduction.
+N = 256 * SCALE
+PASSES = 5
+
+re0 = Array.build(N) { |i| ((i * 13 + 5) % 17).to_f * 0.1 }
+im0 = Array.build(N) { |i| ((i * 7 + 3) % 19).to_f * 0.1 }
+re1 = Array.new(N, 0.0)
+im1 = Array.new(N, 0.0)
+b = Barrier.new(NT)
+sums_re = Array.new(NT, 0.0)
+sums_im = Array.new(NT, 0.0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    lo = row_lo(N, tid)
+    hi = row_hi(N, tid)
+    pass = 0
+    stride = 1
+    while pass < PASSES
+      if pass % 2 == 0
+        src_re = re0
+        src_im = im0
+        dst_re = re1
+        dst_im = im1
+      else
+        src_re = re1
+        src_im = im1
+        dst_re = re0
+        dst_im = im0
+      end
+      i = lo
+      while i < hi
+        j = (i + stride) % N
+        ar = src_re[i]
+        ai = src_im[i]
+        br = src_re[j]
+        bi = src_im[j]
+        # butterfly with twiddle (0.8, 0.6)
+        tr = br * 0.8 - bi * 0.6
+        ti = br * 0.6 + bi * 0.8
+        dst_re[i] = ar + tr
+        dst_im[i] = ai + ti
+        i += 1
+      end
+      b.wait()
+      stride = stride * 2
+      pass += 1
+    end
+    if PASSES % 2 == 0
+      fin_re = re0
+      fin_im = im0
+    else
+      fin_re = re1
+      fin_im = im1
+    end
+    sr = 0.0
+    si = 0.0
+    i = lo
+    while i < hi
+      sr += fin_re[i]
+      si += fin_im[i]
+      i += 1
+    end
+    sums_re[tid] = sr
+    sums_im[tid] = si
+  end
+end
+threads.each do |t|
+  t.join()
+end
+tr = 0.0
+ti = 0.0
+k = 0
+while k < NT
+  tr += sums_re[k]
+  ti += sums_im[k]
+  k += 1
+end
+puts("FT checksum " + (tr * 10.0).round.to_s + " " + (ti * 10.0).round.to_s)
+"#;
+
+const IS_SRC: &str = r#"
+# IS: integer bucket sort. Each thread generates its share of keys with a
+# deterministic LCG, counts them into a PRIVATE histogram, then all
+# histograms merge over disjoint bucket ranges (rank step).
+NKEYS = 1200 * SCALE
+NBUCKETS = 64
+
+hist = Array.build(NT) { |t| Array.new(NBUCKETS, 0) }
+ranks = Array.new(NBUCKETS, 0)
+b = Barrier.new(NT)
+checks = Array.new(NT, 0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    lo = NKEYS * tid / NT
+    hi = NKEYS * (tid + 1) / NT
+    mine = hist[tid]
+    seed = 12345 + tid * 7919
+    i = lo
+    while i < hi
+      seed = (seed * 1103515245 + 12345) % 2147483648
+      key = seed % NBUCKETS
+      mine[key] = mine[key] + 1
+      i += 1
+    end
+    b.wait()
+    # Rank: each thread sums a disjoint range of buckets across all
+    # thread-local histograms.
+    blo = NBUCKETS * tid / NT
+    bhi = NBUCKETS * (tid + 1) / NT
+    k = blo
+    while k < bhi
+      c = 0
+      j = 0
+      while j < NT
+        c += hist[j][k]
+        j += 1
+      end
+      ranks[k] = c
+      k += 1
+    end
+    b.wait()
+    # Verification: weighted checksum of the shared rank table.
+    s = 0
+    k = 0
+    while k < NBUCKETS
+      s += ranks[k] * (k + 1)
+      k += 1
+    end
+    checks[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts("IS check " + checks[0].to_s)
+"#;
+
+const LU_SRC: &str = r#"
+# LU: SSOR-style relaxation with red/black ordering (two half-sweeps with
+# a barrier each — the wavefront dependency made explicit). SCALE
+# grows the grid, not the barrier count.
+N = 12 + 6 * SCALE
+ITERS = 2
+
+u = Array.build(N) { |i| Array.build(N) { |j| ((i + 2 * j) % 8).to_f * 0.125 } }
+b = Barrier.new(NT)
+sums = Array.new(NT, 0.0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    lo = row_lo(N, tid)
+    hi = row_hi(N, tid)
+    it = 0
+    while it < ITERS
+      color = 0
+      while color < 2
+        i = lo
+        while i < hi
+          row = u[i]
+          up = u[(i + N - 1) % N]
+          dn = u[(i + 1) % N]
+          j = (i + color) % 2
+          while j < N
+            row[j] = 0.6 * row[j] + 0.1 * (up[j] + dn[j] + row[(j + N - 1) % N] + row[(j + 1) % N])
+            j += 2
+          end
+          i += 1
+        end
+        b.wait()
+        color += 1
+      end
+      it += 1
+    end
+    s = 0.0
+    i = lo
+    while i < hi
+      j = 0
+      while j < N
+        s += u[i][j]
+        j += 1
+      end
+      i += 1
+    end
+    sums[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0.0
+sums.each do |s|
+  total += s
+end
+puts("LU norm " + (total * 1000.0).round.to_s)
+"#;
+
+const MG_SRC: &str = r#"
+# MG: one V-cycle per iteration over 3 grid levels: restrict to coarse,
+# relax there (Jacobi, double-buffered), prolongate back, relax on fine.
+# Barrier per level change; no in-place neighbour reads, so the result is
+# interleaving-independent.
+NF = 96 * SCALE
+ITERS = 2
+
+fine = Array.build(NF) { |i| ((i * 5 + 1) % 9).to_f * 0.25 }
+fine2 = Array.new(NF, 0.0)
+mid = Array.new(NF / 2, 0.0)
+coarse = Array.new(NF / 4, 0.0)
+coarse2 = Array.new(NF / 4, 0.0)
+b = Barrier.new(NT)
+sums = Array.new(NT, 0.0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    it = 0
+    while it < ITERS
+      # Restrict fine -> mid.
+      n = NF / 2
+      lo = row_lo(n, tid)
+      hi = row_hi(n, tid)
+      i = lo
+      while i < hi
+        mid[i] = 0.5 * fine[2 * i] + 0.25 * (fine[(2 * i + 1) % NF] + fine[(2 * i + NF - 1) % NF])
+        i += 1
+      end
+      b.wait()
+      # Restrict mid -> coarse.
+      n = NF / 4
+      lo = row_lo(n, tid)
+      hi = row_hi(n, tid)
+      i = lo
+      while i < hi
+        coarse[i] = 0.5 * mid[2 * i] + 0.5 * mid[(2 * i + 1) % (NF / 2)]
+        i += 1
+      end
+      b.wait()
+      # Relax coarse (Jacobi into coarse2, then publish back).
+      i = lo
+      while i < hi
+        coarse2[i] = 0.5 * coarse[i] + 0.25 * (coarse[(i + 1) % n] + coarse[(i + n - 1) % n])
+        i += 1
+      end
+      b.wait()
+      i = lo
+      while i < hi
+        coarse[i] = coarse2[i]
+        i += 1
+      end
+      b.wait()
+      # Prolongate coarse -> fine and relax (Jacobi via fine2).
+      n = NF
+      lo = row_lo(n, tid)
+      hi = row_hi(n, tid)
+      i = lo
+      while i < hi
+        fine2[i] = fine[i] + 0.5 * coarse[(i / 4) % (NF / 4)]
+        i += 1
+      end
+      b.wait()
+      i = lo
+      while i < hi
+        fine[i] = 0.5 * fine2[i] + 0.25 * (fine2[(i + 1) % n] + fine2[(i + n - 1) % n])
+        i += 1
+      end
+      b.wait()
+      it += 1
+    end
+    lo = row_lo(NF, tid)
+    hi = row_hi(NF, tid)
+    s = 0.0
+    i = lo
+    while i < hi
+      s += fine[i]
+      i += 1
+    end
+    sums[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0.0
+sums.each do |s|
+  total += s
+end
+puts("MG norm " + (total * 1000.0).round.to_s)
+"#;
+
+const SP_SRC: &str = r#"
+# SP: scalar pentadiagonal sweeps — like BT but scalar factors and a
+# wider (±2) stencil. Double-buffered by iteration parity so neighbour
+# reads never race with writes.
+N = 12 + 6 * SCALE
+ITERS = 2
+
+ua = Array.build(N) { |i| Array.build(N) { |j| ((3 * i + j) % 7).to_f * 0.2 } }
+ub = Array.build(N) { |i| Array.new(N, 0.0) }
+b = Barrier.new(NT)
+sums = Array.new(NT, 0.0)
+
+threads = []
+NT.times do |t|
+  threads << Thread.new(t) do |tid|
+    lo = row_lo(N, tid)
+    hi = row_hi(N, tid)
+    it = 0
+    while it < ITERS
+      if it % 2 == 0
+        src = ua
+        dst = ub
+      else
+        src = ub
+        dst = ua
+      end
+      i = lo
+      while i < hi
+        row = src[i]
+        a = src[(i + N - 2) % N]
+        c = src[(i + 2) % N]
+        out = dst[i]
+        j = 0
+        while j < N
+          out[j] = 0.5 * row[j] + 0.125 * (a[j] + c[j] + row[(j + 2) % N] + row[(j + N - 2) % N])
+          j += 1
+        end
+        i += 1
+      end
+      b.wait()
+      it += 1
+    end
+    if ITERS % 2 == 0
+      fin = ua
+    else
+      fin = ub
+    end
+    s = 0.0
+    i = lo
+    while i < hi
+      j = 0
+      while j < N
+        s += fin[i][j]
+        j += 1
+      end
+      i += 1
+    end
+    sums[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0.0
+sums.each do |s|
+  total += s
+end
+puts("SP norm " + (total * 1000.0).round.to_s)
+"#;
+
+fn kernel(name: &'static str, body: &str, threads: usize, scale: usize) -> Workload {
+    let src = format!("{COMMON}\n{body}");
+    instantiate(name, &src, threads, scale.max(1), 0)
+}
+
+pub fn bt(threads: usize, scale: usize) -> Workload {
+    kernel("BT", BT_SRC, threads, scale)
+}
+
+pub fn cg(threads: usize, scale: usize) -> Workload {
+    kernel("CG", CG_SRC, threads, scale)
+}
+
+pub fn ft(threads: usize, scale: usize) -> Workload {
+    kernel("FT", FT_SRC, threads, scale)
+}
+
+pub fn is(threads: usize, scale: usize) -> Workload {
+    kernel("IS", IS_SRC, threads, scale)
+}
+
+pub fn lu(threads: usize, scale: usize) -> Workload {
+    kernel("LU", LU_SRC, threads, scale)
+}
+
+pub fn mg(threads: usize, scale: usize) -> Workload {
+    kernel("MG", MG_SRC, threads, scale)
+}
+
+pub fn sp(threads: usize, scale: usize) -> Workload {
+    kernel("SP", SP_SRC, threads, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_have_distinct_names_and_parse() {
+        let all = crate::npb_all(3, 1);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["BT", "CG", "FT", "IS", "LU", "MG", "SP"]);
+        for w in &all {
+            ruby_lang::parse_program(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn scale_expands_iterations() {
+        let w1 = bt(2, 1);
+        let w3 = bt(2, 3);
+        assert!(w1.source.contains("SCALE = 1"));
+        assert!(w3.source.contains("SCALE = 3"));
+    }
+}

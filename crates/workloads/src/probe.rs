@@ -1,0 +1,61 @@
+//! The write-set-shrinking probe of paper Fig. 6(a).
+//!
+//! "In one process, it first wrote 24 KB 10,000 times, and then 20 KB
+//! 10,000 times, and so on. We measured the transaction success ratios
+//! for each 100 iterations." On real Haswell the success ratio recovers
+//! only *gradually* after the size drops below the ~19 KB capacity — the
+//! learning-predictor behaviour `htm-sim` models.
+//!
+//! The probe is not a Ruby program (the paper's wasn't either — it was a
+//! C test): the harness drives `htm-sim` directly, writing `size_kb` of
+//! distinct lines per transaction and recording per-window success
+//! ratios. This module only prepares the size schedule; the driving loop
+//! lives in `bench/src/bin/fig6a_writeset.rs` and in the integration
+//! tests.
+
+use crate::Workload;
+
+/// Phase schedule: each `(size_kb, iterations)` pair.
+#[derive(Debug, Clone)]
+pub struct ProbeSchedule {
+    pub phases: Vec<(usize, usize)>,
+}
+
+/// Build the Fig. 6(a) schedule: the given sizes, `iters` transactions
+/// each.
+pub fn schedule(sizes_kb: &[usize], iters: usize) -> ProbeSchedule {
+    ProbeSchedule {
+        phases: sizes_kb.iter().map(|&s| (s, iters)).collect(),
+    }
+}
+
+/// A trivially-valid workload wrapper so the probe appears in the
+/// registry (its Ruby body just documents itself; the real driving is
+/// native).
+pub fn writeset_probe(sizes_kb: &[usize], iters: usize) -> Workload {
+    let sched = schedule(sizes_kb, iters);
+    let mut src = String::from("# native probe: sizes ");
+    for (s, _) in &sched.phases {
+        src.push_str(&format!("{s}KB "));
+    }
+    src.push_str("\nputs(\"probe\")\n");
+    Workload {
+        name: "WriteSetProbe",
+        source: src,
+        threads: 1,
+        requests: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_shape() {
+        let s = schedule(&[24, 20, 16, 12], 10_000);
+        assert_eq!(s.phases.len(), 4);
+        assert_eq!(s.phases[0], (24, 10_000));
+        assert_eq!(s.phases[3], (12, 10_000));
+    }
+}

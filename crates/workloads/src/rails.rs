@@ -1,0 +1,115 @@
+//! The Ruby-on-Rails model (paper §5.3/§5.5).
+//!
+//! The paper's application "fetch[es] a list of books from a database"
+//! (Rails 4 + SQLite3 + WEBrick, request-serialization lock disabled).
+//! The pipeline below keeps the behaviours the evaluation hinges on:
+//!
+//! * routing by regex over the request path (overflow-abort source);
+//! * a controller action querying the relational-store substrate (a full
+//!   table scan per request — large read sets, result materialization);
+//! * an ERB-like template render (string building, per-request garbage);
+//! * blocking-I/O points around each request (GIL released);
+//! * 87 % of Xeon HTM-dynamic aborts were footprint overflows — the scan
+//!   plus render inside single C-level-ish regions reproduces that bias.
+
+use crate::{instantiate, Workload};
+
+const RAILS_SRC: &str = r#"
+NCLIENTS = %THREADS%
+NREQUESTS = %SCALE%
+
+ROUTE_BOOKS = Regexp.new("^/books(/([0-9]+))?$")
+
+# Seed the database: a books table (id, title, year, author_id).
+BOOKS = Store.create(4)
+titles = ["Dune", "Neuromancer", "Foundation", "Hyperion", "Ubik",
+          "Solaris", "Contact", "Blindsight", "Anathem", "Accelerando"]
+i = 0
+while i < 30
+  BOOKS.insert([i, titles[i % 10] + " vol." + (i / 10).to_s, 1960 + (i * 3) % 50, i % 7])
+  i += 1
+end
+
+def render_books(rows)
+  # ERB-ish template: header + one row per book + footer.
+  out = "<html><head><title>Books</title></head><body><table>"
+  rows.each do |r|
+    out = out + "<tr><td>" + r[0].to_s + "</td><td>" + r[1] + "</td><td>" + r[2].to_s + "</td></tr>"
+  end
+  out + "</table></body></html>"
+end
+
+def books_controller(path)
+  m = ROUTE_BOOKS.match(path)
+  if m.nil?
+    return "404 Not Found"
+  end
+  id = m[2]
+  if id.nil?
+    rows = BOOKS.all()
+  else
+    rows = BOOKS.scan_eq(0, id.to_i)
+  end
+  render_books(rows)
+end
+
+served = Array.new(NCLIENTS, 0)
+bytes = Array.new(NCLIENTS, 0)
+threads = []
+NCLIENTS.times do |t|
+  threads << Thread.new(t) do |tid|
+    count = 0
+    total = 0
+    k = tid
+    while k < NREQUESTS
+      # Blocking read on the keep-alive connection (GIL released).
+      io_wait(1)
+      path = "/books"
+      if k % 3 == 1
+        path = "/books/" + (k % 30).to_s
+      end
+      if k % 17 == 2
+        path = "/authors"
+      end
+      body = books_controller(path)
+      count += 1
+      total += body.length
+      k += NCLIENTS
+    end
+    served[tid] = count
+    bytes[tid] = total
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total_served = 0
+total_bytes = 0
+served.each do |c|
+  total_served += c
+end
+bytes.each do |v|
+  total_bytes += v
+end
+puts("served " + total_served.to_s + " bytes " + total_bytes.to_s)
+"#;
+
+/// Rails model: `clients` concurrent clients, `requests` total.
+pub fn rails(clients: usize, requests: usize) -> Workload {
+    let mut w = instantiate("Rails", RAILS_SRC, clients, requests, requests as u64);
+    w.requests = requests as u64;
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_instantiates() {
+        let w = rails(6, 60);
+        assert!(w.source.contains("NCLIENTS = 6"));
+        assert_eq!(w.requests, 60);
+        ruby_lang::parse_program(&w.source).unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! NPB explorer: run one NAS Parallel Benchmark kernel across runtime
+//! modes and thread counts, on either machine profile.
+//!
+//! ```sh
+//! cargo run --release --example npb_explorer -- CG --machine xeon --threads 1,2,4
+//! cargo run --release --example npb_explorer -- FT
+//! ```
+
+use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args.get(1).cloned().unwrap_or_else(|| "CG".to_string());
+    let machine = args
+        .iter()
+        .position(|a| a == "--machine")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "zec12".into());
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(|s| s.split(',').filter_map(|p| p.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    let profile = if machine.contains("xeon") {
+        MachineProfile::xeon_e3_1275_v3()
+    } else {
+        MachineProfile::zec12()
+    };
+    let build = |n: usize| -> htm_gil::Workload {
+        match kernel.to_uppercase().as_str() {
+            "BT" => htm_gil::bench_workloads::npb::bt(n, 1),
+            "CG" => htm_gil::bench_workloads::npb::cg(n, 1),
+            "FT" => htm_gil::bench_workloads::npb::ft(n, 1),
+            "IS" => htm_gil::bench_workloads::npb::is(n, 1),
+            "LU" => htm_gil::bench_workloads::npb::lu(n, 1),
+            "MG" => htm_gil::bench_workloads::npb::mg(n, 1),
+            "SP" => htm_gil::bench_workloads::npb::sp(n, 1),
+            other => {
+                eprintln!("unknown kernel {other}; use BT/CG/FT/IS/LU/MG/SP");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    println!("kernel {kernel} on {}\n", profile.name);
+    println!(
+        "{:<14} {:>8} {:>14} {:>9} {:>9} {:>8}",
+        "mode", "threads", "cycles", "begins", "aborts", "abort%"
+    );
+    let mut base: Option<u64> = None;
+    for mode in [
+        RuntimeMode::Gil,
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(256) },
+        RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+    ] {
+        for &n in &threads {
+            let w = build(n);
+            let mut vm_config = VmConfig::default();
+            vm_config.max_threads = n + 2;
+            let cfg = ExecConfig::new(mode, &profile);
+            let mut ex =
+                Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
+            let r = ex.run().expect("run");
+            if mode == RuntimeMode::Gil && n == threads[0] {
+                base = Some(r.elapsed_cycles);
+            }
+            let speedup = base.map(|b| b as f64 / r.elapsed_cycles as f64).unwrap_or(1.0);
+            println!(
+                "{:<14} {:>8} {:>14} {:>9} {:>9} {:>7.1}%   speedup {:.2}x   [{}]",
+                r.mode_label,
+                n,
+                r.elapsed_cycles,
+                r.htm.begins,
+                r.htm.total_aborts(),
+                r.abort_ratio_pct(),
+                speedup,
+                r.stdout.trim()
+            );
+        }
+    }
+}

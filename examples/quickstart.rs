@@ -1,0 +1,66 @@
+//! Quickstart: run one multi-threaded Ruby program under the original GIL
+//! and under HTM-dynamic GIL elision, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
+
+const PROGRAM: &str = r#"
+# Four threads summing independently — the paper's "embarrassingly
+# parallel" case where the GIL serializes everything and HTM should not.
+results = Array.new(4, 0)
+threads = []
+4.times do |t|
+  threads << Thread.new(t) do |tid|
+    s = 0
+    i = 1
+    while i <= 5000
+      s += i
+      i += 1
+    end
+    results[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+total = 0
+results.each do |r|
+  total += r
+end
+puts("total = " + total.to_s)
+"#;
+
+fn main() {
+    // A 12-core machine modelled on the paper's zEC12 partition.
+    let profile = MachineProfile::zec12();
+    let mut vm_config = VmConfig::default();
+    vm_config.max_threads = 8;
+
+    let mut run = |mode: RuntimeMode| {
+        let cfg = ExecConfig::new(mode, &profile);
+        let mut ex = Executor::new(PROGRAM, vm_config.clone(), profile.clone(), cfg)
+            .expect("boot");
+        let r = ex.run().expect("run");
+        println!(
+            "{:<12}  {:>12} cycles   output: {:?}   (tx: {} begun, {} aborted)",
+            r.mode_label,
+            r.elapsed_cycles,
+            r.stdout,
+            r.htm.begins,
+            r.htm.total_aborts()
+        );
+        r.elapsed_cycles
+    };
+
+    println!("machine: {} ({} hardware threads)\n", profile.name, profile.hw_threads());
+    let gil = run(RuntimeMode::Gil);
+    let htm = run(RuntimeMode::Htm { length: LengthPolicy::Dynamic });
+    println!(
+        "\nHTM-dynamic speedup over the GIL: {:.2}x (paper Fig. 4: ~10x at 12 threads \
+         for pure compute; here 4 threads → ideal 4x)",
+        gil as f64 / htm as f64
+    );
+}

@@ -1,0 +1,76 @@
+//! Run a Ruby-subset source file in the VM, in any runtime mode.
+//!
+//! ```sh
+//! echo 'puts("hello, " + "world")' > /tmp/hello.rb
+//! cargo run --release --example run_ruby -- /tmp/hello.rb
+//! cargo run --release --example run_ruby -- /tmp/hello.rb --mode htm-dynamic --stats
+//! ```
+
+use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: run_ruby <file.rb> [--mode gil|htm-1|htm-16|htm-256|htm-dynamic|fine|ideal] [--stats]");
+        std::process::exit(2);
+    };
+    let mode = match args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("gil")
+    {
+        "gil" => RuntimeMode::Gil,
+        "htm-1" => RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+        "htm-16" => RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+        "htm-256" => RuntimeMode::Htm { length: LengthPolicy::Fixed(256) },
+        "htm-dynamic" => RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        "fine" => RuntimeMode::FineGrained,
+        "ideal" => RuntimeMode::Ideal,
+        other => {
+            eprintln!("unknown mode {other}");
+            std::process::exit(2);
+        }
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let profile = MachineProfile::generic(8);
+    let cfg = ExecConfig::new(mode, &profile);
+    let mut ex = match Executor::new(&source, VmConfig::default(), profile, cfg) {
+        Ok(ex) => ex,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    match ex.run() {
+        Ok(r) => {
+            if !r.stdout.is_empty() {
+                println!("{}", r.stdout);
+            }
+            if args.iter().any(|a| a == "--stats") {
+                eprintln!("--- {} on {} ---", r.mode_label, r.machine);
+                eprintln!("cycles: {}", r.elapsed_cycles);
+                eprintln!("committed insns: {}", r.committed_insns);
+                eprintln!(
+                    "transactions: {} begun / {} committed / {} aborted",
+                    r.htm.begins,
+                    r.htm.commits,
+                    r.htm.total_aborts()
+                );
+                eprintln!("GIL acquisitions: {}", r.gil_acquisitions);
+                eprintln!("allocations: {}, GC runs: {}", r.allocations, r.gc_runs);
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

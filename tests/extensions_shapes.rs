@@ -1,0 +1,157 @@
+//! Shape tests for the §5.6/§7 extension features (see
+//! `ruby_vm::extensions` and the `extensions` bench binary).
+
+use htm_gil::bench_workloads as workloads;
+use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, VmConfig};
+
+fn run(w: &workloads::Workload, mode: RuntimeMode, vm_config: VmConfig) -> RunReport {
+    let profile = MachineProfile::zec12();
+    let cfg = ExecConfig::new(mode, &profile);
+    let mut ex = Executor::new(&w.source, vm_config, profile, cfg).expect("boot");
+    ex.run().unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+fn vmc(threads: usize) -> VmConfig {
+    VmConfig {
+        max_threads: threads + 2,
+        ..VmConfig::default()
+    }
+}
+
+const HTM16: RuntimeMode = RuntimeMode::Htm { length: LengthPolicy::Fixed(16) };
+
+#[test]
+fn refcount_writes_preserve_results_but_add_conflicts() {
+    // §7: CPython-style INCREF/DECREF traffic must not change program
+    // results, but must add shared write traffic (more aborts under HTM).
+    let w = workloads::npb::cg(4, 1);
+    let base = run(&w, HTM16, vmc(4));
+    let mut cfg = vmc(4);
+    cfg.refcount_writes = true;
+    let rc = run(&w, HTM16, cfg);
+    assert_eq!(base.stdout, rc.stdout, "refcounting must be transparent");
+    assert!(
+        rc.htm.total_aborts() > base.htm.total_aborts(),
+        "refcount traffic must cause extra aborts ({} vs {})",
+        rc.htm.total_aborts(),
+        base.htm.total_aborts()
+    );
+    assert!(
+        rc.elapsed_cycles > base.elapsed_cycles,
+        "refcounting must slow HTM down"
+    );
+}
+
+#[test]
+fn refcount_writes_are_harmless_under_the_gil() {
+    // Under the GIL there is nothing to conflict with: results identical,
+    // only the plain INCREF/DECREF cost is added.
+    let w = workloads::micro::while_bench(2, 150);
+    let base = run(&w, RuntimeMode::Gil, vmc(2));
+    let mut cfg = vmc(2);
+    cfg.refcount_writes = true;
+    let rc = run(&w, RuntimeMode::Gil, cfg);
+    assert_eq!(base.stdout, rc.stdout);
+    assert_eq!(rc.htm.total_aborts(), 0);
+}
+
+#[test]
+fn thread_local_ics_preserve_results() {
+    let w = workloads::npb::bt(3, 1);
+    let base = run(&w, HTM16, vmc(3));
+    let mut cfg = vmc(3);
+    cfg.thread_local_ics = true;
+    let tl = run(&w, HTM16, cfg);
+    assert_eq!(base.stdout, tl.stdout);
+}
+
+#[test]
+fn thread_local_ics_remove_ic_conflicts() {
+    // A workload whose inline caches churn across threads: polymorphic
+    // call sites exercised concurrently. With shared ICs the refills
+    // conflict; with per-thread ICs they cannot.
+    let src = r#"
+class A
+  def go()
+    1
+  end
+end
+class B
+  def go()
+    2
+  end
+end
+objs = [A.new(), B.new()]
+out = Array.new(3, 0)
+threads = []
+3.times do |t|
+  threads << Thread.new(t) do |tid|
+    s = 0
+    j = 0
+    while j < 400
+      s += objs[j % 2].go
+      j += 1
+    end
+    out[tid] = s
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(out[0] + out[1] + out[2])
+"#;
+    let w = workloads::Workload { name: "poly", source: src.into(), threads: 3, requests: 0 };
+    // Use the *original* refill-on-every-miss policy so shared ICs churn.
+    let mut shared_cfg = vmc(3);
+    shared_cfg.method_ic_fill_once = false;
+    let shared = run(&w, HTM16, shared_cfg);
+    let mut tl_cfg = vmc(3);
+    tl_cfg.method_ic_fill_once = false;
+    tl_cfg.thread_local_ics = true;
+    let tl = run(&w, HTM16, tl_cfg);
+    assert_eq!(shared.stdout, tl.stdout);
+    assert_eq!(shared.stdout, "1800");
+    let shared_ic = shared
+        .conflict_sites
+        .get(&htm_gil::core::ConflictSite::InlineCache)
+        .copied()
+        .unwrap_or(0);
+    let tl_ic = tl
+        .conflict_sites
+        .get(&htm_gil::core::ConflictSite::InlineCache)
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        tl_ic < shared_ic.max(1),
+        "thread-local ICs must eliminate IC conflicts ({tl_ic} vs {shared_ic})"
+    );
+}
+
+#[test]
+fn tl_lazy_sweep_preserves_results_under_gc_pressure() {
+    let w = workloads::npb::ft(3, 1);
+    let base = run(&w, HTM16, vmc(3).small_heap());
+    let mut cfg = vmc(3).small_heap();
+    cfg.tl_lazy_sweep = true;
+    let tl = run(&w, HTM16, cfg);
+    assert_eq!(base.stdout, tl.stdout);
+    assert!(tl.gc_runs >= 1, "small heap must actually collect");
+}
+
+#[test]
+fn tl_lazy_sweep_serializable_across_modes() {
+    let w = workloads::npb::bt(3, 1);
+    let mut gil_cfg = vmc(3).small_heap();
+    gil_cfg.tl_lazy_sweep = true;
+    let reference = run(&w, RuntimeMode::Gil, gil_cfg);
+    for mode in [
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+        HTM16,
+        RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+    ] {
+        let mut cfg = vmc(3).small_heap();
+        cfg.tl_lazy_sweep = true;
+        let r = run(&w, mode, cfg);
+        assert_eq!(r.stdout, reference.stdout, "{}", mode.label());
+    }
+}

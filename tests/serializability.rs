@@ -1,0 +1,132 @@
+//! Cross-crate correctness oracle: every workload, in every runtime mode,
+//! must print exactly what a 1-thread GIL run prints. Since workloads only
+//! print after joining all threads and combine results in thread-id order,
+//! identical output means the elided execution was serializable.
+
+use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
+use htm_gil::bench_workloads as workloads;
+
+fn run(source: &str, mode: RuntimeMode, profile: &MachineProfile, threads: usize) -> String {
+    let mut vm_config = VmConfig::default();
+    vm_config.max_threads = threads + 2;
+    let cfg = ExecConfig::new(mode, profile);
+    let mut ex = Executor::new(source, vm_config, profile.clone(), cfg).expect("boot");
+    ex.run().unwrap_or_else(|e| panic!("{} failed: {e}", mode.label())).stdout
+}
+
+fn all_modes() -> Vec<RuntimeMode> {
+    vec![
+        RuntimeMode::Gil,
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(1) },
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+        RuntimeMode::Htm { length: LengthPolicy::Fixed(256) },
+        RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        RuntimeMode::FineGrained,
+        RuntimeMode::Ideal,
+    ]
+}
+
+fn assert_serializable(w: &workloads::Workload, profile: &MachineProfile) {
+    let reference = run(&w.source, RuntimeMode::Gil, profile, w.threads);
+    assert!(!reference.is_empty(), "{} printed nothing", w.name);
+    for mode in all_modes() {
+        let got = run(&w.source, mode, profile, w.threads);
+        assert_eq!(
+            got, reference,
+            "{} under {} diverged from the GIL reference",
+            w.name,
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn micro_while_serializable() {
+    let w = workloads::micro::while_bench(3, 120);
+    assert_serializable(&w, &MachineProfile::generic(4));
+}
+
+#[test]
+fn micro_iterator_serializable() {
+    let w = workloads::micro::iterator_bench(3, 80);
+    assert_serializable(&w, &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_bt_serializable() {
+    assert_serializable(&workloads::npb::bt(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_cg_serializable() {
+    assert_serializable(&workloads::npb::cg(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_ft_serializable() {
+    assert_serializable(&workloads::npb::ft(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_is_serializable() {
+    assert_serializable(&workloads::npb::is(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_lu_serializable() {
+    assert_serializable(&workloads::npb::lu(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_mg_serializable() {
+    assert_serializable(&workloads::npb::mg(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_sp_serializable() {
+    assert_serializable(&workloads::npb::sp(3, 1), &MachineProfile::generic(4));
+}
+
+#[test]
+fn webrick_serializable() {
+    assert_serializable(&workloads::webrick::webrick(3, 24), &MachineProfile::generic(4));
+}
+
+#[test]
+fn rails_serializable() {
+    assert_serializable(&workloads::rails::rails(3, 18), &MachineProfile::generic(4));
+}
+
+#[test]
+fn npb_serializable_on_paper_machines() {
+    // The real machine profiles exercise SMT halving (Xeon) and 256-byte
+    // lines (zEC12).
+    for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
+        let w = workloads::npb::cg(4, 1);
+        let reference = run(&w.source, RuntimeMode::Gil, &profile, w.threads);
+        for mode in [
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        ] {
+            assert_eq!(
+                run(&w.source, mode, &profile, w.threads),
+                reference,
+                "CG on {} under {}",
+                profile.name,
+                mode.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_counts_do_not_change_results() {
+    // Per-thread partials combined in tid order: results must be
+    // independent of the worker count for the micro benchmark.
+    let profile = MachineProfile::generic(4);
+    for threads in [1, 2, 5] {
+        let w = workloads::micro::while_bench(threads, 60);
+        let out = run(&w.source, RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile, threads);
+        assert_eq!(out, workloads::micro::expected_output(threads, 60));
+    }
+}
