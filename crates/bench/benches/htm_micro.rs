@@ -3,7 +3,7 @@
 //! overhead with concurrent transactions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use htm_sim::{Budgets, TxMemory};
+use htm_sim::{Budgets, RingBufferSink, TxMemory};
 
 fn big() -> Budgets {
     Budgets { read_lines: 1 << 20, write_lines: 1 << 20 }
@@ -14,6 +14,20 @@ fn bench_tx_ops(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("write_commit_64_lines", |b| {
         let mut m: TxMemory<u64> = TxMemory::new(64 * 8, 8, 2, 0);
+        b.iter(|| {
+            m.begin(0, big()).unwrap();
+            for i in 0..64 {
+                m.write(0, i * 8, i as u64).unwrap();
+            }
+            m.commit(0).unwrap();
+        });
+    });
+    // Same loop with a trace sink installed: the delta against
+    // write_commit_64_lines is the cost of structured tracing (the default
+    // configuration installs no sink, so emission is a discriminant test).
+    g.bench_function("write_commit_64_lines_traced", |b| {
+        let mut m: TxMemory<u64> = TxMemory::new(64 * 8, 8, 2, 0);
+        m.set_trace_sink(Box::new(RingBufferSink::shared(1024)));
         b.iter(|| {
             m.begin(0, big()).unwrap();
             for i in 0..64 {

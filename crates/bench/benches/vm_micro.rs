@@ -11,8 +11,7 @@ use ruby_vm::VmConfig;
 
 fn run_once(src: &str, mode: RuntimeMode, threads: usize) -> u64 {
     let profile = MachineProfile::generic(4);
-    let mut vmc = VmConfig::default();
-    vmc.max_threads = threads + 2;
+    let vmc = VmConfig { max_threads: threads + 2, ..VmConfig::default() };
     let cfg = ExecConfig::new(mode, &profile);
     let mut ex = Executor::new(src, vmc, profile, cfg).expect("boot");
     ex.run().expect("run").elapsed_cycles

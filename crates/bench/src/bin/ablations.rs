@@ -17,6 +17,12 @@ use machine_sim::MachineProfile;
 use workloads::Workload;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let profile = MachineProfile::zec12();
     let scale = if quick() { 1 } else { 3 };
     let nthreads = if quick() { 4 } else { *thread_counts(&profile).last().unwrap() };
@@ -58,41 +64,25 @@ fn main() {
         //    shared running-thread global).
         let mut cfg = ExecConfig::new(dynamic, &profile);
         cfg.tls_running_thread = false;
-        let no_rm = speedup(run_workload_with(
-            w,
-            &profile,
-            cfg,
-            vm_config_for(nthreads).original_cruby(),
-        ));
+        let no_rm =
+            speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads).original_cruby()));
         // 3. Individual removals off.
         let mut cfg = ExecConfig::new(dynamic, &profile);
         cfg.tls_running_thread = false;
         let no_tls = speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads)));
         let mut vmc = vm_config_for(nthreads);
         vmc.thread_local_free_lists = false;
-        let no_fl = speedup(run_workload_with(
-            w,
-            &profile,
-            ExecConfig::new(dynamic, &profile),
-            vmc,
-        ));
+        let no_fl =
+            speedup(run_workload_with(w, &profile, ExecConfig::new(dynamic, &profile), vmc));
         let mut vmc = vm_config_for(nthreads);
         vmc.method_ic_fill_once = false;
         vmc.ivar_ic_table_guard = false;
-        let no_ic = speedup(run_workload_with(
-            w,
-            &profile,
-            ExecConfig::new(dynamic, &profile),
-            vmc,
-        ));
+        let no_ic =
+            speedup(run_workload_with(w, &profile, ExecConfig::new(dynamic, &profile), vmc));
         let mut vmc = vm_config_for(nthreads);
         vmc.padded_thread_structs = false;
-        let no_pad = speedup(run_workload_with(
-            w,
-            &profile,
-            ExecConfig::new(dynamic, &profile),
-            vmc,
-        ));
+        let no_pad =
+            speedup(run_workload_with(w, &profile, ExecConfig::new(dynamic, &profile), vmc));
 
         table.row(&[
             w.name.to_string(),
@@ -110,10 +100,7 @@ fn main() {
             w.name
         ));
     }
-    println!(
-        "\n== Ablations (speedup over GIL, {nthreads} threads, {}) ==",
-        profile.name
-    );
+    println!("\n== Ablations (speedup over GIL, {nthreads} threads, {}) ==", profile.name);
     println!("{}", table.render());
     println!("paper targets: no-new-yield-points <0.8 for all but CG;");
     println!("               no-conflict-removal ≈ ≤1.0 (no acceleration).");

@@ -17,6 +17,12 @@ use htm_gil_stats::Table;
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let profile = MachineProfile::zec12();
     let scale = if quick() { 1 } else { 4 };
     let nthreads = if quick() { 4 } else { 12 };
@@ -53,12 +59,8 @@ fn main() {
         // compare base vs +tl-sweep under the paper's *small* heap.
         let mut vmc = vm_config_for(nthreads).small_heap();
         vmc.tl_lazy_sweep = true;
-        let tl_sweep = speedup(run_workload_with(
-            &w,
-            &profile,
-            ExecConfig::new(htm16, &profile),
-            vmc,
-        ));
+        let tl_sweep =
+            speedup(run_workload_with(&w, &profile, ExecConfig::new(htm16, &profile), vmc));
         let small = speedup(run_workload_with(
             &w,
             &profile,
@@ -67,20 +69,12 @@ fn main() {
         ));
         let mut vmc = vm_config_for(nthreads);
         vmc.thread_local_ics = true;
-        let tl_ics = speedup(run_workload_with(
-            &w,
-            &profile,
-            ExecConfig::new(htm16, &profile),
-            vmc,
-        ));
+        let tl_ics =
+            speedup(run_workload_with(&w, &profile, ExecConfig::new(htm16, &profile), vmc));
         let mut vmc = vm_config_for(nthreads);
         vmc.refcount_writes = true;
-        let refcount = speedup(run_workload_with(
-            &w,
-            &profile,
-            ExecConfig::new(htm16, &profile),
-            vmc,
-        ));
+        let refcount =
+            speedup(run_workload_with(&w, &profile, ExecConfig::new(htm16, &profile), vmc));
 
         table.row(&[
             w.name.to_string(),
@@ -96,10 +90,7 @@ fn main() {
             w.name
         ));
     }
-    println!(
-        "\n== §5.6/§7 extensions (speedup over GIL, {nthreads} threads, {}) ==",
-        profile.name
-    );
+    println!("\n== §5.6/§7 extensions (speedup over GIL, {nthreads} threads, {}) ==", profile.name);
     println!("{}", table.render());
     println!("expected shapes: +tl-sweep ≥ base under the small heap;");
     println!("                 +tl-ICs ≈ base on the monomorphic NPB;");

@@ -11,12 +11,21 @@ use bench::{print_panel, quick, sweep_panel, thread_counts, write_csv};
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let iters = if quick() { 150 } else { 2_000 };
     for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
         let threads = thread_counts(&profile);
         for (name, builder) in [
             ("While", workloads::micro::while_bench as fn(usize, usize) -> workloads::Workload),
-            ("Iterator", workloads::micro::iterator_bench as fn(usize, usize) -> workloads::Workload),
+            (
+                "Iterator",
+                workloads::micro::iterator_bench as fn(usize, usize) -> workloads::Workload,
+            ),
         ] {
             let title = format!("Fig.4 {name} / {}", profile.name);
             let set = sweep_panel(&title, &profile, &threads, |n| builder(n, iters));

@@ -13,31 +13,31 @@ use bench::{print_panel, quick, sweep_panel, thread_counts, write_csv};
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().collect();
-    let only_bench = args
-        .iter()
-        .position(|a| a == "--bench")
-        .and_then(|i| args.get(i + 1).cloned());
-    let only_machine = args
-        .iter()
-        .position(|a| a == "--machine")
-        .and_then(|i| args.get(i + 1).cloned());
+    let only_bench =
+        args.iter().position(|a| a == "--bench").and_then(|i| args.get(i + 1).cloned());
+    let only_machine =
+        args.iter().position(|a| a == "--machine").and_then(|i| args.get(i + 1).cloned());
 
     let scale = if quick() { 1 } else { 8 };
-    let machines: Vec<MachineProfile> = [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()]
-        .into_iter()
-        .filter(|m| match &only_machine {
-            Some(sel) => m.name.to_lowercase().contains(&sel.to_lowercase()),
-            None => true,
-        })
-        .collect();
+    let machines: Vec<MachineProfile> =
+        [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()]
+            .into_iter()
+            .filter(|m| match &only_machine {
+                Some(sel) => m.name.to_lowercase().contains(&sel.to_lowercase()),
+                None => true,
+            })
+            .collect();
     let kernel_names = ["BT", "CG", "FT", "IS", "LU", "MG", "SP"];
     for profile in machines {
-        let threads = if quick() {
-            vec![1, 2, profile.hw_threads().min(4)]
-        } else {
-            thread_counts(&profile)
-        };
+        let threads =
+            if quick() { vec![1, 2, profile.hw_threads().min(4)] } else { thread_counts(&profile) };
         for name in kernel_names {
             if let Some(sel) = &only_bench {
                 if !name.eq_ignore_ascii_case(sel) {

@@ -12,6 +12,12 @@ use htm_sim::{Budgets, OverflowPredictor, TxMemory};
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let profile = MachineProfile::xeon_e3_1275_v3();
     let iters = if quick() { 600 } else { 10_000 };
     let window = 100usize;

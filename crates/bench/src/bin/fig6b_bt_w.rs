@@ -10,16 +10,20 @@ use bench::{print_panel, quick, sweep_panel, write_csv};
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let profile = MachineProfile::xeon_e3_1275_v3();
     // "Class W": several times the Fig. 5 scale.
     let scale = if quick() { 3 } else { 24 };
     let threads = if quick() { vec![1, 2, 4] } else { vec![1, 2, 4, 6, 8] };
-    let set = sweep_panel(
-        &format!("Fig.6b BT class W / {}", profile.name),
-        &profile,
-        &threads,
-        |n| workloads::npb::bt(n, scale),
-    );
+    let set =
+        sweep_panel(&format!("Fig.6b BT class W / {}", profile.name), &profile, &threads, |n| {
+            workloads::npb::bt(n, scale)
+        });
     print_panel(&set);
     write_csv("fig6b_bt_w_xeon", &set);
     for &n in &threads {

@@ -13,6 +13,12 @@ use machine_sim::MachineProfile;
 use workloads::Workload;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let requests = if quick() { 48 } else { 600 };
     let clients: Vec<usize> = if quick() { vec![1, 2, 4] } else { vec![1, 2, 3, 4, 5, 6] };
     type Builder = fn(usize, usize) -> Workload;
@@ -21,11 +27,8 @@ fn main() {
         ("WEBrick", MachineProfile::xeon_e3_1275_v3(), workloads::webrick::webrick),
         ("Rails", MachineProfile::xeon_e3_1275_v3(), workloads::rails::rails),
     ];
-    let mut abort_panel = SeriesSet::new(
-        "Fig.7 abort ratios of HTM-dynamic",
-        "clients",
-        "abort ratio %",
-    );
+    let mut abort_panel =
+        SeriesSet::new("Fig.7 abort ratios of HTM-dynamic", "clients", "abort ratio %");
     for (name, profile, build) in cases {
         let mut set = SeriesSet::new(
             format!("Fig.7 {name} / {}", profile.name),

@@ -8,6 +8,12 @@ use htm_gil_stats::{Series, SeriesSet, Table};
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let scale = if quick() { 1 } else { 4 };
     let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
     // Abort ratios vs threads, per machine.
@@ -31,10 +37,7 @@ fn main() {
             set.add(s);
         }
         print_panel(&set);
-        write_csv(
-            &format!("fig8_abort_ratios_{}", profile.name.replace(' ', "_")),
-            &set,
-        );
+        write_csv(&format!("fig8_abort_ratios_{}", profile.name.replace(' ', "_")), &set);
     }
     // 12-thread zEC12 cycle breakdowns + abort investigation.
     let profile = MachineProfile::zec12();
@@ -86,10 +89,7 @@ fn main() {
             r.allocator_conflict_share_pct()
         ));
     }
-    println!(
-        "\n== Fig.8 cycle breakdowns, HTM-dynamic, {nthreads} threads on {} ==",
-        profile.name
-    );
+    println!("\n== Fig.8 cycle breakdowns, HTM-dynamic, {nthreads} threads on {} ==", profile.name);
     println!("{}", table.render());
     let path = bench::results_dir().join("fig8_breakdown_zec12.csv");
     std::fs::write(&path, csv).expect("write csv");

@@ -13,6 +13,12 @@ use htm_gil_stats::{geomean, Series, SeriesSet};
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let scale = if quick() { 1 } else { 8 };
     let cases: [(&str, RuntimeMode, MachineProfile); 3] = [
         (
@@ -46,12 +52,7 @@ fn main() {
         }
         print_panel(&set);
         write_csv(
-            &format!(
-                "fig9_{}",
-                label
-                    .to_lowercase()
-                    .replace([' ', '(', ')', '-'], "_")
-            ),
+            &format!("fig9_{}", label.to_lowercase().replace([' ', '(', ')', '-'], "_")),
             &set,
         );
         final_speedups.push((label.to_string(), at_max));

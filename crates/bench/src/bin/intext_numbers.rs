@@ -14,6 +14,12 @@ use htm_gil_stats::Table;
 use machine_sim::MachineProfile;
 
 fn main() {
+    bench::reporting::init_from_args();
+    run();
+    bench::reporting::finalize();
+}
+
+fn run() {
     let profile = MachineProfile::zec12();
     let scale = if quick() { 1 } else { 4 };
     let nmax = if quick() { 4 } else { *thread_counts(&profile).last().unwrap() };
@@ -34,8 +40,7 @@ fn main() {
         let w1 = build(name, 1, scale);
         let gil1 = run_workload(&w1, RuntimeMode::Gil, &profile);
         let htm1 = run_workload(&w1, dynamic, &profile);
-        let overhead =
-            100.0 * (htm1.elapsed_cycles as f64 / gil1.elapsed_cycles as f64 - 1.0);
+        let overhead = 100.0 * (htm1.elapsed_cycles as f64 / gil1.elapsed_cycles as f64 - 1.0);
         let wn = build(name, nmax, scale);
         let giln = run_workload(&wn, RuntimeMode::Gil, &profile);
         let htmn = run_workload(&wn, dynamic, &profile);

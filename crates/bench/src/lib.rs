@@ -10,6 +10,8 @@
 //! `HTMGIL_QUICK=1` shrinks every sweep for smoke runs (the integration
 //! tests use it).
 
+pub mod reporting;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -47,10 +49,7 @@ pub fn quick() -> bool {
 
 /// VM sizing for a workload: paper's enlarged heap, enough thread slots.
 pub fn vm_config_for(threads: usize) -> VmConfig {
-    VmConfig {
-        max_threads: threads + 2,
-        ..VmConfig::default()
-    }
+    VmConfig { max_threads: threads + 2, ..VmConfig::default() }
 }
 
 /// Run one workload in one mode on one machine; panics on failure (the
@@ -69,7 +68,9 @@ pub fn run_workload_with(
 ) -> RunReport {
     let mut ex = Executor::new(&w.source, vm_config, profile.clone(), cfg)
         .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    ex.run().unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, profile.name))
+    let report = ex.run().unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, profile.name));
+    reporting::record(w.name, &report);
+    report
 }
 
 /// Throughput metric for normalization: requests/cycle for server
@@ -105,9 +106,7 @@ pub fn sweep_panel(
 
 /// Where CSV results go.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("bench-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("bench-results");
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -124,11 +123,8 @@ pub fn write_csv(name: &str, set: &SeriesSet) {
 
 /// Print a panel as table + chart.
 pub fn print_panel(set: &SeriesSet) {
-    let mut xs: Vec<f64> = set
-        .series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
-        .collect();
+    let mut xs: Vec<f64> =
+        set.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     let mut header: Vec<String> = vec!["threads".into()];
@@ -138,11 +134,7 @@ pub fn print_panel(set: &SeriesSet) {
     for x in &xs {
         let mut row = vec![format!("{x}")];
         for s in &set.series {
-            row.push(
-                s.y_at(*x)
-                    .map(|y| format!("{y:.2}"))
-                    .unwrap_or_default(),
-            );
+            row.push(s.y_at(*x).map(|y| format!("{y:.2}")).unwrap_or_default());
         }
         table.row(&row);
     }
@@ -164,10 +156,7 @@ mod tests {
     #[test]
     fn thread_counts_match_figure_axes() {
         assert_eq!(thread_counts(&MachineProfile::zec12()), vec![1, 2, 4, 6, 8, 12]);
-        assert_eq!(
-            thread_counts(&MachineProfile::xeon_e3_1275_v3()),
-            vec![1, 2, 4, 6, 8]
-        );
+        assert_eq!(thread_counts(&MachineProfile::xeon_e3_1275_v3()), vec![1, 2, 4, 6, 8]);
     }
 
     #[test]
@@ -175,11 +164,7 @@ mod tests {
         let w = workloads::micro::while_bench(2, 60);
         let profile = MachineProfile::generic(4);
         let gil = run_workload(&w, RuntimeMode::Gil, &profile);
-        let htm = run_workload(
-            &w,
-            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
-            &profile,
-        );
+        let htm = run_workload(&w, RuntimeMode::Htm { length: LengthPolicy::Fixed(16) }, &profile);
         assert_eq!(gil.stdout, htm.stdout);
         assert_eq!(gil.stdout, workloads::micro::expected_output(2, 60));
     }

@@ -102,6 +102,11 @@ pub struct ExecConfig {
     pub max_cycles: u64,
     /// Seed for the HTM predictor RNG (determinism).
     pub seed: u64,
+    /// Capacity of the structured transaction-event trace ring buffer;
+    /// 0 (the default) disables tracing entirely — no sink is installed
+    /// and event sites in the HTM simulator reduce to a discriminant
+    /// test.
+    pub trace_capacity: usize,
 }
 
 impl ExecConfig {
@@ -113,6 +118,7 @@ impl ExecConfig {
             tls_running_thread: true,
             max_cycles: 0,
             seed: 0xA5A5_5A5A,
+            trace_capacity: 0,
         }
     }
 
@@ -135,14 +141,8 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(RuntimeMode::Gil.label(), "GIL");
-        assert_eq!(
-            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) }.label(),
-            "HTM-16"
-        );
-        assert_eq!(
-            RuntimeMode::Htm { length: LengthPolicy::Dynamic }.label(),
-            "HTM-dynamic"
-        );
+        assert_eq!(RuntimeMode::Htm { length: LengthPolicy::Fixed(16) }.label(), "HTM-16");
+        assert_eq!(RuntimeMode::Htm { length: LengthPolicy::Dynamic }.label(), "HTM-dynamic");
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! `aborted` at commit/abort time.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use htm_sim::abort::abort_codes;
+use htm_sim::trace::{RingBufferSink, TraceEvent};
 use htm_sim::{AbortReason, Budgets, OverflowPredictor};
 use machine_sim::{Cycles, MachineProfile, Scheduler, ThreadId};
 use ruby_vm::bytecode::InsnKind;
@@ -136,6 +138,10 @@ pub struct Executor {
     conflict_sites: HashMap<ConflictSite, u64>,
     /// Allocation count at the previous step (per-step delta source).
     last_allocs: u64,
+    /// Shared handle on the trace ring buffer when
+    /// `ExecConfig::trace_capacity > 0`; the other clone lives inside the
+    /// transactional memory as its sink.
+    trace: Option<Arc<Mutex<RingBufferSink>>>,
 }
 
 impl Executor {
@@ -146,8 +152,8 @@ impl Executor {
         profile: MachineProfile,
         cfg: ExecConfig,
     ) -> Result<Executor, RunError> {
-        let mut vm = Vm::boot(source, vm_config, &profile)
-            .map_err(|e| RunError::Boot(e.to_string()))?;
+        let mut vm =
+            Vm::boot(source, vm_config, &profile).map_err(|e| RunError::Boot(e.to_string()))?;
         // Install the Intel learning predictor per hardware thread.
         if profile.htm.learning_predictor {
             for t in 0..vm.config.max_threads {
@@ -157,11 +163,8 @@ impl Executor {
                 );
             }
         }
-        let mut sched = Scheduler::new(
-            profile.cores,
-            profile.smt_per_core,
-            profile.cost.context_switch,
-        );
+        let mut sched =
+            Scheduler::new(profile.cores, profile.smt_per_core, profile.cost.context_switch);
         let t0 = sched.spawn(0);
         debug_assert_eq!(t0, 0);
         let total_pcs = vm.program.total_insns();
@@ -171,6 +174,13 @@ impl Executor {
         };
         let tables = LengthTables::new(total_pcs, length_policy, cfg.tle);
         let first_timer = profile.cost.timer_interval;
+        let trace = if cfg.trace_capacity > 0 {
+            let sink = RingBufferSink::shared(cfg.trace_capacity);
+            vm.mem.set_trace_sink(Box::new(Arc::clone(&sink)));
+            Some(sink)
+        } else {
+            None
+        };
         Ok(Executor {
             vm,
             sched,
@@ -186,6 +196,14 @@ impl Executor {
             breakdown: CycleBreakdown::default(),
             conflict_sites: HashMap::new(),
             last_allocs: 0,
+            trace,
+        })
+    }
+
+    /// Snapshot of the retained trace events (empty when tracing is off).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.as_ref().map_or_else(Vec::new, |t| {
+            t.lock().expect("trace sink poisoned").events().copied().collect()
         })
     }
 
@@ -205,6 +223,10 @@ impl Executor {
                 self.sched.finish(t);
                 continue;
             }
+            // Stamp trace events with this thread's simulated clock.
+            if self.trace.is_some() {
+                self.vm.mem.set_now(self.sched.clock(t));
+            }
             // GIL-mode timer thread: wake up every interval and flag the
             // running (GIL-holding) thread (paper §3.2).
             if self.cfg.mode == RuntimeMode::Gil {
@@ -213,10 +235,7 @@ impl Executor {
                     self.gil.next_timer += self.profile.cost.timer_interval;
                     if let Some(h) = self.gil.holder {
                         let flag = self.vm.layout.thread_struct(h) + ruby_vm::layout::ts::INTERRUPT;
-                        self.vm
-                            .mem
-                            .write(h, flag, Word::Int(1))
-                            .expect("timer flag write");
+                        self.vm.mem.write(h, flag, Word::Int(1)).expect("timer flag write");
                     }
                 }
             }
@@ -261,10 +280,11 @@ impl Executor {
     }
 
     fn report(&self) -> RunReport {
-        let elapsed = (0..self.sched.len())
-            .map(|t| self.sched.clock(t))
-            .max()
-            .unwrap_or(0);
+        let elapsed = (0..self.sched.len()).map(|t| self.sched.clock(t)).max().unwrap_or(0);
+        let (trace_recorded, trace_dropped) = self.trace.as_ref().map_or((0, 0), |t| {
+            let sink = t.lock().expect("trace sink poisoned");
+            (sink.len() as u64 + sink.dropped(), sink.dropped())
+        });
         RunReport {
             mode_label: self.cfg.mode.label(),
             machine: self.profile.name,
@@ -278,6 +298,9 @@ impl Executor {
             conflict_sites: self.conflict_sites.clone(),
             share_length_one: self.tables.share_of_length_one(),
             length_adjustments: self.tables.total_adjustments,
+            yield_point_profiles: self.tables.profiles(),
+            trace_events_recorded: trace_recorded,
+            trace_events_dropped: trace_dropped,
             allocations: self.vm.allocations,
             gc_runs: self.vm.gc_runs,
             stdout: self.vm.stdout_text(),
@@ -330,33 +353,12 @@ impl Executor {
         (r, cost)
     }
 
-    /// Classify a conflicting line into a VM region.
+    /// Classify a conflicting line into a VM region, consulting the
+    /// line→owner map the VM registered at layout time (and extends on
+    /// heap growth, so grown slot ranges and grown malloc arenas resolve
+    /// to their actual owners).
     fn classify_line(&self, line: usize) -> ConflictSite {
-        let addr = line * self.vm.mem.line_words();
-        let l = &self.vm.layout;
-        let line_of = |a: usize| a / self.vm.mem.line_words();
-        if line == line_of(l.gil) {
-            ConflictSite::Gil
-        } else if line == line_of(l.running_thread) {
-            ConflictSite::RunningThread
-        } else if addr >= l.free_head && addr < l.gvar_base {
-            ConflictSite::Allocator
-        } else if addr < l.ic_base {
-            ConflictSite::Globals
-        } else if addr < l.thread_struct_base {
-            ConflictSite::InlineCache
-        } else if addr < l.slots_base {
-            ConflictSite::ThreadStruct
-        } else if addr < l.malloc_base {
-            ConflictSite::HeapSlots
-        } else if addr < l.stack_base {
-            ConflictSite::MallocArea
-        } else if addr < l.total_words {
-            ConflictSite::Stack
-        } else {
-            // Grown heap ranges live past the initial layout.
-            ConflictSite::HeapSlots
-        }
+        self.vm.attribution.owner_of_line(line)
     }
 
     fn record_conflict(&mut self, reason: AbortReason) {
@@ -423,10 +425,7 @@ impl Executor {
                 self.sched.park(t);
             }
             BlockOn::Barrier(addr) => {
-                self.parked
-                    .entry(ParkKey::Barrier(addr))
-                    .or_default()
-                    .push(t);
+                self.parked.entry(ParkKey::Barrier(addr)).or_default().push(t);
                 self.sched.park(t);
             }
             BlockOn::Join(target) => {
@@ -462,8 +461,7 @@ impl Executor {
         self.sched.advance(t, self.profile.cost.gil_release);
         let woken = self.gil.release(&mut self.vm, t);
         for (w, _intent) in woken {
-            self.sched
-                .unpark(w, now + self.profile.cost.gil_wait_wakeup);
+            self.sched.unpark(w, now + self.profile.cost.gil_wait_wakeup);
         }
     }
 
@@ -486,18 +484,11 @@ impl Executor {
         let kind = self.insn_kind(t);
         if self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
             let flag_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::INTERRUPT;
-            let flag = self
-                .vm
-                .mem
-                .read(t, flag_addr)
-                .expect("interrupt flag read");
+            let flag = self.vm.mem.read(t, flag_addr).expect("interrupt flag read");
             self.sched.advance(t, 2 * self.profile.cost.mem_ref);
             self.breakdown.gil_held += 2 * self.profile.cost.mem_ref;
             if flag == Word::Int(1) {
-                self.vm
-                    .mem
-                    .write(t, flag_addr, Word::Int(0))
-                    .expect("interrupt flag clear");
+                self.vm.mem.write(t, flag_addr, Word::Int(0)).expect("interrupt flag clear");
                 self.gil_release(t);
                 self.sched.advance(t, self.profile.cost.sched_yield);
                 self.breakdown.gil_wait += self.profile.cost.sched_yield;
@@ -520,9 +511,9 @@ impl Executor {
                 self.handle_outcome(t, ok)
             }
             Err(VmAbort::Err(e)) => Err(RunError::Vm(e.to_string())),
-            Err(VmAbort::Tx(r)) => Err(RunError::Vm(format!(
-                "transaction abort in GIL mode: {r:?}"
-            ))),
+            Err(VmAbort::Tx(r)) => {
+                Err(RunError::Vm(format!("transaction abort in GIL mode: {r:?}")))
+            }
         }
     }
 
@@ -548,9 +539,9 @@ impl Executor {
                 self.handle_outcome(t, ok)
             }
             Err(VmAbort::Err(e)) => Err(RunError::Vm(e.to_string())),
-            Err(VmAbort::Tx(r)) => Err(RunError::Vm(format!(
-                "transaction abort without transactions: {r:?}"
-            ))),
+            Err(VmAbort::Tx(r)) => {
+                Err(RunError::Vm(format!("transaction abort without transactions: {r:?}")))
+            }
         }
     }
 
@@ -577,8 +568,7 @@ impl Executor {
         let fresh = std::mem::take(&mut self.tle[t].fresh);
         let kind = self.insn_kind(t);
         if !fresh && self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
-            let counter_addr =
-                self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
+            let counter_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
             let c = match self.vm.mem.read(t, counter_addr) {
                 Ok(Word::Int(c)) => c,
                 Ok(_) => 0,
@@ -707,6 +697,7 @@ impl Executor {
             return Ok(false);
         }
         // TBEGIN + surrounding bookkeeping.
+        self.tables.record_attempt(pc);
         self.sched.advance(t, self.profile.cost.tbegin);
         self.breakdown.tx_begin_end += self.profile.cost.tbegin;
         let snapshot = self.vm.snapshot(t);
@@ -737,10 +728,8 @@ impl Executor {
         // §4.4 #1 ablation: write the running-thread global inside the
         // transaction — every thread, every transaction, same line.
         if !self.cfg.tls_running_thread {
-            if let Err(reason) = self
-                .vm
-                .mem
-                .write(t, self.vm.layout.running_thread, Word::Int(t as i64))
+            if let Err(reason) =
+                self.vm.mem.write(t, self.vm.layout.running_thread, Word::Int(t as i64))
             {
                 self.tle[t].resume_pc = Some(pc);
                 self.abort_path(t, pc, reason)?;
@@ -749,11 +738,7 @@ impl Executor {
             self.sched.advance(t, self.profile.cost.mem_ref);
         }
         // Install the yield-point counter (Fig. 3's yield_point_counter).
-        if let Err(reason) = self
-            .vm
-            .mem
-            .write(t, counter_addr, Word::Int(i64::from(len)))
-        {
+        if let Err(reason) = self.vm.mem.write(t, counter_addr, Word::Int(i64::from(len))) {
             self.tle[t].resume_pc = Some(pc);
             self.abort_path(t, pc, reason)?;
             return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
@@ -767,9 +752,7 @@ impl Executor {
     /// the memory back). Restore registers and run the Fig. 1 abort path.
     fn on_tx_abort(&mut self, t: ThreadId, reason: AbortReason) -> Result<(), RunError> {
         let Some(info) = self.tle[t].tx.take() else {
-            return Err(RunError::Vm(format!(
-                "abort {reason:?} outside any transaction"
-            )));
+            return Err(RunError::Vm(format!("abort {reason:?} outside any transaction")));
         };
         self.vm.restore(t, info.snapshot);
         self.sched.advance(t, self.profile.cost.abort_penalty);
@@ -793,6 +776,7 @@ impl Executor {
             );
         }
         self.record_conflict(reason);
+        self.tables.record_abort(pc, reason);
         // Lines 17-20: first abort of this transaction adjusts the length.
         if self.tle[t].first_retry {
             self.tle[t].first_retry = false;
@@ -860,10 +844,7 @@ impl Executor {
         // Fig. 3 note: the transaction length is consumed even under the
         // GIL — install the counter so the GIL is released at the same
         // yield point a transaction would have ended at.
-        let pc = self.tle[t]
-            .resume_pc
-            .take()
-            .unwrap_or_else(|| self.global_pc(t));
+        let pc = self.tle[t].resume_pc.take().unwrap_or_else(|| self.global_pc(t));
         let len = self.tables.set_transaction_length(pc);
         let counter_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
         self.vm
@@ -1077,10 +1058,7 @@ puts(shared[0] + shared[1])
             MachineProfile::generic(4),
         );
         assert_eq!(r.stdout, "3000");
-        assert!(
-            r.length_adjustments > 0,
-            "conflict-heavy run must shrink some lengths"
-        );
+        assert!(r.length_adjustments > 0, "conflict-heavy run must shrink some lengths");
         assert!(r.htm.total_aborts() > 0);
     }
 
@@ -1144,6 +1122,85 @@ puts("done")
             seq
         );
         assert!(r.breakdown.io_wait > 0);
+    }
+
+    #[test]
+    fn trace_captures_transaction_lifecycle_with_ordered_cycles() {
+        let src = r#"
+counters = Array.new(4, 0)
+threads = []
+4.times do |i|
+  threads << Thread.new(i) do |tid|
+    j = 1
+    while j <= 150
+      counters[tid] = counters[tid] + j
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts(counters.join(","))
+"#;
+        let profile = MachineProfile::generic(4);
+        let mut cfg =
+            ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Fixed(16) }, &profile);
+        cfg.trace_capacity = 1 << 16;
+        let mut ex = Executor::new(src, VmConfig::default(), profile, cfg).unwrap();
+        let r = ex.run().unwrap();
+        let events = ex.trace_events();
+        assert!(!events.is_empty(), "HTM run with tracing must emit events");
+        assert_eq!(r.trace_events_recorded, events.len() as u64 + r.trace_events_dropped);
+        // Per thread: cycle stamps never go backwards, every Commit/Abort
+        // follows an open Begin, and no Begin nests inside another.
+        let mut last_cycle: HashMap<usize, u64> = HashMap::new();
+        let mut open: HashMap<usize, bool> = HashMap::new();
+        let (mut commits, mut aborts) = (0u64, 0u64);
+        for e in &events {
+            let t = e.thread();
+            let prev = last_cycle.insert(t, e.cycle());
+            assert!(prev.unwrap_or(0) <= e.cycle(), "cycle went backwards on thread {t}");
+            let was_open = open.entry(t).or_insert(false);
+            match e {
+                htm_sim::TraceEvent::Begin { .. } => {
+                    assert!(!*was_open, "nested Begin on thread {t}");
+                    *was_open = true;
+                }
+                htm_sim::TraceEvent::Commit { read_lines, .. } => {
+                    assert!(*was_open, "Commit without Begin on thread {t}");
+                    assert!(*read_lines > 0, "committed tx must have a read set");
+                    *was_open = false;
+                    commits += 1;
+                }
+                htm_sim::TraceEvent::Abort { .. } => {
+                    // Eager-predicted aborts fail at TBEGIN, before any
+                    // Begin event — an abort may arrive with no open tx.
+                    *was_open = false;
+                    aborts += 1;
+                }
+            }
+        }
+        assert!(commits > 0, "expected committed transactions in the trace");
+        // The trace totals must be consistent with the HTM statistics
+        // (ring large enough that nothing was dropped here).
+        assert_eq!(r.trace_events_dropped, 0);
+        assert_eq!(commits, r.htm.commits);
+        // Dooms of non-transactional threads emit no Abort event (there is
+        // no transaction to abort), so the trace matches total_aborts
+        // exactly.
+        assert_eq!(aborts, r.htm.total_aborts());
+    }
+
+    #[test]
+    fn tracing_off_keeps_report_counters_zero() {
+        let r = run_mode(
+            COUNT_SRC,
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            MachineProfile::generic(4),
+        );
+        assert_eq!(r.trace_events_recorded, 0);
+        assert_eq!(r.trace_events_dropped, 0);
     }
 }
 

@@ -34,12 +34,7 @@ pub struct GilState {
 
 impl GilState {
     pub fn new(first_timer: Cycles) -> Self {
-        GilState {
-            holder: None,
-            waiters: Vec::new(),
-            acquisitions: 0,
-            next_timer: first_timer,
-        }
+        GilState { holder: None, waiters: Vec::new(), acquisitions: 0, next_timer: first_timer }
     }
 
     /// Acquire the GIL for `t`. Caller must have checked it is free.
@@ -56,9 +51,7 @@ impl GilState {
             // §4.4 #1 ablation: the running-thread global gets rewritten on
             // every acquisition — "the most severe conflicts".
             let rt = vm.layout.running_thread;
-            vm.mem
-                .write(t, rt, Word::Int(t as i64))
-                .expect("running-thread write");
+            vm.mem.write(t, rt, Word::Int(t as i64)).expect("running-thread write");
         }
     }
 

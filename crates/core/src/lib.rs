@@ -31,11 +31,13 @@
 pub mod config;
 pub mod exec;
 pub mod gil;
+pub mod json;
 pub mod locks;
 pub mod report;
 pub mod tle;
 
 pub use config::{ExecConfig, LengthPolicy, RuntimeMode, TleConstants, YieldPolicy};
 pub use exec::{Executor, RunError};
+pub use json::Json;
 pub use report::{ConflictSite, CycleBreakdown, RunReport};
-pub use tle::LengthTables;
+pub use tle::{LengthTables, SiteProfile};

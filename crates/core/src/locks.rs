@@ -93,7 +93,7 @@ mod tests {
     fn contended_lock_serializes() {
         let mut l = LockSim::default();
         assert_eq!(l.acquire(0, 100), 100); // holds [0,100)
-        // A second thread arriving at 30 waits 70 then holds 100.
+                                            // A second thread arriving at 30 waits 70 then holds 100.
         assert_eq!(l.acquire(30, 100), 170);
         assert_eq!(l.total_wait, 70);
         assert_eq!(l.acquisitions, 2);

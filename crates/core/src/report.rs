@@ -5,31 +5,15 @@ use std::collections::HashMap;
 use htm_sim::HtmStats;
 use machine_sim::Cycles;
 
+use crate::json::Json;
+
 /// Where in the VM address space a conflicting line lives — used for the
 /// paper's §5.6 attribution ("more than 50 % of those read-set conflicts
-/// occurred at the time of object allocation").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ConflictSite {
-    /// The GIL word itself.
-    Gil,
-    /// The running-thread global (§4.4 #1).
-    RunningThread,
-    /// Heap metadata: free-list head, sweep cursor, malloc bump/class
-    /// heads — the allocator (§4.4 #2 / §5.6).
-    Allocator,
-    /// Global variables / constants.
-    Globals,
-    /// Inline-cache words (§4.4 #4).
-    InlineCache,
-    /// Thread structs — false sharing when unpadded (§4.4 #5).
-    ThreadStruct,
-    /// Object slots (shared application data, lazy-sweep links).
-    HeapSlots,
-    /// Malloc'd buffers (array/ivar/string data).
-    MallocArea,
-    /// Another thread's stack (escaped environments).
-    Stack,
-}
+/// occurred at the time of object allocation"). The classification now
+/// comes from the VM's own line→owner registration
+/// ([`ruby_vm::layout::AttributionMap`]) rather than a boundary
+/// comparison in the executor; this alias keeps the historical name.
+pub use ruby_vm::layout::LineOwner as ConflictSite;
 
 /// Cycle breakdown in the categories of the paper's Fig. 8.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -97,6 +81,13 @@ pub struct RunReport {
     /// at length 1, and total shrink events.
     pub share_length_one: f64,
     pub length_adjustments: u64,
+    /// Per-yield-point observability profiles (attempts, aborts by
+    /// reason, current length), pc-ordered; empty outside HTM modes.
+    pub yield_point_profiles: Vec<crate::tle::SiteProfile>,
+    /// Structured-trace accounting: events seen and events evicted from
+    /// the ring buffer. Both 0 when tracing was off.
+    pub trace_events_recorded: u64,
+    pub trace_events_dropped: u64,
     /// From the VM: allocation count and GC runs.
     pub allocations: u64,
     pub gc_runs: u64,
@@ -117,22 +108,92 @@ impl RunReport {
         self.htm.abort_ratio_pct()
     }
 
+    /// Structured JSON view of the full report (hand-rolled serializer —
+    /// see [`crate::json`]); the payload behind every bench binary's
+    /// `--report-json` flag.
+    pub fn to_json(&self) -> Json {
+        let breakdown = Json::obj()
+            .field("tx_begin_end", self.breakdown.tx_begin_end)
+            .field("tx_success", self.breakdown.tx_success)
+            .field("gil_held", self.breakdown.gil_held)
+            .field("aborted", self.breakdown.aborted)
+            .field("gil_wait", self.breakdown.gil_wait)
+            .field("io_wait", self.breakdown.io_wait)
+            .field("other", self.breakdown.other)
+            .field("total", self.breakdown.total());
+        let aborts = Json::obj()
+            .field("conflict-read", self.htm.conflicts_read)
+            .field("conflict-write", self.htm.conflicts_write)
+            .field("overflow-read", self.htm.overflow_read)
+            .field("overflow-write", self.htm.overflow_write)
+            .field("explicit", self.htm.explicit)
+            .field("eager-predicted", self.htm.eager_predicted)
+            .field("restricted", self.htm.restricted)
+            .field("total", self.htm.total_aborts());
+        let htm = Json::obj()
+            .field("begins", self.htm.begins)
+            .field("commits", self.htm.commits)
+            .field("aborts", aborts)
+            .field("abort_ratio_pct", self.htm.abort_ratio_pct())
+            .field("read_conflict_share_pct", self.htm.read_conflict_share_pct())
+            .field("nontx_dooms", self.htm.nontx_dooms);
+        // Conflict attribution, in address-map order (ConflictSite: Ord).
+        let mut sites: Vec<(ConflictSite, u64)> =
+            self.conflict_sites.iter().map(|(&s, &n)| (s, n)).collect();
+        sites.sort();
+        let conflict_sites =
+            sites.into_iter().fold(Json::obj(), |acc, (site, n)| acc.field(site.label(), n));
+        let profiles = self
+            .yield_point_profiles
+            .iter()
+            .map(|p| {
+                let aborts = p
+                    .abort_breakdown()
+                    .into_iter()
+                    .fold(Json::obj(), |acc, (label, n)| acc.field(label, n));
+                Json::obj()
+                    .field("pc", p.pc)
+                    .field("attempts", p.attempts)
+                    .field("aborts", aborts)
+                    .field("total_aborts", p.total_aborts())
+                    .field("length", p.length)
+            })
+            .collect::<Vec<Json>>();
+        Json::obj()
+            .field("schema", "htm-gil-run-report/v1")
+            .field("mode", self.mode_label.as_str())
+            .field("machine", self.machine)
+            .field("threads", self.threads_used)
+            .field("elapsed_cycles", self.elapsed_cycles)
+            .field("committed_insns", self.committed_insns)
+            .field("wasted_insns", self.wasted_insns)
+            .field("throughput", self.throughput())
+            .field("breakdown", breakdown)
+            .field("htm", htm)
+            .field("gil_acquisitions", self.gil_acquisitions)
+            .field("conflict_sites", conflict_sites)
+            .field("allocator_conflict_share_pct", self.allocator_conflict_share_pct())
+            .field("share_length_one", self.share_length_one)
+            .field("length_adjustments", self.length_adjustments)
+            .field("yield_point_profiles", Json::Arr(profiles))
+            .field(
+                "trace",
+                Json::obj()
+                    .field("recorded", self.trace_events_recorded)
+                    .field("dropped", self.trace_events_dropped),
+            )
+            .field("allocations", self.allocations)
+            .field("gc_runs", self.gc_runs)
+    }
+
     /// Share of read-set conflicts that hit the allocator (paper §5.6).
     pub fn allocator_conflict_share_pct(&self) -> f64 {
         let total: u64 = self.conflict_sites.values().sum();
         if total == 0 {
             return 0.0;
         }
-        let alloc = self
-            .conflict_sites
-            .get(&ConflictSite::Allocator)
-            .copied()
-            .unwrap_or(0)
-            + self
-                .conflict_sites
-                .get(&ConflictSite::HeapSlots)
-                .copied()
-                .unwrap_or(0);
+        let alloc = self.conflict_sites.get(&ConflictSite::Allocator).copied().unwrap_or(0)
+            + self.conflict_sites.get(&ConflictSite::HeapSlots).copied().unwrap_or(0);
         100.0 * alloc as f64 / total as f64
     }
 }
@@ -172,11 +233,81 @@ mod tests {
             conflict_sites: HashMap::new(),
             share_length_one: 0.0,
             length_adjustments: 0,
+            yield_point_profiles: Vec::new(),
+            trace_events_recorded: 0,
+            trace_events_dropped: 0,
             allocations: 0,
             gc_runs: 0,
             stdout: String::new(),
         };
         assert!((r.throughput() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_roundtrips_and_exposes_breakdowns() {
+        let mut sites = HashMap::new();
+        sites.insert(ConflictSite::Allocator, 7);
+        sites.insert(ConflictSite::Gil, 2);
+        let htm = HtmStats {
+            begins: 100,
+            commits: 90,
+            conflicts_read: 8,
+            conflicts_write: 2,
+            ..HtmStats::default()
+        };
+        let r = RunReport {
+            mode_label: "HTM-dynamic".into(),
+            machine: "zEC12",
+            threads_used: 4,
+            elapsed_cycles: 10_000,
+            committed_insns: 5_000,
+            wasted_insns: 120,
+            breakdown: CycleBreakdown { tx_success: 9_000, aborted: 1_000, ..Default::default() },
+            htm,
+            gil_acquisitions: 3,
+            conflict_sites: sites,
+            share_length_one: 0.25,
+            length_adjustments: 12,
+            yield_point_profiles: vec![crate::tle::SiteProfile {
+                pc: 42,
+                attempts: 50,
+                aborts_conflict_read: 5,
+                length: 191,
+                ..Default::default()
+            }],
+            trace_events_recorded: 1_000,
+            trace_events_dropped: 10,
+            allocations: 77,
+            gc_runs: 1,
+            stdout: String::new(),
+        };
+        let j = r.to_json();
+        let parsed = crate::json::Json::parse(&j.to_pretty()).unwrap();
+        assert_eq!(parsed.get("mode").unwrap().as_str(), Some("HTM-dynamic"));
+        assert_eq!(
+            parsed
+                .get("htm")
+                .unwrap()
+                .get("aborts")
+                .unwrap()
+                .get("conflict-read")
+                .unwrap()
+                .as_u64(),
+            Some(8)
+        );
+        assert_eq!(
+            parsed.get("conflict_sites").unwrap().get("allocator").unwrap().as_u64(),
+            Some(7)
+        );
+        let profiles = parsed.get("yield_point_profiles").unwrap().as_array().unwrap();
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].get("pc").unwrap().as_u64(), Some(42));
+        assert_eq!(profiles[0].get("length").unwrap().as_u64(), Some(191));
+        assert_eq!(
+            profiles[0].get("aborts").unwrap().get("conflict-read").unwrap().as_u64(),
+            Some(5)
+        );
+        assert_eq!(parsed.get("trace").unwrap().get("dropped").unwrap().as_u64(), Some(10));
     }
 
     #[test]
@@ -198,6 +329,9 @@ mod tests {
             conflict_sites: sites,
             share_length_one: 0.0,
             length_adjustments: 0,
+            yield_point_profiles: Vec::new(),
+            trace_events_recorded: 0,
+            trace_events_dropped: 0,
             allocations: 0,
             gc_runs: 0,
             stdout: String::new(),

@@ -13,7 +13,72 @@
 //!   `ADJUSTMENT_THRESHOLD` aborts within a profiling window, its length
 //!   is attenuated by `ATTENUATION_RATE` and the window restarts.
 
+use htm_sim::AbortReason;
+
 use crate::config::{LengthPolicy, TleConstants};
+
+/// Observability profile of one yield point: transaction attempts, aborts
+/// broken down by reason, and the site's current transaction length.
+/// Collected alongside the Fig. 3 adjustment state and exported in
+/// [`crate::report::RunReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// Global pc of the yield point.
+    pub pc: u32,
+    /// `TBEGIN`s issued for transactions starting here (fresh + retries).
+    pub attempts: u64,
+    pub aborts_conflict_read: u64,
+    pub aborts_conflict_write: u64,
+    pub aborts_read_overflow: u64,
+    pub aborts_write_overflow: u64,
+    pub aborts_explicit: u64,
+    pub aborts_eager_predicted: u64,
+    pub aborts_restricted: u64,
+    /// Current transaction length at the site (the fixed constant under a
+    /// fixed policy).
+    pub length: u32,
+}
+
+impl SiteProfile {
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_conflict_read
+            + self.aborts_conflict_write
+            + self.aborts_read_overflow
+            + self.aborts_write_overflow
+            + self.aborts_explicit
+            + self.aborts_eager_predicted
+            + self.aborts_restricted
+    }
+
+    /// `(label, count)` pairs for the abort breakdown, fixed order.
+    pub fn abort_breakdown(&self) -> [(&'static str, u64); 7] {
+        [
+            ("conflict-read", self.aborts_conflict_read),
+            ("conflict-write", self.aborts_conflict_write),
+            ("overflow-read", self.aborts_read_overflow),
+            ("overflow-write", self.aborts_write_overflow),
+            ("explicit", self.aborts_explicit),
+            ("eager-predicted", self.aborts_eager_predicted),
+            ("restricted", self.aborts_restricted),
+        ]
+    }
+}
+
+/// Dense per-pc abort counters in the order of
+/// [`SiteProfile::abort_breakdown`].
+const ABORT_KINDS: usize = 7;
+
+fn abort_kind_index(reason: AbortReason) -> usize {
+    match reason {
+        AbortReason::ConflictRead { .. } => 0,
+        AbortReason::ConflictWrite { .. } => 1,
+        AbortReason::ReadOverflow => 2,
+        AbortReason::WriteOverflow => 3,
+        AbortReason::Explicit(_) => 4,
+        AbortReason::EagerPredicted => 5,
+        AbortReason::Restricted => 6,
+    }
+}
 
 /// Per-yield-point adjustment state (dense over global pcs).
 #[derive(Debug, Clone)]
@@ -28,6 +93,10 @@ pub struct LengthTables {
     abort_counter: Vec<u32>,
     /// Lifetime statistics (not part of the algorithm; for reports).
     pub total_adjustments: u64,
+    /// Lifetime `TBEGIN` attempts per site (observability, not Fig. 3).
+    attempts: Vec<u64>,
+    /// Lifetime aborts per site by reason kind (observability).
+    abort_kinds: Vec<[u64; ABORT_KINDS]>,
 }
 
 impl LengthTables {
@@ -39,7 +108,48 @@ impl LengthTables {
             tx_counter: vec![0; total_pcs as usize],
             abort_counter: vec![0; total_pcs as usize],
             total_adjustments: 0,
+            attempts: vec![0; total_pcs as usize],
+            abort_kinds: vec![[0; ABORT_KINDS]; total_pcs as usize],
         }
+    }
+
+    /// Count one `TBEGIN` for a transaction starting at `pc` (fresh or
+    /// retried — both issue a hardware begin).
+    pub fn record_attempt(&mut self, pc: u32) {
+        self.attempts[pc as usize] += 1;
+    }
+
+    /// Count one abort of a transaction that started at `pc`.
+    pub fn record_abort(&mut self, pc: u32, reason: AbortReason) {
+        self.abort_kinds[pc as usize][abort_kind_index(reason)] += 1;
+    }
+
+    /// Profiles of every site that attempted at least one transaction,
+    /// in pc order.
+    pub fn profiles(&self) -> Vec<SiteProfile> {
+        self.attempts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a > 0)
+            .map(|(pc, &attempts)| {
+                let k = &self.abort_kinds[pc];
+                SiteProfile {
+                    pc: pc as u32,
+                    attempts,
+                    aborts_conflict_read: k[0],
+                    aborts_conflict_write: k[1],
+                    aborts_read_overflow: k[2],
+                    aborts_write_overflow: k[3],
+                    aborts_explicit: k[4],
+                    aborts_eager_predicted: k[5],
+                    aborts_restricted: k[6],
+                    length: match self.policy {
+                        LengthPolicy::Fixed(n) => n.max(1),
+                        LengthPolicy::Dynamic => self.length[pc],
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Paper Fig. 3, `set_transaction_length`: the yield-point budget the
@@ -114,11 +224,7 @@ impl LengthTables {
 
     /// Sites that ever began a transaction, with their final lengths.
     pub fn active_sites(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.length
-            .iter()
-            .enumerate()
-            .filter(|&(_, &l)| l != 0)
-            .map(|(pc, &l)| (pc as u32, l))
+        self.length.iter().enumerate().filter(|&(_, &l)| l != 0).map(|(pc, &l)| (pc as u32, l))
     }
 
     /// Share (0–1) of active sites whose final length is exactly 1
@@ -237,6 +343,39 @@ mod tests {
         t.adjust_transaction_length(0);
         assert_eq!(t.length_at(0), 143);
         assert_eq!(t.total_adjustments, 2);
+    }
+
+    #[test]
+    fn profiles_track_attempts_and_abort_kinds() {
+        let mut t = LengthTables::new(8, LengthPolicy::Dynamic, consts());
+        t.set_transaction_length(2);
+        t.record_attempt(2);
+        t.record_attempt(2);
+        t.record_abort(2, AbortReason::ConflictRead { with: 1, line: 9 });
+        t.record_abort(2, AbortReason::ConflictRead { with: 0, line: 3 });
+        t.record_abort(2, AbortReason::WriteOverflow);
+        t.record_attempt(5);
+        let profiles = t.profiles();
+        assert_eq!(profiles.len(), 2, "only sites with attempts appear");
+        let p2 = &profiles[0];
+        assert_eq!(p2.pc, 2);
+        assert_eq!(p2.attempts, 2);
+        assert_eq!(p2.aborts_conflict_read, 2);
+        assert_eq!(p2.aborts_write_overflow, 1);
+        assert_eq!(p2.total_aborts(), 3);
+        assert_eq!(p2.length, 255);
+        let p5 = &profiles[1];
+        assert_eq!((p5.pc, p5.attempts, p5.total_aborts()), (5, 1, 0));
+        assert_eq!(p5.length, 0, "site 5 never ran set_transaction_length");
+    }
+
+    #[test]
+    fn profiles_report_fixed_length_under_fixed_policy() {
+        let mut t = LengthTables::new(4, LengthPolicy::Fixed(16), consts());
+        t.record_attempt(1);
+        let p = t.profiles();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].length, 16);
     }
 
     #[test]

@@ -64,16 +64,25 @@ impl AbortReason {
 
     /// True for either conflict variant.
     pub fn is_conflict(self) -> bool {
-        matches!(
-            self,
-            AbortReason::ConflictRead { .. } | AbortReason::ConflictWrite { .. }
-        )
+        matches!(self, AbortReason::ConflictRead { .. } | AbortReason::ConflictWrite { .. })
     }
 
     /// True for either capacity-overflow variant (excluding predictor
     /// kills, which are reported separately in statistics).
     pub fn is_overflow(self) -> bool {
         matches!(self, AbortReason::ReadOverflow | AbortReason::WriteOverflow)
+    }
+
+    /// Cache line the abort itself identifies (conflicts carry the
+    /// colliding line). Overflow aborts know their line only at the access
+    /// site, so the trace layer supplies it out of band.
+    pub fn faulting_line(self) -> Option<usize> {
+        match self {
+            AbortReason::ConflictRead { line, .. } | AbortReason::ConflictWrite { line, .. } => {
+                Some(line)
+            }
+            _ => None,
+        }
     }
 
     /// Short label used in statistics tables.

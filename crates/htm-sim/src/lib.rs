@@ -42,9 +42,11 @@ pub mod predictor;
 #[cfg(feature = "rtm-hardware")]
 pub mod rtm;
 pub mod stats;
+pub mod trace;
 pub mod txmem;
 
 pub use abort::{AbortReason, ExplicitCode};
 pub use predictor::OverflowPredictor;
 pub use stats::HtmStats;
+pub use trace::{RingBufferSink, TraceEvent, TraceSink};
 pub use txmem::{Budgets, TxMemory};

@@ -14,10 +14,35 @@
 //!
 //! With `memory = 5000` this yields a linear ≈5 000-attempt recovery ramp
 //! once overflows stop — exactly the Fig. 6a shape. The randomness is a
-//! seeded [`SmallRng`], so runs remain deterministic.
+//! seeded xorshift generator, so runs remain deterministic.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Minimal deterministic PRNG (xorshift64*): the predictor only needs a
+/// reproducible uniform `f64` stream, not a full RNG crate.
+#[derive(Debug, Clone)]
+struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Never allow the all-zero fixed point.
+        XorShiftRng { state: seed | 1 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1), 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Per-hardware-thread overflow-history predictor.
 #[derive(Debug, Clone)]
@@ -28,7 +53,7 @@ pub struct OverflowPredictor {
     memory: u32,
     /// Confidence gained per observed overflow.
     gain: u32,
-    rng: SmallRng,
+    rng: XorShiftRng,
 }
 
 impl OverflowPredictor {
@@ -39,7 +64,7 @@ impl OverflowPredictor {
             confidence: 0,
             memory: 1,
             gain: 0,
-            rng: SmallRng::seed_from_u64(0),
+            rng: XorShiftRng::seed_from_u64(0),
         }
     }
 
@@ -51,7 +76,7 @@ impl OverflowPredictor {
             confidence: 0,
             memory: memory.max(1),
             gain: 8,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rng: XorShiftRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
         }
     }
 
@@ -74,7 +99,7 @@ impl OverflowPredictor {
         }
         let p = f64::from(self.confidence) / f64::from(self.memory);
         self.confidence -= 1;
-        self.rng.gen::<f64>() < p
+        self.rng.next_f64() < p
     }
 
     /// Called when a transaction genuinely overflows its footprint budget.

@@ -94,8 +94,7 @@ mod tests {
 
     #[test]
     fn abort_ratio_math() {
-        let mut s = HtmStats::default();
-        s.begins = 200;
+        let mut s = HtmStats { begins: 200, ..HtmStats::default() };
         s.record_abort(AbortReason::ConflictRead { with: 1, line: 0 });
         s.record_abort(AbortReason::WriteOverflow);
         assert_eq!(s.total_aborts(), 2);
@@ -112,14 +111,10 @@ mod tests {
 
     #[test]
     fn merge_adds_everything() {
-        let mut a = HtmStats::default();
-        a.begins = 5;
-        a.commits = 3;
+        let mut a = HtmStats { begins: 5, commits: 3, ..HtmStats::default() };
         a.record_abort(AbortReason::Restricted);
-        let mut b = HtmStats::default();
-        b.begins = 7;
+        let mut b = HtmStats { begins: 7, nontx_dooms: 2, ..HtmStats::default() };
         b.record_abort(AbortReason::EagerPredicted);
-        b.nontx_dooms = 2;
         a.merge(&b);
         assert_eq!(a.begins, 12);
         assert_eq!(a.commits, 3);

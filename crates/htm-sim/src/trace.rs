@@ -1,0 +1,171 @@
+//! Structured transaction-event tracing.
+//!
+//! When a sink is installed ([`crate::TxMemory::set_trace_sink`]) the
+//! simulator emits one [`TraceEvent`] per transaction begin, commit, and
+//! abort, stamped with the owning thread and the current simulated cycle
+//! ([`crate::TxMemory::set_now`] — the executor advances it as it charges
+//! cycle costs). Abort events carry the structured [`AbortReason`] plus
+//! the faulting cache line where one exists (conflicts and footprint
+//! overflows), which is what the attribution layer upstairs maps back to
+//! VM data structures.
+//!
+//! Tracing is **off by default** and costs one `Option` discriminant test
+//! per event site when disabled; no event is constructed unless a sink is
+//! present.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use machine_sim::ThreadId;
+
+use crate::abort::AbortReason;
+
+/// One transaction life-cycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `TBEGIN`/`XBEGIN` succeeded and a transaction is now active.
+    Begin { thread: ThreadId, cycle: u64 },
+    /// `TEND`/`XEND` succeeded; footprint at commit time in cache lines.
+    Commit { thread: ThreadId, cycle: u64, read_lines: usize, write_lines: usize },
+    /// The transaction died — at begin (eager prediction), at an access
+    /// (conflict, overflow), or by explicit software abort. `line` is the
+    /// faulting cache line when the abort has one (conflicts, overflows).
+    Abort { thread: ThreadId, cycle: u64, reason: AbortReason, line: Option<usize> },
+}
+
+impl TraceEvent {
+    /// Thread the event belongs to.
+    pub fn thread(&self) -> ThreadId {
+        match *self {
+            TraceEvent::Begin { thread, .. }
+            | TraceEvent::Commit { thread, .. }
+            | TraceEvent::Abort { thread, .. } => thread,
+        }
+    }
+
+    /// Simulated cycle the event was stamped with.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Begin { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Abort { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// Receiver for trace events.
+///
+/// `Debug` is required so a sink can live inside the (Debug-derived)
+/// simulator; `Send` so traced memories stay transferable across threads.
+pub trait TraceSink: std::fmt::Debug + Send {
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// A sink shared between the simulator and the code that reads the trace:
+/// the executor installs a clone and the caller drains the original.
+impl<T: TraceSink> TraceSink for Arc<Mutex<T>> {
+    fn record(&mut self, event: TraceEvent) {
+        self.lock().expect("trace sink poisoned").record(event);
+    }
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events and
+/// counts how many older ones were evicted.
+#[derive(Debug, Default)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Convenience: a ring buffer pre-wrapped for sharing with the
+    /// simulator. Install one clone, keep the other to inspect.
+    pub fn shared(capacity: usize) -> Arc<Mutex<RingBufferSink>> {
+        Arc::new(Mutex::new(RingBufferSink::new(capacity)))
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Remove and return all retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(thread: ThreadId, cycle: u64) -> TraceEvent {
+        TraceEvent::Begin { thread, cycle }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest_and_counts_drops() {
+        let mut sink = RingBufferSink::new(3);
+        for c in 0..5 {
+            sink.record(begin(0, c));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let cycles: Vec<u64> = sink.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_sink_records_through_the_clone() {
+        let shared = RingBufferSink::shared(8);
+        let mut handle = Arc::clone(&shared);
+        handle.record(begin(1, 7));
+        let inner = shared.lock().unwrap();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner.events().next().unwrap().thread(), 1);
+    }
+
+    #[test]
+    fn drain_empties_the_buffer() {
+        let mut sink = RingBufferSink::new(4);
+        sink.record(begin(0, 1));
+        sink.record(begin(0, 2));
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+}

@@ -25,6 +25,7 @@ use machine_sim::ThreadId;
 use crate::abort::{AbortReason, ExplicitCode};
 use crate::predictor::OverflowPredictor;
 use crate::stats::HtmStats;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Footprint budgets for one transaction, in whole cache lines.
 ///
@@ -71,6 +72,11 @@ pub struct TxMemory<W: Clone> {
     doomed: Vec<Option<AbortReason>>,
     predictors: Vec<OverflowPredictor>,
     stats: HtmStats,
+    /// Structured event trace; `None` (the default) means tracing is off
+    /// and event sites cost only this discriminant test.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Simulated cycle stamped onto trace events; advanced by the caller.
+    now: u64,
 }
 
 impl<W: Clone> TxMemory<W> {
@@ -85,10 +91,41 @@ impl<W: Clone> TxMemory<W> {
             txs: (0..max_threads).map(|_| None).collect(),
             undo_words: (0..max_threads).map(|_| Vec::new()).collect(),
             doomed: vec![None; max_threads],
-            predictors: (0..max_threads)
-                .map(|_| OverflowPredictor::disabled())
-                .collect(),
+            predictors: (0..max_threads).map(|_| OverflowPredictor::disabled()).collect(),
             stats: HtmStats::default(),
+            trace: None,
+            now: 0,
+        }
+    }
+
+    /// Install a trace sink; every subsequent begin/commit/abort emits a
+    /// [`TraceEvent`] into it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Remove and return the installed trace sink, disabling tracing.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// True when a trace sink is installed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Set the simulated cycle stamped onto trace events. The executor
+    /// calls this as it charges cycle costs; with tracing off it is
+    /// a single store.
+    #[inline]
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(event);
         }
     }
 
@@ -112,10 +149,7 @@ impl<W: Clone> TxMemory<W> {
     /// system growth happens under the GIL after every transaction was
     /// doomed by the GIL-word write.
     pub fn grow(&mut self, extra: usize, init: W) {
-        assert!(
-            self.txs.iter().all(Option::is_none),
-            "memory growth with active transactions"
-        );
+        assert!(self.txs.iter().all(Option::is_none), "memory growth with active transactions");
         let new = self.words.len() + extra;
         self.words.resize(new, init);
     }
@@ -143,9 +177,7 @@ impl<W: Clone> TxMemory<W> {
 
     /// (read lines, write lines) of `t`'s active transaction.
     pub fn footprint(&self, t: ThreadId) -> (usize, usize) {
-        self.txs[t]
-            .as_ref()
-            .map_or((0, 0), |tx| (tx.read_lines.len(), tx.write_lines.len()))
+        self.txs[t].as_ref().map_or((0, 0), |tx| (tx.read_lines.len(), tx.write_lines.len()))
     }
 
     /// Begin a transaction for thread `t` with the given budgets
@@ -158,6 +190,8 @@ impl<W: Clone> TxMemory<W> {
             let reason = AbortReason::EagerPredicted;
             self.stats.begins += 1;
             self.stats.record_abort(reason);
+            let cycle = self.now;
+            self.emit(TraceEvent::Abort { thread: t, cycle, reason, line: None });
             return Err(reason);
         }
         self.stats.begins += 1;
@@ -168,6 +202,8 @@ impl<W: Clone> TxMemory<W> {
             undo: Vec::new(),
             budgets,
         });
+        let cycle = self.now;
+        self.emit(TraceEvent::Begin { thread: t, cycle });
         Ok(())
     }
 
@@ -177,9 +213,16 @@ impl<W: Clone> TxMemory<W> {
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
         }
-        let _tx = self.txs[t].take().expect("commit without transaction");
+        let tx = self.txs[t].take().expect("commit without transaction");
         self.stats.commits += 1;
         self.predictors[t].on_commit();
+        let cycle = self.now;
+        self.emit(TraceEvent::Commit {
+            thread: t,
+            cycle,
+            read_lines: tx.read_lines.len(),
+            write_lines: tx.write_lines.len(),
+        });
         Ok(())
     }
 
@@ -187,7 +230,7 @@ impl<W: Clone> TxMemory<W> {
     /// (`TABORT`/`XABORT code`). Rolls back and reports the reason.
     pub fn tabort(&mut self, t: ThreadId, code: ExplicitCode) -> AbortReason {
         let reason = AbortReason::Explicit(code);
-        self.abort_self(t, reason);
+        self.abort_self(t, reason, None);
         reason
     }
 
@@ -195,7 +238,7 @@ impl<W: Clone> TxMemory<W> {
     /// illegal inside transactions (system call, blocking I/O, GC).
     pub fn abort_restricted(&mut self, t: ThreadId) -> AbortReason {
         let reason = AbortReason::Restricted;
-        self.abort_self(t, reason);
+        self.abort_self(t, reason, None);
         reason
     }
 
@@ -223,7 +266,7 @@ impl<W: Clone> TxMemory<W> {
             tx.read_lines.insert(line);
             if tx.read_lines.len() > tx.budgets.read_lines {
                 let reason = AbortReason::ReadOverflow;
-                self.abort_self(t, reason);
+                self.abort_self(t, reason, Some(line));
                 self.predictors[t].on_overflow();
                 return Err(reason);
             }
@@ -247,7 +290,7 @@ impl<W: Clone> TxMemory<W> {
             tx.write_lines.insert(line);
             if tx.write_lines.len() > tx.budgets.write_lines {
                 let reason = AbortReason::WriteOverflow;
-                self.abort_self(t, reason);
+                self.abort_self(t, reason, Some(line));
                 self.predictors[t].on_overflow();
                 return Err(reason);
             }
@@ -265,10 +308,7 @@ impl<W: Clone> TxMemory<W> {
 
     /// Write bypassing transaction machinery — initialization only.
     pub fn poke(&mut self, addr: usize, value: W) {
-        debug_assert!(
-            self.txs.iter().all(Option::is_none),
-            "poke with active transactions"
-        );
+        debug_assert!(self.txs.iter().all(Option::is_none), "poke with active transactions");
         self.words[addr] = value;
     }
 
@@ -303,6 +343,8 @@ impl<W: Clone> TxMemory<W> {
                 self.rollback(victim);
                 self.doomed[victim] = Some(reason);
                 self.stats.record_abort(reason);
+                let cycle = self.now;
+                self.emit(TraceEvent::Abort { thread: victim, cycle, reason, line: Some(line) });
                 doomed_any = true;
             }
         }
@@ -312,10 +354,14 @@ impl<W: Clone> TxMemory<W> {
     }
 
     /// Roll back and discard `t`'s transaction, recording `reason`.
-    fn abort_self(&mut self, t: ThreadId, reason: AbortReason) {
+    /// `line` is the faulting cache line where the abort has one
+    /// (footprint overflows pass the line that burst the budget).
+    fn abort_self(&mut self, t: ThreadId, reason: AbortReason, line: Option<usize>) {
         self.rollback(t);
         self.doomed[t] = None;
         self.stats.record_abort(reason);
+        let cycle = self.now;
+        self.emit(TraceEvent::Abort { thread: t, cycle, reason, line });
     }
 
     /// Replay `t`'s undo log in reverse and drop the transaction.
@@ -340,10 +386,7 @@ mod tests {
     }
 
     fn big_budgets() -> Budgets {
-        Budgets {
-            read_lines: 1 << 20,
-            write_lines: 1 << 20,
-        }
+        Budgets { read_lines: 1 << 20, write_lines: 1 << 20 }
     }
 
     #[test]
@@ -539,6 +582,70 @@ mod tests {
         assert_eq!(err, AbortReason::EagerPredicted);
         assert!(!m.in_tx(0));
         assert_eq!(m.stats().eager_predicted, 1);
+    }
+
+    #[test]
+    fn trace_records_lifecycle_in_order() {
+        use crate::trace::RingBufferSink;
+        use std::sync::Arc;
+
+        let mut m = mem();
+        let shared = RingBufferSink::shared(64);
+        m.set_trace_sink(Box::new(Arc::clone(&shared)));
+
+        m.set_now(10);
+        m.begin(0, big_budgets()).unwrap();
+        m.set_now(20);
+        m.write(0, 5, 1).unwrap();
+        m.commit(0).unwrap();
+
+        m.set_now(30);
+        m.begin(1, big_budgets()).unwrap();
+        m.write(1, 5, 2).unwrap();
+        m.set_now(40);
+        m.write(2, 5, 3).unwrap(); // non-tx write dooms thread 1
+
+        let events = shared.lock().unwrap().drain();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], TraceEvent::Begin { thread: 0, cycle: 10 });
+        assert_eq!(
+            events[1],
+            TraceEvent::Commit { thread: 0, cycle: 20, read_lines: 0, write_lines: 1 }
+        );
+        assert_eq!(events[2], TraceEvent::Begin { thread: 1, cycle: 30 });
+        let TraceEvent::Abort { thread, cycle, reason, line } = events[3] else {
+            panic!("expected abort, got {:?}", events[3]);
+        };
+        assert_eq!((thread, cycle), (1, 40));
+        assert_eq!(reason, AbortReason::ConflictWrite { with: 2, line: 0 });
+        assert_eq!(line, Some(0));
+        assert_eq!(reason.faulting_line(), Some(0));
+    }
+
+    #[test]
+    fn trace_overflow_carries_bursting_line() {
+        use crate::trace::{RingBufferSink, TraceEvent};
+        use std::sync::Arc;
+
+        let mut m = mem();
+        let shared = RingBufferSink::shared(8);
+        m.set_trace_sink(Box::new(Arc::clone(&shared)));
+        m.begin(0, Budgets { read_lines: 100, write_lines: 1 }).unwrap();
+        m.write(0, 0, 1).unwrap();
+        let err = m.write(0, 8, 2).unwrap_err(); // line 1 bursts the budget
+        assert_eq!(err, AbortReason::WriteOverflow);
+        let events = shared.lock().unwrap().drain();
+        let Some(TraceEvent::Abort { reason, line, .. }) = events.last().copied() else {
+            panic!("expected trailing abort event");
+        };
+        assert_eq!(reason, AbortReason::WriteOverflow);
+        assert_eq!(line, Some(1));
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let m = mem();
+        assert!(!m.tracing_enabled());
     }
 
     #[test]

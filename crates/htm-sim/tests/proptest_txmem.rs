@@ -86,9 +86,9 @@ proptest! {
                         Err(_) => { overlay[t] = None; }
                     }
                     // A successful plain/committing write may have doomed others.
-                    for u in 0..THREADS {
+                    for (u, ov) in overlay.iter_mut().enumerate() {
                         if u != t && !m.in_tx(u) {
-                            overlay[u] = None;
+                            *ov = None;
                         }
                     }
                 }

@@ -287,11 +287,7 @@ mod tests {
 
     #[test]
     fn line_arithmetic() {
-        let g = CacheGeometry {
-            line_bytes: 64,
-            read_set_bytes: 1024,
-            write_set_bytes: 256,
-        };
+        let g = CacheGeometry { line_bytes: 64, read_set_bytes: 1024, write_set_bytes: 256 };
         assert_eq!(g.line_words(), 8);
         assert_eq!(g.read_set_lines(), 16);
         assert_eq!(g.write_set_lines(), 4);

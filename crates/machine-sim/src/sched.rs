@@ -152,9 +152,7 @@ impl Scheduler {
     pub fn sleep_until(&mut self, t: ThreadId, until: Cycles) {
         self.release_slot(t);
         let th = &mut self.threads[t];
-        th.state = ThreadState::Sleeping {
-            until: until.max(th.clock),
-        };
+        th.state = ThreadState::Sleeping { until: until.max(th.clock) };
     }
 
     /// Park `t` until an explicit [`Scheduler::unpark`]. Releases its slot.
@@ -187,9 +185,7 @@ impl Scheduler {
 
     /// True when every registered thread has finished.
     pub fn all_finished(&self) -> bool {
-        self.threads
-            .iter()
-            .all(|t| t.state == ThreadState::Finished)
+        self.threads.iter().all(|t| t.state == ThreadState::Finished)
     }
 
     /// Number of threads currently runnable or sleeping (i.e. that will run
@@ -197,12 +193,7 @@ impl Scheduler {
     pub fn live_count(&self) -> usize {
         self.threads
             .iter()
-            .filter(|t| {
-                matches!(
-                    t.state,
-                    ThreadState::Runnable | ThreadState::Sleeping { .. }
-                )
-            })
+            .filter(|t| matches!(t.state, ThreadState::Runnable | ThreadState::Sleeping { .. }))
             .count()
     }
 

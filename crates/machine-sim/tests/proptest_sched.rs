@@ -69,9 +69,9 @@ proptest! {
                     }
                 }
             }
-            for t in 0..4 {
-                prop_assert!(s.clock(t) >= last_clock[t], "clock of t{t} went backwards");
-                last_clock[t] = s.clock(t);
+            for (t, last) in last_clock.iter_mut().enumerate() {
+                prop_assert!(s.clock(t) >= *last, "clock of t{t} went backwards");
+                *last = s.clock(t);
             }
             if let Some(t) = s.next() {
                 prop_assert_ne!(s.state(t), ThreadState::Finished);
@@ -110,9 +110,9 @@ proptest! {
             s.advance(t, c);
             expect[t] += c;
         }
-        for t in 0..3 {
-            prop_assert_eq!(s.busy(t), expect[t]);
-            prop_assert_eq!(s.clock(t), expect[t]);
+        for (t, &e) in expect.iter().enumerate() {
+            prop_assert_eq!(s.busy(t), e);
+            prop_assert_eq!(s.clock(t), e);
         }
     }
 }

@@ -203,21 +203,15 @@ mod tests {
     #[test]
     fn seq_collapses_singleton() {
         assert_eq!(Node::seq(vec![Node::Nil]), Node::Nil);
-        assert_eq!(
-            Node::seq(vec![Node::Nil, Node::True]),
-            Node::Seq(vec![Node::Nil, Node::True])
-        );
+        assert_eq!(Node::seq(vec![Node::Nil, Node::True]), Node::Seq(vec![Node::Nil, Node::True]));
     }
 
     #[test]
     fn lvalue_classification() {
         assert!(Node::LVar("x".into()).is_lvalue());
         assert!(Node::IVar("x".into()).is_lvalue());
-        assert!(Node::Index {
-            recv: Box::new(Node::LVar("a".into())),
-            args: vec![Node::Int(0)]
-        }
-        .is_lvalue());
+        assert!(Node::Index { recv: Box::new(Node::LVar("a".into())), args: vec![Node::Int(0)] }
+            .is_lvalue());
         assert!(!Node::Int(1).is_lvalue());
         // Attribute write target: `o.x`
         assert!(Node::Call {

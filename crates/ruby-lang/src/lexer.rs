@@ -31,11 +31,7 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer {
-            src: src.as_bytes(),
-            pos: 0,
-            line: 1,
-        }
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
     }
 
     /// Lex the entire input.
@@ -62,10 +58,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, LexError> {
-        Err(LexError {
-            msg: msg.into(),
-            line: self.line,
-        })
+        Err(LexError { msg: msg.into(), line: self.line })
     }
 
     fn peek(&self) -> u8 {
@@ -508,12 +501,7 @@ mod tests {
     use crate::token::TokenKind as T;
 
     fn kinds(src: &str) -> Vec<T> {
-        Lexer::new(src)
-            .tokenize()
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -673,9 +661,6 @@ mod tests {
             kinds("a != b"),
             vec![T::Ident("a".into()), T::Ne, T::Ident("b".into()), T::Eof]
         );
-        assert_eq!(
-            kinds("sort!()"),
-            vec![T::IdentQ("sort!".into()), T::LParen, T::RParen, T::Eof]
-        );
+        assert_eq!(kinds("sort!()"), vec![T::IdentQ("sort!".into()), T::LParen, T::RParen, T::Eof]);
     }
 }

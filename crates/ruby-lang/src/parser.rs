@@ -26,15 +26,8 @@ impl std::error::Error for ParseError {}
 
 /// Parse a complete program.
 pub fn parse_program(src: &str) -> Result<Node, ParseError> {
-    let tokens = Lexer::new(src).tokenize().map_err(|e| ParseError {
-        msg: e.msg,
-        line: e.line,
-    })?;
-    let mut p = Parser {
-        toks: tokens,
-        pos: 0,
-        no_do_block: false,
-    };
+    let tokens = Lexer::new(src).tokenize().map_err(|e| ParseError { msg: e.msg, line: e.line })?;
+    let mut p = Parser { toks: tokens, pos: 0, no_do_block: false };
     let body = p.parse_stmts(&[TokenKind::Eof])?;
     p.expect(&TokenKind::Eof)?;
     Ok(body)
@@ -54,10 +47,7 @@ impl Parser {
     }
 
     fn peek_at(&self, n: usize) -> &TokenKind {
-        self.toks
-            .get(self.pos + n)
-            .map(|t| &t.kind)
-            .unwrap_or(&TokenKind::Eof)
+        self.toks.get(self.pos + n).map(|t| &t.kind).unwrap_or(&TokenKind::Eof)
     }
 
     fn line(&self) -> u32 {
@@ -90,10 +80,7 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            msg: msg.into(),
-            line: self.line(),
-        })
+        Err(ParseError { msg: msg.into(), line: self.line() })
     }
 
     fn skip_terms(&mut self) {
@@ -116,10 +103,7 @@ impl Parser {
             if !matches!(self.peek(), TokenKind::Newline | TokenKind::Semi)
                 && !stops.iter().any(|s| self.peek() == s)
             {
-                return self.err(format!(
-                    "expected end of statement, found {:?}",
-                    self.peek()
-                ));
+                return self.err(format!("expected end of statement, found {:?}", self.peek()));
             }
         }
         if out.is_empty() {
@@ -142,11 +126,8 @@ impl Parser {
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value = if self.stmt_ends_here() {
-                    None
-                } else {
-                    Some(Box::new(self.parse_expr()?))
-                };
+                let value =
+                    if self.stmt_ends_here() { None } else { Some(Box::new(self.parse_expr()?)) };
                 Node::Return(value)
             }
             TokenKind::KwBreak => {
@@ -164,20 +145,13 @@ impl Parser {
             TokenKind::KwIf => {
                 self.bump();
                 let cond = self.parse_expr()?;
-                Ok(Node::If {
-                    cond: Box::new(cond),
-                    then: Box::new(node),
-                    els: None,
-                })
+                Ok(Node::If { cond: Box::new(cond), then: Box::new(node), els: None })
             }
             TokenKind::KwUnless => {
                 self.bump();
                 let cond = self.parse_expr()?;
                 Ok(Node::If {
-                    cond: Box::new(Node::UnExpr {
-                        op: UnOp::Not,
-                        e: Box::new(cond),
-                    }),
+                    cond: Box::new(Node::UnExpr { op: UnOp::Not, e: Box::new(cond) }),
                     then: Box::new(node),
                     els: None,
                 })
@@ -233,12 +207,7 @@ impl Parser {
         }
         let body = self.parse_stmts(&[TokenKind::KwEnd])?;
         self.expect(&TokenKind::KwEnd)?;
-        Ok(Node::MethodDef {
-            name,
-            params,
-            body: Box::new(body),
-            on_self,
-        })
+        Ok(Node::MethodDef { name, params, body: Box::new(body), on_self })
     }
 
     fn method_name(&mut self) -> Result<String, ParseError> {
@@ -301,11 +270,7 @@ impl Parser {
         };
         let body = self.parse_stmts(&[TokenKind::KwEnd])?;
         self.expect(&TokenKind::KwEnd)?;
-        Ok(Node::ClassDef {
-            name,
-            superclass,
-            body: Box::new(body),
-        })
+        Ok(Node::ClassDef { name, superclass, body: Box::new(body) })
     }
 
     // ---- expressions ----------------------------------------------------
@@ -342,42 +307,23 @@ impl Parser {
         self.bump();
         let value = self.parse_assignment()?; // right-associative
         match op {
-            None => Ok(Node::Assign {
-                target: Box::new(lhs),
-                value: Box::new(value),
-            }),
-            Some(op) => Ok(Node::OpAssign {
-                target: Box::new(lhs),
-                op,
-                value: Box::new(value),
-            }),
+            None => Ok(Node::Assign { target: Box::new(lhs), value: Box::new(value) }),
+            Some(op) => Ok(Node::OpAssign { target: Box::new(lhs), op, value: Box::new(value) }),
         }
     }
 
-    fn make_logic_assign(
-        &self,
-        lhs: Node,
-        value: Node,
-        is_and: bool,
-    ) -> Result<Node, ParseError> {
+    fn make_logic_assign(&self, lhs: Node, value: Node, is_and: bool) -> Result<Node, ParseError> {
         if !lhs.is_lvalue() {
             return self.err("left-hand side is not assignable");
         }
-        Ok(Node::OrAssign {
-            target: Box::new(lhs),
-            value: Box::new(value),
-            is_and,
-        })
+        Ok(Node::OrAssign { target: Box::new(lhs), value: Box::new(value), is_and })
     }
 
     /// Lowest precedence: `and` / `or` / `not` keywords.
     fn parse_keyword_logic(&mut self) -> Result<Node, ParseError> {
         if self.eat(&TokenKind::KwNot) {
             let e = self.parse_keyword_logic()?;
-            return Ok(Node::UnExpr {
-                op: UnOp::Not,
-                e: Box::new(e),
-            });
+            return Ok(Node::UnExpr { op: UnOp::Not, e: Box::new(e) });
         }
         let mut l = self.parse_ternary()?;
         loop {
@@ -388,11 +334,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_ternary()?;
-            l = Node::Logical {
-                is_and,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::Logical { is_and, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -421,22 +363,14 @@ impl Parser {
         };
         self.bump();
         let hi = self.parse_oror()?;
-        Ok(Node::Range {
-            lo: Box::new(lo),
-            hi: Box::new(hi),
-            excl,
-        })
+        Ok(Node::Range { lo: Box::new(lo), hi: Box::new(hi), excl })
     }
 
     fn parse_oror(&mut self) -> Result<Node, ParseError> {
         let mut l = self.parse_andand()?;
         while self.eat(&TokenKind::OrOr) {
             let r = self.parse_andand()?;
-            l = Node::Logical {
-                is_and: false,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::Logical { is_and: false, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -445,11 +379,7 @@ impl Parser {
         let mut l = self.parse_equality()?;
         while self.eat(&TokenKind::AndAnd) {
             let r = self.parse_equality()?;
-            l = Node::Logical {
-                is_and: true,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::Logical { is_and: true, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -465,11 +395,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_comparison()?;
-            l = Node::BinExpr {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -486,11 +412,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_bitor()?;
-            l = Node::BinExpr {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -505,11 +427,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_bitand()?;
-            l = Node::BinExpr {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -519,11 +437,7 @@ impl Parser {
         while self.peek() == &TokenKind::Amp {
             self.bump();
             let r = self.parse_shift()?;
-            l = Node::BinExpr {
-                op: BinOp::BitAnd,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op: BinOp::BitAnd, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -538,11 +452,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_additive()?;
-            l = Node::BinExpr {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -557,11 +467,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_multiplicative()?;
-            l = Node::BinExpr {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -577,11 +483,7 @@ impl Parser {
             };
             self.bump();
             let r = self.parse_unary()?;
-            l = Node::BinExpr {
-                op,
-                l: Box::new(l),
-                r: Box::new(r),
-            };
+            l = Node::BinExpr { op, l: Box::new(l), r: Box::new(r) };
         }
         Ok(l)
     }
@@ -607,27 +509,18 @@ impl Parser {
                 match self.parse_unary()? {
                     Node::Int(i) => Ok(Node::Int(-i)),
                     Node::Float(f) => Ok(Node::Float(-f)),
-                    e => Ok(Node::UnExpr {
-                        op: UnOp::Neg,
-                        e: Box::new(e),
-                    }),
+                    e => Ok(Node::UnExpr { op: UnOp::Neg, e: Box::new(e) }),
                 }
             }
             TokenKind::Bang => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Node::UnExpr {
-                    op: UnOp::Not,
-                    e: Box::new(e),
-                })
+                Ok(Node::UnExpr { op: UnOp::Not, e: Box::new(e) })
             }
             TokenKind::Tilde => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Node::UnExpr {
-                    op: UnOp::BitNot,
-                    e: Box::new(e),
-                })
+                Ok(Node::UnExpr { op: UnOp::BitNot, e: Box::new(e) })
             }
             _ => self.parse_power(),
         }
@@ -637,11 +530,7 @@ impl Parser {
         let base = self.parse_postfix()?;
         if self.eat(&TokenKind::Pow) {
             let exp = self.parse_unary()?; // right-associative
-            return Ok(Node::BinExpr {
-                op: BinOp::Pow,
-                l: Box::new(base),
-                r: Box::new(exp),
-            });
+            return Ok(Node::BinExpr { op: BinOp::Pow, l: Box::new(base), r: Box::new(exp) });
         }
         Ok(base)
     }
@@ -669,21 +558,13 @@ impl Parser {
                         Vec::new()
                     };
                     let block = self.maybe_block()?;
-                    e = Node::Call {
-                        recv: Some(Box::new(e)),
-                        name,
-                        args,
-                        block,
-                    };
+                    e = Node::Call { recv: Some(Box::new(e)), name, args, block };
                 }
                 TokenKind::LBracket => {
                     self.bump();
                     let args = self.parse_args(&TokenKind::RBracket)?;
                     self.expect(&TokenKind::RBracket)?;
-                    e = Node::Index {
-                        recv: Box::new(e),
-                        args,
-                    };
+                    e = Node::Index { recv: Box::new(e), args };
                 }
                 _ => break,
             }
@@ -711,20 +592,14 @@ impl Parser {
             let params = self.block_params()?;
             let body = self.parse_stmts(&[TokenKind::RBrace])?;
             self.expect(&TokenKind::RBrace)?;
-            return Ok(Some(BlockDef {
-                params,
-                body: Box::new(body),
-            }));
+            return Ok(Some(BlockDef { params, body: Box::new(body) }));
         }
         if self.peek() == &TokenKind::KwDo && !self.no_do_block {
             self.bump();
             let params = self.block_params()?;
             let body = self.parse_stmts(&[TokenKind::KwEnd])?;
             self.expect(&TokenKind::KwEnd)?;
-            return Ok(Some(BlockDef {
-                params,
-                body: Box::new(body),
-            }));
+            return Ok(Some(BlockDef { params, body: Box::new(body) }));
         }
         Ok(None)
     }
@@ -736,9 +611,7 @@ impl Parser {
             while self.peek() != &TokenKind::Pipe {
                 match self.bump() {
                     TokenKind::Ident(n) => params.push(n),
-                    other => {
-                        return self.err(format!("expected block parameter, found {other:?}"))
-                    }
+                    other => return self.err(format!("expected block parameter, found {other:?}")),
                 }
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -833,24 +706,14 @@ impl Parser {
                     let args = self.parse_args(&TokenKind::RParen)?;
                     self.expect(&TokenKind::RParen)?;
                     let block = self.maybe_block()?;
-                    return Ok(Node::Call {
-                        recv: None,
-                        name,
-                        args,
-                        block,
-                    });
+                    return Ok(Node::Call { recv: None, name, args, block });
                 }
                 // `foo { … }` / `foo do … end`: zero-arg call with block.
                 if self.peek() == &TokenKind::LBrace
                     || (self.peek() == &TokenKind::KwDo && !self.no_do_block)
                 {
                     let block = self.maybe_block()?;
-                    return Ok(Node::Call {
-                        recv: None,
-                        name,
-                        args: Vec::new(),
-                        block,
-                    });
+                    return Ok(Node::Call { recv: None, name, args: Vec::new(), block });
                 }
                 // Bare identifier: local variable or zero-arg self-call —
                 // the compiler resolves which, from its scope table.
@@ -899,19 +762,8 @@ impl Parser {
             }
             other => return self.err(format!("expected elsif/else/end, found {other:?}")),
         };
-        let cond = if negate {
-            Node::UnExpr {
-                op: UnOp::Not,
-                e: Box::new(cond),
-            }
-        } else {
-            cond
-        };
-        Ok(Node::If {
-            cond: Box::new(cond),
-            then: Box::new(then),
-            els,
-        })
+        let cond = if negate { Node::UnExpr { op: UnOp::Not, e: Box::new(cond) } } else { cond };
+        Ok(Node::If { cond: Box::new(cond), then: Box::new(then), els })
     }
 
     fn parse_while(&mut self, negate: bool) -> Result<Node, ParseError> {
@@ -924,18 +776,8 @@ impl Parser {
         let _ = self.eat(&TokenKind::KwDo);
         let body = self.parse_stmts(&[TokenKind::KwEnd])?;
         self.expect(&TokenKind::KwEnd)?;
-        let cond = if negate {
-            Node::UnExpr {
-                op: UnOp::Not,
-                e: Box::new(cond),
-            }
-        } else {
-            cond
-        };
-        Ok(Node::While {
-            cond: Box::new(cond),
-            body: Box::new(body),
-        })
+        let cond = if negate { Node::UnExpr { op: UnOp::Not, e: Box::new(cond) } } else { cond };
+        Ok(Node::While { cond: Box::new(cond), body: Box::new(body) })
     }
 }
 
@@ -1092,14 +934,8 @@ mod tests {
 
     #[test]
     fn def_self_and_operator_methods() {
-        assert!(matches!(
-            parse("def self.make()\n  1\nend"),
-            N::MethodDef { on_self: true, .. }
-        ));
-        assert!(matches!(
-            parse("def ==(o)\n  true\nend"),
-            N::MethodDef { .. }
-        ));
+        assert!(matches!(parse("def self.make()\n  1\nend"), N::MethodDef { on_self: true, .. }));
+        assert!(matches!(parse("def ==(o)\n  true\nend"), N::MethodDef { .. }));
         match parse("def [](i)\n  i\nend") {
             N::MethodDef { name, .. } => assert_eq!(name, "[]"),
             other => panic!("{other:?}"),

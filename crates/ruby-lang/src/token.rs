@@ -66,18 +66,18 @@ pub enum TokenKind {
     Star,
     Slash,
     Percent,
-    Pow,      // **
-    Eq,       // ==
-    Ne,       // !=
+    Pow, // **
+    Eq,  // ==
+    Ne,  // !=
     Lt,
     Le,
     Gt,
     Ge,
-    Cmp,      // <=>
-    AndAnd,   // &&
-    OrOr,     // ||
-    Bang,     // !
-    Assign,   // =
+    Cmp,    // <=>
+    AndAnd, // &&
+    OrOr,   // ||
+    Bang,   // !
+    Assign, // =
     PlusEq,
     MinusEq,
     StarEq,

@@ -176,9 +176,8 @@ fn arg_int(args: &[Word], i: usize, what: &str) -> Result<i64, VmAbort> {
 }
 
 fn recv_slot(vm: &mut Vm, t: ThreadId, recv: &Word, kind: ObjKind) -> Result<Addr, VmAbort> {
-    let slot = recv
-        .as_obj()
-        .ok_or_else(|| VmAbort::fatal(format!("receiver is not a {kind:?}")))?;
+    let slot =
+        recv.as_obj().ok_or_else(|| VmAbort::fatal(format!("receiver is not a {kind:?}")))?;
     if vm.kind_of(t, slot)? != kind {
         return Err(VmAbort::fatal(format!("receiver is not a {kind:?}")));
     }
@@ -186,10 +185,8 @@ fn recv_slot(vm: &mut Vm, t: ThreadId, recv: &Word, kind: ObjKind) -> Result<Add
 }
 
 fn str_arg(vm: &mut Vm, t: ThreadId, args: &[Word], i: usize) -> Result<String, VmAbort> {
-    let w = args
-        .get(i)
-        .ok_or_else(|| VmAbort::fatal(format!("missing string argument {i}")))?
-        .clone();
+    let w =
+        args.get(i).ok_or_else(|| VmAbort::fatal(format!("missing string argument {i}")))?.clone();
     let slot = recv_slot(vm, t, &w, ObjKind::String)?;
     Ok(vm.string_content(t, slot)?.to_string())
 }
@@ -205,7 +202,13 @@ fn forbid_in_tx(vm: &mut Vm, t: ThreadId) -> Result<(), VmAbort> {
 
 // ---- Kernel ------------------------------------------------------------------
 
-fn bi_puts(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_puts(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     // Writing to stdout is I/O: CRuby releases the GIL around it, and an
     // aborted transaction must not leave phantom output — restricted.
     forbid_in_tx(vm, t)?;
@@ -232,7 +235,13 @@ fn bi_puts(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> 
     Ok(BResult::Value(Word::Nil))
 }
 
-fn bi_print(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_print(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     // Writing to stdout is I/O: CRuby releases the GIL around it, and an
     // aborted transaction must not leave phantom output — restricted.
     forbid_in_tx(vm, t)?;
@@ -248,7 +257,13 @@ fn bi_print(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) ->
     Ok(BResult::Value(Word::Nil))
 }
 
-fn bi_p(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_p(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     // Writing to stdout is I/O: CRuby releases the GIL around it, and an
     // aborted transaction must not leave phantom output — restricted.
     forbid_in_tx(vm, t)?;
@@ -260,7 +275,13 @@ fn bi_p(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Res
     Ok(BResult::Value(args.into_iter().next().unwrap_or(Word::Nil)))
 }
 
-fn bi_rand(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_rand(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let r = vm.next_rand();
     match args.first() {
         Some(Word::Int(n)) if *n > 0 => Ok(BResult::Value(Word::Int((r % *n as u64) as i64))),
@@ -272,38 +293,80 @@ fn bi_rand(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> 
     }
 }
 
-fn bi_io_wait(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_io_wait(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     forbid_in_tx(vm, t)?;
     let units = args.first().and_then(|w| w.as_int()).unwrap_or(1).max(1) as u32;
     Ok(BResult::Block(BlockOn::Io(units)))
 }
 
-fn bi_to_s(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_to_s(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let s = vm.display(t, &recv)?;
     Ok(BResult::Value(vm.make_string(t, &s)?))
 }
 
-fn bi_inspect(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_inspect(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let s = vm.inspect(t, &recv)?;
     Ok(BResult::Value(vm.make_string(t, &s)?))
 }
 
-fn bi_class(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_class(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let cls = vm.class_of(t, &recv)?;
     Ok(BResult::Value(Word::Obj(cls)))
 }
 
-fn bi_nil_p(_vm: &mut Vm, _t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_nil_p(
+    _vm: &mut Vm,
+    _t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     Ok(BResult::Value(if recv == Word::Nil { Word::True } else { Word::False }))
 }
 
-fn bi_identity(_vm: &mut Vm, _t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_identity(
+    _vm: &mut Vm,
+    _t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     Ok(BResult::Value(recv))
 }
 
 // ---- Class --------------------------------------------------------------------
 
-fn bi_class_new(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, block: Addr) -> Result<BResult, VmAbort> {
+fn bi_class_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    block: Addr,
+) -> Result<BResult, VmAbort> {
     let cls = recv_slot(vm, t, &recv, ObjKind::Class)?;
     let obj = vm.make_object(t, cls)?;
     let init = vm.program.symbols.lookup("initialize").expect("interned");
@@ -317,14 +380,18 @@ fn bi_class_new(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, block: Ad
             discard: true,
             ep: 0,
         }),
-        Some(MethodEntry::Builtin(_)) => {
-            Err(VmAbort::fatal("builtin initialize is not supported"))
-        }
+        Some(MethodEntry::Builtin(_)) => Err(VmAbort::fatal("builtin initialize is not supported")),
         None => Ok(BResult::Value(obj)),
     }
 }
 
-fn bi_class_name(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_class_name(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let cls = recv_slot(vm, t, &recv, ObjKind::Class)?;
     let name = vm.rd(t, cls + 6)?;
     let s = match name {
@@ -336,42 +403,83 @@ fn bi_class_name(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) 
 
 // ---- numerics -------------------------------------------------------------------
 
-fn bi_int_to_f(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_int_to_f(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let i = recv.as_int().ok_or_else(|| VmAbort::fatal("to_f on non-Integer"))?;
     Ok(BResult::Value(vm.make_float(t, i as f64)?))
 }
 
-fn bi_int_abs(_vm: &mut Vm, _t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_int_abs(
+    _vm: &mut Vm,
+    _t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let i = recv.as_int().ok_or_else(|| VmAbort::fatal("abs on non-Integer"))?;
     Ok(BResult::Value(Word::Int(i.abs())))
 }
 
 fn float_of(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<f64, VmAbort> {
-    vm.as_number(t, recv)?
-        .ok_or_else(|| VmAbort::fatal("receiver is not numeric"))
+    vm.as_number(t, recv)?.ok_or_else(|| VmAbort::fatal("receiver is not numeric"))
 }
 
-fn bi_float_to_i(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_float_to_i(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let f = float_of(vm, t, &recv)?;
     Ok(BResult::Value(Word::Int(f.trunc() as i64)))
 }
 
-fn bi_float_abs(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_float_abs(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let f = float_of(vm, t, &recv)?;
     Ok(BResult::Value(vm.make_float(t, f.abs())?))
 }
 
-fn bi_float_floor(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_float_floor(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let f = float_of(vm, t, &recv)?;
     Ok(BResult::Value(Word::Int(f.floor() as i64)))
 }
 
-fn bi_float_ceil(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_float_ceil(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let f = float_of(vm, t, &recv)?;
     Ok(BResult::Value(Word::Int(f.ceil() as i64)))
 }
 
-fn bi_float_round(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_float_round(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let f = float_of(vm, t, &recv)?;
     match args.first().and_then(|w| w.as_int()) {
         Some(digits) => {
@@ -382,14 +490,26 @@ fn bi_float_round(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Add
     }
 }
 
-fn bi_float_nan(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_float_nan(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let f = float_of(vm, t, &recv)?;
     Ok(BResult::Value(if f.is_nan() { Word::True } else { Word::False }))
 }
 
 macro_rules! math_fn {
     ($name:ident, $op:expr) => {
-        fn $name(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+        fn $name(
+            vm: &mut Vm,
+            t: ThreadId,
+            _recv: Word,
+            args: Vec<Word>,
+            _b: Addr,
+        ) -> Result<BResult, VmAbort> {
             let x = vm
                 .as_number(t, args.first().unwrap_or(&Word::Nil))?
                 .ok_or_else(|| VmAbort::fatal("Math function expects a numeric argument"))?;
@@ -406,7 +526,13 @@ math_fn!(bi_math_cos, f64::cos);
 math_fn!(bi_math_exp, f64::exp);
 math_fn!(bi_math_log, f64::ln);
 
-fn bi_math_pow(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_math_pow(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let x = vm
         .as_number(t, args.first().unwrap_or(&Word::Nil))?
         .ok_or_else(|| VmAbort::fatal("Math.pow expects numerics"))?;
@@ -417,7 +543,13 @@ fn bi_math_pow(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr)
     Ok(BResult::Value(vm.make_float(t, x.powf(y))?))
 }
 
-fn bi_math_pi(vm: &mut Vm, t: ThreadId, _recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_math_pi(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     Ok(BResult::Value(vm.make_float(t, std::f64::consts::PI)?))
 }
 
@@ -429,17 +561,35 @@ fn self_string(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<(Addr, String), 
     Ok((slot, s))
 }
 
-fn bi_str_len(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_len(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     Ok(BResult::Value(Word::Int(s.len() as i64)))
 }
 
-fn bi_str_empty(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_empty(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     Ok(BResult::Value(if s.is_empty() { Word::True } else { Word::False }))
 }
 
-fn bi_str_to_i(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_to_i(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let trimmed = s.trim_start();
     let mut end = 0;
@@ -454,13 +604,25 @@ fn bi_str_to_i(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) ->
     Ok(BResult::Value(Word::Int(v)))
 }
 
-fn bi_str_to_f(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_to_f(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let v = s.trim().parse::<f64>().unwrap_or(0.0);
     Ok(BResult::Value(vm.make_float(t, v)?))
 }
 
-fn bi_str_to_sym(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_to_sym(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let sym = vm.program.intern(&s);
     Ok(BResult::Value(Word::Sym(sym)))
@@ -468,7 +630,13 @@ fn bi_str_to_sym(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) 
 
 macro_rules! str_map {
     ($name:ident, |$s:ident| $body:expr) => {
-        fn $name(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+        fn $name(
+            vm: &mut Vm,
+            t: ThreadId,
+            recv: Word,
+            _a: Vec<Word>,
+            _b: Addr,
+        ) -> Result<BResult, VmAbort> {
             let (_slot, $s) = self_string(vm, t, &recv)?;
             vm.step_native_cost += ($s.len() / 4) as u64;
             let out: String = $body;
@@ -483,26 +651,50 @@ str_map!(bi_str_reverse, |s| s.chars().rev().collect());
 str_map!(bi_str_strip, |s| s.trim().to_string());
 str_map!(bi_str_dup, |s| s);
 
-fn bi_str_include(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_include(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let needle = str_arg(vm, t, &args, 0)?;
     vm.step_native_cost += (s.len() / 4) as u64;
     Ok(BResult::Value(if s.contains(&needle) { Word::True } else { Word::False }))
 }
 
-fn bi_str_start_with(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_start_with(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let needle = str_arg(vm, t, &args, 0)?;
     Ok(BResult::Value(if s.starts_with(&needle) { Word::True } else { Word::False }))
 }
 
-fn bi_str_end_with(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_end_with(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let needle = str_arg(vm, t, &args, 0)?;
     Ok(BResult::Value(if s.ends_with(&needle) { Word::True } else { Word::False }))
 }
 
-fn bi_str_index(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_index(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let needle = str_arg(vm, t, &args, 0)?;
     vm.step_native_cost += (s.len() / 4) as u64;
@@ -512,7 +704,13 @@ fn bi_str_index(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr)
     }))
 }
 
-fn bi_str_split(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_split(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     vm.step_native_cost += (s.len() / 2) as u64;
     let parts: Vec<String> = if args.is_empty() {
@@ -531,7 +729,13 @@ fn bi_str_split(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr)
 }
 
 /// Pattern for `sub`/`gsub`: literal string or Regexp.
-fn sub_impl(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, all: bool) -> Result<BResult, VmAbort> {
+fn sub_impl(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    all: bool,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let rep = str_arg(vm, t, &args, 1)?;
     let pat = args
@@ -564,15 +768,33 @@ fn sub_impl(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, all: bool) ->
     Ok(BResult::Value(vm.make_string(t, &out)?))
 }
 
-fn bi_str_sub(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_sub(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     sub_impl(vm, t, recv, args, false)
 }
 
-fn bi_str_gsub(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_gsub(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     sub_impl(vm, t, recv, args, true)
 }
 
-fn bi_str_repeat(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_repeat(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let n = arg_int(&args, 0, "String#*")?.max(0) as usize;
     let out = s.repeat(n);
@@ -580,7 +802,13 @@ fn bi_str_repeat(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr
     Ok(BResult::Value(vm.make_string(t, &out)?))
 }
 
-fn bi_str_slice(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_str_slice(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (_slot, s) = self_string(vm, t, &recv)?;
     let start = arg_int(&args, 0, "slice")?;
     let len = args.get(1).and_then(|w| w.as_int()).unwrap_or(1);
@@ -596,7 +824,13 @@ fn bi_str_slice(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr)
 
 // ---- Array -----------------------------------------------------------------------
 
-fn bi_array_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_array_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let n = args.first().and_then(|w| w.as_int()).unwrap_or(0).max(0) as usize;
     let default = args.get(1).cloned().unwrap_or(Word::Nil);
     let elems = vec![default; n];
@@ -607,19 +841,37 @@ fn self_array(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<Addr, VmAbort> {
     recv_slot(vm, t, recv, ObjKind::Array)
 }
 
-fn bi_arr_len(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_len(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let n = vm.array_len(t, slot)?;
     Ok(BResult::Value(Word::Int(n as i64)))
 }
 
-fn bi_arr_empty(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_empty(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let n = vm.array_len(t, slot)?;
     Ok(BResult::Value(if n == 0 { Word::True } else { Word::False }))
 }
 
-fn bi_arr_push(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_push(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     for a in args {
         vm.array_push(t, slot, a)?;
@@ -627,7 +879,13 @@ fn bi_arr_push(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) 
     Ok(BResult::Value(recv))
 }
 
-fn bi_arr_pop(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_pop(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let n = vm.array_len(t, slot)?;
     if n == 0 {
@@ -638,7 +896,13 @@ fn bi_arr_pop(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> 
     Ok(BResult::Value(w))
 }
 
-fn bi_arr_shift(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_shift(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let n = vm.array_len(t, slot)?;
     if n == 0 {
@@ -653,23 +917,47 @@ fn bi_arr_shift(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -
     Ok(BResult::Value(first))
 }
 
-fn bi_arr_first(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_first(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     Ok(BResult::Value(vm.array_get(t, slot, 0)?))
 }
 
-fn bi_arr_last(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_last(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     Ok(BResult::Value(vm.array_get(t, slot, -1)?))
 }
 
-fn bi_arr_clear(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_clear(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     vm.wr(t, slot + 1, Word::Int(0))?;
     Ok(BResult::Value(recv))
 }
 
-fn bi_arr_include(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_include(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let needle = args.first().cloned().unwrap_or(Word::Nil);
     let n = vm.array_len(t, slot)?;
@@ -682,7 +970,13 @@ fn bi_arr_include(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Add
     Ok(BResult::Value(Word::False))
 }
 
-fn bi_arr_index(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_index(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let needle = args.first().cloned().unwrap_or(Word::Nil);
     let n = vm.array_len(t, slot)?;
@@ -695,13 +989,15 @@ fn bi_arr_index(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr)
     Ok(BResult::Value(Word::Nil))
 }
 
-fn bi_arr_join(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_join(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
-    let sep = if args.is_empty() {
-        String::new()
-    } else {
-        str_arg(vm, t, &args, 0)?
-    };
+    let sep = if args.is_empty() { String::new() } else { str_arg(vm, t, &args, 0)? };
     let n = vm.array_len(t, slot)?;
     let mut parts = Vec::with_capacity(n);
     for i in 0..n {
@@ -752,7 +1048,13 @@ impl SortKey {
     }
 }
 
-fn bi_arr_sort_bang(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_sort_bang(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let mut keyed = sort_keys(vm, t, slot)?;
     vm.step_native_cost += (keyed.len().max(1) as u64).ilog2() as u64 * keyed.len() as u64;
@@ -763,7 +1065,13 @@ fn bi_arr_sort_bang(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Add
     Ok(BResult::Value(recv))
 }
 
-fn bi_arr_sort(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_sort(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let mut keyed = sort_keys(vm, t, slot)?;
     vm.step_native_cost += (keyed.len().max(1) as u64).ilog2() as u64 * keyed.len() as u64;
@@ -777,21 +1085,44 @@ fn minmax(vm: &mut Vm, t: ThreadId, recv: Word, want_max: bool) -> Result<BResul
     let keyed = sort_keys(vm, t, slot)?;
     let best = keyed.into_iter().reduce(|a, b| {
         let o = a.1.cmp(&b.1);
-        let take_b = if want_max { o == std::cmp::Ordering::Less } else { o == std::cmp::Ordering::Greater };
-        if take_b { b } else { a }
+        let take_b =
+            if want_max { o == std::cmp::Ordering::Less } else { o == std::cmp::Ordering::Greater };
+        if take_b {
+            b
+        } else {
+            a
+        }
     });
     Ok(BResult::Value(best.map(|(w, _)| w).unwrap_or(Word::Nil)))
 }
 
-fn bi_arr_min(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_min(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     minmax(vm, t, recv, false)
 }
 
-fn bi_arr_max(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_max(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     minmax(vm, t, recv, true)
 }
 
-fn bi_arr_dup(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_dup(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let n = vm.array_len(t, slot)?;
     let mut elems = Vec::with_capacity(n);
@@ -801,12 +1132,15 @@ fn bi_arr_dup(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> 
     Ok(BResult::Value(vm.make_array(t, &elems)?))
 }
 
-fn bi_arr_concat(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_concat(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
-    let other = args
-        .first()
-        .cloned()
-        .ok_or_else(|| VmAbort::fatal("concat expects an Array"))?;
+    let other = args.first().cloned().ok_or_else(|| VmAbort::fatal("concat expects an Array"))?;
     let oslot = self_array(vm, t, &other)?;
     let n = vm.array_len(t, oslot)?;
     for i in 0..n {
@@ -816,7 +1150,13 @@ fn bi_arr_concat(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr
     Ok(BResult::Value(recv))
 }
 
-fn bi_arr_delete_at(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_arr_delete_at(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_array(vm, t, &recv)?;
     let idx = arg_int(&args, 0, "delete_at")?;
     let n = vm.array_len(t, slot)? as i64;
@@ -835,7 +1175,13 @@ fn bi_arr_delete_at(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: A
 
 // ---- Hash ------------------------------------------------------------------------
 
-fn bi_hash_new(vm: &mut Vm, t: ThreadId, _recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     Ok(BResult::Value(vm.make_hash(t, &[])?))
 }
 
@@ -843,19 +1189,37 @@ fn self_hash(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<Addr, VmAbort> {
     recv_slot(vm, t, recv, ObjKind::Hash)
 }
 
-fn bi_hash_len(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_len(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_hash(vm, t, &recv)?;
     let n = vm.rd(t, slot + 1)?.as_int().unwrap_or(0);
     Ok(BResult::Value(Word::Int(n)))
 }
 
-fn bi_hash_empty(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_empty(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_hash(vm, t, &recv)?;
     let n = vm.rd(t, slot + 1)?.as_int().unwrap_or(0);
     Ok(BResult::Value(if n == 0 { Word::True } else { Word::False }))
 }
 
-fn bi_hash_key_p(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_key_p(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_hash(vm, t, &recv)?;
     let key = args.first().cloned().unwrap_or(Word::Nil);
     let n = vm.rd(t, slot + 1)?.as_int().unwrap_or(0) as usize;
@@ -880,15 +1244,33 @@ fn hash_collect(vm: &mut Vm, t: ThreadId, recv: Word, values: bool) -> Result<BR
     Ok(BResult::Value(vm.make_array(t, &out)?))
 }
 
-fn bi_hash_keys(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_keys(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     hash_collect(vm, t, recv, false)
 }
 
-fn bi_hash_values(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_values(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     hash_collect(vm, t, recv, true)
 }
 
-fn bi_hash_delete(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_hash_delete(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_hash(vm, t, &recv)?;
     let key = args.first().cloned().unwrap_or(Word::Nil);
     let n = vm.rd(t, slot + 1)?.as_int().unwrap_or(0) as usize;
@@ -917,17 +1299,35 @@ fn self_range(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<Addr, VmAbort> {
     recv_slot(vm, t, recv, ObjKind::Range)
 }
 
-fn bi_range_begin(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_range_begin(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_range(vm, t, &recv)?;
     Ok(BResult::Value(vm.rd(t, slot + 1)?))
 }
 
-fn bi_range_end(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_range_end(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_range(vm, t, &recv)?;
     Ok(BResult::Value(vm.rd(t, slot + 2)?))
 }
 
-fn bi_range_excl(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_range_excl(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_range(vm, t, &recv)?;
     let e = vm.rd(t, slot + 3)?.as_int().unwrap_or(0);
     Ok(BResult::Value(if e != 0 { Word::True } else { Word::False }))
@@ -935,7 +1335,13 @@ fn bi_range_excl(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) 
 
 // ---- Thread ----------------------------------------------------------------------
 
-fn bi_thread_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, block: Addr) -> Result<BResult, VmAbort> {
+fn bi_thread_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    block: Addr,
+) -> Result<BResult, VmAbort> {
     // pthread_create is a system call: never inside a transaction.
     forbid_in_tx(vm, t)?;
     if block == 0 {
@@ -990,7 +1396,13 @@ fn bi_thread_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, block: 
     Ok(BResult::Spawned { tid: new_tid, thread_obj: tobj_w })
 }
 
-fn bi_thread_current(vm: &mut Vm, t: ThreadId, _recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_thread_current(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     if vm.threads[t].thread_obj == 0 {
         // Materializing the Thread object caches its address in host state
         // a rollback would not undo — do it under the GIL only.
@@ -1016,7 +1428,13 @@ fn thread_target(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<(Addr, ThreadI
     Ok((slot, tid as usize))
 }
 
-fn bi_thread_join(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_thread_join(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (slot, target) = thread_target(vm, t, &recv)?;
     let state = vm.rd(t, slot + 2)?.as_int().unwrap_or(0);
     if state == 1 {
@@ -1026,7 +1444,13 @@ fn bi_thread_join(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr)
     Ok(BResult::Block(BlockOn::Join(target)))
 }
 
-fn bi_thread_value(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_thread_value(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (slot, target) = thread_target(vm, t, &recv)?;
     let state = vm.rd(t, slot + 2)?.as_int().unwrap_or(0);
     if state == 1 {
@@ -1036,7 +1460,13 @@ fn bi_thread_value(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr
     Ok(BResult::Block(BlockOn::Join(target)))
 }
 
-fn bi_thread_alive(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_thread_alive(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let (slot, _target) = thread_target(vm, t, &recv)?;
     let state = vm.rd(t, slot + 2)?.as_int().unwrap_or(0);
     Ok(BResult::Value(if state == 0 { Word::True } else { Word::False }))
@@ -1044,7 +1474,13 @@ fn bi_thread_alive(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr
 
 // ---- Mutex -----------------------------------------------------------------------
 
-fn bi_mutex_new(vm: &mut Vm, t: ThreadId, _recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_mutex_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = vm.alloc_slot(t)?;
     vm.set_header(t, slot, ObjKind::Mutex)?;
     vm.wr(t, slot + 1, Word::Nil)?;
@@ -1055,7 +1491,13 @@ fn self_mutex(vm: &mut Vm, t: ThreadId, recv: &Word) -> Result<Addr, VmAbort> {
     recv_slot(vm, t, recv, ObjKind::Mutex)
 }
 
-fn bi_mutex_lock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_mutex_lock(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_mutex(vm, t, &recv)?;
     let owner = vm.rd(t, slot + 1)?;
     match owner {
@@ -1066,9 +1508,7 @@ fn bi_mutex_lock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) 
             vm.wr(t, slot + 1, Word::Int(t as i64 + 1))?;
             Ok(BResult::Value(recv))
         }
-        Word::Int(o) if o == t as i64 + 1 => {
-            Err(VmAbort::fatal("deadlock; recursive locking"))
-        }
+        Word::Int(o) if o == t as i64 + 1 => Err(VmAbort::fatal("deadlock; recursive locking")),
         _ => {
             // Contended: blocking is a system call.
             forbid_in_tx(vm, t)?;
@@ -1077,7 +1517,13 @@ fn bi_mutex_lock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) 
     }
 }
 
-fn bi_mutex_try_lock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_mutex_try_lock(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_mutex(vm, t, &recv)?;
     let owner = vm.rd(t, slot + 1)?;
     if owner == Word::Nil {
@@ -1088,7 +1534,13 @@ fn bi_mutex_try_lock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Ad
     }
 }
 
-fn bi_mutex_unlock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_mutex_unlock(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = self_mutex(vm, t, &recv)?;
     let owner = vm.rd(t, slot + 1)?;
     if owner != Word::Int(t as i64 + 1) {
@@ -1101,7 +1553,13 @@ fn bi_mutex_unlock(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr
 
 // ---- Barrier ---------------------------------------------------------------------
 
-fn bi_barrier_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_barrier_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let n = arg_int(&args, 0, "Barrier.new")?;
     let slot = vm.alloc_slot(t)?;
     vm.set_header(t, slot, ObjKind::Barrier)?;
@@ -1111,7 +1569,13 @@ fn bi_barrier_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Ad
     Ok(BResult::Value(Word::Obj(slot)))
 }
 
-fn bi_barrier_wait(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_barrier_wait(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     // The whole wait (arrival *and* wake re-check) is a blocking region:
     // it mutates host-side re-entry state (`barrier_token`) that a
     // transaction rollback would not restore, so it must only ever run
@@ -1152,7 +1616,11 @@ fn bi_barrier_wait(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr
 impl Vm {
     /// Compile (or fetch from the host-side cache) the regex of a Regexp
     /// object.
-    pub fn get_regex(&mut self, t: ThreadId, slot: Addr) -> Result<crate::regexlite::Regex, VmAbort> {
+    pub fn get_regex(
+        &mut self,
+        t: ThreadId,
+        slot: Addr,
+    ) -> Result<crate::regexlite::Regex, VmAbort> {
         let pat = self
             .rd(t, slot + 1)?
             .as_str()
@@ -1161,14 +1629,20 @@ impl Vm {
         if let Some(r) = self.regex_cache.get(&*pat) {
             return Ok(r.clone());
         }
-        let r = crate::regexlite::Regex::compile(&pat)
-            .map_err(|e| VmAbort::fatal(e.to_string()))?;
+        let r =
+            crate::regexlite::Regex::compile(&pat).map_err(|e| VmAbort::fatal(e.to_string()))?;
         self.regex_cache.insert(pat.to_string(), r.clone());
         Ok(r)
     }
 }
 
-fn bi_regexp_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_regexp_new(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let pat = str_arg(vm, t, &args, 0)?;
     crate::regexlite::Regex::compile(&pat).map_err(|e| VmAbort::fatal(e.to_string()))?;
     let slot = vm.alloc_slot(t)?;
@@ -1177,17 +1651,25 @@ fn bi_regexp_new(vm: &mut Vm, t: ThreadId, _recv: Word, args: Vec<Word>, _b: Add
     Ok(BResult::Value(Word::Obj(slot)))
 }
 
-fn bi_regexp_source(vm: &mut Vm, t: ThreadId, recv: Word, _a: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_regexp_source(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    _a: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = recv_slot(vm, t, &recv, ObjKind::Regexp)?;
-    let pat = vm
-        .rd(t, slot + 1)?
-        .as_str()
-        .cloned()
-        .ok_or_else(|| VmAbort::fatal("corrupt Regexp"))?;
+    let pat =
+        vm.rd(t, slot + 1)?.as_str().cloned().ok_or_else(|| VmAbort::fatal("corrupt Regexp"))?;
     Ok(BResult::Value(vm.make_string(t, &pat)?))
 }
 
-fn regexp_run(vm: &mut Vm, t: ThreadId, recv: &Word, args: &[Word]) -> Result<Option<(crate::regexlite::MatchResult, String)>, VmAbort> {
+fn regexp_run(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: &Word,
+    args: &[Word],
+) -> Result<Option<(crate::regexlite::MatchResult, String)>, VmAbort> {
     let slot = recv_slot(vm, t, recv, ObjKind::Regexp)?;
     let re = vm.get_regex(t, slot)?;
     let subject = str_arg(vm, t, args, 0)?;
@@ -1198,7 +1680,13 @@ fn regexp_run(vm: &mut Vm, t: ThreadId, recv: &Word, args: &[Word]) -> Result<Op
     Ok(m.map(|m| (m, subject)))
 }
 
-fn bi_regexp_match(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_regexp_match(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     match regexp_run(vm, t, &recv, &args)? {
         None => Ok(BResult::Value(Word::Nil)),
         Some((m, subject)) => {
@@ -1225,14 +1713,26 @@ fn bi_regexp_match(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Ad
     }
 }
 
-fn bi_regexp_match_p(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_regexp_match_p(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let hit = regexp_run(vm, t, &recv, &args)?.is_some();
     Ok(BResult::Value(if hit { Word::True } else { Word::False }))
 }
 
 // ---- Proc -----------------------------------------------------------------------
 
-fn bi_proc_call(vm: &mut Vm, t: ThreadId, recv: Word, args: Vec<Word>, _b: Addr) -> Result<BResult, VmAbort> {
+fn bi_proc_call(
+    vm: &mut Vm,
+    t: ThreadId,
+    recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
     let slot = recv_slot(vm, t, &recv, ObjKind::Proc)?;
     let iseq = crate::bytecode::IseqId(vm.rd(t, slot + 1)?.as_int().unwrap_or(0) as u32);
     let captured_fp = vm.rd(t, slot + 2)?.as_int().unwrap_or(0) as Addr;

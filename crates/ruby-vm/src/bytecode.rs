@@ -39,20 +39,50 @@ pub enum Insn {
     DupN(u8),
     // --- variables ------------------------------------------------------
     /// Local read; `depth` block hops up the static chain.
-    GetLocal { idx: u16, depth: u8 },
-    SetLocal { idx: u16, depth: u8 },
-    GetIvar { name: SymId, ic: IcSite },
-    SetIvar { name: SymId, ic: IcSite },
-    GetCvar { name: SymId },
-    SetCvar { name: SymId },
-    GetGlobal { name: SymId },
-    SetGlobal { name: SymId },
-    GetConst { name: SymId },
-    SetConst { name: SymId },
+    GetLocal {
+        idx: u16,
+        depth: u8,
+    },
+    SetLocal {
+        idx: u16,
+        depth: u8,
+    },
+    GetIvar {
+        name: SymId,
+        ic: IcSite,
+    },
+    SetIvar {
+        name: SymId,
+        ic: IcSite,
+    },
+    GetCvar {
+        name: SymId,
+    },
+    SetCvar {
+        name: SymId,
+    },
+    GetGlobal {
+        name: SymId,
+    },
+    SetGlobal {
+        name: SymId,
+    },
+    GetConst {
+        name: SymId,
+    },
+    SetConst {
+        name: SymId,
+    },
     // --- aggregates -----------------------------------------------------
-    NewArray { n: u16 },
-    NewHash { n: u16 },
-    NewRange { excl: bool },
+    NewArray {
+        n: u16,
+    },
+    NewHash {
+        n: u16,
+    },
+    NewRange {
+        excl: bool,
+    },
     // --- calls ----------------------------------------------------------
     /// Method dispatch: `recv arg1 … argN` on the stack.
     Send {
@@ -62,23 +92,53 @@ pub enum Insn {
         ic: IcSite,
     },
     /// `yield` — invoke the current frame's block.
-    InvokeBlock { argc: u8 },
+    InvokeBlock {
+        argc: u8,
+    },
     // --- specialized operators (CRuby's opt_* family) ---------------------
-    OptPlus { ic: IcSite },
-    OptMinus { ic: IcSite },
-    OptMult { ic: IcSite },
-    OptDiv { ic: IcSite },
-    OptMod { ic: IcSite },
-    OptEq { ic: IcSite },
-    OptNeq { ic: IcSite },
-    OptLt { ic: IcSite },
-    OptLe { ic: IcSite },
-    OptGt { ic: IcSite },
-    OptGe { ic: IcSite },
-    OptAref { ic: IcSite },
-    OptAset { ic: IcSite },
+    OptPlus {
+        ic: IcSite,
+    },
+    OptMinus {
+        ic: IcSite,
+    },
+    OptMult {
+        ic: IcSite,
+    },
+    OptDiv {
+        ic: IcSite,
+    },
+    OptMod {
+        ic: IcSite,
+    },
+    OptEq {
+        ic: IcSite,
+    },
+    OptNeq {
+        ic: IcSite,
+    },
+    OptLt {
+        ic: IcSite,
+    },
+    OptLe {
+        ic: IcSite,
+    },
+    OptGt {
+        ic: IcSite,
+    },
+    OptGe {
+        ic: IcSite,
+    },
+    OptAref {
+        ic: IcSite,
+    },
+    OptAset {
+        ic: IcSite,
+    },
     /// `<<` — Integer shift, Array push or String append.
-    OptShl { ic: IcSite },
+    OptShl {
+        ic: IcSite,
+    },
     OptNot,
     OptNeg,
     /// Rare operators without inline caches (`&`, `|`, `^`, `>>`, `**`,
@@ -227,18 +287,29 @@ fn stack_effect(i: &Insn) -> i64 {
         Pop => -1,
         Dup => 1,
         DupN(n) => i64::from(*n),
-        GetLocal { .. } | GetIvar { .. } | GetCvar { .. } | GetGlobal { .. }
-        | GetConst { .. } => 1,
-        SetLocal { .. } | SetIvar { .. } | SetCvar { .. } | SetGlobal { .. }
-        | SetConst { .. } => -1,
+        GetLocal { .. } | GetIvar { .. } | GetCvar { .. } | GetGlobal { .. } | GetConst { .. } => 1,
+        SetLocal { .. } | SetIvar { .. } | SetCvar { .. } | SetGlobal { .. } | SetConst { .. } => {
+            -1
+        }
         NewArray { n } => 1 - i64::from(*n),
         NewHash { n } => 1 - 2 * i64::from(*n),
         NewRange { .. } => -1,
         Send { argc, .. } => -i64::from(*argc), // recv+args → result
         InvokeBlock { argc } => 1 - i64::from(*argc),
-        OptPlus { .. } | OptMinus { .. } | OptMult { .. } | OptDiv { .. } | OptMod { .. }
-        | OptEq { .. } | OptNeq { .. } | OptLt { .. } | OptLe { .. } | OptGt { .. }
-        | OptGe { .. } | OptAref { .. } | OptShl { .. } | RareOp(_) => -1,
+        OptPlus { .. }
+        | OptMinus { .. }
+        | OptMult { .. }
+        | OptDiv { .. }
+        | OptMod { .. }
+        | OptEq { .. }
+        | OptNeq { .. }
+        | OptLt { .. }
+        | OptLe { .. }
+        | OptGt { .. }
+        | OptGe { .. }
+        | OptAref { .. }
+        | OptShl { .. }
+        | RareOp(_) => -1,
         OptAset { .. } => -2,
         OptNot | OptNeg => 0,
         BranchIf(_) | BranchUnless(_) => -1,

@@ -38,10 +38,7 @@ impl From<ruby_lang::ParseError> for CompileError {
 /// [`Program::finalize`] after the *last* compilation before running.
 pub fn compile_source(src: &str, prog: &mut Program) -> Result<IseqId, CompileError> {
     let ast = parse_program(src)?;
-    let mut c = Compiler {
-        prog,
-        scopes: Vec::new(),
-    };
+    let mut c = Compiler { prog, scopes: Vec::new() };
     c.compile_unit("<main>", &[], &ast, false, false)
 }
 
@@ -119,10 +116,7 @@ impl<'p> Compiler<'p> {
         is_block: bool,
         in_class_body: bool,
     ) -> Result<IseqId, CompileError> {
-        self.scopes.push(ScopeInfo {
-            locals: params.to_vec(),
-            is_block,
-        });
+        self.scopes.push(ScopeInfo { locals: params.to_vec(), is_block });
         let mut e = Emit::new(in_class_body);
         let r = self.node(&mut e, body);
         let scope = self.scopes.pop().expect("scope");
@@ -350,10 +344,9 @@ impl<'p> Compiler<'p> {
                 e.emit(Insn::PutNil);
             }
             Node::Break => {
-                let &(_, l_done) = e
-                    .loops
-                    .last()
-                    .ok_or(CompileError { msg: "break outside of loop (break inside blocks is outside the subset)".into() })?;
+                let &(_, l_done) = e.loops.last().ok_or(CompileError {
+                    msg: "break outside of loop (break inside blocks is outside the subset)".into(),
+                })?;
                 e.branch(Insn::Jump, l_done);
                 // Unreachable filler keeps the stack model simple.
                 e.emit(Insn::PutNil);
@@ -392,8 +385,7 @@ impl<'p> Compiler<'p> {
                 }
             }
             Node::MethodDef { name, params, body, on_self } => {
-                let iseq =
-                    self.compile_unit(&name.to_string(), params, body, false, false)?;
+                let iseq = self.compile_unit(&name.to_string(), params, body, false, false)?;
                 let name = self.sym(name);
                 e.emit(Insn::DefineMethod { name, iseq, on_self: *on_self });
                 e.emit(Insn::PutSym(name));
@@ -480,12 +472,7 @@ impl<'p> Compiler<'p> {
                     self.node(e, value)?;
                     let name = self.sym("[]=");
                     let ic = self.prog.new_ic_site();
-                    e.emit(Insn::Send {
-                        name,
-                        argc: (args.len() + 1) as u8,
-                        block: None,
-                        ic,
-                    });
+                    e.emit(Insn::Send { name, argc: (args.len() + 1) as u8, block: None, ic });
                 }
             }
             Node::Call { recv: Some(recv), name, args, block: None } if args.is_empty() => {
@@ -652,12 +639,7 @@ impl<'p> Compiler<'p> {
         };
         let name = self.sym(name);
         let ic = self.prog.new_ic_site();
-        e.emit(Insn::Send {
-            name,
-            argc: args.len() as u8,
-            block: block_iseq,
-            ic,
-        });
+        e.emit(Insn::Send { name, argc: args.len() as u8, block: block_iseq, ic });
         Ok(())
     }
 
@@ -832,14 +814,8 @@ mod tests {
         let block = p.iseq(block_id);
         assert!(block.is_block);
         // x resolves one block hop up: depth 1; i is local: depth 0.
-        assert!(block
-            .code
-            .iter()
-            .any(|i| matches!(i, Insn::GetLocal { idx: 0, depth: 1 })));
-        assert!(block
-            .code
-            .iter()
-            .any(|i| matches!(i, Insn::SetLocal { idx: 0, depth: 1 })));
+        assert!(block.code.iter().any(|i| matches!(i, Insn::GetLocal { idx: 0, depth: 1 })));
+        assert!(block.code.iter().any(|i| matches!(i, Insn::SetLocal { idx: 0, depth: 1 })));
     }
 
     #[test]
@@ -869,11 +845,8 @@ mod tests {
             })
             .expect("class");
         let body = p.iseq(body_id);
-        let defs: Vec<_> = body
-            .code
-            .iter()
-            .filter(|i| matches!(i, Insn::DefineMethod { .. }))
-            .collect();
+        let defs: Vec<_> =
+            body.code.iter().filter(|i| matches!(i, Insn::DefineMethod { .. })).collect();
         assert_eq!(defs.len(), 2, "reader and writer");
     }
 
@@ -902,7 +875,8 @@ mod tests {
 
     #[test]
     fn break_in_while_next_in_while() {
-        let code = main_code("i = 0\nwhile true\n  i += 1\n  break if i > 3\n  next if i == 2\nend\ni");
+        let code =
+            main_code("i = 0\nwhile true\n  i += 1\n  break if i > 3\n  next if i == 2\nend\ni");
         assert!(code.len() > 5);
     }
 
@@ -918,11 +892,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert!(p
-            .iseq(body_id)
-            .code
-            .iter()
-            .any(|i| matches!(i, Insn::InvokeBlock { argc: 2 })));
+        assert!(p.iseq(body_id).code.iter().any(|i| matches!(i, Insn::InvokeBlock { argc: 2 })));
     }
 
     #[test]

@@ -83,11 +83,7 @@ impl Vm {
                     #[cfg(debug_assertions)]
                     self.debug_assert_unreferenced(slot, h.kind);
                     self.free_object_buffers(t, slot, h.kind)?;
-                    self.wr(
-                        t,
-                        slot,
-                        Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }),
-                    )?;
+                    self.wr(t, slot, Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }))?;
                     if found.is_none() {
                         found = Some(slot);
                         self.wr(t, slot + 1, Word::Int(0))?;
@@ -102,11 +98,7 @@ impl Vm {
                     }
                 }
                 None => {
-                    self.wr(
-                        t,
-                        slot,
-                        Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }),
-                    )?;
+                    self.wr(t, slot, Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }))?;
                     if found.is_none() {
                         found = Some(slot);
                         self.wr(t, slot + 1, Word::Int(0))?;
@@ -230,8 +222,7 @@ mod tests {
         let slot = vm.slot_addr(lo + 2);
         // Detach the slot from the free list structure by writing a live
         // header (it is "garbage" because nothing marks it).
-        vm.mem
-            .poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
+        vm.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
         vm.mem.poke(slot + 1, Word::F64(1.0));
         // Point the cursor at the partition and sweep.
         let cur = vm.layout.thread_struct(1) + ts::TL_SWEEP_CURSOR;

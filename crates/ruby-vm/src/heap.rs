@@ -18,7 +18,6 @@
 //! * a **malloc** with global size-class free lists plus an optional
 //!   per-thread bump arena (the z/OS HEAPPOOLS option of §5.2).
 
-
 use machine_sim::ThreadId;
 
 use crate::layout::{ts, Layout, SLOT_WORDS};
@@ -82,8 +81,7 @@ impl Vm {
         }
         // Everything is live: grow the heap.
         self.grow_heap(t)?;
-        self.pop_global_free(t)?
-            .ok_or_else(|| VmAbort::fatal("heap exhausted even after growth"))
+        self.pop_global_free(t)?.ok_or_else(|| VmAbort::fatal("heap exhausted even after growth"))
     }
 
     /// Boot-time slot allocation (no thread, no transactions).
@@ -276,12 +274,8 @@ impl Vm {
                 }
             }
         }
-        let thread_objs: Vec<Addr> = self
-            .threads
-            .iter()
-            .filter(|c| c.thread_obj != 0)
-            .map(|c| c.thread_obj)
-            .collect();
+        let thread_objs: Vec<Addr> =
+            self.threads.iter().filter(|c| c.thread_obj != 0).map(|c| c.thread_obj).collect();
         worklist.extend(thread_objs);
         // Rust-local temporaries of the in-flight step (conservative
         // C-stack analogue).
@@ -351,8 +345,12 @@ impl Vm {
             }
         };
         match kind {
-            ObjKind::Free | ObjKind::Float | ObjKind::String | ObjKind::Regexp
-            | ObjKind::Mutex | ObjKind::Barrier => {
+            ObjKind::Free
+            | ObjKind::Float
+            | ObjKind::String
+            | ObjKind::Regexp
+            | ObjKind::Mutex
+            | ObjKind::Barrier => {
                 // Mutex owner is a thread object — scan it.
                 if kind == ObjKind::Mutex {
                     let w = self.rd(t, obj + 1)?;
@@ -425,7 +423,12 @@ impl Vm {
     }
 
     /// Release the malloc buffers owned by a dead object.
-    pub(crate) fn free_object_buffers(&mut self, t: ThreadId, obj: Addr, kind: ObjKind) -> Result<(), VmAbort> {
+    pub(crate) fn free_object_buffers(
+        &mut self,
+        t: ThreadId,
+        obj: Addr,
+        kind: ObjKind,
+    ) -> Result<(), VmAbort> {
         match kind {
             ObjKind::Array | ObjKind::Hash => {
                 let cap = self.rd(t, obj + 2)?.as_int().unwrap_or(0) as usize;
@@ -465,6 +468,7 @@ impl Vm {
         let add = (current / 2).max(1024).min(self.config.max_heap_slots - current);
         let base = self.mem.size();
         self.mem.grow(add * SLOT_WORDS, Word::Uninit);
+        self.attribution.register_region(base, crate::layout::LineOwner::HeapSlots);
         self.slot_ranges.push((base, add));
         self.heap_grows += 1;
         // Link the new slots straight onto the global free list.
@@ -536,6 +540,7 @@ impl Vm {
             let extra = (self.config.malloc_words / 2).max(cap + 1024);
             let base = self.mem.size();
             self.mem.grow(extra, Word::Uninit);
+            self.attribution.register_region(base, crate::layout::LineOwner::MallocArea);
             self.wr(t, self.layout.malloc_bump, Word::Int((base + cap) as i64))?;
             self.wr(t, self.layout.malloc_end, Word::Int((base + extra) as i64))?;
             self.heap_grows += 1;
@@ -559,7 +564,6 @@ impl Vm {
         self.wr(t, head_addr, Word::Int(buf as i64))?;
         Ok(())
     }
-
 }
 
 #[cfg(test)]
@@ -588,17 +592,13 @@ mod tests {
         // First allocation triggers a bulk refill; the global head moves by
         // ~refill slots at once.
         let _ = vm.alloc_slot(1).unwrap();
-        let tl = vm
-            .mem
-            .peek(vm.layout.thread_struct(1) + ts::TL_FREE_HEAD)
-            .clone();
+        let tl = vm.mem.peek(vm.layout.thread_struct(1) + ts::TL_FREE_HEAD).clone();
         assert!(matches!(tl, Word::Int(h) if h != 0), "local list holds the rest");
     }
 
     #[test]
     fn global_list_mode_pops_head() {
-        let mut cfg = VmConfig::default();
-        cfg.thread_local_free_lists = false;
+        let cfg = VmConfig { thread_local_free_lists: false, ..VmConfig::default() };
         let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
         let before = vm.mem.peek(vm.layout.free_head).clone();
         let a = vm.alloc_slot(0).unwrap();
@@ -612,8 +612,7 @@ mod tests {
         assert!(cap >= 10);
         vm.mfree(0, buf, cap).unwrap();
         // Freed global-class buffers are reused (global path).
-        let mut cfg = VmConfig::default();
-        cfg.malloc_thread_local = false;
+        let cfg = VmConfig { malloc_thread_local: false, ..VmConfig::default() };
         let mut vm2 = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
         let (b1, c1) = vm2.malloc(0, 10).unwrap();
         vm2.mfree(0, b1, c1).unwrap();
@@ -623,9 +622,7 @@ mod tests {
 
     #[test]
     fn gc_reclaims_unreachable_slots() {
-        let mut cfg = VmConfig::default();
-        cfg.heap_slots = 512;
-        cfg.max_heap_slots = 512; // forbid growth: GC must reclaim
+        let cfg = VmConfig { heap_slots: 512, max_heap_slots: 512, ..VmConfig::default() }; // forbid growth: GC must reclaim
         let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
         // Allocate and drop many floats; the heap must not run out.
         for i in 0..5_000 {
@@ -638,9 +635,7 @@ mod tests {
 
     #[test]
     fn heap_grows_when_everything_is_live() {
-        let mut cfg = VmConfig::default();
-        cfg.heap_slots = 256;
-        cfg.max_heap_slots = 4_096;
+        let cfg = VmConfig { heap_slots: 256, max_heap_slots: 4_096, ..VmConfig::default() };
         let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
         // Keep everything alive via a gvar-rooted chain: store object addrs
         // into an array buffer we root through a constant.
@@ -660,19 +655,12 @@ mod tests {
 
     #[test]
     fn allocation_inside_transaction_never_runs_gc() {
-        let mut cfg = VmConfig::default();
-        cfg.heap_slots = 300;
-        cfg.max_heap_slots = 300;
+        let cfg = VmConfig { heap_slots: 300, max_heap_slots: 300, ..VmConfig::default() };
         let mut vm = Vm::boot("nil", cfg, &MachineProfile::generic(2)).unwrap();
         let budgets = htm_sim::Budgets { read_lines: 1 << 20, write_lines: 1 << 20 };
         // Exhaust the free lists outside a transaction first.
-        let mut last = Ok(0);
         for _ in 0..400 {
-            last = vm.alloc_slot(0).map_err(|e| e);
-            if last.is_err() {
-                break;
-            }
-            let slot = *last.as_ref().unwrap();
+            let Ok(slot) = vm.alloc_slot(0) else { break };
             vm.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
             vm.pooled_objs.push(Word::Obj(slot)); // keep live
         }
@@ -688,4 +676,3 @@ mod tests {
         assert!(!vm.mem.in_tx(0), "transaction rolled back");
     }
 }
-

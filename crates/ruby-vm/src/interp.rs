@@ -165,9 +165,7 @@ impl Vm {
             self.mem.write(t, fp + off, w).expect("root frame write");
         }
         for i in 0..nlocals {
-            self.mem
-                .write(t, fp + FRAME_WORDS + i, Word::Nil)
-                .expect("root frame local");
+            self.mem.write(t, fp + FRAME_WORDS + i, Word::Nil).expect("root frame local");
         }
         ctx.fp = fp;
         ctx.sp = fp + FRAME_WORDS + nlocals;
@@ -206,17 +204,9 @@ impl Vm {
         self.wr(t, new_fp + F_RET_ISEQ, Word::Int(i64::from(old_iseq.0)))?;
         self.wr(t, new_fp + F_RET_SP, Word::Int(ret_sp as i64))?;
         self.wr(t, new_fp + F_SELF, self_w)?;
-        self.wr(
-            t,
-            new_fp + F_BLOCK,
-            if block == 0 { Word::Nil } else { Word::Obj(block) },
-        )?;
+        self.wr(t, new_fp + F_BLOCK, if block == 0 { Word::Nil } else { Word::Obj(block) })?;
         self.wr(t, new_fp + F_EP, Word::Int(ep as i64))?;
-        self.wr(
-            t,
-            new_fp + F_FLAGS,
-            Word::Int(flags | (i64::from(iseq.0) << FLAG_ISEQ_SHIFT)),
-        )?;
+        self.wr(t, new_fp + F_FLAGS, Word::Int(flags | (i64::from(iseq.0) << FLAG_ISEQ_SHIFT)))?;
         // Parameters then remaining locals.
         match args {
             FrameArgs::Stack { base, argc } => {
@@ -478,9 +468,7 @@ impl Vm {
                         let w = self.make_float(t, -f)?;
                         self.push(t, w)?;
                     }
-                    other => {
-                        return Err(VmAbort::fatal(format!("cannot negate {other:?}")))
-                    }
+                    other => return Err(VmAbort::fatal(format!("cannot negate {other:?}"))),
                 }
                 self.advance(t);
             }
@@ -539,13 +527,8 @@ impl Vm {
         let recv = self.rd(t, recv_pos)?;
         // Receiver-class word for the cache guard; class objects guard on
         // their own identity so Thread.new and Mutex.new never alias.
-        let recv_is_class =
-            matches!(&recv, Word::Obj(s) if self.kind_of(t, *s)? == ObjKind::Class);
-        let cls = if recv_is_class {
-            recv.as_obj().unwrap()
-        } else {
-            self.class_of(t, &recv)?
-        };
+        let recv_is_class = matches!(&recv, Word::Obj(s) if self.kind_of(t, *s)? == ObjKind::Class);
+        let cls = if recv_is_class { recv.as_obj().unwrap() } else { self.class_of(t, &recv)? };
         // Inline-cache probe (two words, like CRuby's call caches).
         let ic_addr = self.ic_addr(t, ic);
         let guard = self.rd(t, ic_addr)?;
@@ -573,9 +556,7 @@ impl Vm {
                 let Some(e) = found else {
                     let n = self.program.symbols.name(name).to_string();
                     let r = self.display(t, &recv)?;
-                    return Err(VmAbort::fatal(format!(
-                        "undefined method `{n}' for {r}"
-                    )));
+                    return Err(VmAbort::fatal(format!("undefined method `{n}' for {r}")));
                 };
                 // Fill policy (paper §4.4 #4a): the improved cache fills
                 // only the first time; the original rewrites on every miss.
@@ -810,16 +791,7 @@ impl Vm {
             }
         };
         let ret_sp = self.threads[t].sp;
-        self.push_frame(
-            t,
-            body,
-            Word::Obj(cls),
-            0,
-            0,
-            ret_sp,
-            0,
-            FrameArgs::Vec(Vec::new()),
-        )?;
+        self.push_frame(t, body, Word::Obj(cls), 0, 0, ret_sp, 0, FrameArgs::Vec(Vec::new()))?;
         Ok(StepOk::Normal)
     }
 
@@ -827,8 +799,7 @@ impl Vm {
 
     fn ivar_self_slot(&mut self, t: ThreadId) -> Result<Addr, VmAbort> {
         let s = self.frame_self(t)?;
-        s.as_obj()
-            .ok_or_else(|| VmAbort::fatal("instance variable access on immediate"))
+        s.as_obj().ok_or_else(|| VmAbort::fatal("instance variable access on immediate"))
     }
 
     /// The guard word this site would match (paper §4.4 #4b): class
@@ -847,10 +818,8 @@ impl Vm {
         if self.kind_of(t, slot)? != ObjKind::Object {
             return Err(VmAbort::fatal("ivars are only supported on plain objects"));
         }
-        let cls = self
-            .rd(t, slot + 1)?
-            .as_obj()
-            .ok_or_else(|| VmAbort::fatal("object without class"))?;
+        let cls =
+            self.rd(t, slot + 1)?.as_obj().ok_or_else(|| VmAbort::fatal("object without class"))?;
         let ic_addr = self.ic_addr(t, ic);
         let guard = self.rd(t, ic_addr)?;
         if let Some(expected) = self.ivar_guard(t, cls)? {
@@ -882,10 +851,8 @@ impl Vm {
         if self.kind_of(t, slot)? != ObjKind::Object {
             return Err(VmAbort::fatal("ivars are only supported on plain objects"));
         }
-        let cls = self
-            .rd(t, slot + 1)?
-            .as_obj()
-            .ok_or_else(|| VmAbort::fatal("object without class"))?;
+        let cls =
+            self.rd(t, slot + 1)?.as_obj().ok_or_else(|| VmAbort::fatal("object without class"))?;
         let ic_addr = self.ic_addr(t, ic);
         let guard = self.rd(t, ic_addr)?;
         if let Some(expected) = self.ivar_guard(t, cls)? {
@@ -894,9 +861,7 @@ impl Vm {
                 return self.obj_ivar_set(t, slot, idx, v);
             }
         }
-        let idx = self
-            .ivar_index(t, cls, name, true)?
-            .expect("create=true always yields an index");
+        let idx = self.ivar_index(t, cls, name, true)?.expect("create=true always yields an index");
         if let Some(expected) = self.ivar_guard(t, cls)? {
             self.wr(t, ic_addr, Word::Int(expected))?;
             self.wr(t, ic_addr + 1, Word::Int(idx as i64))?;
@@ -1004,31 +969,29 @@ impl Vm {
         let lhs = self.pop(t)?;
         let result: Option<bool> = match (&lhs, &rhs) {
             (Word::Int(a), Word::Int(b)) => Some(op.apply_ord(a.cmp(b))),
-            _ => {
-                match op {
-                    CmpOp::Eq => Some(self.words_eq(t, &lhs, &rhs)?),
-                    CmpOp::Ne => Some(!self.words_eq(t, &lhs, &rhs)?),
-                    _ => {
-                        let lf = self.as_number(t, &lhs)?;
-                        let rf = self.as_number(t, &rhs)?;
-                        if let (Some(a), Some(b)) = (lf, rf) {
-                            a.partial_cmp(&b).map(|o| op.apply_ord(o))
-                        } else if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
-                            if self.kind_of(t, *a)? == ObjKind::String
-                                && self.kind_of(t, *b)? == ObjKind::String
-                            {
-                                let sa = self.string_content(t, *a)?;
-                                let sb = self.string_content(t, *b)?;
-                                Some(op.apply_ord(sa.cmp(&sb)))
-                            } else {
-                                None
-                            }
+            _ => match op {
+                CmpOp::Eq => Some(self.words_eq(t, &lhs, &rhs)?),
+                CmpOp::Ne => Some(!self.words_eq(t, &lhs, &rhs)?),
+                _ => {
+                    let lf = self.as_number(t, &lhs)?;
+                    let rf = self.as_number(t, &rhs)?;
+                    if let (Some(a), Some(b)) = (lf, rf) {
+                        a.partial_cmp(&b).map(|o| op.apply_ord(o))
+                    } else if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
+                        if self.kind_of(t, *a)? == ObjKind::String
+                            && self.kind_of(t, *b)? == ObjKind::String
+                        {
+                            let sa = self.string_content(t, *a)?;
+                            let sb = self.string_content(t, *b)?;
+                            Some(op.apply_ord(sa.cmp(&sb)))
                         } else {
                             None
                         }
+                    } else {
+                        None
                     }
                 }
-            }
+            },
         };
         match result {
             Some(b) => {
@@ -1180,10 +1143,18 @@ impl Vm {
             (RareBinOp::BitXor, Word::Int(a), Word::Int(b)) => Word::Int(a ^ b),
             (RareBinOp::Shr, Word::Int(a), Word::Int(b)) => Word::Int(a.wrapping_shr(*b as u32)),
             (RareBinOp::BitAnd, Word::True | Word::False, Word::True | Word::False) => {
-                if lhs.truthy() && rhs.truthy() { Word::True } else { Word::False }
+                if lhs.truthy() && rhs.truthy() {
+                    Word::True
+                } else {
+                    Word::False
+                }
             }
             (RareBinOp::BitOr, Word::True | Word::False, Word::True | Word::False) => {
-                if lhs.truthy() || rhs.truthy() { Word::True } else { Word::False }
+                if lhs.truthy() || rhs.truthy() {
+                    Word::True
+                } else {
+                    Word::False
+                }
             }
             (RareBinOp::Pow, Word::Int(a), Word::Int(b)) if *b >= 0 => {
                 Word::Int(a.wrapping_pow(*b as u32))
@@ -1236,7 +1207,10 @@ impl Vm {
 
 enum FrameArgs {
     /// Copy `argc` words starting at stack address `base`.
-    Stack { base: Addr, argc: usize },
+    Stack {
+        base: Addr,
+        argc: usize,
+    },
     Vec(Vec<Word>),
 }
 

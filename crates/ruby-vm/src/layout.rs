@@ -205,6 +205,128 @@ impl Layout {
     }
 }
 
+/// Which VM structure owns a cache line — the vocabulary of the paper's
+/// §5.6 conflict attribution ("more than 50 % of those read-set conflicts
+/// occurred at the time of object allocation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineOwner {
+    /// The GIL word itself.
+    Gil,
+    /// The running-thread global (§4.4 #1).
+    RunningThread,
+    /// Heap metadata: free-list head, sweep cursor, malloc bump/class
+    /// heads — the allocator (§4.4 #2 / §5.6).
+    Allocator,
+    /// Global variables / constants.
+    Globals,
+    /// Inline-cache words (§4.4 #4).
+    InlineCache,
+    /// Thread structs — false sharing when unpadded (§4.4 #5).
+    ThreadStruct,
+    /// Object slots (shared application data, lazy-sweep links).
+    HeapSlots,
+    /// Malloc'd buffers (array/ivar/string data).
+    MallocArea,
+    /// Another thread's stack (escaped environments).
+    Stack,
+}
+
+impl LineOwner {
+    /// All owners, in address-map order.
+    pub const ALL: [LineOwner; 9] = [
+        LineOwner::Gil,
+        LineOwner::RunningThread,
+        LineOwner::Allocator,
+        LineOwner::Globals,
+        LineOwner::InlineCache,
+        LineOwner::ThreadStruct,
+        LineOwner::HeapSlots,
+        LineOwner::MallocArea,
+        LineOwner::Stack,
+    ];
+
+    /// Stable label used in reports and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            LineOwner::Gil => "gil",
+            LineOwner::RunningThread => "running-thread",
+            LineOwner::Allocator => "allocator",
+            LineOwner::Globals => "globals",
+            LineOwner::InlineCache => "inline-cache",
+            LineOwner::ThreadStruct => "thread-struct",
+            LineOwner::HeapSlots => "heap-slots",
+            LineOwner::MallocArea => "malloc-area",
+            LineOwner::Stack => "stack",
+        }
+    }
+}
+
+/// Line → owner attribution map.
+///
+/// The VM registers its regions here at layout time and appends entries
+/// whenever the address space grows (slot-heap growth registers the new
+/// range as [`LineOwner::HeapSlots`], malloc-arena growth as
+/// [`LineOwner::MallocArea`] — the two growth paths land in different
+/// structures, which a layout-boundary comparison against the *initial*
+/// map would misattribute). Lookups resolve a cache line to the region
+/// with the greatest starting line at or below it.
+#[derive(Debug, Clone)]
+pub struct AttributionMap {
+    line_words: usize,
+    /// `(first line, owner)`, sorted by starting line.
+    regions: Vec<(usize, LineOwner)>,
+}
+
+impl AttributionMap {
+    /// Build the boot-time map from a layout.
+    pub fn from_layout(l: &Layout) -> AttributionMap {
+        let mut map = AttributionMap { line_words: l.line_words, regions: Vec::new() };
+        map.register_region(l.gil, LineOwner::Gil);
+        map.register_region(l.running_thread, LineOwner::RunningThread);
+        map.register_region(l.free_head, LineOwner::Allocator);
+        map.register_region(l.gvar_base, LineOwner::Globals);
+        map.register_region(l.ic_base, LineOwner::InlineCache);
+        map.register_region(l.thread_struct_base, LineOwner::ThreadStruct);
+        map.register_region(l.slots_base, LineOwner::HeapSlots);
+        map.register_region(l.malloc_base, LineOwner::MallocArea);
+        map.register_region(l.stack_base, LineOwner::Stack);
+        map
+    }
+
+    /// Register a region starting at `base` as owned by `owner`. The
+    /// region extends to the next registered region (or to the end of
+    /// memory). Out-of-order registration is supported but growth always
+    /// appends at the top of memory in practice.
+    pub fn register_region(&mut self, base: Addr, owner: LineOwner) {
+        let line = base / self.line_words;
+        match self.regions.binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => self.regions[i] = (line, owner),
+            Err(i) => self.regions.insert(i, (line, owner)),
+        }
+    }
+
+    /// Owner of a cache line.
+    pub fn owner_of_line(&self, line: usize) -> LineOwner {
+        let idx = self.regions.partition_point(|&(l, _)| l <= line);
+        if idx == 0 {
+            // Below the first region: the map always starts at the GIL
+            // word (line 0), so this is unreachable in practice.
+            return self.regions.first().map_or(LineOwner::Gil, |&(_, o)| o);
+        }
+        self.regions[idx - 1].1
+    }
+
+    /// Owner of a word address.
+    pub fn owner_of_addr(&self, addr: Addr) -> LineOwner {
+        self.owner_of_line(addr / self.line_words)
+    }
+
+    /// Number of registered regions (boot regions + growth appendices).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,10 +369,7 @@ mod tests {
         let l = layout(true);
         assert_eq!(l.thread_struct_stride % l.line_words, 0);
         // Distinct threads' structs land on distinct lines.
-        assert_ne!(
-            l.thread_struct(0) / l.line_words,
-            l.thread_struct(1) / l.line_words
-        );
+        assert_ne!(l.thread_struct(0) / l.line_words, l.thread_struct(1) / l.line_words);
     }
 
     #[test]
@@ -258,10 +377,7 @@ mod tests {
         // zEC12-style 32-word lines: four unpadded 8-word structs per line.
         let l = Layout::new(32, 100, 4, 1000, 10_000, 2_000, 64, 128, false, 1);
         assert_eq!(l.thread_struct_stride, THREAD_STRUCT_WORDS);
-        assert_eq!(
-            l.thread_struct(0) / l.line_words,
-            (l.thread_struct(1)) / l.line_words
-        );
+        assert_eq!(l.thread_struct(0) / l.line_words, (l.thread_struct(1)) / l.line_words);
     }
 
     #[test]
@@ -282,6 +398,55 @@ mod tests {
         let l = layout(true);
         assert_eq!(l.ic(1) - l.ic(0), 2);
         assert!(l.ic(99) + 1 < l.thread_struct_base);
+    }
+
+    #[test]
+    fn attribution_map_matches_layout_regions() {
+        let l = layout(true);
+        let m = AttributionMap::from_layout(&l);
+        assert_eq!(m.owner_of_addr(l.gil), LineOwner::Gil);
+        assert_eq!(m.owner_of_addr(l.running_thread), LineOwner::RunningThread);
+        assert_eq!(m.owner_of_addr(l.free_head), LineOwner::Allocator);
+        assert_eq!(m.owner_of_addr(l.sweep_cursor), LineOwner::Allocator);
+        assert_eq!(m.owner_of_addr(l.malloc_bump), LineOwner::Allocator);
+        assert_eq!(m.owner_of_addr(l.malloc_class_base + MALLOC_CLASSES - 1), LineOwner::Allocator);
+        assert_eq!(m.owner_of_addr(l.gvar_base), LineOwner::Globals);
+        assert_eq!(m.owner_of_addr(l.const_base), LineOwner::Globals);
+        assert_eq!(m.owner_of_addr(l.ic(0)), LineOwner::InlineCache);
+        assert_eq!(m.owner_of_addr(l.thread_struct(3)), LineOwner::ThreadStruct);
+        assert_eq!(m.owner_of_addr(l.slots_base), LineOwner::HeapSlots);
+        assert_eq!(m.owner_of_addr(l.slots_base + 999 * SLOT_WORDS), LineOwner::HeapSlots);
+        assert_eq!(m.owner_of_addr(l.malloc_base), LineOwner::MallocArea);
+        let (sb, se) = l.thread_stack(3);
+        assert_eq!(m.owner_of_addr(sb), LineOwner::Stack);
+        assert_eq!(m.owner_of_addr(se - 1), LineOwner::Stack);
+    }
+
+    #[test]
+    fn attribution_map_distinguishes_growth_kinds() {
+        let l = layout(true);
+        let mut m = AttributionMap::from_layout(&l);
+        let boot_regions = m.region_count();
+        // Grown slot range, then a grown malloc arena above it.
+        let grown_slots = l.total_words;
+        let grown_malloc = l.total_words + 4096;
+        m.register_region(grown_slots, LineOwner::HeapSlots);
+        m.register_region(grown_malloc, LineOwner::MallocArea);
+        assert_eq!(m.region_count(), boot_regions + 2);
+        assert_eq!(m.owner_of_addr(grown_slots), LineOwner::HeapSlots);
+        assert_eq!(m.owner_of_addr(grown_slots + 4095), LineOwner::HeapSlots);
+        assert_eq!(m.owner_of_addr(grown_malloc), LineOwner::MallocArea);
+        assert_eq!(m.owner_of_addr(grown_malloc + (1 << 20)), LineOwner::MallocArea);
+        // Boot regions still resolve.
+        assert_eq!(m.owner_of_addr(l.slots_base), LineOwner::HeapSlots);
+    }
+
+    #[test]
+    fn line_owner_labels_are_distinct() {
+        let mut labels: Vec<&str> = LineOwner::ALL.iter().map(|o| o.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), LineOwner::ALL.len());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod value;
 pub mod vm;
 
 pub use bytecode::{ISeq, Insn, IseqId};
+pub use layout::{AttributionMap, LineOwner};
 pub use program::Program;
 pub use symbols::{SymId, SymbolTable};
 pub use value::{ObjKind, Word};

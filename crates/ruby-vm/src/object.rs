@@ -131,9 +131,7 @@ impl Vm {
                 let _ = self.rd(t, buf + i)?;
             }
         }
-        w.as_str()
-            .cloned()
-            .ok_or_else(|| VmAbort::fatal("corrupt string payload"))
+        w.as_str().cloned().ok_or_else(|| VmAbort::fatal("corrupt string payload"))
     }
 
     /// Allocate an Array with the given elements.
@@ -265,7 +263,13 @@ impl Vm {
         self.wr(t, slot + 1, Word::Int(n as i64 + 1))
     }
 
-    pub fn make_range(&mut self, t: ThreadId, lo: Word, hi: Word, excl: bool) -> Result<Word, VmAbort> {
+    pub fn make_range(
+        &mut self,
+        t: ThreadId,
+        lo: Word,
+        hi: Word,
+        excl: bool,
+    ) -> Result<Word, VmAbort> {
         let slot = self.alloc_slot(t)?;
         self.set_header(t, slot, ObjKind::Range)?;
         self.wr(t, slot + 1, lo)?;
@@ -405,8 +409,7 @@ impl Vm {
                 ObjKind::Class => self.classes.class_cls,
                 ObjKind::Object => {
                     let c = self.rd(t, *slot + 1)?;
-                    c.as_obj()
-                        .ok_or_else(|| VmAbort::fatal("object without class"))?
+                    c.as_obj().ok_or_else(|| VmAbort::fatal("object without class"))?
                 }
                 ObjKind::Free => return Err(VmAbort::fatal("use of freed object")),
             },
@@ -487,11 +490,7 @@ impl Vm {
         if !create {
             return Ok(None);
         }
-        let n = if ivtbl == 0 {
-            0
-        } else {
-            self.rd(t, ivtbl)?.as_int().unwrap_or(0) as usize
-        };
+        let n = if ivtbl == 0 { 0 } else { self.rd(t, ivtbl)?.as_int().unwrap_or(0) as usize };
         self.assoc_set(t, cls + 4, name, Word::Int(n as i64))?;
         Ok(Some(n))
     }
@@ -555,7 +554,13 @@ impl Vm {
     }
 
     /// Class-variable write: update where defined, else define on `cls`.
-    pub fn cvar_set(&mut self, t: ThreadId, cls: Addr, name: SymId, v: Word) -> Result<(), VmAbort> {
+    pub fn cvar_set(
+        &mut self,
+        t: ThreadId,
+        cls: Addr,
+        name: SymId,
+        v: Word,
+    ) -> Result<(), VmAbort> {
         let mut c = cls;
         loop {
             let cvtbl = self.rd(t, c + 5)?.as_int().unwrap_or(0) as Addr;
@@ -725,11 +730,8 @@ impl Vm {
         let addr = self.const_define_addr(fixnum_sym);
         self.mem.poke(addr, Word::Obj(self.classes.integer));
         // The top-level main object.
-        let main = self
-            .alloc_slot_boot()
-            .expect("heap too small for bootstrap");
-        self.mem
-            .poke(main, Word::Hdr(ObjHeader { kind: ObjKind::Object, marked: false }));
+        let main = self.alloc_slot_boot().expect("heap too small for bootstrap");
+        self.mem.poke(main, Word::Hdr(ObjHeader { kind: ObjKind::Object, marked: false }));
         self.mem.poke(main + 1, Word::Obj(object));
         self.mem.poke(main + 2, Word::Int(0));
         self.mem.poke(main + 3, Word::Int(0));
@@ -739,16 +741,10 @@ impl Vm {
     }
 
     fn boot_class(&mut self, name: &str, superclass: Addr) -> Addr {
-        let slot = self
-            .alloc_slot_boot()
-            .expect("heap too small for bootstrap classes");
+        let slot = self.alloc_slot_boot().expect("heap too small for bootstrap classes");
         let name_sym = self.program.intern(name);
-        self.mem
-            .poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Class, marked: false }));
-        self.mem.poke(
-            slot + 1,
-            if superclass == 0 { Word::Nil } else { Word::Obj(superclass) },
-        );
+        self.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Class, marked: false }));
+        self.mem.poke(slot + 1, if superclass == 0 { Word::Nil } else { Word::Obj(superclass) });
         self.mem.poke(slot + 2, Word::Int(0));
         self.mem.poke(slot + 3, Word::Int(0));
         self.mem.poke(slot + 4, Word::Int(0));
@@ -763,8 +759,7 @@ impl Vm {
     /// Boot-time method installation (used by `builtins::install`).
     pub fn boot_define(&mut self, cls: Addr, name: &str, entry: MethodEntry, on_self: bool) {
         let sym = self.program.intern(name);
-        self.define_method(0, cls, sym, entry, on_self)
-            .expect("boot method definition failed");
+        self.define_method(0, cls, sym, entry, on_self).expect("boot method definition failed");
     }
 }
 
@@ -879,19 +874,14 @@ mod tests {
         let obj_cls = vm.classes.object;
         let sub = vm.boot_class("Sub", obj_cls);
         let sym = vm.program.intern("zzz_test_method");
-        vm.define_method(0, obj_cls, sym, MethodEntry::Builtin(1234), false)
-            .unwrap();
+        vm.define_method(0, obj_cls, sym, MethodEntry::Builtin(1234), false).unwrap();
         // Inherited through the chain:
         let got = vm.lookup_method(0, sub, sym).unwrap();
         assert_eq!(got, Some(MethodEntry::Builtin(1234)));
         // Overriding in the subclass shadows:
-        vm.define_method(0, sub, sym, MethodEntry::Builtin(7), false)
-            .unwrap();
+        vm.define_method(0, sub, sym, MethodEntry::Builtin(7), false).unwrap();
         assert_eq!(vm.lookup_method(0, sub, sym).unwrap(), Some(MethodEntry::Builtin(7)));
-        assert_eq!(
-            vm.lookup_method(0, obj_cls, sym).unwrap(),
-            Some(MethodEntry::Builtin(1234))
-        );
+        assert_eq!(vm.lookup_method(0, obj_cls, sym).unwrap(), Some(MethodEntry::Builtin(1234)));
     }
 
     #[test]
@@ -915,7 +905,10 @@ mod tests {
         assert_eq!(vm.ivar_index(0, cls, a, true).unwrap(), Some(0));
         assert_eq!(vm.ivar_index(0, cls, b, true).unwrap(), Some(1));
         assert_eq!(vm.ivar_index(0, cls, a, true).unwrap(), Some(0));
-        assert_eq!(vm.ivar_index(0, cls, vm.program.symbols.lookup("a").unwrap(), false).unwrap(), Some(0));
+        assert_eq!(
+            vm.ivar_index(0, cls, vm.program.symbols.lookup("a").unwrap(), false).unwrap(),
+            Some(0)
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct Regex {
 enum Inst {
     Char(char),
     Any,
-    Class { neg: bool, ranges: Vec<(char, char)> },
+    Class {
+        neg: bool,
+        ranges: Vec<(char, char)>,
+    },
     /// Try `a` first, backtrack into `b`.
     Split(usize, usize),
     Jump(usize),
@@ -47,7 +50,10 @@ const STEP_BUDGET: usize = 200_000;
 enum Ast {
     Char(char),
     Any,
-    Class { neg: bool, ranges: Vec<(char, char)> },
+    Class {
+        neg: bool,
+        ranges: Vec<(char, char)>,
+    },
     Star(Box<Ast>),
     Plus(Box<Ast>),
     Opt(Box<Ast>),
@@ -89,9 +95,7 @@ impl Regex {
             return Err(RegexError(format!("trailing characters at {}", p.pos)));
         }
         let ngroups = p.ngroups;
-        let anchored = alts
-            .iter()
-            .all(|a| matches!(a.first(), Some(Ast::AnchorStart)));
+        let anchored = alts.iter().all(|a| matches!(a.first(), Some(Ast::AnchorStart)));
         let mut prog = Vec::new();
         emit_alts(&mut prog, &alts);
         prog.push(Inst::Matched);
@@ -318,9 +322,7 @@ impl Parser {
             Some('^') => Ok(Ast::AnchorStart),
             Some('$') => Ok(Ast::AnchorEnd),
             Some('\\') => {
-                let c = self
-                    .bump()
-                    .ok_or_else(|| RegexError("dangling escape".into()))?;
+                let c = self.bump().ok_or_else(|| RegexError("dangling escape".into()))?;
                 Ok(match c {
                     'd' => Ast::Class { neg: false, ranges: vec![('0', '9')] },
                     'w' => Ast::Class {
@@ -353,23 +355,18 @@ impl Parser {
         };
         let mut ranges = Vec::new();
         loop {
-            let c = self
-                .bump()
-                .ok_or_else(|| RegexError("unclosed character class".into()))?;
+            let c = self.bump().ok_or_else(|| RegexError("unclosed character class".into()))?;
             if c == ']' {
                 break;
             }
             let c = if c == '\\' {
-                self.bump()
-                    .ok_or_else(|| RegexError("dangling escape in class".into()))?
+                self.bump().ok_or_else(|| RegexError("dangling escape in class".into()))?
             } else {
                 c
             };
             if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
                 self.bump();
-                let hi = self
-                    .bump()
-                    .ok_or_else(|| RegexError("unclosed range".into()))?;
+                let hi = self.bump().ok_or_else(|| RegexError("unclosed range".into()))?;
                 ranges.push((c, hi));
             } else {
                 ranges.push((c, c));
@@ -421,9 +418,7 @@ fn emit_atom(prog: &mut Vec<Inst>, a: &Ast) {
     match a {
         Ast::Char(c) => prog.push(Inst::Char(*c)),
         Ast::Any => prog.push(Inst::Any),
-        Ast::Class { neg, ranges } => {
-            prog.push(Inst::Class { neg: *neg, ranges: ranges.clone() })
-        }
+        Ast::Class { neg, ranges } => prog.push(Inst::Class { neg: *neg, ranges: ranges.clone() }),
         Ast::AnchorStart => prog.push(Inst::AnchorStart),
         Ast::AnchorEnd => prog.push(Inst::AnchorEnd),
         Ast::Opt(inner) => {

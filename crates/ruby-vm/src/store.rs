@@ -35,9 +35,7 @@ impl Vm {
             .as_obj()
             .filter(|&s| matches!(self.kind_of(t, s), Ok(ObjKind::Table)))
             .ok_or_else(|| VmAbort::fatal("receiver is not a Store table"))?;
-        self.rd(t, slot + 1)?
-            .as_obj()
-            .ok_or_else(|| VmAbort::fatal("corrupt table"))
+        self.rd(t, slot + 1)?.as_obj().ok_or_else(|| VmAbort::fatal("corrupt table"))
     }
 
     /// `table.insert(row_array)` — append a row.
@@ -120,10 +118,7 @@ pub fn bi_store_insert(
     args: Vec<Word>,
     _block: usize,
 ) -> Result<BResult, VmAbort> {
-    let row = args
-        .first()
-        .cloned()
-        .ok_or_else(|| VmAbort::fatal("insert(row) expects a row"))?;
+    let row = args.first().cloned().ok_or_else(|| VmAbort::fatal("insert(row) expects a row"))?;
     Ok(BResult::Value(vm.store_insert(t, recv, row)?))
 }
 
@@ -182,15 +177,11 @@ mod tests {
         for (id, title, year) in [(1, "Dune", 1965), (2, "Neuromancer", 1984), (3, "Dune II", 1984)]
         {
             let t_w = vm.make_string(0, title).unwrap();
-            let row = vm
-                .make_array(0, &[Word::Int(id), t_w, Word::Int(year)])
-                .unwrap();
+            let row = vm.make_array(0, &[Word::Int(id), t_w, Word::Int(year)]).unwrap();
             vm.store_insert(0, table.clone(), row).unwrap();
         }
         assert_eq!(vm.store_count(0, table.clone()).unwrap(), Word::Int(3));
-        let hits = vm
-            .store_scan_eq(0, table.clone(), 2, Word::Int(1984))
-            .unwrap();
+        let hits = vm.store_scan_eq(0, table.clone(), 2, Word::Int(1984)).unwrap();
         let slot = hits.as_obj().unwrap();
         assert_eq!(vm.array_len(0, slot).unwrap(), 2);
         let all = vm.store_all(0, table).unwrap();

@@ -50,8 +50,7 @@ pub struct ObjHeader {
 }
 
 /// One word of simulated memory.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Word {
     /// Untouched memory.
     #[default]
@@ -74,7 +73,6 @@ pub enum Word {
     /// Slot header.
     Hdr(ObjHeader),
 }
-
 
 impl Word {
     /// Ruby truthiness: everything except `nil` and `false`.

@@ -169,7 +169,9 @@ pub enum StepOk {
     Finished,
     /// A new VM thread was created (already registered); the executor must
     /// schedule it.
-    Spawned { tid: ThreadId },
+    Spawned {
+        tid: ThreadId,
+    },
     /// Block the thread; the instruction will be retried on wake unless
     /// noted otherwise.
     Block(BlockOn),
@@ -245,6 +247,10 @@ pub struct CoreClasses {
 pub struct Vm {
     pub mem: TxMemory<Word>,
     pub layout: Layout,
+    /// Line → owner map registered at layout time and extended on heap
+    /// growth; the executor uses it to attribute conflicting cache lines
+    /// to VM structures (paper §5.6).
+    pub attribution: crate::layout::AttributionMap,
     pub config: VmConfig,
     pub program: Program,
     pub threads: Vec<ThreadCtx>,
@@ -304,8 +310,29 @@ impl Vm {
         let mut program = Program::default();
         // Pre-intern operator names used by generic fallbacks.
         for op in [
-            "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "<=>", "<<", ">>", "&",
-            "|", "^", "**", "initialize", "new", "each", "times", "to_s",
+            "+",
+            "-",
+            "*",
+            "/",
+            "%",
+            "==",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+            "<=>",
+            "<<",
+            ">>",
+            "&",
+            "|",
+            "^",
+            "**",
+            "initialize",
+            "new",
+            "each",
+            "times",
+            "to_s",
         ] {
             program.intern(op);
         }
@@ -328,10 +355,12 @@ impl Vm {
             ic_copies,
         );
         let mem = TxMemory::new(layout.total_words, line_words, config.max_threads, Word::Uninit);
+        let attribution = crate::layout::AttributionMap::from_layout(&layout);
         let config_slots = config.heap_slots;
         let mut vm = Vm {
             mem,
             layout,
+            attribution,
             config,
             program,
             threads: Vec::new(),
@@ -376,11 +405,9 @@ impl Vm {
         self.mem.poke(l.running_thread, Word::Int(-1));
         // Nothing is sweepable until a mark phase has run: an unmarked
         // object is only garbage *after* GC marked the live ones.
-        self.mem
-            .poke(l.sweep_cursor, Word::Int(l.initial_slots as i64));
+        self.mem.poke(l.sweep_cursor, Word::Int(l.initial_slots as i64));
         self.mem.poke(l.malloc_bump, Word::Int(l.malloc_base as i64));
-        self.mem
-            .poke(l.malloc_end, Word::Int((l.malloc_base + l.malloc_words) as i64));
+        self.mem.poke(l.malloc_end, Word::Int((l.malloc_base + l.malloc_words) as i64));
         for c in 0..crate::layout::MALLOC_CLASSES {
             self.mem.poke(l.malloc_class_base + c, Word::Int(0));
         }
@@ -391,10 +418,7 @@ impl Vm {
         for i in 0..n {
             let slot = base + i * SLOT_WORDS;
             let next = if i + 1 < n { slot + SLOT_WORDS } else { 0 };
-            self.mem.poke(
-                slot,
-                Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }),
-            );
+            self.mem.poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Free, marked: false }));
             self.mem.poke(slot + 1, Word::Int(next as i64));
         }
         self.mem.poke(l.free_head, Word::Int(base as i64));
@@ -408,8 +432,7 @@ impl Vm {
             self.mem.poke(s + ts::TL_MALLOC_END, Word::Int(0));
             // Like the shared cursor: nothing is sweepable until a mark
             // phase has run, so park the cursor past the heap.
-            self.mem
-                .poke(s + ts::TL_SWEEP_CURSOR, Word::Int(l.initial_slots as i64));
+            self.mem.poke(s + ts::TL_SWEEP_CURSOR, Word::Int(l.initial_slots as i64));
             self.mem.poke(s + ts::SCRATCH, Word::Int(0));
             self.mem.poke(s + ts::RESERVED, Word::Int(0));
         }
@@ -421,13 +444,9 @@ impl Vm {
             let lit = self.program.pooled[i].clone();
             let w = match lit {
                 PoolLiteral::Float(f) => {
-                    let slot = self
-                        .alloc_slot_boot()
-                        .expect("heap too small for literal pool");
-                    self.mem.poke(
-                        slot,
-                        Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }),
-                    );
+                    let slot = self.alloc_slot_boot().expect("heap too small for literal pool");
+                    self.mem
+                        .poke(slot, Word::Hdr(ObjHeader { kind: ObjKind::Float, marked: false }));
                     self.mem.poke(slot + 1, Word::F64(f));
                     Word::Obj(slot)
                 }
@@ -608,8 +627,7 @@ mod tests {
 
     #[test]
     fn snapshot_restore_roundtrip() {
-        let mut vm =
-            Vm::boot("x = 1", VmConfig::default(), &MachineProfile::generic(2)).unwrap();
+        let mut vm = Vm::boot("x = 1", VmConfig::default(), &MachineProfile::generic(2)).unwrap();
         let snap = vm.snapshot(0);
         vm.threads[0].pc = 99;
         vm.threads[0].sp += 5;

@@ -56,11 +56,17 @@ fn string_library() {
     assert_eq!(run(r#"puts("aXbXc".sub("X", "-"))"#), "a-bXc");
     assert_eq!(run(r#"puts("aXbXc".gsub("X", "-"))"#), "a-b-c");
     assert_eq!(run(r#"puts("hello world".slice(6, 5))"#), "world");
-    assert_eq!(run(r#"puts("Ruby".start_with?("Ru"))
-puts("Ruby".end_with?("by"))"#), "true\ntrue");
+    assert_eq!(
+        run(r#"puts("Ruby".start_with?("Ru"))
+puts("Ruby".end_with?("by"))"#),
+        "true\ntrue"
+    );
     assert_eq!(run(r#"puts("3.5".to_f + 0.5)"#), "4.0");
-    assert_eq!(run(r#"puts("hi"[0])
-puts("hi"[-1])"#), "h\ni");
+    assert_eq!(
+        run(r#"puts("hi"[0])
+puts("hi"[-1])"#),
+        "h\ni"
+    );
     assert_eq!(run(r#"puts("abc" * 1 == "abc")"#), "true");
 }
 
@@ -154,12 +160,18 @@ puts(make_adder(5))
 
 #[test]
 fn regexp_library() {
-    assert_eq!(run(r#"r = Regexp.new("[0-9]+")
+    assert_eq!(
+        run(r#"r = Regexp.new("[0-9]+")
 puts(r.match?("abc123"))
-puts(r.match?("abc"))"#), "true\nfalse");
-    assert_eq!(run(r#"r = Regexp.new("(\\w+)@(\\w+)")
+puts(r.match?("abc"))"#),
+        "true\nfalse"
+    );
+    assert_eq!(
+        run(r#"r = Regexp.new("(\\w+)@(\\w+)")
 m = r.match("mail bob@example now")
-puts(m[1] + " at " + m[2])"#), "bob at example");
+puts(m[1] + " at " + m[2])"#),
+        "bob at example"
+    );
     assert_eq!(run(r#"puts(Regexp.new("a+").source)"#), "a+");
 }
 
@@ -237,7 +249,9 @@ puts(v[2])
 fn string_shadow_footprint_grows() {
     // White-box: a long string's shadow buffer must consume simulated
     // memory proportional to its length.
-    let mut vm = Vm::boot("s = \"x\"\nt = s\nputs(s)", VmConfig::default(), &MachineProfile::generic(2)).unwrap();
+    let mut vm =
+        Vm::boot("s = \"x\"\nt = s\nputs(s)", VmConfig::default(), &MachineProfile::generic(2))
+            .unwrap();
     let before = vm.allocations;
     loop {
         match vm.step(0) {

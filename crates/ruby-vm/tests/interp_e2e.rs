@@ -18,13 +18,13 @@ fn run_vm(src: &str) -> Vm {
         blocked.resize(n, None);
         let mut progressed = false;
         let mut all_done = true;
-        for t in 0..n {
+        for (t, slot) in blocked.iter_mut().enumerate().take(n) {
             if vm.threads[t].finished {
                 continue;
             }
             all_done = false;
             // Re-check blocking conditions.
-            if let Some(b) = blocked[t] {
+            if let Some(b) = *slot {
                 let ready = match b {
                     BlockOn::Join(target) => vm.threads[target].finished,
                     BlockOn::Io(_) => true,
@@ -33,7 +33,7 @@ fn run_vm(src: &str) -> Vm {
                 if !ready {
                     continue;
                 }
-                blocked[t] = None;
+                *slot = None;
             }
             // Run a bounded burst for this thread.
             for _ in 0..1000 {
@@ -57,7 +57,7 @@ fn run_vm(src: &str) -> Vm {
                         break;
                     }
                     Ok(StepOk::Block(b)) => {
-                        blocked[t] = Some(b);
+                        *slot = Some(b);
                         break;
                     }
                     Err(VmAbort::Err(e)) => panic!("vm error: {e}"),
@@ -72,12 +72,9 @@ fn run_vm(src: &str) -> Vm {
             // Mutex/Barrier waiters spin through their retry path; classic
             // deadlock shows up as no thread making progress while none
             // can be unblocked by another.
-            let any_unfinished_runnable = (0..vm.threads.len())
-                .any(|t| !vm.threads[t].finished && blocked[t].is_none());
-            assert!(
-                any_unfinished_runnable,
-                "deadlock: all live threads blocked"
-            );
+            let any_unfinished_runnable =
+                (0..vm.threads.len()).any(|t| !vm.threads[t].finished && blocked[t].is_none());
+            assert!(any_unfinished_runnable, "deadlock: all live threads blocked");
         }
     }
 }
@@ -109,23 +106,20 @@ fn string_operations() {
     assert_eq!(run(r#"puts("a,b,c".split(",").join("-"))"#), "a-b-c");
     assert_eq!(run(r#"puts("hello world".include?("wor"))"#), "true");
     assert_eq!(run(r#"puts("42abc".to_i + 1)"#), "43");
-    assert_eq!(run(r#"s = "ab"
+    assert_eq!(
+        run(r#"s = "ab"
 s << "cd"
-puts(s)"#), "abcd");
+puts(s)"#),
+        "abcd"
+    );
 }
 
 #[test]
 fn conditionals_and_loops() {
     assert_eq!(run("if 1 < 2\nputs(\"yes\")\nelse\nputs(\"no\")\nend"), "yes");
-    assert_eq!(
-        run("x = 0\ni = 1\nwhile i <= 10\n  x += i\n  i += 1\nend\nputs(x)"),
-        "55"
-    );
+    assert_eq!(run("x = 0\ni = 1\nwhile i <= 10\n  x += i\n  i += 1\nend\nputs(x)"), "55");
     assert_eq!(run("puts(5 > 3 ? \"big\" : \"small\")"), "big");
-    assert_eq!(
-        run("i = 0\nwhile true\n  i += 1\n  break if i == 7\nend\nputs(i)"),
-        "7"
-    );
+    assert_eq!(run("i = 0\nwhile true\n  i += 1\n  break if i == 7\nend\nputs(i)"), "7");
     assert_eq!(
         run("s = 0\ni = 0\nwhile i < 10\n  i += 1\n  next if i.odd?()\n  s += i\nend\nputs(s)"),
         "30"
@@ -139,10 +133,7 @@ fn methods_and_recursion() {
         run("def fib(n)\n  return n if n < 2\n  fib(n - 1) + fib(n - 2)\nend\nputs(fib(15))"),
         "610"
     );
-    assert_eq!(
-        run("def greet(name)\n  \"hi \" + name\nend\nputs(greet(\"bob\"))"),
-        "hi bob"
-    );
+    assert_eq!(run("def greet(name)\n  \"hi \" + name\nend\nputs(greet(\"bob\"))"), "hi bob");
 }
 
 #[test]
@@ -175,7 +166,10 @@ fn blocks_and_yield() {
 fn arrays_and_hashes() {
     assert_eq!(run("a = [1, 2, 3]\na.push(4)\na << 5\nputs(a.length)\nputs(a[4])"), "5\n5");
     assert_eq!(run("a = Array.new(3, 7)\nputs(a.join(\",\"))"), "7,7,7");
-    assert_eq!(run("h = { \"a\" => 1, \"b\" => 2 }\nputs(h[\"b\"])\nh[\"c\"] = 3\nputs(h.size)"), "2\n3");
+    assert_eq!(
+        run("h = { \"a\" => 1, \"b\" => 2 }\nputs(h[\"b\"])\nh[\"c\"] = 3\nputs(h.size)"),
+        "2\n3"
+    );
     assert_eq!(run("a = [5, 3, 9]\nputs(a.min)\nputs(a.max)\nputs(a.sum)"), "3\n9\n17");
     assert_eq!(run("a = [1, 2]\na[0] += 10\nputs(a[0])"), "11");
 }
@@ -417,9 +411,7 @@ while i < 20000
 end
 puts(s)
 "#;
-    let mut cfg = VmConfig::default();
-    cfg.heap_slots = 2_000;
-    cfg.max_heap_slots = 20_000;
+    let cfg = VmConfig { heap_slots: 2_000, max_heap_slots: 20_000, ..VmConfig::default() };
     let mut vm = Vm::boot(src, cfg, &MachineProfile::generic(2)).unwrap();
     loop {
         match vm.step(0) {

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset this workspace's property tests use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! integer ranges, tuples, regex-subset string strategies,
+//! [`collection::vec`], [`prop_oneof!`], [`arbitrary::any`], and the
+//! `prop_assert*` macros. Generation is deterministic per test (the RNG
+//! is seeded from the test's module path and name), there is no
+//! shrinking, and a failing case prints its generated inputs before
+//! panicking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The subset of `proptest::prelude` the workspace imports.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_assert!` — panics like `assert!` (no `TestCaseError` plumbing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `prop_assert_eq!` — panics like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `prop_assert_ne!` — panics like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Union of heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// The `proptest! { ... }` test-family macro.
+///
+/// Supports an optional `#![proptest_config(...)]` header followed by any
+/// number of `#[test] fn name(arg in strategy, ...) { body }` items (doc
+/// comments and extra attributes are carried through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let __reporter = {
+                    let mut desc = format!(
+                        "proptest-shim: case {case} of {} failed with inputs:",
+                        stringify!($name),
+                    );
+                    $(desc.push_str(&format!("\n  {} = {:?}", stringify!($arg), $arg));)+
+                    $crate::test_runner::PanicReporter::new(desc)
+                };
+                $body
+                drop(__reporter);
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}

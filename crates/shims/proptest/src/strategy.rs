@@ -1,0 +1,260 @@
+//! The `Strategy` trait and combinators.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values. Object-safe (`generate` only); `prop_map` is
+/// provided for sized implementors like the real crate.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy as a trait object (used by [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// `.prop_map(f)` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` expansion).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end) - u64::from(self.start);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+// (u64 handled separately to avoid the no-op u64::from lint.)
+unsigned_range_strategy!(u8, u16, u32);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+                (i64::from(self.start) + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Regex-subset string strategies: `"v[a-z]{0,3}"` and friends.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_regex(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let v = (3usize..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&s));
+            let b = (1u8..40).generate(&mut r);
+            assert!((1..40).contains(&b));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_both_endpoints_eventually() {
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[(0usize..4).generate(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 must be reachable");
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            A(usize),
+            B(u8),
+        }
+        let strat = crate::prop_oneof![(0usize..3).prop_map(E::A), (10u8..12).prop_map(E::B),];
+        let mut r = rng();
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..200 {
+            match strat.generate(&mut r) {
+                E::A(v) => {
+                    assert!(v < 3);
+                    saw_a = true;
+                }
+                E::B(v) => {
+                    assert!((10..12).contains(&v));
+                    saw_b = true;
+                }
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0usize..2, 5u64..6, -1i64..0).generate(&mut r);
+        assert!(a < 2);
+        assert_eq!(b, 5);
+        assert_eq!(c, -1);
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut r = rng();
+        assert_eq!(Just(42u32).generate(&mut r), 42);
+    }
+}

@@ -1,0 +1,249 @@
+//! String generation from the small regex subset the workspace's tests
+//! use as strategies.
+//!
+//! Supported syntax: literal characters, escapes (`\n`, `\t`, `\r`,
+//! `\\`, and `\<punct>`), the Unicode category shorthand `\PC`
+//! ("not control": generated as printable characters), character classes
+//! `[...]` with ranges and escapes, and the quantifiers `*`, `+`, `?`,
+//! `{n}`, `{m,n}` (unbounded repetition is capped at 16).
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: u32 = 16;
+
+#[derive(Debug, Clone)]
+enum CharGen {
+    Literal(char),
+    /// Inclusive ranges; pick uniformly over ranges then within.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character (mostly printable ASCII, with a
+    /// sprinkle of multibyte characters to stress lexers).
+    NotControl,
+}
+
+impl CharGen {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharGen::Literal(c) => *c,
+            CharGen::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = (hi as u32) - (lo as u32) + 1;
+                // Skip unassigned surrogate gaps by retrying from the span.
+                for _ in 0..8 {
+                    if let Some(c) = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32) {
+                        return c;
+                    }
+                }
+                lo
+            }
+            CharGen::NotControl => {
+                const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '→', '🚀'];
+                if rng.below(10) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    charset: CharGen,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for el in &elements {
+        let n = el.min + rng.below(u64::from(el.max - el.min + 1)) as u32;
+        for _ in 0..n {
+            out.push(el.charset.generate(rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let charset = match chars[i] {
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| unsupported(pattern, "trailing \\"));
+                i += 1;
+                match c {
+                    'n' => CharGen::Literal('\n'),
+                    't' => CharGen::Literal('\t'),
+                    'r' => CharGen::Literal('\r'),
+                    'P' => {
+                        // Only the `\PC` (non-control) category is used.
+                        let cat =
+                            *chars.get(i).unwrap_or_else(|| unsupported(pattern, "truncated \\P"));
+                        i += 1;
+                        if cat != 'C' {
+                            unsupported(pattern, "only \\PC is supported")
+                        }
+                        CharGen::NotControl
+                    }
+                    other => CharGen::Literal(other),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let mut c = chars[i];
+                    if c == '\\' {
+                        i += 1;
+                        c = match *chars
+                            .get(i)
+                            .unwrap_or_else(|| unsupported(pattern, "trailing \\ in class"))
+                        {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        };
+                    }
+                    i += 1;
+                    // A `-` between two class members forms a range.
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                        i += 1;
+                        let mut hi = chars[i];
+                        if hi == '\\' {
+                            i += 1;
+                            hi = chars[i];
+                        }
+                        i += 1;
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                if i >= chars.len() {
+                    unsupported(pattern, "unterminated character class")
+                }
+                i += 1; // consume ']'
+                if ranges.is_empty() {
+                    unsupported(pattern, "empty character class")
+                }
+                CharGen::Class(ranges)
+            }
+            c => {
+                i += 1;
+                CharGen::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                i += 1;
+                let mut bounds = String::new();
+                while i < chars.len() && chars[i] != '}' {
+                    bounds.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    unsupported(pattern, "unterminated {m,n}")
+                }
+                i += 1; // consume '}'
+                match bounds.split_once(',') {
+                    Some((m, n)) => {
+                        (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(UNBOUNDED_MAX))
+                    }
+                    None => {
+                        let n = bounds.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        out.push(Element { charset, min, max });
+    }
+    out
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("proptest-shim regex subset: {what} in pattern {pattern:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn literal_with_counted_class() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = generate_from_regex("v[a-z0-9_]{0,10}", &mut r);
+            assert!(s.starts_with('v'));
+            assert!(s.len() <= 11);
+            assert!(s[1..]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn bounded_spaces() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_regex(" {0,3}", &mut r);
+            assert!(s.len() <= 3);
+            assert!(s.chars().all(|c| c == ' '));
+        }
+    }
+
+    #[test]
+    fn not_control_star_is_printable() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = generate_from_regex("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_covers_newline() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..2_000 {
+            let s = generate_from_regex("[a-z0-9+\\-*/%=<>!&|(){}\\[\\].,:;#\"'\\n @$?]*", &mut r);
+            saw_newline |= s.contains('\n');
+            assert!(s.chars().all(|c| c == '\n' || !c.is_control()), "{s:?}");
+        }
+        assert!(saw_newline, "\\n inside a class must be generable");
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(generate_from_regex("x{4}", &mut r), "xxxx");
+        }
+    }
+}

@@ -17,10 +17,7 @@ impl Series {
     }
 
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|(px, _)| (px - x).abs() < 1e-9)
-            .map(|&(_, y)| y)
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|&(_, y)| y)
     }
 
     pub fn max_y(&self) -> f64 {
@@ -76,10 +73,7 @@ impl SeriesSet {
     /// Normalize every series to `base_label`'s value at `base_x`
     /// (e.g. GIL at 1 thread → "Throughput (1 = 1 thread GIL)").
     pub fn normalize_to(&self, base_label: &str, base_x: f64) -> SeriesSet {
-        let base = self
-            .get(base_label)
-            .and_then(|s| s.y_at(base_x))
-            .unwrap_or(1.0);
+        let base = self.get(base_label).and_then(|s| s.y_at(base_x)).unwrap_or(1.0);
         SeriesSet {
             title: self.title.clone(),
             x_label: self.x_label.clone(),
@@ -90,11 +84,8 @@ impl SeriesSet {
 
     /// CSV rendering: header `x,label1,label2,…`, one row per x value.
     pub fn to_csv(&self) -> String {
-        let mut xs: Vec<f64> = self
-            .series
-            .iter()
-            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
-            .collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         let mut out = String::from("x");

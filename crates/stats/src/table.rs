@@ -9,10 +9,7 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Self {
-        Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     pub fn row(&mut self, cells: &[String]) {
@@ -94,7 +91,7 @@ mod tests {
 
     #[test]
     fn format_helpers() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.141_25), "3.14");
         assert_eq!(pct(12.345), "12.3%");
     }
 }

@@ -49,9 +49,8 @@ pub(crate) fn instantiate(
     scale: usize,
     requests: u64,
 ) -> Workload {
-    let source = template
-        .replace("%THREADS%", &threads.to_string())
-        .replace("%SCALE%", &scale.to_string());
+    let source =
+        template.replace("%THREADS%", &threads.to_string()).replace("%SCALE%", &scale.to_string());
     Workload { name, source, threads, requests }
 }
 
@@ -90,8 +89,7 @@ mod tests {
         ];
         all.extend(npb_all(4, 1));
         for w in all {
-            ruby_lang::parse_program(&w.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            ruby_lang::parse_program(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 

@@ -610,8 +610,7 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|w| w.name).collect();
         assert_eq!(names, vec!["BT", "CG", "FT", "IS", "LU", "MG", "SP"]);
         for w in &all {
-            ruby_lang::parse_program(&w.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            ruby_lang::parse_program(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 

@@ -24,9 +24,7 @@ pub struct ProbeSchedule {
 /// Build the Fig. 6(a) schedule: the given sizes, `iters` transactions
 /// each.
 pub fn schedule(sizes_kb: &[usize], iters: usize) -> ProbeSchedule {
-    ProbeSchedule {
-        phases: sizes_kb.iter().map(|&s| (s, iters)).collect(),
-    }
+    ProbeSchedule { phases: sizes_kb.iter().map(|&s| (s, iters)).collect() }
 }
 
 /// A trivially-valid workload wrapper so the probe appears in the
@@ -39,12 +37,7 @@ pub fn writeset_probe(sizes_kb: &[usize], iters: usize) -> Workload {
         src.push_str(&format!("{s}KB "));
     }
     src.push_str("\nputs(\"probe\")\n");
-    Workload {
-        name: "WriteSetProbe",
-        source: src,
-        threads: 1,
-        requests: 0,
-    }
+    Workload { name: "WriteSetProbe", source: src, threads: 1, requests: 0 }
 }
 
 #[cfg(test)]

@@ -43,8 +43,7 @@ puts(shared[0].to_s + " " + priv[0].to_s)
 
 fn main() {
     let profile = MachineProfile::zec12();
-    let mut vm_config = VmConfig::default();
-    vm_config.max_threads = 8;
+    let vm_config = VmConfig { max_threads: 8, ..VmConfig::default() };
     let cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile);
     let constants = cfg.tle;
     let mut ex = Executor::new(PROGRAM, vm_config, profile, cfg).expect("boot");

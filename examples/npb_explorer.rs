@@ -59,11 +59,9 @@ fn main() {
     ] {
         for &n in &threads {
             let w = build(n);
-            let mut vm_config = VmConfig::default();
-            vm_config.max_threads = n + 2;
+            let vm_config = VmConfig { max_threads: n + 2, ..VmConfig::default() };
             let cfg = ExecConfig::new(mode, &profile);
-            let mut ex =
-                Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
+            let mut ex = Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
             let r = ex.run().expect("run");
             if mode == RuntimeMode::Gil && n == threads[0] {
                 base = Some(r.elapsed_cycles);

@@ -36,13 +36,11 @@ puts("total = " + total.to_s)
 fn main() {
     // A 12-core machine modelled on the paper's zEC12 partition.
     let profile = MachineProfile::zec12();
-    let mut vm_config = VmConfig::default();
-    vm_config.max_threads = 8;
+    let vm_config = VmConfig { max_threads: 8, ..VmConfig::default() };
 
-    let mut run = |mode: RuntimeMode| {
+    let run = |mode: RuntimeMode| {
         let cfg = ExecConfig::new(mode, &profile);
-        let mut ex = Executor::new(PROGRAM, vm_config.clone(), profile.clone(), cfg)
-            .expect("boot");
+        let mut ex = Executor::new(PROGRAM, vm_config.clone(), profile.clone(), cfg).expect("boot");
         let r = ex.run().expect("run");
         println!(
             "{:<12}  {:>12} cycles   output: {:?}   (tx: {} begun, {} aborted)",

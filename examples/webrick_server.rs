@@ -23,14 +23,8 @@ fn main() {
         .unwrap_or_else(|| vec![1, 2, 4, 6]);
     let profile = MachineProfile::xeon_e3_1275_v3();
 
-    println!(
-        "WEBrick model on {}: {requests} requests for a 46-byte page\n",
-        profile.name
-    );
-    println!(
-        "{:<14} {:>8} {:>16} {:>10}",
-        "mode", "clients", "req/Mcycle", "abort%"
-    );
+    println!("WEBrick model on {}: {requests} requests for a 46-byte page\n", profile.name);
+    println!("{:<14} {:>8} {:>16} {:>10}", "mode", "clients", "req/Mcycle", "abort%");
     let mut base: Option<f64> = None;
     for mode in [
         RuntimeMode::Gil,
@@ -39,11 +33,9 @@ fn main() {
     ] {
         for &c in &clients {
             let w = htm_gil::bench_workloads::webrick::webrick(c, requests);
-            let mut vm_config = VmConfig::default();
-            vm_config.max_threads = c + 2;
+            let vm_config = VmConfig { max_threads: c + 2, ..VmConfig::default() };
             let cfg = ExecConfig::new(mode, &profile);
-            let mut ex =
-                Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
+            let mut ex = Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
             let r = ex.run().expect("run");
             let tput = requests as f64 / (r.elapsed_cycles as f64 / 1e6);
             if base.is_none() {

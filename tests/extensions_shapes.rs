@@ -2,7 +2,9 @@
 //! `ruby_vm::extensions` and the `extensions` bench binary).
 
 use htm_gil::bench_workloads as workloads;
-use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, VmConfig};
+use htm_gil::{
+    ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, VmConfig,
+};
 
 fn run(w: &workloads::Workload, mode: RuntimeMode, vm_config: VmConfig) -> RunReport {
     let profile = MachineProfile::zec12();
@@ -12,10 +14,7 @@ fn run(w: &workloads::Workload, mode: RuntimeMode, vm_config: VmConfig) -> RunRe
 }
 
 fn vmc(threads: usize) -> VmConfig {
-    VmConfig {
-        max_threads: threads + 2,
-        ..VmConfig::default()
-    }
+    VmConfig { max_threads: threads + 2, ..VmConfig::default() }
 }
 
 const HTM16: RuntimeMode = RuntimeMode::Htm { length: LengthPolicy::Fixed(16) };
@@ -36,10 +35,7 @@ fn refcount_writes_preserve_results_but_add_conflicts() {
         rc.htm.total_aborts(),
         base.htm.total_aborts()
     );
-    assert!(
-        rc.elapsed_cycles > base.elapsed_cycles,
-        "refcounting must slow HTM down"
-    );
+    assert!(rc.elapsed_cycles > base.elapsed_cycles, "refcounting must slow HTM down");
 }
 
 #[test]
@@ -111,16 +107,10 @@ puts(out[0] + out[1] + out[2])
     let tl = run(&w, HTM16, tl_cfg);
     assert_eq!(shared.stdout, tl.stdout);
     assert_eq!(shared.stdout, "1800");
-    let shared_ic = shared
-        .conflict_sites
-        .get(&htm_gil::core::ConflictSite::InlineCache)
-        .copied()
-        .unwrap_or(0);
-    let tl_ic = tl
-        .conflict_sites
-        .get(&htm_gil::core::ConflictSite::InlineCache)
-        .copied()
-        .unwrap_or(0);
+    let shared_ic =
+        shared.conflict_sites.get(&htm_gil::core::ConflictSite::InlineCache).copied().unwrap_or(0);
+    let tl_ic =
+        tl.conflict_sites.get(&htm_gil::core::ConflictSite::InlineCache).copied().unwrap_or(0);
     assert!(
         tl_ic < shared_ic.max(1),
         "thread-local ICs must eliminate IC conflicts ({tl_ic} vs {shared_ic})"

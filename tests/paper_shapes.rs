@@ -3,12 +3,13 @@
 //! guard the *orderings* the paper reports — who beats whom — rather than
 //! absolute numbers.
 
-use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, VmConfig};
 use htm_gil::bench_workloads as workloads;
+use htm_gil::{
+    ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, VmConfig,
+};
 
 fn run(w: &workloads::Workload, mode: RuntimeMode, profile: &MachineProfile) -> RunReport {
-    let mut vm_config = VmConfig::default();
-    vm_config.max_threads = w.threads + 2;
+    let vm_config = VmConfig { max_threads: w.threads + 2, ..VmConfig::default() };
     let cfg = ExecConfig::new(mode, profile);
     let mut ex = Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
     ex.run().unwrap_or_else(|e| panic!("{} {}: {e}", w.name, mode.label()))
@@ -36,10 +37,7 @@ fn htm_scales_on_compute() {
     let t1 = run(&workloads::micro::while_bench(1, 400), mode, &profile);
     let t4 = run(&workloads::micro::while_bench(4, 400), mode, &profile);
     let ratio = t4.elapsed_cycles as f64 / t1.elapsed_cycles as f64;
-    assert!(
-        ratio < 2.2,
-        "HTM must overlap compute: 4-thread elapsed {ratio:.2}x of 1-thread"
-    );
+    assert!(ratio < 2.2, "HTM must overlap compute: 4-thread elapsed {ratio:.2}x of 1-thread");
 }
 
 #[test]
@@ -230,8 +228,7 @@ fn original_yield_points_hurt_htm() {
     let extended = run(&w, RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile);
     let mut cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile);
     cfg.yield_policy = Some(htm_gil::YieldPolicy::Original);
-    let mut vm_config = VmConfig::default();
-    vm_config.max_threads = w.threads + 2;
+    let vm_config = VmConfig { max_threads: w.threads + 2, ..VmConfig::default() };
     let mut ex = Executor::new(&w.source, vm_config, profile.clone(), cfg).expect("boot");
     let original = ex.run().expect("run");
     assert_eq!(extended.stdout, original.stdout);

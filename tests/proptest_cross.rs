@@ -103,8 +103,7 @@ end
 
 fn run(src: &str, mode: RuntimeMode, threads: usize) -> String {
     let profile = MachineProfile::generic(4);
-    let mut vm_config = VmConfig::default();
-    vm_config.max_threads = threads + 2;
+    let vm_config = VmConfig { max_threads: threads + 2, ..VmConfig::default() };
     let mut cfg = ExecConfig::new(mode, &profile);
     cfg.max_cycles = 3_000_000_000; // hang guard
     let mut ex = Executor::new(src, vm_config, profile, cfg).expect("boot");

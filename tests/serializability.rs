@@ -3,12 +3,11 @@
 //! print after joining all threads and combine results in thread-id order,
 //! identical output means the elided execution was serializable.
 
-use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
 use htm_gil::bench_workloads as workloads;
+use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
 
 fn run(source: &str, mode: RuntimeMode, profile: &MachineProfile, threads: usize) -> String {
-    let mut vm_config = VmConfig::default();
-    vm_config.max_threads = threads + 2;
+    let vm_config = VmConfig { max_threads: threads + 2, ..VmConfig::default() };
     let cfg = ExecConfig::new(mode, profile);
     let mut ex = Executor::new(source, vm_config, profile.clone(), cfg).expect("boot");
     ex.run().unwrap_or_else(|e| panic!("{} failed: {e}", mode.label())).stdout
@@ -32,7 +31,8 @@ fn assert_serializable(w: &workloads::Workload, profile: &MachineProfile) {
     for mode in all_modes() {
         let got = run(&w.source, mode, profile, w.threads);
         assert_eq!(
-            got, reference,
+            got,
+            reference,
             "{} under {} diverged from the GIL reference",
             w.name,
             mode.label()
@@ -126,7 +126,8 @@ fn thread_counts_do_not_change_results() {
     let profile = MachineProfile::generic(4);
     for threads in [1, 2, 5] {
         let w = workloads::micro::while_bench(threads, 60);
-        let out = run(&w.source, RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile, threads);
+        let out =
+            run(&w.source, RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile, threads);
         assert_eq!(out, workloads::micro::expected_output(threads, 60));
     }
 }
