@@ -5,10 +5,10 @@
 //! achieved an 11- to 10-fold speedup over the GIL using 12 threads on
 //! zEC12" while "the GIL did not scale at all". This binary sweeps both
 //! micro-benchmarks over thread counts and modes on both machines and
-//! prints the best-HTM-vs-GIL speedup at full thread count.
+//! prints the best-HTM-vs-GIL speedup at full thread count. Data comes
+//! from [`bench::figures::fig4_panels`], shared with the determinism test.
 
-use bench::{print_panel, quick, sweep_panel, thread_counts, write_csv};
-use machine_sim::MachineProfile;
+use bench::{print_panel, quick, write_csv};
 
 fn main() {
     bench::reporting::init_from_args();
@@ -17,42 +17,28 @@ fn main() {
 }
 
 fn run() {
-    let iters = if quick() { 150 } else { 2_000 };
-    for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
-        let threads = thread_counts(&profile);
-        for (name, builder) in [
-            ("While", workloads::micro::while_bench as fn(usize, usize) -> workloads::Workload),
-            (
-                "Iterator",
-                workloads::micro::iterator_bench as fn(usize, usize) -> workloads::Workload,
-            ),
-        ] {
-            let title = format!("Fig.4 {name} / {}", profile.name);
-            let set = sweep_panel(&title, &profile, &threads, |n| builder(n, iters));
-            print_panel(&set);
-            write_csv(
-                &format!("fig4_{}_{}", name.to_lowercase(), profile.name.replace(' ', "_")),
-                &set,
-            );
-            // Paper headline: best HTM config vs GIL at max threads.
-            let max_t = *threads.last().unwrap() as f64;
-            let gil = set.get("GIL").and_then(|s| s.y_at(max_t)).unwrap_or(1.0);
-            let best = set
-                .series
-                .iter()
-                .filter(|s| s.label != "GIL")
-                .filter_map(|s| s.y_at(max_t).map(|y| (s.label.clone(), y)))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap();
-            println!(
-                "  {} @ {} threads: best HTM = {} at {:.1}x vs GIL {:.1}x → {:.1}-fold speedup",
-                name,
-                max_t,
-                best.0,
-                best.1,
-                gil,
-                best.1 / gil
-            );
-        }
+    for panel in bench::figures::fig4_panels(quick()) {
+        print_panel(&panel.set);
+        write_csv(&panel.csv_name, &panel.set);
+        // Paper headline: best HTM config vs GIL at max threads.
+        let max_t = panel.max_threads;
+        let gil = panel.set.get("GIL").and_then(|s| s.y_at(max_t)).unwrap_or(1.0);
+        let best = panel
+            .set
+            .series
+            .iter()
+            .filter(|s| s.label != "GIL")
+            .filter_map(|s| s.y_at(max_t).map(|y| (s.label.clone(), y)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!(
+            "  {} @ {} threads: best HTM = {} at {:.1}x vs GIL {:.1}x → {:.1}-fold speedup",
+            panel.bench,
+            max_t,
+            best.0,
+            best.1,
+            gil,
+            best.1 / gil
+        );
     }
 }

@@ -1,11 +1,9 @@
 //! Figure 8: abort ratios of HTM-dynamic across the NPB (both machines)
 //! and the 12-thread zEC12 cycle breakdowns, plus the §5.6 abort-reason
-//! investigation (read-set conflict share, allocation attribution).
+//! investigation (read-set conflict share, allocation attribution). Data
+//! comes from [`bench::figures`], shared with the determinism test.
 
-use bench::{print_panel, quick, run_workload, thread_counts, write_csv};
-use htm_gil_core::{LengthPolicy, RuntimeMode};
-use htm_gil_stats::{Series, SeriesSet, Table};
-use machine_sim::MachineProfile;
+use bench::{print_panel, quick, write_csv};
 
 fn main() {
     bench::reporting::init_from_args();
@@ -14,97 +12,15 @@ fn main() {
 }
 
 fn run() {
-    let scale = if quick() { 1 } else { 4 };
-    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
-    // Abort ratios vs threads, per machine.
-    for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
-        let threads = if quick() { vec![2, 4] } else { thread_counts(&profile) };
-        let mut set = SeriesSet::new(
-            format!("Fig.8 abort ratios / {}", profile.name),
-            "threads",
-            "abort ratio %",
-        );
-        for w0 in workloads::npb_all(2, scale) {
-            let mut s = Series::new(w0.name);
-            for &n in &threads {
-                if n < 2 {
-                    continue; // single-threaded runs use the GIL fast path
-                }
-                let w = rebuild(w0.name, n, scale);
-                let r = run_workload(&w, dynamic, &profile);
-                s.push(n as f64, r.abort_ratio_pct());
-            }
-            set.add(s);
-        }
-        print_panel(&set);
-        write_csv(&format!("fig8_abort_ratios_{}", profile.name.replace(' ', "_")), &set);
+    let q = quick();
+    for panel in bench::figures::fig8_abort_panels(q) {
+        print_panel(&panel.set);
+        write_csv(&panel.csv_name, &panel.set);
     }
-    // 12-thread zEC12 cycle breakdowns + abort investigation.
-    let profile = MachineProfile::zec12();
-    let nthreads = if quick() { 4 } else { 12 };
-    let mut table = Table::new(&[
-        "bench",
-        "tx-begin/end%",
-        "success-tx%",
-        "gil-held%",
-        "aborted%",
-        "gil-wait%",
-        "io-wait%",
-        "other%",
-        "abort%",
-        "read-confl%",
-        "alloc-confl%",
-    ]);
-    let mut csv = String::from(
-        "bench,tx_begin_end,success,gil_held,aborted,gil_wait,io_wait,other,abort_ratio,read_conflict_share,alloc_share\n",
-    );
-    for w0 in workloads::npb_all(nthreads, scale) {
-        let r = run_workload(&w0, dynamic, &profile);
-        let sh = r.breakdown.shares_pct();
-        table.row(&[
-            w0.name.to_string(),
-            format!("{:.1}", sh[0].1),
-            format!("{:.1}", sh[1].1),
-            format!("{:.1}", sh[2].1),
-            format!("{:.1}", sh[3].1),
-            format!("{:.1}", sh[4].1),
-            format!("{:.1}", sh[5].1),
-            format!("{:.1}", sh[6].1),
-            format!("{:.1}", r.abort_ratio_pct()),
-            format!("{:.0}", r.htm.read_conflict_share_pct()),
-            format!("{:.0}", r.allocator_conflict_share_pct()),
-        ]);
-        csv.push_str(&format!(
-            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
-            w0.name,
-            sh[0].1,
-            sh[1].1,
-            sh[2].1,
-            sh[3].1,
-            sh[4].1,
-            sh[5].1,
-            sh[6].1,
-            r.abort_ratio_pct(),
-            r.htm.read_conflict_share_pct(),
-            r.allocator_conflict_share_pct()
-        ));
-    }
-    println!("\n== Fig.8 cycle breakdowns, HTM-dynamic, {nthreads} threads on {} ==", profile.name);
-    println!("{}", table.render());
-    let path = bench::results_dir().join("fig8_breakdown_zec12.csv");
-    std::fs::write(&path, csv).expect("write csv");
+    let b = bench::figures::fig8_breakdown(q);
+    println!("\n== Fig.8 cycle breakdowns, HTM-dynamic, {} threads on {} ==", b.threads, b.machine);
+    println!("{}", b.table.render());
+    let path = bench::results_dir().join(format!("{}.csv", b.csv_name));
+    std::fs::write(&path, &b.csv).expect("write csv");
     println!("  [csv] {}", path.display());
-}
-
-fn rebuild(name: &str, threads: usize, scale: usize) -> workloads::Workload {
-    match name {
-        "BT" => workloads::npb::bt(threads, scale),
-        "CG" => workloads::npb::cg(threads, scale),
-        "FT" => workloads::npb::ft(threads, scale),
-        "IS" => workloads::npb::is(threads, scale),
-        "LU" => workloads::npb::lu(threads, scale),
-        "MG" => workloads::npb::mg(threads, scale),
-        "SP" => workloads::npb::sp(threads, scale),
-        other => panic!("unknown kernel {other}"),
-    }
 }

@@ -1,0 +1,147 @@
+//! Self-performance benchmark: wall-clock throughput of the **simulator
+//! itself**, not of the simulated machine.
+//!
+//! Every figure sweep in this repo is bounded by how fast `TxMemory` can
+//! push simulated words around, so this binary is the perf trajectory the
+//! other benches read their budgets from. It runs three fixed
+//! configurations (the While micro-benchmark, NPB CG, and the WEBrick
+//! server model — compute-, conflict-, and I/O-shaped workloads) at 12/12/6
+//! threads on the zEC12 profile under HTM-dynamic, repeats each one several
+//! times, takes the median wall time, and writes `BENCH_selfperf.json` at
+//! the repo root:
+//!
+//! * `current` — this build's medians, plus simulated bytecodes/sec and
+//!   simulated words/sec derived from the (deterministic) run report;
+//! * `baseline` — the same configurations measured at the commit preceding
+//!   the ownership-directory rewrite of `TxMemory` (set-scan conflict
+//!   detection), so `speedup_vs_baseline` records what the rewrite bought.
+//!
+//! `HTMGIL_QUICK=1` shrinks the workloads and the repetition count for
+//! smoke runs; quick numbers are labelled as such and are not comparable
+//! with the recorded baseline.
+
+use std::time::Instant;
+
+use bench::{quick, run_workload, vm_config_for};
+use htm_gil_core::{ExecConfig, Json, LengthPolicy, RunReport, RuntimeMode};
+use machine_sim::MachineProfile;
+use workloads::Workload;
+
+/// Pre-rewrite wall-clock medians in milliseconds, measured at commit
+/// 50f6038 (set-scan `doom_conflicting`, allocating `tbegin`) with a
+/// release build of this same binary on the machine that produced the
+/// committed `BENCH_selfperf.json`. Full (non-quick) configurations only.
+const BASELINE_WALL_MS: &[(&str, f64)] =
+    &[("while_12t_zec12", 365.9), ("cg_12t_zec12", 1150.9), ("webrick_6c_zec12", 1136.8)];
+
+/// The fixed measurement configurations. Thread/scale choices mirror the
+/// figure sweeps' most expensive points (fig4/fig5 at 12 threads on zEC12,
+/// fig7 at 6 clients), where simulator wall-clock hurts the most.
+fn configs(q: bool) -> Vec<(&'static str, Workload)> {
+    let scale = if q { 1 } else { 4 };
+    let iters = if q { 150 } else { 2_000 };
+    let requests = if q { 48 } else { 600 };
+    vec![
+        ("while_12t_zec12", workloads::micro::while_bench(12, iters)),
+        ("cg_12t_zec12", workloads::npb::cg(12, scale)),
+        ("webrick_6c_zec12", workloads::webrick::webrick(6, requests)),
+    ]
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Measurement {
+    name: &'static str,
+    wall_ms: f64,
+    report: RunReport,
+}
+
+fn measure(name: &'static str, w: &Workload, reps: usize) -> Measurement {
+    let profile = MachineProfile::zec12();
+    let mode = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
+    let mut walls = Vec::with_capacity(reps);
+    let mut report = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = run_workload(w, mode, &profile);
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    Measurement { name, wall_ms: median(&mut walls), report: report.expect("reps >= 1") }
+}
+
+fn main() {
+    bench::reporting::init_from_args();
+    let q = quick();
+    let reps = if q { 3 } else { 5 };
+    // Warm up allocator/page cache once so rep 1 is comparable to rep N.
+    {
+        let w = workloads::micro::while_bench(2, 50);
+        let profile = MachineProfile::zec12();
+        let cfg = ExecConfig::new(RuntimeMode::Gil, &profile);
+        bench::run_workload_with(&w, &profile, cfg, vm_config_for(w.threads));
+    }
+
+    let mut current = Json::obj();
+    println!("== selfperf: simulator wall-clock (median of {reps}) ==");
+    for (name, w) in configs(q) {
+        let m = measure(name, &w, reps);
+        let wall_s = m.wall_ms / 1e3;
+        let insns = m.report.committed_insns + m.report.wasted_insns;
+        let words = m.report.htm.total_accesses();
+        let bytecodes_per_sec = insns as f64 / wall_s;
+        let words_per_sec = words as f64 / wall_s;
+        let baseline_ms = BASELINE_WALL_MS
+            .iter()
+            .find(|(n, _)| *n == m.name)
+            .map(|&(_, ms)| ms)
+            .filter(|&ms| ms > 0.0 && !q);
+        let speedup = baseline_ms.map(|b| b / m.wall_ms);
+        println!(
+            "  {:<18} {:>9.1} ms  {:>12.0} bytecodes/s  {:>12.0} words/s{}",
+            m.name,
+            m.wall_ms,
+            bytecodes_per_sec,
+            words_per_sec,
+            speedup.map(|s| format!("  ({s:.2}x vs baseline)")).unwrap_or_default()
+        );
+        let mut entry = Json::obj()
+            .field("wall_ms", m.wall_ms)
+            .field("sim_bytecodes_per_sec", bytecodes_per_sec)
+            .field("sim_words_per_sec", words_per_sec)
+            .field("sim_elapsed_cycles", m.report.elapsed_cycles);
+        if let Some(b) = baseline_ms {
+            entry = entry.field("baseline_wall_ms", b);
+        }
+        if let Some(s) = speedup {
+            entry = entry.field("speedup_vs_baseline", s);
+        }
+        current = current.field(m.name, entry);
+    }
+
+    let baseline = BASELINE_WALL_MS
+        .iter()
+        .fold(Json::obj(), |acc, &(name, ms)| acc.field(name, Json::obj().field("wall_ms", ms)));
+    let doc = Json::obj()
+        .field("schema", "htm-gil-selfperf/v1")
+        .field("quick", q)
+        .field("reps", reps as u64)
+        .field("machine_profile", "zEC12")
+        .field("mode", "HTM-dynamic")
+        .field(
+            "baseline",
+            Json::obj()
+                .field("commit", "50f6038")
+                .field("description", "pre-directory TxMemory: O(threads) set-scan conflict detection, allocating tbegin")
+                .field("configs", baseline),
+        )
+        .field("current", current);
+
+    let path = bench::repo_root().join("BENCH_selfperf.json");
+    std::fs::write(&path, doc.to_pretty() + "\n").expect("write BENCH_selfperf.json");
+    println!("  [json] {}", path.display());
+    bench::reporting::finalize();
+}

@@ -1,0 +1,178 @@
+//! Figure-data generation, shared between the `fig4_micro`/`fig8_aborts`
+//! binaries and the determinism test.
+//!
+//! Everything here is a pure function of the explicit `quick` flag (the
+//! binaries pass [`crate::quick`], the determinism test passes `false`):
+//! given the same flag and the same code, the returned panels — and
+//! therefore the CSV bytes derived from them — must be identical on every
+//! run. `tests/figure_determinism.rs` exploits that to require the
+//! committed `bench-results/fig4_*.csv` and `fig8_*.csv` files to be
+//! byte-identical to a fresh regeneration, which is the repo's oracle that
+//! a refactor of the simulator core (such as the ownership-directory
+//! rewrite of `TxMemory`) changed no observable behaviour.
+
+use htm_gil_core::{LengthPolicy, RuntimeMode};
+use htm_gil_stats::{Series, SeriesSet, Table};
+use machine_sim::MachineProfile;
+use workloads::Workload;
+
+use crate::{run_workload, sweep_panel, thread_counts};
+
+/// One Fig. 4 sweep: a micro-benchmark × machine panel.
+pub struct Fig4Panel {
+    /// Basename of the CSV under `bench-results/` (no extension).
+    pub csv_name: String,
+    /// Micro-benchmark name ("While" / "Iterator").
+    pub bench: &'static str,
+    /// Largest thread count in the sweep (the paper's headline point).
+    pub max_threads: f64,
+    pub set: SeriesSet,
+}
+
+/// Fig. 4 data: While and Iterator on both machines, all paper modes.
+pub fn fig4_panels(quick: bool) -> Vec<Fig4Panel> {
+    let iters = if quick { 150 } else { 2_000 };
+    let mut panels = Vec::new();
+    for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
+        let threads = thread_counts(&profile);
+        for (name, builder) in [
+            ("While", workloads::micro::while_bench as fn(usize, usize) -> Workload),
+            ("Iterator", workloads::micro::iterator_bench as fn(usize, usize) -> Workload),
+        ] {
+            let title = format!("Fig.4 {name} / {}", profile.name);
+            let set = sweep_panel(&title, &profile, &threads, |n| builder(n, iters));
+            panels.push(Fig4Panel {
+                csv_name: format!(
+                    "fig4_{}_{}",
+                    name.to_lowercase(),
+                    profile.name.replace(' ', "_")
+                ),
+                bench: name,
+                max_threads: *threads.last().unwrap() as f64,
+                set,
+            });
+        }
+    }
+    panels
+}
+
+/// One Fig. 8 abort-ratio sweep (per machine).
+pub struct Fig8AbortPanel {
+    pub csv_name: String,
+    pub set: SeriesSet,
+}
+
+/// Fig. 8 abort ratios of HTM-dynamic across the NPB, per machine.
+pub fn fig8_abort_panels(quick: bool) -> Vec<Fig8AbortPanel> {
+    let scale = if quick { 1 } else { 4 };
+    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
+    let mut panels = Vec::new();
+    for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
+        let threads = if quick { vec![2, 4] } else { thread_counts(&profile) };
+        let mut set = SeriesSet::new(
+            format!("Fig.8 abort ratios / {}", profile.name),
+            "threads",
+            "abort ratio %",
+        );
+        for w0 in workloads::npb_all(2, scale) {
+            let mut s = Series::new(w0.name);
+            for &n in &threads {
+                if n < 2 {
+                    continue; // single-threaded runs use the GIL fast path
+                }
+                let w = rebuild(w0.name, n, scale);
+                let r = run_workload(&w, dynamic, &profile);
+                s.push(n as f64, r.abort_ratio_pct());
+            }
+            set.add(s);
+        }
+        panels.push(Fig8AbortPanel {
+            csv_name: format!("fig8_abort_ratios_{}", profile.name.replace(' ', "_")),
+            set,
+        });
+    }
+    panels
+}
+
+/// Fig. 8 cycle breakdowns + §5.6 abort investigation on zEC12.
+pub struct Fig8Breakdown {
+    pub threads: usize,
+    pub machine: &'static str,
+    pub csv_name: String,
+    pub table: Table,
+    pub csv: String,
+}
+
+pub fn fig8_breakdown(quick: bool) -> Fig8Breakdown {
+    let scale = if quick { 1 } else { 4 };
+    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
+    let profile = MachineProfile::zec12();
+    let nthreads = if quick { 4 } else { 12 };
+    let mut table = Table::new(&[
+        "bench",
+        "tx-begin/end%",
+        "success-tx%",
+        "gil-held%",
+        "aborted%",
+        "gil-wait%",
+        "io-wait%",
+        "other%",
+        "abort%",
+        "read-confl%",
+        "alloc-confl%",
+    ]);
+    let mut csv = String::from(
+        "bench,tx_begin_end,success,gil_held,aborted,gil_wait,io_wait,other,abort_ratio,read_conflict_share,alloc_share\n",
+    );
+    for w0 in workloads::npb_all(nthreads, scale) {
+        let r = run_workload(&w0, dynamic, &profile);
+        let sh = r.breakdown.shares_pct();
+        table.row(&[
+            w0.name.to_string(),
+            format!("{:.1}", sh[0].1),
+            format!("{:.1}", sh[1].1),
+            format!("{:.1}", sh[2].1),
+            format!("{:.1}", sh[3].1),
+            format!("{:.1}", sh[4].1),
+            format!("{:.1}", sh[5].1),
+            format!("{:.1}", sh[6].1),
+            format!("{:.1}", r.abort_ratio_pct()),
+            format!("{:.0}", r.htm.read_conflict_share_pct()),
+            format!("{:.0}", r.allocator_conflict_share_pct()),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+            w0.name,
+            sh[0].1,
+            sh[1].1,
+            sh[2].1,
+            sh[3].1,
+            sh[4].1,
+            sh[5].1,
+            sh[6].1,
+            r.abort_ratio_pct(),
+            r.htm.read_conflict_share_pct(),
+            r.allocator_conflict_share_pct()
+        ));
+    }
+    Fig8Breakdown {
+        threads: nthreads,
+        machine: profile.name,
+        csv_name: "fig8_breakdown_zec12".to_string(),
+        table,
+        csv,
+    }
+}
+
+fn rebuild(name: &str, threads: usize, scale: usize) -> Workload {
+    match name {
+        "BT" => workloads::npb::bt(threads, scale),
+        "CG" => workloads::npb::cg(threads, scale),
+        "FT" => workloads::npb::ft(threads, scale),
+        "IS" => workloads::npb::is(threads, scale),
+        "LU" => workloads::npb::lu(threads, scale),
+        "MG" => workloads::npb::mg(threads, scale),
+        "SP" => workloads::npb::sp(threads, scale),
+        other => panic!("unknown kernel {other}"),
+    }
+}

@@ -10,6 +10,7 @@
 //! `HTMGIL_QUICK=1` shrinks every sweep for smoke runs (the integration
 //! tests use it).
 
+pub mod figures;
 pub mod reporting;
 
 use std::fs;
@@ -104,9 +105,14 @@ pub fn sweep_panel(
     set.normalize_to("GIL", threads[0] as f64)
 }
 
+/// Repository root (where the `BENCH_*.json` trajectory files live).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// Where CSV results go.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("bench-results");
+    let dir = repo_root().join("bench-results");
     let _ = fs::create_dir_all(&dir);
     dir
 }

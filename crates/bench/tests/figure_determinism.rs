@@ -1,0 +1,48 @@
+//! Figure determinism: regenerating the Fig. 4 and Fig. 8 data with the
+//! current code must reproduce the committed CSVs **byte for byte**.
+//!
+//! The whole simulation is deterministic (seeded scheduling, no wall-clock
+//! or address-entropy inputs), so these files double as a high-coverage
+//! regression oracle: any behavioural change anywhere in the stack — VM,
+//! scheduler, TLE runtime, transactional memory — shifts at least one cell.
+//! The ownership-directory rewrite of `TxMemory` was required to keep them
+//! all identical.
+//!
+//! The tests are `#[ignore]`d because they re-run the full (non-quick)
+//! sweeps, which takes ~10 s in release but minutes in debug; CI runs them
+//! explicitly with `cargo test --release -p bench -- --ignored`.
+
+use std::fs;
+
+fn committed(csv_name: &str) -> String {
+    let path = bench::results_dir().join(format!("{csv_name}.csv"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+#[ignore = "full fig4 sweep (seconds in release, minutes in debug); CI runs with --ignored"]
+fn fig4_csvs_match_committed_bytes() {
+    for panel in bench::figures::fig4_panels(false) {
+        assert_eq!(
+            panel.set.to_csv(),
+            committed(&panel.csv_name),
+            "{} drifted from committed bytes",
+            panel.csv_name
+        );
+    }
+}
+
+#[test]
+#[ignore = "full fig8 sweep (seconds in release, minutes in debug); CI runs with --ignored"]
+fn fig8_csvs_match_committed_bytes() {
+    for panel in bench::figures::fig8_abort_panels(false) {
+        assert_eq!(
+            panel.set.to_csv(),
+            committed(&panel.csv_name),
+            "{} drifted from committed bytes",
+            panel.csv_name
+        );
+    }
+    let b = bench::figures::fig8_breakdown(false);
+    assert_eq!(b.csv, committed(&b.csv_name), "{} drifted from committed bytes", b.csv_name);
+}

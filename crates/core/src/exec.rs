@@ -127,6 +127,10 @@ pub struct Executor {
     pub cfg: ExecConfig,
     gil: GilState,
     tle: Vec<TleThread>,
+    /// Full (non-SMT-halved) footprint budgets, fixed by the machine
+    /// profile — computed once at boot so the per-begin path avoids the
+    /// byte→line divisions.
+    base_budgets: Budgets,
     tables: LengthTables,
     fine: FineGrainedModel,
     /// Parked threads by key.
@@ -173,6 +177,10 @@ impl Executor {
             _ => LengthPolicy::Fixed(1),
         };
         let tables = LengthTables::new(total_pcs, length_policy, cfg.tle);
+        let base_budgets = Budgets {
+            read_lines: profile.cache.read_set_lines(),
+            write_lines: profile.cache.write_set_lines(),
+        };
         let first_timer = profile.cost.timer_interval;
         let trace = if cfg.trace_capacity > 0 {
             let sink = RingBufferSink::shared(cfg.trace_capacity);
@@ -188,6 +196,7 @@ impl Executor {
             cfg,
             gil: GilState::new(first_timer),
             tle: vec![TleThread::new()],
+            base_budgets,
             tables,
             fine: FineGrainedModel::default(),
             parked: HashMap::new(),
@@ -330,14 +339,10 @@ impl Executor {
 
     /// HTM footprint budgets for `t` right now (SMT halving, §5.4).
     fn budgets(&self, t: ThreadId) -> Budgets {
-        let b = Budgets {
-            read_lines: self.profile.cache.read_set_lines(),
-            write_lines: self.profile.cache.write_set_lines(),
-        };
         if self.sched.smt_sibling_busy(t) {
-            b.halved()
+            self.base_budgets.halved()
         } else {
-            b
+            self.base_budgets
         }
     }
 

@@ -136,7 +136,9 @@ impl RunReport {
             .field("aborts", aborts)
             .field("abort_ratio_pct", self.htm.abort_ratio_pct())
             .field("read_conflict_share_pct", self.htm.read_conflict_share_pct())
-            .field("nontx_dooms", self.htm.nontx_dooms);
+            .field("nontx_dooms", self.htm.nontx_dooms)
+            .field("mem_reads", self.htm.reads)
+            .field("mem_writes", self.htm.writes);
         // Conflict attribution, in address-map order (ConflictSite: Ord).
         let mut sites: Vec<(ConflictSite, u64)> =
             self.conflict_sites.iter().map(|(&s, &n)| (s, n)).collect();

@@ -39,6 +39,7 @@
 
 pub mod abort;
 pub mod predictor;
+pub mod refimpl;
 #[cfg(feature = "rtm-hardware")]
 pub mod rtm;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod txmem;
 
 pub use abort::{AbortReason, ExplicitCode};
 pub use predictor::OverflowPredictor;
+pub use refimpl::ReferenceTxMemory;
 pub use stats::HtmStats;
 pub use trace::{RingBufferSink, TraceEvent, TraceSink};
 pub use txmem::{Budgets, TxMemory};

@@ -1,0 +1,312 @@
+//! The retained **reference implementation** of the transactional memory:
+//! the original set-based `TxMemory` with O(threads) conflict scans.
+//!
+//! [`crate::TxMemory`] now detects conflicts through a per-line ownership
+//! directory (see its module docs). This module keeps the pre-directory
+//! implementation verbatim — per-transaction `HashSet` read/write sets and
+//! a `doom_conflicting` that scans every other thread on every access — as
+//! the executable specification. It is **not** used by the simulator; its
+//! job is to sit on the other side of the differential property test
+//! (`tests/differential_txmem.rs`), which drives both implementations with
+//! identical access sequences and requires identical results, abort
+//! reasons, statistics, and trace events.
+//!
+//! Keep behavioural changes out of this file: if the semantics of the
+//! memory ever need to change, change [`crate::txmem`] first, mirror the
+//! change here in a separate commit, and let the differential test arbitrate.
+
+use std::collections::HashSet;
+
+use machine_sim::ThreadId;
+
+use crate::abort::{AbortReason, ExplicitCode};
+use crate::predictor::OverflowPredictor;
+use crate::stats::HtmStats;
+use crate::trace::{TraceEvent, TraceSink};
+use crate::txmem::Budgets;
+
+#[derive(Debug)]
+struct Tx {
+    read_lines: HashSet<usize>,
+    write_lines: HashSet<usize>,
+    /// (address, undo-arena slot) pairs, in write order.
+    undo: Vec<(usize, usize)>,
+    budgets: Budgets,
+}
+
+/// Word-addressed shared memory with best-effort transactions — reference
+/// (set-based) conflict detection. Same public surface as
+/// [`crate::TxMemory`].
+#[derive(Debug)]
+pub struct ReferenceTxMemory<W: Clone> {
+    words: Vec<W>,
+    line_words: usize,
+    txs: Vec<Option<Tx>>,
+    /// Undo payloads, one arena per thread (index-linked from `Tx::undo`).
+    undo_words: Vec<Vec<W>>,
+    doomed: Vec<Option<AbortReason>>,
+    predictors: Vec<OverflowPredictor>,
+    stats: HtmStats,
+    trace: Option<Box<dyn TraceSink>>,
+    now: u64,
+}
+
+impl<W: Clone> ReferenceTxMemory<W> {
+    /// Create a memory of `size` words, all initialized to `init`, with
+    /// cache lines of `line_words` words, supporting up to `max_threads`
+    /// hardware threads.
+    pub fn new(size: usize, line_words: usize, max_threads: usize, init: W) -> Self {
+        assert!(line_words.is_power_of_two(), "line size must be 2^k words");
+        ReferenceTxMemory {
+            words: vec![init; size],
+            line_words,
+            txs: (0..max_threads).map(|_| None).collect(),
+            undo_words: (0..max_threads).map(|_| Vec::new()).collect(),
+            doomed: vec![None; max_threads],
+            predictors: (0..max_threads).map(|_| OverflowPredictor::disabled()).collect(),
+            stats: HtmStats::default(),
+            trace: None,
+            now: 0,
+        }
+    }
+
+    /// Install a trace sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Set the simulated cycle stamped onto trace events.
+    #[inline]
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(event);
+        }
+    }
+
+    /// Install an overflow predictor for thread `t`.
+    pub fn set_predictor(&mut self, t: ThreadId, p: OverflowPredictor) {
+        self.predictors[t] = p;
+    }
+
+    /// Total words.
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Grow the memory by `extra` words initialized to `init`.
+    pub fn grow(&mut self, extra: usize, init: W) {
+        assert!(self.txs.iter().all(Option::is_none), "memory growth with active transactions");
+        let new = self.words.len() + extra;
+        self.words.resize(new, init);
+    }
+
+    /// Immutable view of the aggregate statistics.
+    pub fn stats(&self) -> &HtmStats {
+        &self.stats
+    }
+
+    /// Cache line of an address.
+    #[inline]
+    pub fn line_of(&self, addr: usize) -> usize {
+        addr / self.line_words
+    }
+
+    /// True when thread `t` has an active transaction.
+    pub fn in_tx(&self, t: ThreadId) -> bool {
+        self.txs[t].is_some()
+    }
+
+    /// Number of currently active transactions.
+    pub fn active_tx_count(&self) -> usize {
+        self.txs.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// (read lines, write lines) of `t`'s active transaction.
+    pub fn footprint(&self, t: ThreadId) -> (usize, usize) {
+        self.txs[t].as_ref().map_or((0, 0), |tx| (tx.read_lines.len(), tx.write_lines.len()))
+    }
+
+    /// Begin a transaction for thread `t` with the given budgets.
+    pub fn begin(&mut self, t: ThreadId, budgets: Budgets) -> Result<(), AbortReason> {
+        assert!(self.txs[t].is_none(), "nested transaction on thread {t}");
+        self.doomed[t] = None;
+        if self.predictors[t].should_abort_eagerly() {
+            let reason = AbortReason::EagerPredicted;
+            self.stats.begins += 1;
+            self.stats.record_abort(reason);
+            let cycle = self.now;
+            self.emit(TraceEvent::Abort { thread: t, cycle, reason, line: None });
+            return Err(reason);
+        }
+        self.stats.begins += 1;
+        self.undo_words[t].clear();
+        self.txs[t] = Some(Tx {
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            undo: Vec::new(),
+            budgets,
+        });
+        let cycle = self.now;
+        self.emit(TraceEvent::Begin { thread: t, cycle });
+        Ok(())
+    }
+
+    /// Commit thread `t`'s transaction.
+    pub fn commit(&mut self, t: ThreadId) -> Result<(), AbortReason> {
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        let tx = self.txs[t].take().expect("commit without transaction");
+        self.stats.commits += 1;
+        self.predictors[t].on_commit();
+        let cycle = self.now;
+        self.emit(TraceEvent::Commit {
+            thread: t,
+            cycle,
+            read_lines: tx.read_lines.len(),
+            write_lines: tx.write_lines.len(),
+        });
+        Ok(())
+    }
+
+    /// Explicit software abort of `t`'s own transaction.
+    pub fn tabort(&mut self, t: ThreadId, code: ExplicitCode) -> AbortReason {
+        let reason = AbortReason::Explicit(code);
+        self.abort_self(t, reason, None);
+        reason
+    }
+
+    /// Abort `t`'s transaction because of a restricted operation.
+    pub fn abort_restricted(&mut self, t: ThreadId) -> AbortReason {
+        let reason = AbortReason::Restricted;
+        self.abort_self(t, reason, None);
+        reason
+    }
+
+    /// Check whether a remote conflict doomed `t`'s transaction.
+    pub fn poll_doomed(&mut self, t: ThreadId) -> Option<AbortReason> {
+        self.take_doom(t)
+    }
+
+    /// Transactional or plain read of one word by thread `t`.
+    pub fn read(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
+        debug_assert!(addr < self.words.len(), "read out of bounds: {addr}");
+        self.stats.reads += 1;
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        let line = self.line_of(addr);
+        // Requester wins: kill remote writers of this line.
+        self.doom_conflicting(t, line, false);
+        if let Some(tx) = self.txs[t].as_mut() {
+            tx.read_lines.insert(line);
+            if tx.read_lines.len() > tx.budgets.read_lines {
+                let reason = AbortReason::ReadOverflow;
+                self.abort_self(t, reason, Some(line));
+                self.predictors[t].on_overflow();
+                return Err(reason);
+            }
+        }
+        Ok(self.words[addr].clone())
+    }
+
+    /// Transactional or plain write of one word by thread `t`.
+    pub fn write(&mut self, t: ThreadId, addr: usize, value: W) -> Result<(), AbortReason> {
+        debug_assert!(addr < self.words.len(), "write out of bounds: {addr}");
+        self.stats.writes += 1;
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        let line = self.line_of(addr);
+        // Kill remote readers *and* writers of this line.
+        self.doom_conflicting(t, line, true);
+        if let Some(tx) = self.txs[t].as_mut() {
+            let slot = self.undo_words[t].len();
+            self.undo_words[t].push(self.words[addr].clone());
+            tx.undo.push((addr, slot));
+            tx.write_lines.insert(line);
+            if tx.write_lines.len() > tx.budgets.write_lines {
+                let reason = AbortReason::WriteOverflow;
+                self.abort_self(t, reason, Some(line));
+                self.predictors[t].on_overflow();
+                return Err(reason);
+            }
+        }
+        self.words[addr] = value;
+        Ok(())
+    }
+
+    /// Read bypassing all transaction machinery.
+    pub fn peek(&self, addr: usize) -> &W {
+        &self.words[addr]
+    }
+
+    /// Write bypassing transaction machinery — initialization only.
+    pub fn poke(&mut self, addr: usize, value: W) {
+        debug_assert!(self.txs.iter().all(Option::is_none), "poke with active transactions");
+        self.words[addr] = value;
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn take_doom(&mut self, t: ThreadId) -> Option<AbortReason> {
+        self.doomed[t].take()
+    }
+
+    /// Doom every active transaction other than `t` that conflicts with an
+    /// access to `line` — the O(threads) scan the directory replaced.
+    fn doom_conflicting(&mut self, t: ThreadId, line: usize, is_write: bool) {
+        let in_tx = self.txs[t].is_some();
+        let mut doomed_any = false;
+        for victim in 0..self.txs.len() {
+            if victim == t {
+                continue;
+            }
+            let Some(tx) = self.txs[victim].as_ref() else {
+                continue;
+            };
+            let reason = if tx.write_lines.contains(&line) {
+                Some(AbortReason::ConflictWrite { with: t, line })
+            } else if is_write && tx.read_lines.contains(&line) {
+                Some(AbortReason::ConflictRead { with: t, line })
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                self.rollback(victim);
+                self.doomed[victim] = Some(reason);
+                self.stats.record_abort(reason);
+                let cycle = self.now;
+                self.emit(TraceEvent::Abort { thread: victim, cycle, reason, line: Some(line) });
+                doomed_any = true;
+            }
+        }
+        if doomed_any && !in_tx {
+            self.stats.nontx_dooms += 1;
+        }
+    }
+
+    /// Roll back and discard `t`'s transaction, recording `reason`.
+    fn abort_self(&mut self, t: ThreadId, reason: AbortReason, line: Option<usize>) {
+        self.rollback(t);
+        self.doomed[t] = None;
+        self.stats.record_abort(reason);
+        let cycle = self.now;
+        self.emit(TraceEvent::Abort { thread: t, cycle, reason, line });
+    }
+
+    /// Replay `t`'s undo log in reverse and drop the transaction.
+    fn rollback(&mut self, t: ThreadId) {
+        if let Some(tx) = self.txs[t].take() {
+            for &(addr, slot) in tx.undo.iter().rev() {
+                self.words[addr] = self.undo_words[t][slot].clone();
+            }
+            self.undo_words[t].clear();
+        }
+    }
+}

@@ -8,8 +8,14 @@
 use crate::abort::AbortReason;
 
 /// Counters of simulated HTM events for one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HtmStats {
+    /// Word reads through [`crate::TxMemory::read`], transactional and
+    /// plain alike (the denominator of the self-benchmark's words/sec).
+    pub reads: u64,
+    /// Word writes through [`crate::TxMemory::write`], transactional and
+    /// plain alike.
+    pub writes: u64,
     /// Transactions started (`TBEGIN` that returned 0).
     pub begins: u64,
     /// Transactions committed (`TEND` succeeded).
@@ -73,8 +79,15 @@ impl HtmStats {
         }
     }
 
+    /// Total word accesses (reads + writes) through the simulated memory.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
     /// Merge another stats block into this one.
     pub fn merge(&mut self, other: &HtmStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
         self.begins += other.begins;
         self.commits += other.commits;
         self.conflicts_read += other.conflicts_read;
@@ -111,14 +124,18 @@ mod tests {
 
     #[test]
     fn merge_adds_everything() {
-        let mut a = HtmStats { begins: 5, commits: 3, ..HtmStats::default() };
+        let mut a = HtmStats { begins: 5, commits: 3, reads: 10, ..HtmStats::default() };
         a.record_abort(AbortReason::Restricted);
-        let mut b = HtmStats { begins: 7, nontx_dooms: 2, ..HtmStats::default() };
+        let mut b =
+            HtmStats { begins: 7, nontx_dooms: 2, reads: 4, writes: 6, ..HtmStats::default() };
         b.record_abort(AbortReason::EagerPredicted);
         a.merge(&b);
         assert_eq!(a.begins, 12);
         assert_eq!(a.commits, 3);
         assert_eq!(a.total_aborts(), 2);
         assert_eq!(a.nontx_dooms, 2);
+        assert_eq!(a.reads, 14);
+        assert_eq!(a.writes, 6);
+        assert_eq!(a.total_accesses(), 20);
     }
 }

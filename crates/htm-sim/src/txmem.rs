@@ -1,4 +1,5 @@
-//! Word-addressed transactional memory with undo-log rollback.
+//! Word-addressed transactional memory with undo-log rollback and a
+//! **line-ownership directory** for O(1) conflict detection.
 //!
 //! All shared interpreter state (and, deliberately, the threads' private
 //! stack areas — they occupy real cache lines and therefore real HTM
@@ -12,13 +13,33 @@
 //!    access (requester wins, the policy of both zEC12 and Haswell where
 //!    the incoming coherence request kills the local transaction).
 //!
+//! Step 3 is where this module differs from the original implementation
+//! (retained verbatim as [`crate::refimpl::ReferenceTxMemory`] and held
+//! equivalent by the differential property test): instead of per-thread
+//! hash sets scanned across all threads on every access, conflicts are
+//! resolved through a flat per-line directory — for each cache line a
+//! reader bitmask and a speculative-writer id, exactly the metadata a real
+//! coherence directory keeps. One indexed load answers "who conflicts?";
+//! doomed victims are read straight out of the bitmask in ascending thread
+//! order, preserving the reference scan's victim ordering. The directory
+//! invariant mirrors MESI: a line has either any number of transactional
+//! readers and no writer, or exactly one writer (which may also be a
+//! reader) — the requester-wins dooming enforces it on every access.
+//!
+//! Per-transaction state is a pair of line *lists* (each line appended
+//! exactly once, when its directory bit first flips) whose lengths are the
+//! footprint counters, plus the undo log. All per-thread buffers are
+//! retained across transactions, so a steady-state begin → access* →
+//! commit cycle performs **zero heap allocations**. A one-entry line memo
+//! per thread short-circuits the directory for consecutive accesses to the
+//! same line — sound because requester-wins dooming means a live
+//! transaction's recorded line can have no remote conflicting owner.
+//!
 //! A doomed transaction is rolled back *immediately* (its undo log is
-//! replayed in reverse) so the requester always observes committed data,
-//! mirroring how real HTM buffers speculative stores; the victim thread
-//! learns of the abort at its next access or at an explicit
-//! [`TxMemory::poll_doomed`].
-
-use std::collections::HashSet;
+//! replayed in reverse, its directory bits cleared) so the requester always
+//! observes committed data, mirroring how real HTM buffers speculative
+//! stores; the victim thread learns of the abort at its next access or at
+//! an explicit [`TxMemory::poll_doomed`].
 
 use machine_sim::ThreadId;
 
@@ -47,30 +68,90 @@ impl Budgets {
     }
 }
 
-#[derive(Debug)]
-struct Tx {
-    read_lines: HashSet<usize>,
-    write_lines: HashSet<usize>,
-    /// (address, previous word) pairs, in write order.
-    undo: Vec<(usize, WordSlot)>,
-    budgets: Budgets,
+/// The directory's reader bitmask is a `u32`; the widest simulated machine
+/// (zEC12) has 12 hardware threads, so 32 leaves ample headroom.
+pub const MAX_THREADS: usize = 32;
+
+/// Sentinel in [`LineState::writer`]: no speculative writer.
+const NO_WRITER: u8 = u8::MAX;
+
+/// Ownership record for one cache line: which transactions currently hold
+/// it in their read set (bit per thread) and which single transaction, if
+/// any, holds it in its write set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineState {
+    readers: u32,
+    writer: u8,
 }
 
-/// Placeholder so `Tx` need not be generic; real undo entries live in the
-/// parallel `undo_words` storage of `TxMemory`. (Kept simple: the undo log
-/// stores indices into `undo_words`.)
-type WordSlot = usize;
+const EMPTY_LINE: LineState = LineState { readers: 0, writer: NO_WRITER };
+
+/// Per-thread transaction slot. The buffers are retained (cleared, not
+/// dropped) when a transaction ends, so repeated transactions on a thread
+/// reuse their capacity and steady-state `begin` allocates nothing.
+#[derive(Debug)]
+struct TxSlot {
+    active: bool,
+    budgets: Budgets,
+    /// Lines in the read set, in first-touch order; no duplicates (a line
+    /// is appended exactly when its directory reader bit flips on).
+    read_lines: Vec<usize>,
+    /// Lines in the write set, in first-touch order; no duplicates.
+    write_lines: Vec<usize>,
+    /// (address, undo-arena slot) pairs, in write order.
+    undo: Vec<(usize, usize)>,
+}
+
+impl TxSlot {
+    fn new() -> Self {
+        TxSlot {
+            active: false,
+            budgets: Budgets { read_lines: 0, write_lines: 0 },
+            read_lines: Vec::new(),
+            write_lines: Vec::new(),
+            undo: Vec::new(),
+        }
+    }
+}
+
+/// One-entry cache of the last line a thread touched transactionally.
+/// Valid only while the thread's transaction is live (invalidated at
+/// begin, commit, and rollback); a hit proves set membership without a
+/// directory probe.
+#[derive(Debug, Clone, Copy)]
+struct LineMemo {
+    line: usize,
+    in_read: bool,
+    in_write: bool,
+}
+
+impl LineMemo {
+    const INVALID: LineMemo = LineMemo { line: usize::MAX, in_read: false, in_write: false };
+}
 
 /// Word-addressed shared memory with best-effort transactions.
 #[derive(Debug)]
 pub struct TxMemory<W: Clone> {
     words: Vec<W>,
     line_words: usize,
-    txs: Vec<Option<Tx>>,
-    /// Undo payloads, one arena per thread (index-linked from `Tx::undo`).
+    /// `log2(line_words)` — `line_of` is a shift.
+    line_shift: u32,
+    /// One ownership record per cache line, indexed by line number.
+    dir: Vec<LineState>,
+    txs: Vec<TxSlot>,
+    memos: Vec<LineMemo>,
+    /// Undo payloads, one arena per thread (index-linked from
+    /// `TxSlot::undo`).
     undo_words: Vec<Vec<W>>,
     doomed: Vec<Option<AbortReason>>,
     predictors: Vec<OverflowPredictor>,
+    /// Number of `active` transaction slots; lets the common
+    /// no-transactions case skip all conflict machinery.
+    active_txs: usize,
+    /// Number of `Some` entries in `doomed`. A doomed thread has no active
+    /// transaction but must still receive its abort on the next access, so
+    /// the fast path requires this to be zero too.
+    pending_dooms: usize,
     stats: HtmStats,
     /// Structured event trace; `None` (the default) means tracing is off
     /// and event sites cost only this discriminant test.
@@ -85,13 +166,22 @@ impl<W: Clone> TxMemory<W> {
     /// hardware threads.
     pub fn new(size: usize, line_words: usize, max_threads: usize, init: W) -> Self {
         assert!(line_words.is_power_of_two(), "line size must be 2^k words");
+        assert!(
+            max_threads <= MAX_THREADS,
+            "ownership directory tracks at most {MAX_THREADS} threads"
+        );
         TxMemory {
             words: vec![init; size],
             line_words,
-            txs: (0..max_threads).map(|_| None).collect(),
+            line_shift: line_words.trailing_zeros(),
+            dir: vec![EMPTY_LINE; size.div_ceil(line_words)],
+            txs: (0..max_threads).map(|_| TxSlot::new()).collect(),
+            memos: vec![LineMemo::INVALID; max_threads],
             undo_words: (0..max_threads).map(|_| Vec::new()).collect(),
             doomed: vec![None; max_threads],
             predictors: (0..max_threads).map(|_| OverflowPredictor::disabled()).collect(),
+            active_txs: 0,
+            pending_dooms: 0,
             stats: HtmStats::default(),
             trace: None,
             now: 0,
@@ -149,9 +239,10 @@ impl<W: Clone> TxMemory<W> {
     /// system growth happens under the GIL after every transaction was
     /// doomed by the GIL-word write.
     pub fn grow(&mut self, extra: usize, init: W) {
-        assert!(self.txs.iter().all(Option::is_none), "memory growth with active transactions");
+        assert!(self.active_txs == 0, "memory growth with active transactions");
         let new = self.words.len() + extra;
         self.words.resize(new, init);
+        self.dir.resize(new.div_ceil(self.line_words), EMPTY_LINE);
     }
 
     /// Immutable view of the aggregate statistics.
@@ -162,30 +253,35 @@ impl<W: Clone> TxMemory<W> {
     /// Cache line of an address.
     #[inline]
     pub fn line_of(&self, addr: usize) -> usize {
-        addr / self.line_words
+        addr >> self.line_shift
     }
 
     /// True when thread `t` has an active transaction.
     pub fn in_tx(&self, t: ThreadId) -> bool {
-        self.txs[t].is_some()
+        self.txs[t].active
     }
 
     /// Number of currently active transactions.
     pub fn active_tx_count(&self) -> usize {
-        self.txs.iter().filter(|t| t.is_some()).count()
+        self.active_txs
     }
 
     /// (read lines, write lines) of `t`'s active transaction.
     pub fn footprint(&self, t: ThreadId) -> (usize, usize) {
-        self.txs[t].as_ref().map_or((0, 0), |tx| (tx.read_lines.len(), tx.write_lines.len()))
+        let tx = &self.txs[t];
+        if tx.active {
+            (tx.read_lines.len(), tx.write_lines.len())
+        } else {
+            (0, 0)
+        }
     }
 
     /// Begin a transaction for thread `t` with the given budgets
     /// (`TBEGIN`/`XBEGIN`). Fails immediately when the learning predictor
     /// kills it ([`AbortReason::EagerPredicted`]).
     pub fn begin(&mut self, t: ThreadId, budgets: Budgets) -> Result<(), AbortReason> {
-        assert!(self.txs[t].is_none(), "nested transaction on thread {t}");
-        self.doomed[t] = None;
+        assert!(!self.txs[t].active, "nested transaction on thread {t}");
+        let _ = self.take_doom(t);
         if self.predictors[t].should_abort_eagerly() {
             let reason = AbortReason::EagerPredicted;
             self.stats.begins += 1;
@@ -196,12 +292,15 @@ impl<W: Clone> TxMemory<W> {
         }
         self.stats.begins += 1;
         self.undo_words[t].clear();
-        self.txs[t] = Some(Tx {
-            read_lines: HashSet::new(),
-            write_lines: HashSet::new(),
-            undo: Vec::new(),
-            budgets,
-        });
+        let tx = &mut self.txs[t];
+        debug_assert!(
+            tx.read_lines.is_empty() && tx.write_lines.is_empty() && tx.undo.is_empty(),
+            "transaction buffers not cleared at release"
+        );
+        tx.active = true;
+        tx.budgets = budgets;
+        self.memos[t] = LineMemo::INVALID;
+        self.active_txs += 1;
         let cycle = self.now;
         self.emit(TraceEvent::Begin { thread: t, cycle });
         Ok(())
@@ -213,16 +312,14 @@ impl<W: Clone> TxMemory<W> {
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
         }
-        let tx = self.txs[t].take().expect("commit without transaction");
+        assert!(self.txs[t].active, "commit without transaction");
+        let read_lines = self.txs[t].read_lines.len();
+        let write_lines = self.txs[t].write_lines.len();
+        self.release_tx(t);
         self.stats.commits += 1;
         self.predictors[t].on_commit();
         let cycle = self.now;
-        self.emit(TraceEvent::Commit {
-            thread: t,
-            cycle,
-            read_lines: tx.read_lines.len(),
-            write_lines: tx.write_lines.len(),
-        });
+        self.emit(TraceEvent::Commit { thread: t, cycle, read_lines, write_lines });
         Ok(())
     }
 
@@ -256,20 +353,45 @@ impl<W: Clone> TxMemory<W> {
     /// read request would abort them).
     pub fn read(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
         debug_assert!(addr < self.words.len(), "read out of bounds: {addr}");
+        self.stats.reads += 1;
+        if self.active_txs == 0 && self.pending_dooms == 0 {
+            // Non-transactional fast path: nothing to doom, nothing doomed.
+            return Ok(self.words[addr].clone());
+        }
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
         }
-        let line = self.line_of(addr);
-        // Requester wins: kill remote writers of this line.
-        self.doom_conflicting(t, line, false);
-        if let Some(tx) = self.txs[t].as_mut() {
-            tx.read_lines.insert(line);
-            if tx.read_lines.len() > tx.budgets.read_lines {
-                let reason = AbortReason::ReadOverflow;
-                self.abort_self(t, reason, Some(line));
-                self.predictors[t].on_overflow();
-                return Err(reason);
+        let line = addr >> self.line_shift;
+        let memo = self.memos[t];
+        if memo.line == line && memo.in_read {
+            // Line already in our read set ⇒ no remote writer can exist
+            // (its write would have doomed us), and the footprint cannot
+            // grow — skip the directory entirely.
+            return Ok(self.words[addr].clone());
+        }
+        // Requester wins: kill a remote writer of this line.
+        let st = self.dir[line];
+        if st.writer != NO_WRITER && st.writer as usize != t {
+            let in_tx = self.txs[t].active;
+            self.doom(st.writer as usize, AbortReason::ConflictWrite { with: t, line }, line);
+            if !in_tx {
+                self.stats.nontx_dooms += 1;
             }
+        }
+        if self.txs[t].active {
+            let bit = 1u32 << t;
+            if self.dir[line].readers & bit == 0 {
+                self.dir[line].readers |= bit;
+                self.txs[t].read_lines.push(line);
+                if self.txs[t].read_lines.len() > self.txs[t].budgets.read_lines {
+                    let reason = AbortReason::ReadOverflow;
+                    self.abort_self(t, reason, Some(line));
+                    self.predictors[t].on_overflow();
+                    return Err(reason);
+                }
+            }
+            self.memos[t] =
+                LineMemo { line, in_read: true, in_write: self.dir[line].writer as usize == t };
         }
         Ok(self.words[addr].clone())
     }
@@ -277,23 +399,67 @@ impl<W: Clone> TxMemory<W> {
     /// Transactional or plain write of one word by thread `t`.
     pub fn write(&mut self, t: ThreadId, addr: usize, value: W) -> Result<(), AbortReason> {
         debug_assert!(addr < self.words.len(), "write out of bounds: {addr}");
+        self.stats.writes += 1;
+        if self.active_txs == 0 && self.pending_dooms == 0 {
+            // Non-transactional fast path: nothing to doom, nothing doomed.
+            self.words[addr] = value;
+            return Ok(());
+        }
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
         }
-        let line = self.line_of(addr);
-        // Kill remote readers *and* writers of this line.
-        self.doom_conflicting(t, line, true);
-        if let Some(tx) = self.txs[t].as_mut() {
+        let line = addr >> self.line_shift;
+        let memo = self.memos[t];
+        if memo.line == line && memo.in_write {
+            // Line already in our write set ⇒ we are the sole owner; only
+            // the undo log needs to grow.
             let slot = self.undo_words[t].len();
             self.undo_words[t].push(self.words[addr].clone());
-            tx.undo.push((addr, slot));
-            tx.write_lines.insert(line);
-            if tx.write_lines.len() > tx.budgets.write_lines {
-                let reason = AbortReason::WriteOverflow;
-                self.abort_self(t, reason, Some(line));
-                self.predictors[t].on_overflow();
-                return Err(reason);
+            self.txs[t].undo.push((addr, slot));
+            self.words[addr] = value;
+            return Ok(());
+        }
+        // Kill remote readers *and* the remote writer of this line, in
+        // ascending thread order like the reference scan.
+        let st = self.dir[line];
+        let own = 1u32 << t;
+        let mut victims = st.readers;
+        if st.writer != NO_WRITER {
+            victims |= 1u32 << st.writer;
+        }
+        victims &= !own;
+        if victims != 0 {
+            let in_tx = self.txs[t].active;
+            while victims != 0 {
+                let v = victims.trailing_zeros() as usize;
+                victims &= victims - 1;
+                let reason = if st.writer as usize == v {
+                    AbortReason::ConflictWrite { with: t, line }
+                } else {
+                    AbortReason::ConflictRead { with: t, line }
+                };
+                self.doom(v, reason, line);
             }
+            if !in_tx {
+                self.stats.nontx_dooms += 1;
+            }
+        }
+        if self.txs[t].active {
+            let slot = self.undo_words[t].len();
+            self.undo_words[t].push(self.words[addr].clone());
+            self.txs[t].undo.push((addr, slot));
+            if self.dir[line].writer as usize != t {
+                self.dir[line].writer = t as u8;
+                self.txs[t].write_lines.push(line);
+                if self.txs[t].write_lines.len() > self.txs[t].budgets.write_lines {
+                    let reason = AbortReason::WriteOverflow;
+                    self.abort_self(t, reason, Some(line));
+                    self.predictors[t].on_overflow();
+                    return Err(reason);
+                }
+            }
+            self.memos[t] =
+                LineMemo { line, in_read: self.dir[line].readers & own != 0, in_write: true };
         }
         self.words[addr] = value;
         Ok(())
@@ -308,49 +474,31 @@ impl<W: Clone> TxMemory<W> {
 
     /// Write bypassing transaction machinery — initialization only.
     pub fn poke(&mut self, addr: usize, value: W) {
-        debug_assert!(self.txs.iter().all(Option::is_none), "poke with active transactions");
+        debug_assert!(self.active_txs == 0, "poke with active transactions");
         self.words[addr] = value;
     }
 
     // ---- internals ------------------------------------------------------
 
     fn take_doom(&mut self, t: ThreadId) -> Option<AbortReason> {
-        self.doomed[t].take()
+        let reason = self.doomed[t].take();
+        if reason.is_some() {
+            self.pending_dooms -= 1;
+        }
+        reason
     }
 
-    /// Doom every active transaction other than `t` that conflicts with an
-    /// access to `line`. A read (`is_write == false`) conflicts only with
-    /// remote write sets; a write conflicts with remote read and write
-    /// sets.
-    fn doom_conflicting(&mut self, t: ThreadId, line: usize, is_write: bool) {
-        let in_tx = self.txs[t].is_some();
-        let mut doomed_any = false;
-        for victim in 0..self.txs.len() {
-            if victim == t {
-                continue;
-            }
-            let Some(tx) = self.txs[victim].as_ref() else {
-                continue;
-            };
-            let reason = if tx.write_lines.contains(&line) {
-                Some(AbortReason::ConflictWrite { with: t, line })
-            } else if is_write && tx.read_lines.contains(&line) {
-                Some(AbortReason::ConflictRead { with: t, line })
-            } else {
-                None
-            };
-            if let Some(reason) = reason {
-                self.rollback(victim);
-                self.doomed[victim] = Some(reason);
-                self.stats.record_abort(reason);
-                let cycle = self.now;
-                self.emit(TraceEvent::Abort { thread: victim, cycle, reason, line: Some(line) });
-                doomed_any = true;
-            }
-        }
-        if doomed_any && !in_tx {
-            self.stats.nontx_dooms += 1;
-        }
+    /// Doom `victim`'s active transaction on behalf of an access to
+    /// `line`: roll it back eagerly and park the abort reason for the
+    /// victim's next access or poll.
+    fn doom(&mut self, victim: ThreadId, reason: AbortReason, line: usize) {
+        self.rollback(victim);
+        debug_assert!(self.doomed[victim].is_none(), "victim already doomed");
+        self.doomed[victim] = Some(reason);
+        self.pending_dooms += 1;
+        self.stats.record_abort(reason);
+        let cycle = self.now;
+        self.emit(TraceEvent::Abort { thread: victim, cycle, reason, line: Some(line) });
     }
 
     /// Roll back and discard `t`'s transaction, recording `reason`.
@@ -358,7 +506,7 @@ impl<W: Clone> TxMemory<W> {
     /// (footprint overflows pass the line that burst the budget).
     fn abort_self(&mut self, t: ThreadId, reason: AbortReason, line: Option<usize>) {
         self.rollback(t);
-        self.doomed[t] = None;
+        let _ = self.take_doom(t);
         self.stats.record_abort(reason);
         let cycle = self.now;
         self.emit(TraceEvent::Abort { thread: t, cycle, reason, line });
@@ -366,12 +514,40 @@ impl<W: Clone> TxMemory<W> {
 
     /// Replay `t`'s undo log in reverse and drop the transaction.
     fn rollback(&mut self, t: ThreadId) {
-        if let Some(tx) = self.txs[t].take() {
-            for &(addr, slot) in tx.undo.iter().rev() {
-                self.words[addr] = self.undo_words[t][slot].clone();
-            }
-            self.undo_words[t].clear();
+        if !self.txs[t].active {
+            return;
         }
+        let undo = std::mem::take(&mut self.txs[t].undo);
+        for &(addr, slot) in undo.iter().rev() {
+            self.words[addr] = self.undo_words[t][slot].clone();
+        }
+        self.txs[t].undo = undo;
+        self.release_tx(t);
+    }
+
+    /// Deactivate `t`'s transaction: clear its directory ownership and
+    /// reset its buffers *keeping their capacity* for the next begin.
+    fn release_tx(&mut self, t: ThreadId) {
+        debug_assert!(self.txs[t].active, "release without transaction");
+        self.txs[t].active = false;
+        let keep = !(1u32 << t);
+        let mut read_lines = std::mem::take(&mut self.txs[t].read_lines);
+        for &line in &read_lines {
+            self.dir[line].readers &= keep;
+        }
+        read_lines.clear();
+        self.txs[t].read_lines = read_lines;
+        let mut write_lines = std::mem::take(&mut self.txs[t].write_lines);
+        for &line in &write_lines {
+            debug_assert_eq!(self.dir[line].writer as usize, t, "foreign writer in write set");
+            self.dir[line].writer = NO_WRITER;
+        }
+        write_lines.clear();
+        self.txs[t].write_lines = write_lines;
+        self.txs[t].undo.clear();
+        self.undo_words[t].clear();
+        self.memos[t] = LineMemo::INVALID;
+        self.active_txs -= 1;
     }
 }
 
@@ -658,5 +834,108 @@ mod tests {
         assert_eq!(r, AbortReason::Restricted);
         assert!(r.is_persistent());
         assert_eq!(*m.peek(3), 30);
+    }
+
+    #[test]
+    fn pending_doom_survives_quiescent_memory() {
+        // After thread 1's non-transactional write dooms thread 0 there are
+        // zero active transactions, but thread 0's abort is still pending —
+        // the fast path must not swallow it.
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 50, 1).unwrap();
+        m.write(1, 50, 2).unwrap(); // dooms 0; no active transactions left
+        assert_eq!(m.active_tx_count(), 0);
+        let err = m.read(0, 60).unwrap_err();
+        assert!(err.is_conflict());
+        assert_eq!(m.stats().nontx_dooms, 1);
+    }
+
+    #[test]
+    fn plain_accesses_take_fast_path_with_full_stats() {
+        // With no transactions anywhere, reads and writes are plain stores
+        // but the access counters still advance and no abort machinery
+        // fires.
+        let mut m = mem();
+        for i in 0..10 {
+            m.write(0, i, i as u64).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(m.read(1, i).unwrap(), i as u64);
+        }
+        let s = m.stats();
+        assert_eq!((s.reads, s.writes), (10, 10));
+        assert_eq!(s.begins, 0);
+        assert_eq!(s.total_aborts(), 0);
+        assert_eq!(s.nontx_dooms, 0);
+    }
+
+    #[test]
+    fn commit_trace_counts_come_from_footprint_counters() {
+        use crate::trace::RingBufferSink;
+        use std::sync::Arc;
+
+        // Read lines 0,1,2; write lines 1,4 (line 1 in both sets). The
+        // Commit event must carry the line-list lengths, deduplicated.
+        let mut m = mem();
+        let shared = RingBufferSink::shared(8);
+        m.set_trace_sink(Box::new(Arc::clone(&shared)));
+        m.begin(0, big_budgets()).unwrap();
+        let _ = m.read(0, 0).unwrap();
+        let _ = m.read(0, 8).unwrap();
+        let _ = m.read(0, 16).unwrap();
+        m.write(0, 9, 1).unwrap(); // line 1, already read
+        m.write(0, 33, 2).unwrap(); // line 4
+        m.write(0, 10, 3).unwrap(); // line 1 again: no growth
+        assert_eq!(m.footprint(0), (3, 2));
+        m.commit(0).unwrap();
+        let events = shared.lock().unwrap().drain();
+        assert_eq!(
+            events.last(),
+            Some(&TraceEvent::Commit { thread: 0, cycle: 0, read_lines: 3, write_lines: 2 })
+        );
+    }
+
+    #[test]
+    fn doomed_victim_memo_is_invalidated() {
+        // Thread 0 caches line 6 in its memo, gets doomed by thread 1, then
+        // starts a fresh transaction: the stale memo must not let it skip
+        // re-recording the line.
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        let _ = m.read(0, 48).unwrap();
+        let _ = m.read(0, 49).unwrap(); // memo hit on line 6
+        m.begin(1, big_budgets()).unwrap();
+        m.write(1, 48, 9).unwrap(); // dooms 0
+        assert!(m.poll_doomed(0).is_some());
+        m.begin(0, big_budgets()).unwrap();
+        let _ = m.read(0, 48).unwrap();
+        assert_eq!(m.footprint(0), (1, 0), "line re-recorded after re-begin");
+        // That read hit thread 1's speculative write of line 6, so
+        // requester-wins must have doomed 1 in turn.
+        assert!(matches!(m.poll_doomed(1), Some(AbortReason::ConflictWrite { with: 0, .. })));
+    }
+
+    #[test]
+    fn buffers_are_retained_across_transactions() {
+        // Steady-state transactions reuse their line-list and undo-log
+        // capacity; this just exercises many begin/access/commit cycles to
+        // shake out release bookkeeping (directory bits must all clear).
+        let mut m = mem();
+        for round in 0..50u64 {
+            m.begin(0, big_budgets()).unwrap();
+            for i in 0..32 {
+                let _ = m.read(0, i * 8).unwrap();
+                m.write(0, i * 8, round).unwrap();
+            }
+            assert_eq!(m.footprint(0), (32, 32));
+            m.commit(0).unwrap();
+        }
+        assert_eq!(m.stats().commits, 50);
+        // After the last commit another thread can write every line freely.
+        for i in 0..32 {
+            m.write(1, i * 8, 0).unwrap();
+        }
+        assert_eq!(m.stats().total_aborts(), 0);
     }
 }

@@ -32,6 +32,14 @@ impl CacheGeometry {
         self.line_bytes / crate::WORD_BYTES
     }
 
+    /// `log2(line_words())` — all profile line sizes are powers of two, so
+    /// address→line is a shift by this amount (as in the memory's
+    /// ownership directory).
+    pub fn line_shift(&self) -> u32 {
+        debug_assert!(self.line_words().is_power_of_two());
+        self.line_words().trailing_zeros()
+    }
+
     /// Read-set budget expressed in whole cache lines.
     pub fn read_set_lines(&self) -> usize {
         self.read_set_bytes / self.line_bytes
@@ -289,8 +297,10 @@ mod tests {
     fn line_arithmetic() {
         let g = CacheGeometry { line_bytes: 64, read_set_bytes: 1024, write_set_bytes: 256 };
         assert_eq!(g.line_words(), 8);
+        assert_eq!(g.line_shift(), 3);
         assert_eq!(g.read_set_lines(), 16);
         assert_eq!(g.write_set_lines(), 4);
+        assert_eq!(MachineProfile::zec12().cache.line_shift(), 5); // 256 B / 8 B words
     }
 
     #[test]

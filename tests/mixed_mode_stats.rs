@@ -1,0 +1,54 @@
+//! Regression guard for the non-transactional fast path in `TxMemory`.
+//!
+//! When no transaction is active and no doom is pending, reads and writes
+//! skip all conflict machinery. A GIL/HTM mixed run — HTM-dynamic with its
+//! GIL fallback — constantly crosses that boundary: GIL holders access
+//! memory plainly, transactions come and go, and non-transactional writes
+//! to the GIL word doom subscribed transactions. These tests pin that the
+//! fast path changes no observable statistic: dooms from non-transactional
+//! accesses are still delivered and counted, access totals still advance,
+//! and the whole report is bit-for-bit reproducible.
+
+use htm_gil_core::{ExecConfig, Executor, LengthPolicy, RunReport, RuntimeMode};
+use machine_sim::MachineProfile;
+use ruby_vm::VmConfig;
+
+fn run_cg(mode: RuntimeMode) -> RunReport {
+    let profile = MachineProfile::zec12();
+    let cfg = ExecConfig::new(mode, &profile);
+    let w = workloads::npb::cg(4, 1);
+    let vm = VmConfig { max_threads: 6, ..VmConfig::default() };
+    let mut ex = Executor::new(&w.source, vm, profile, cfg).expect("boot");
+    ex.run().expect("run")
+}
+
+#[test]
+fn mixed_gil_htm_run_exercises_both_paths_with_stable_stats() {
+    let r = run_cg(RuntimeMode::Htm { length: LengthPolicy::Dynamic });
+    // The run mixes transactional and plain execution...
+    assert!(r.htm.commits > 0, "no transactions committed");
+    assert!(r.gil_acquisitions > 0, "no GIL fallback occurred");
+    // ...and non-transactional accesses (GIL word writes by fallback
+    // holders) doomed live transactions, which the fast path must not
+    // swallow.
+    assert!(r.htm.nontx_dooms > 0, "no non-transactional dooms observed");
+    assert!(r.htm.reads > 0 && r.htm.writes > 0, "access counters must advance");
+    // An identical rerun must produce identical statistics: the fast path
+    // is a shortcut, not a behaviour change.
+    let r2 = run_cg(RuntimeMode::Htm { length: LengthPolicy::Dynamic });
+    assert_eq!(r.htm, r2.htm, "HTM statistics must be reproducible");
+    assert_eq!(r.elapsed_cycles, r2.elapsed_cycles);
+    assert_eq!(r.stdout, r2.stdout);
+}
+
+#[test]
+fn pure_gil_run_never_dooms() {
+    // Under the plain GIL every access takes the fast path (no
+    // transactions ever begin); the conflict counters must stay zero while
+    // the access counters still advance.
+    let r = run_cg(RuntimeMode::Gil);
+    assert_eq!(r.htm.begins, 0);
+    assert_eq!(r.htm.total_aborts(), 0);
+    assert_eq!(r.htm.nontx_dooms, 0);
+    assert!(r.htm.reads > 0 && r.htm.writes > 0);
+}
