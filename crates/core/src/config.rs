@@ -87,6 +87,44 @@ impl TleConstants {
     }
 }
 
+/// Livelock/starvation watchdog tuning (forward-progress guarantee #1).
+///
+/// The Fig. 1 retry budgets already bound each *attempt sequence*, but a
+/// thread can still burn `tbegin + abort_penalty` over and over when every
+/// transaction it starts dies (e.g. under heavy fault injection). The
+/// watchdog counts consecutive aborted transactions *across* attempt
+/// sequences and, past the threshold, escalates: the thread skips
+/// speculation entirely for a cooldown of GIL tenures, doubling the
+/// cooldown on every consecutive escalation so 100 % abort rates converge
+/// to plain GIL throughput instead of paying per-attempt HTM overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConstants {
+    /// Consecutive aborts (no commit in between) before escalating;
+    /// 0 disables the watchdog.
+    pub escalation_threshold: u32,
+    /// GIL tenures per escalation before speculation is retried.
+    pub cooldown_base: u32,
+    /// Cap on the exponentially-backed-off cooldown.
+    pub cooldown_max: u32,
+}
+
+impl WatchdogConstants {
+    /// Watchdog off — the seed repo's exact behaviour.
+    pub fn disabled() -> Self {
+        WatchdogConstants { escalation_threshold: 0, cooldown_base: 0, cooldown_max: 0 }
+    }
+
+    /// Defaults used by the chaos suite: escalate after 12 consecutive
+    /// aborts, start with 8 GIL tenures, back off up to 512.
+    pub fn enabled() -> Self {
+        WatchdogConstants { escalation_threshold: 12, cooldown_base: 8, cooldown_max: 512 }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.escalation_threshold > 0
+    }
+}
+
 /// Full executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -107,6 +145,25 @@ pub struct ExecConfig {
     /// and event sites in the HTM simulator reduce to a discriminant
     /// test.
     pub trace_capacity: usize,
+    /// Fault-injection plan installed into the transactional memory at
+    /// boot (`None` — the default — injects nothing and leaves the memory
+    /// fast paths untouched).
+    pub fault_plan: Option<htm_sim::FaultPlan>,
+    /// Interval of the §5.6 timer-interrupt model in per-thread simulated
+    /// cycles: each thread's in-flight transaction is spuriously aborted
+    /// every `interrupt_interval` cycles of its own clock. 0 (the
+    /// default) disables the model.
+    pub interrupt_interval: u64,
+    /// Livelock watchdog; disabled by default (seed-identical behaviour).
+    pub watchdog: WatchdogConstants,
+    /// Run-level forward-progress invariant: fail the run with
+    /// [`crate::RunError::NoProgress`] when this many consecutive
+    /// scheduler steps retire without a single committed instruction.
+    /// 0 disables the check. The default bound is far beyond anything a
+    /// healthy run approaches (the longest transactions escrow a few
+    /// hundred instructions; the GIL timer forces handoffs every ~10⁵
+    /// cycles), so it only trips on genuine livelock.
+    pub progress_bound_steps: u64,
 }
 
 impl ExecConfig {
@@ -119,6 +176,10 @@ impl ExecConfig {
             max_cycles: 0,
             seed: 0xA5A5_5A5A,
             trace_capacity: 0,
+            fault_plan: None,
+            interrupt_interval: 0,
+            watchdog: WatchdogConstants::disabled(),
+            progress_bound_steps: 5_000_000,
         }
     }
 
@@ -156,6 +217,17 @@ mod tests {
         assert!((z.attenuation_rate - 0.75).abs() < 1e-12);
         let x = TleConstants::for_profile(&MachineProfile::xeon_e3_1275_v3());
         assert_eq!(x.adjustment_threshold, 18);
+    }
+
+    #[test]
+    fn robustness_knobs_default_to_seed_behaviour() {
+        let p = MachineProfile::generic(2);
+        let cfg = ExecConfig::new(RuntimeMode::Gil, &p);
+        assert!(cfg.fault_plan.is_none(), "no injection unless asked");
+        assert_eq!(cfg.interrupt_interval, 0, "interrupt model off by default");
+        assert!(!cfg.watchdog.is_enabled(), "watchdog off by default");
+        assert!(cfg.progress_bound_steps > 0, "progress invariant on by default");
+        assert!(WatchdogConstants::enabled().is_enabled());
     }
 
     #[test]

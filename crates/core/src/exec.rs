@@ -19,8 +19,8 @@ use std::sync::{Arc, Mutex};
 
 use htm_sim::abort::abort_codes;
 use htm_sim::trace::{RingBufferSink, TraceEvent};
-use htm_sim::{AbortReason, Budgets, OverflowPredictor};
-use machine_sim::{Cycles, MachineProfile, Scheduler, ThreadId};
+use htm_sim::{AbortReason, Budgets, OverflowPredictor, SpuriousCause};
+use machine_sim::{Cycles, InterruptTimer, MachineProfile, Scheduler, ThreadId};
 use ruby_vm::bytecode::InsnKind;
 use ruby_vm::{BlockOn, StepOk, Vm, VmAbort, VmConfig, Word};
 
@@ -37,6 +37,13 @@ pub enum RunError {
     Vm(String),
     Deadlock(String),
     CycleLimit(u64),
+    /// Forward-progress invariant violation: the scheduler kept running
+    /// threads, but no instruction committed for `steps` consecutive
+    /// scheduling steps — a livelock the retry machinery failed to break.
+    NoProgress {
+        steps: u64,
+        dump: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -46,6 +53,9 @@ impl std::fmt::Display for RunError {
             RunError::Vm(m) => write!(f, "vm error: {m}"),
             RunError::Deadlock(m) => write!(f, "deadlock: {m}"),
             RunError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+            RunError::NoProgress { steps, dump } => {
+                write!(f, "no committed instruction in {steps} scheduler steps (livelock)\n{dump}")
+            }
         }
     }
 }
@@ -87,6 +97,16 @@ struct TleThread {
     /// sequence (Fig. 1's `goto transaction_retry`): keep the retry
     /// counters and do not re-run `set_transaction_length`.
     retrying: bool,
+    /// Aborted transactions since this thread's last commit, *across*
+    /// attempt sequences (the Fig. 1 budgets reset per sequence; this
+    /// counter does not). Feeds the livelock watchdog.
+    consecutive_aborts: u32,
+    /// Remaining forced-GIL tenures before speculation is retried
+    /// (watchdog escalation in effect while > 0).
+    cooldown: u32,
+    /// Cooldown length for the *next* escalation — doubled on each
+    /// escalation, reset to `cooldown_base` by a commit.
+    backoff: u32,
 }
 
 impl TleThread {
@@ -101,6 +121,9 @@ impl TleThread {
             want_gil: false,
             fresh: false,
             retrying: false,
+            consecutive_aborts: 0,
+            cooldown: 0,
+            backoff: 0,
         }
     }
 
@@ -142,6 +165,14 @@ pub struct Executor {
     conflict_sites: HashMap<ConflictSite, u64>,
     /// Allocation count at the previous step (per-step delta source).
     last_allocs: u64,
+    /// §5.6 timer-interrupt model (disabled unless the config arms it).
+    interrupts: InterruptTimer,
+    /// Watchdog escalations performed (report statistic).
+    watchdog_escalations: u64,
+    /// `committed_insns` at the last scheduler step that made progress.
+    progress_watermark: u64,
+    /// Scheduler steps since `committed_insns` last advanced.
+    stalled_steps: u64,
     /// Shared handle on the trace ring buffer when
     /// `ExecConfig::trace_capacity > 0`; the other clone lives inside the
     /// transactional memory as its sink.
@@ -189,6 +220,10 @@ impl Executor {
         } else {
             None
         };
+        if let Some(plan) = cfg.fault_plan {
+            vm.mem.set_fault_plan(plan);
+        }
+        let interrupts = InterruptTimer::new(cfg.interrupt_interval);
         Ok(Executor {
             vm,
             sched,
@@ -205,6 +240,10 @@ impl Executor {
             breakdown: CycleBreakdown::default(),
             conflict_sites: HashMap::new(),
             last_allocs: 0,
+            interrupts,
+            watchdog_escalations: 0,
+            progress_watermark: 0,
+            stalled_steps: 0,
             trace,
         })
     }
@@ -244,9 +283,26 @@ impl Executor {
                     self.gil.next_timer += self.profile.cost.timer_interval;
                     if let Some(h) = self.gil.holder {
                         let flag = self.vm.layout.thread_struct(h) + ruby_vm::layout::ts::INTERRUPT;
-                        self.vm.mem.write(h, flag, Word::Int(1)).expect("timer flag write");
+                        self.vm.mem.write(h, flag, Word::Int(1)).map_err(|r| {
+                            RunError::Vm(format!("timer flag write aborted unexpectedly: {r:?}"))
+                        })?;
                     }
                 }
+            }
+            // §5.6 interrupt model: a timer interrupt on `t`'s hardware
+            // thread kills its in-flight transaction before it runs.
+            if self.interrupts.is_enabled()
+                && self.interrupts.due(t, self.sched.clock(t))
+                && self.tle.get(t).is_some_and(|x| x.tx.is_some())
+            {
+                // A remote doom may already have rolled the transaction
+                // back; consume it as the abort reason in that case.
+                let reason = match self.vm.mem.poll_doomed(t) {
+                    Some(r) => r,
+                    None => self.vm.mem.abort_spurious(t, SpuriousCause::TimerInterrupt),
+                };
+                self.on_tx_abort(t, reason)?;
+                continue;
             }
             match self.cfg.mode {
                 RuntimeMode::Gil => self.step_gil(t)?,
@@ -255,6 +311,22 @@ impl Executor {
             }
             // Wakes produced by the VM (mutex unlock, barrier release).
             self.drain_wakes(t);
+            // Forward-progress invariant: the retry/watchdog machinery
+            // must keep instructions committing; a long stall is livelock.
+            if self.cfg.progress_bound_steps != 0 {
+                if self.committed_insns != self.progress_watermark {
+                    self.progress_watermark = self.committed_insns;
+                    self.stalled_steps = 0;
+                } else {
+                    self.stalled_steps += 1;
+                    if self.stalled_steps >= self.cfg.progress_bound_steps {
+                        return Err(RunError::NoProgress {
+                            steps: self.stalled_steps,
+                            dump: self.deadlock_dump(),
+                        });
+                    }
+                }
+            }
         }
         Ok(self.report())
     }
@@ -310,6 +382,7 @@ impl Executor {
             yield_point_profiles: self.tables.profiles(),
             trace_events_recorded: trace_recorded,
             trace_events_dropped: trace_dropped,
+            watchdog_escalations: self.watchdog_escalations,
             allocations: self.vm.allocations,
             gc_runs: self.vm.gc_runs,
             stdout: self.vm.stdout_text(),
@@ -489,11 +562,20 @@ impl Executor {
         let kind = self.insn_kind(t);
         if self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
             let flag_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::INTERRUPT;
-            let flag = self.vm.mem.read(t, flag_addr).expect("interrupt flag read");
+            // GIL mode runs no transactions, so these plain accesses can
+            // only fail if the memory invariants are broken — surface
+            // that as a run error instead of tearing down the process.
+            let flag = self.vm.mem.read(t, flag_addr).map_err(|r| {
+                RunError::Vm(format!("interrupt flag read aborted outside any transaction: {r:?}"))
+            })?;
             self.sched.advance(t, 2 * self.profile.cost.mem_ref);
             self.breakdown.gil_held += 2 * self.profile.cost.mem_ref;
             if flag == Word::Int(1) {
-                self.vm.mem.write(t, flag_addr, Word::Int(0)).expect("interrupt flag clear");
+                self.vm.mem.write(t, flag_addr, Word::Int(0)).map_err(|r| {
+                    RunError::Vm(format!(
+                        "interrupt flag clear aborted outside any transaction: {r:?}"
+                    ))
+                })?;
                 self.gil_release(t);
                 self.sched.advance(t, self.profile.cost.sched_yield);
                 self.breakdown.gil_wait += self.profile.cost.sched_yield;
@@ -641,6 +723,9 @@ impl Executor {
             Ok(()) => {
                 self.breakdown.tx_success += info.work;
                 self.committed_insns += info.insns;
+                // A commit is forward progress: stand the watchdog down.
+                self.tle[t].consecutive_aborts = 0;
+                self.tle[t].backoff = self.cfg.watchdog.cooldown_base;
                 Ok(())
             }
             Err(reason) => {
@@ -675,6 +760,14 @@ impl Executor {
     fn transaction_begin(&mut self, t: ThreadId) -> Result<bool, RunError> {
         // Line 2: single-thread fast path — just take the GIL.
         if self.sched.other_live_threads(t) == 0 {
+            return Ok(self.gil_acquire_or_park(t));
+        }
+        // Watchdog cooldown: speculation has been failing persistently on
+        // this thread — go straight to the GIL for the remaining tenures
+        // instead of paying tbegin + abort_penalty per doomed attempt.
+        if self.tle[t].cooldown > 0 {
+            self.tle[t].cooldown -= 1;
+            self.tle[t].retrying = false;
             return Ok(self.gil_acquire_or_park(t));
         }
         let pc = self.tle[t].resume_pc.take().unwrap_or_else(|| self.global_pc(t));
@@ -718,11 +811,18 @@ impl Executor {
         // transaction; TABORT if held (cannot happen here — we checked
         // above and nothing ran in between in discrete-event time — but
         // keep the faithful sequence).
-        let gil_word = self
-            .vm
-            .mem
-            .read(t, self.vm.layout.gil)
-            .expect("fresh transaction cannot be doomed yet");
+        // (A fresh transaction cannot be *doomed* yet, but fault injection
+        // may spuriously abort it on this very first read.)
+        let gil_word = match self.vm.mem.read(t, self.vm.layout.gil) {
+            Ok(w) => w,
+            Err(reason) => {
+                self.sched.advance(t, self.profile.cost.abort_penalty);
+                self.breakdown.aborted += self.profile.cost.abort_penalty;
+                self.tle[t].resume_pc = Some(pc);
+                self.abort_path(t, pc, reason)?;
+                return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
+            }
+        };
         self.sched.advance(t, self.profile.cost.mem_ref);
         if gil_word == Word::Int(1) {
             let reason = self.vm.mem.tabort(t, abort_codes::GIL_LOCKED);
@@ -782,6 +882,22 @@ impl Executor {
         }
         self.record_conflict(reason);
         self.tables.record_abort(pc, reason);
+        // Livelock watchdog: aborts accumulate across attempt sequences;
+        // past the threshold the thread stops speculating for a cooldown
+        // of GIL tenures (doubling per consecutive escalation).
+        if self.cfg.watchdog.is_enabled() {
+            self.tle[t].consecutive_aborts += 1;
+            if self.tle[t].consecutive_aborts >= self.cfg.watchdog.escalation_threshold {
+                let w = self.cfg.watchdog;
+                self.watchdog_escalations += 1;
+                self.tle[t].consecutive_aborts = 0;
+                let backoff = self.tle[t].backoff.max(w.cooldown_base).max(1);
+                self.tle[t].cooldown = backoff;
+                self.tle[t].backoff = backoff.saturating_mul(2).min(w.cooldown_max.max(1));
+                self.gil_acquire_or_park(t);
+                return Ok(());
+            }
+        }
         // Lines 17-20: first abort of this transaction adjusts the length.
         if self.tle[t].first_retry {
             self.tle[t].first_retry = false;

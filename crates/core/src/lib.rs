@@ -33,11 +33,15 @@ pub mod exec;
 pub mod gil;
 pub mod json;
 pub mod locks;
+pub mod oracle;
 pub mod report;
 pub mod tle;
 
-pub use config::{ExecConfig, LengthPolicy, RuntimeMode, TleConstants, YieldPolicy};
+pub use config::{
+    ExecConfig, LengthPolicy, RuntimeMode, TleConstants, WatchdogConstants, YieldPolicy,
+};
 pub use exec::{Executor, RunError};
 pub use json::Json;
+pub use oracle::{check_against_gil, heap_digest, OracleVerdict};
 pub use report::{ConflictSite, CycleBreakdown, RunReport};
 pub use tle::{LengthTables, SiteProfile};

@@ -81,6 +81,9 @@ pub struct RunReport {
     /// at length 1, and total shrink events.
     pub share_length_one: f64,
     pub length_adjustments: u64,
+    /// Livelock-watchdog escalations: times a thread's consecutive-abort
+    /// streak forced it onto the GIL for a cooldown.
+    pub watchdog_escalations: u64,
     /// Per-yield-point observability profiles (attempts, aborts by
     /// reason, current length), pc-ordered; empty outside HTM modes.
     pub yield_point_profiles: Vec<crate::tle::SiteProfile>,
@@ -121,14 +124,13 @@ impl RunReport {
             .field("io_wait", self.breakdown.io_wait)
             .field("other", self.breakdown.other)
             .field("total", self.breakdown.total());
-        let aborts = Json::obj()
-            .field("conflict-read", self.htm.conflicts_read)
-            .field("conflict-write", self.htm.conflicts_write)
-            .field("overflow-read", self.htm.overflow_read)
-            .field("overflow-write", self.htm.overflow_write)
-            .field("explicit", self.htm.explicit)
-            .field("eager-predicted", self.htm.eager_predicted)
-            .field("restricted", self.htm.restricted)
+        // Derived from the canonical AbortReason table, so a new variant
+        // shows up here without this file changing.
+        let aborts = self
+            .htm
+            .abort_breakdown()
+            .into_iter()
+            .fold(Json::obj(), |acc, (label, n)| acc.field(label, n))
             .field("total", self.htm.total_aborts());
         let htm = Json::obj()
             .field("begins", self.htm.begins)
@@ -177,6 +179,7 @@ impl RunReport {
             .field("allocator_conflict_share_pct", self.allocator_conflict_share_pct())
             .field("share_length_one", self.share_length_one)
             .field("length_adjustments", self.length_adjustments)
+            .field("watchdog_escalations", self.watchdog_escalations)
             .field("yield_point_profiles", Json::Arr(profiles))
             .field(
                 "trace",
@@ -235,6 +238,7 @@ mod tests {
             conflict_sites: HashMap::new(),
             share_length_one: 0.0,
             length_adjustments: 0,
+            watchdog_escalations: 0,
             yield_point_profiles: Vec::new(),
             trace_events_recorded: 0,
             trace_events_dropped: 0,
@@ -270,12 +274,16 @@ mod tests {
             conflict_sites: sites,
             share_length_one: 0.25,
             length_adjustments: 12,
-            yield_point_profiles: vec![crate::tle::SiteProfile {
-                pc: 42,
-                attempts: 50,
-                aborts_conflict_read: 5,
-                length: 191,
-                ..Default::default()
+            watchdog_escalations: 2,
+            yield_point_profiles: vec![{
+                let mut p = crate::tle::SiteProfile {
+                    pc: 42,
+                    attempts: 50,
+                    length: 191,
+                    ..Default::default()
+                };
+                p.aborts[htm_sim::AbortReason::ConflictRead { with: 0, line: 0 }.kind_index()] = 5;
+                p
             }],
             trace_events_recorded: 1_000,
             trace_events_dropped: 10,
@@ -309,6 +317,16 @@ mod tests {
             profiles[0].get("aborts").unwrap().get("conflict-read").unwrap().as_u64(),
             Some(5)
         );
+        assert_eq!(
+            profiles[0].get("aborts").unwrap().get("spurious").unwrap().as_u64(),
+            Some(0),
+            "new reason kinds flow into profile JSON automatically"
+        );
+        assert_eq!(
+            parsed.get("htm").unwrap().get("aborts").unwrap().get("spurious").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(parsed.get("watchdog_escalations").unwrap().as_u64(), Some(2));
         assert_eq!(parsed.get("trace").unwrap().get("dropped").unwrap().as_u64(), Some(10));
     }
 
@@ -331,6 +349,7 @@ mod tests {
             conflict_sites: sites,
             share_length_one: 0.0,
             length_adjustments: 0,
+            watchdog_escalations: 0,
             yield_point_profiles: Vec::new(),
             trace_events_recorded: 0,
             trace_events_dropped: 0,

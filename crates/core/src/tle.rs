@@ -27,13 +27,10 @@ pub struct SiteProfile {
     pub pc: u32,
     /// `TBEGIN`s issued for transactions starting here (fresh + retries).
     pub attempts: u64,
-    pub aborts_conflict_read: u64,
-    pub aborts_conflict_write: u64,
-    pub aborts_read_overflow: u64,
-    pub aborts_write_overflow: u64,
-    pub aborts_explicit: u64,
-    pub aborts_eager_predicted: u64,
-    pub aborts_restricted: u64,
+    /// Aborts by kind, indexed by [`AbortReason::kind_index`] (canonical
+    /// [`AbortReason::ALL_LABELS`] order). Sized by the enum itself, so a
+    /// new variant grows the profile automatically.
+    pub aborts: [u64; AbortReason::NUM_KINDS],
     /// Current transaction length at the site (the fixed constant under a
     /// fixed policy).
     pub length: u32,
@@ -41,42 +38,22 @@ pub struct SiteProfile {
 
 impl SiteProfile {
     pub fn total_aborts(&self) -> u64 {
-        self.aborts_conflict_read
-            + self.aborts_conflict_write
-            + self.aborts_read_overflow
-            + self.aborts_write_overflow
-            + self.aborts_explicit
-            + self.aborts_eager_predicted
-            + self.aborts_restricted
+        self.aborts.iter().sum()
     }
 
-    /// `(label, count)` pairs for the abort breakdown, fixed order.
-    pub fn abort_breakdown(&self) -> [(&'static str, u64); 7] {
-        [
-            ("conflict-read", self.aborts_conflict_read),
-            ("conflict-write", self.aborts_conflict_write),
-            ("overflow-read", self.aborts_read_overflow),
-            ("overflow-write", self.aborts_write_overflow),
-            ("explicit", self.aborts_explicit),
-            ("eager-predicted", self.aborts_eager_predicted),
-            ("restricted", self.aborts_restricted),
-        ]
+    /// Count for one abort reason's kind.
+    pub fn aborts_of(&self, reason: AbortReason) -> u64 {
+        self.aborts[reason.kind_index()]
     }
-}
 
-/// Dense per-pc abort counters in the order of
-/// [`SiteProfile::abort_breakdown`].
-const ABORT_KINDS: usize = 7;
-
-fn abort_kind_index(reason: AbortReason) -> usize {
-    match reason {
-        AbortReason::ConflictRead { .. } => 0,
-        AbortReason::ConflictWrite { .. } => 1,
-        AbortReason::ReadOverflow => 2,
-        AbortReason::WriteOverflow => 3,
-        AbortReason::Explicit(_) => 4,
-        AbortReason::EagerPredicted => 5,
-        AbortReason::Restricted => 6,
+    /// `(label, count)` pairs for the abort breakdown, in the canonical
+    /// [`AbortReason::ALL_LABELS`] order.
+    pub fn abort_breakdown(&self) -> [(&'static str, u64); AbortReason::NUM_KINDS] {
+        let mut out = [("", 0u64); AbortReason::NUM_KINDS];
+        for (i, &label) in AbortReason::ALL_LABELS.iter().enumerate() {
+            out[i] = (label, self.aborts[i]);
+        }
+        out
     }
 }
 
@@ -96,7 +73,7 @@ pub struct LengthTables {
     /// Lifetime `TBEGIN` attempts per site (observability, not Fig. 3).
     attempts: Vec<u64>,
     /// Lifetime aborts per site by reason kind (observability).
-    abort_kinds: Vec<[u64; ABORT_KINDS]>,
+    abort_kinds: Vec<[u64; AbortReason::NUM_KINDS]>,
 }
 
 impl LengthTables {
@@ -109,7 +86,7 @@ impl LengthTables {
             abort_counter: vec![0; total_pcs as usize],
             total_adjustments: 0,
             attempts: vec![0; total_pcs as usize],
-            abort_kinds: vec![[0; ABORT_KINDS]; total_pcs as usize],
+            abort_kinds: vec![[0; AbortReason::NUM_KINDS]; total_pcs as usize],
         }
     }
 
@@ -121,7 +98,7 @@ impl LengthTables {
 
     /// Count one abort of a transaction that started at `pc`.
     pub fn record_abort(&mut self, pc: u32, reason: AbortReason) {
-        self.abort_kinds[pc as usize][abort_kind_index(reason)] += 1;
+        self.abort_kinds[pc as usize][reason.kind_index()] += 1;
     }
 
     /// Profiles of every site that attempted at least one transaction,
@@ -131,23 +108,14 @@ impl LengthTables {
             .iter()
             .enumerate()
             .filter(|&(_, &a)| a > 0)
-            .map(|(pc, &attempts)| {
-                let k = &self.abort_kinds[pc];
-                SiteProfile {
-                    pc: pc as u32,
-                    attempts,
-                    aborts_conflict_read: k[0],
-                    aborts_conflict_write: k[1],
-                    aborts_read_overflow: k[2],
-                    aborts_write_overflow: k[3],
-                    aborts_explicit: k[4],
-                    aborts_eager_predicted: k[5],
-                    aborts_restricted: k[6],
-                    length: match self.policy {
-                        LengthPolicy::Fixed(n) => n.max(1),
-                        LengthPolicy::Dynamic => self.length[pc],
-                    },
-                }
+            .map(|(pc, &attempts)| SiteProfile {
+                pc: pc as u32,
+                attempts,
+                aborts: self.abort_kinds[pc],
+                length: match self.policy {
+                    LengthPolicy::Fixed(n) => n.max(1),
+                    LengthPolicy::Dynamic => self.length[pc],
+                },
             })
             .collect()
     }
@@ -360,13 +328,31 @@ mod tests {
         let p2 = &profiles[0];
         assert_eq!(p2.pc, 2);
         assert_eq!(p2.attempts, 2);
-        assert_eq!(p2.aborts_conflict_read, 2);
-        assert_eq!(p2.aborts_write_overflow, 1);
+        assert_eq!(p2.aborts_of(AbortReason::ConflictRead { with: 0, line: 0 }), 2);
+        assert_eq!(p2.aborts_of(AbortReason::WriteOverflow), 1);
         assert_eq!(p2.total_aborts(), 3);
         assert_eq!(p2.length, 255);
         let p5 = &profiles[1];
         assert_eq!((p5.pc, p5.attempts, p5.total_aborts()), (5, 1, 0));
         assert_eq!(p5.length, 0, "site 5 never ran set_transaction_length");
+    }
+
+    #[test]
+    fn profile_breakdown_follows_the_canonical_reason_table() {
+        let mut t = LengthTables::new(2, LengthPolicy::Dynamic, consts());
+        t.record_attempt(0);
+        let spurious = AbortReason::Spurious { cause: htm_sim::SpuriousCause::TimerInterrupt };
+        t.record_abort(0, spurious);
+        t.record_abort(0, AbortReason::Restricted);
+        let p = t.profiles()[0];
+        assert_eq!(p.total_aborts(), 2);
+        assert_eq!(p.aborts_of(spurious), 1);
+        let bd = p.abort_breakdown();
+        assert_eq!(bd.len(), AbortReason::NUM_KINDS);
+        for (i, &(label, _)) in bd.iter().enumerate() {
+            assert_eq!(label, AbortReason::ALL_LABELS[i]);
+        }
+        assert_eq!(bd[spurious.kind_index()], ("spurious", 1));
     }
 
     #[test]

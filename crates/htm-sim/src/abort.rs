@@ -36,6 +36,33 @@ pub enum AbortReason {
     /// The operation attempted is not allowed in a transaction (system
     /// call, blocking I/O, GC). Always persistent.
     Restricted,
+    /// Environment-induced abort the transaction did nothing to cause:
+    /// timer interrupt, TLB miss handled in the kernel, or a page fault
+    /// (paper §2.1, §5.6 — a large share of real zEC12/Haswell aborts).
+    /// Transient: retrying the same transaction can succeed.
+    Spurious { cause: SpuriousCause },
+}
+
+/// What the environment did to kill a transaction spuriously (paper §5.6
+/// attributes these in its abort breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpuriousCause {
+    /// OS scheduling-timer interrupt on the hardware thread.
+    TimerInterrupt,
+    /// TLB miss serviced by the kernel (zEC12's millicode path).
+    Tlb,
+    /// Page fault — the transaction cannot survive the trap.
+    PageFault,
+}
+
+impl SpuriousCause {
+    pub fn label(self) -> &'static str {
+        match self {
+            SpuriousCause::TimerInterrupt => "timer-interrupt",
+            SpuriousCause::Tlb => "tlb",
+            SpuriousCause::PageFault => "page-fault",
+        }
+    }
 }
 
 /// Well-known `TABORT` codes used by the TLE runtime.
@@ -48,6 +75,40 @@ pub mod abort_codes {
 }
 
 impl AbortReason {
+    /// Number of statistic kinds (one per variant).
+    pub const NUM_KINDS: usize = 8;
+
+    /// Canonical per-kind labels in canonical order. Statistics tables,
+    /// per-site abort breakdowns and report JSON all index their arrays by
+    /// [`AbortReason::kind_index`], so a new variant only needs this table
+    /// and `kind_index` extended — everything downstream follows.
+    pub const ALL_LABELS: [&'static str; Self::NUM_KINDS] = [
+        "conflict-read",
+        "conflict-write",
+        "overflow-read",
+        "overflow-write",
+        "explicit",
+        "eager-predicted",
+        "restricted",
+        "spurious",
+    ];
+
+    /// Index of this reason's kind in [`AbortReason::ALL_LABELS`]. The
+    /// match is exhaustive on purpose: adding a variant without deciding
+    /// its statistics slot must not compile.
+    pub fn kind_index(self) -> usize {
+        match self {
+            AbortReason::ConflictRead { .. } => 0,
+            AbortReason::ConflictWrite { .. } => 1,
+            AbortReason::ReadOverflow => 2,
+            AbortReason::WriteOverflow => 3,
+            AbortReason::Explicit(_) => 4,
+            AbortReason::EagerPredicted => 5,
+            AbortReason::Restricted => 6,
+            AbortReason::Spurious { .. } => 7,
+        }
+    }
+
     /// True when retrying the same transaction cannot succeed and the
     /// thread should fall back to the GIL immediately (paper Fig. 1 lines
     /// 28-29): capacity overflows, restricted operations and predictor
@@ -95,6 +156,7 @@ impl AbortReason {
             AbortReason::Explicit(_) => "explicit",
             AbortReason::EagerPredicted => "eager-predicted",
             AbortReason::Restricted => "restricted",
+            AbortReason::Spurious { .. } => "spurious",
         }
     }
 }
@@ -110,10 +172,14 @@ mod tests {
         assert!(AbortReason::WriteOverflow.is_persistent());
         assert!(AbortReason::Restricted.is_persistent());
         assert!(AbortReason::EagerPredicted.is_persistent());
-        // …while conflicts and TABORTs are retried.
+        // …while conflicts, TABORTs and environment-induced aborts are
+        // retried (a timer tick or TLB miss says nothing about the next
+        // attempt).
         assert!(!AbortReason::ConflictRead { with: 1, line: 0 }.is_persistent());
         assert!(!AbortReason::ConflictWrite { with: 1, line: 0 }.is_persistent());
         assert!(!AbortReason::Explicit(abort_codes::GIL_LOCKED).is_persistent());
+        assert!(!AbortReason::Spurious { cause: SpuriousCause::TimerInterrupt }.is_persistent());
+        assert!(!AbortReason::Spurious { cause: SpuriousCause::PageFault }.is_persistent());
     }
 
     #[test]
@@ -126,18 +192,28 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels = [
-            AbortReason::ConflictRead { with: 0, line: 0 }.label(),
-            AbortReason::ConflictWrite { with: 0, line: 0 }.label(),
-            AbortReason::ReadOverflow.label(),
-            AbortReason::WriteOverflow.label(),
-            AbortReason::Explicit(1).label(),
-            AbortReason::EagerPredicted.label(),
-            AbortReason::Restricted.label(),
-        ];
+        let labels = AbortReason::ALL_LABELS;
         let mut dedup = labels.to_vec();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn kind_index_agrees_with_canonical_labels() {
+        let reasons = [
+            AbortReason::ConflictRead { with: 0, line: 0 },
+            AbortReason::ConflictWrite { with: 0, line: 0 },
+            AbortReason::ReadOverflow,
+            AbortReason::WriteOverflow,
+            AbortReason::Explicit(1),
+            AbortReason::EagerPredicted,
+            AbortReason::Restricted,
+            AbortReason::Spurious { cause: SpuriousCause::Tlb },
+        ];
+        assert_eq!(reasons.len(), AbortReason::NUM_KINDS);
+        for r in reasons {
+            assert_eq!(AbortReason::ALL_LABELS[r.kind_index()], r.label());
+        }
     }
 }

@@ -38,6 +38,7 @@
 //! used by any experiment (no TSX-capable host).
 
 pub mod abort;
+pub mod inject;
 pub mod predictor;
 pub mod refimpl;
 #[cfg(feature = "rtm-hardware")]
@@ -46,7 +47,8 @@ pub mod stats;
 pub mod trace;
 pub mod txmem;
 
-pub use abort::{AbortReason, ExplicitCode};
+pub use abort::{AbortReason, ExplicitCode, SpuriousCause};
+pub use inject::{Fault, FaultInjector, FaultPlan};
 pub use predictor::OverflowPredictor;
 pub use refimpl::ReferenceTxMemory;
 pub use stats::HtmStats;

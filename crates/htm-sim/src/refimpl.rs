@@ -19,7 +19,8 @@ use std::collections::HashSet;
 
 use machine_sim::ThreadId;
 
-use crate::abort::{AbortReason, ExplicitCode};
+use crate::abort::{AbortReason, ExplicitCode, SpuriousCause};
+use crate::inject::{Fault, FaultInjector, FaultPlan};
 use crate::predictor::OverflowPredictor;
 use crate::stats::HtmStats;
 use crate::trace::{TraceEvent, TraceSink};
@@ -48,6 +49,10 @@ pub struct ReferenceTxMemory<W: Clone> {
     predictors: Vec<OverflowPredictor>,
     stats: HtmStats,
     trace: Option<Box<dyn TraceSink>>,
+    /// Seeded fault injector, mirroring [`crate::TxMemory`]'s: draws are
+    /// consumed only at transactional accesses so both sides of the
+    /// differential pair see the same fault stream.
+    injector: Option<FaultInjector>,
     now: u64,
 }
 
@@ -66,8 +71,19 @@ impl<W: Clone> ReferenceTxMemory<W> {
             predictors: (0..max_threads).map(|_| OverflowPredictor::disabled()).collect(),
             stats: HtmStats::default(),
             trace: None,
+            injector: None,
             now: 0,
         }
+    }
+
+    /// Install a fault-injection plan (or remove it with a no-op plan).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_noop() { None } else { Some(FaultInjector::new(plan)) };
+    }
+
+    /// Faults injected so far (zero without a plan).
+    pub fn faults_injected(&self) -> u64 {
+        self.injector.as_ref().map_or(0, FaultInjector::injected)
     }
 
     /// Install a trace sink.
@@ -188,6 +204,14 @@ impl<W: Clone> ReferenceTxMemory<W> {
         reason
     }
 
+    /// Abort `t`'s transaction for an environmental cause (interrupt, TLB,
+    /// page fault).
+    pub fn abort_spurious(&mut self, t: ThreadId, cause: SpuriousCause) -> AbortReason {
+        let reason = AbortReason::Spurious { cause };
+        self.abort_self(t, reason, None);
+        reason
+    }
+
     /// Check whether a remote conflict doomed `t`'s transaction.
     pub fn poll_doomed(&mut self, t: ThreadId) -> Option<AbortReason> {
         self.take_doom(t)
@@ -198,6 +222,9 @@ impl<W: Clone> ReferenceTxMemory<W> {
         debug_assert!(addr < self.words.len(), "read out of bounds: {addr}");
         self.stats.reads += 1;
         if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        if let Some(reason) = self.inject_fault(t) {
             return Err(reason);
         }
         let line = self.line_of(addr);
@@ -220,6 +247,9 @@ impl<W: Clone> ReferenceTxMemory<W> {
         debug_assert!(addr < self.words.len(), "write out of bounds: {addr}");
         self.stats.writes += 1;
         if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        if let Some(reason) = self.inject_fault(t) {
             return Err(reason);
         }
         let line = self.line_of(addr);
@@ -253,6 +283,39 @@ impl<W: Clone> ReferenceTxMemory<W> {
     }
 
     // ---- internals ------------------------------------------------------
+
+    /// Consult the fault injector for one transactional access by `t` —
+    /// the mirror of `TxMemory::inject_fault` (same gating, same draw
+    /// discipline, same abort semantics).
+    fn inject_fault(&mut self, t: ThreadId) -> Option<AbortReason> {
+        self.txs[t].as_ref()?;
+        match self.injector.as_mut()?.decide()? {
+            Fault::Spurious(cause) => {
+                let reason = AbortReason::Spurious { cause };
+                self.abort_self(t, reason, None);
+                Some(reason)
+            }
+            Fault::ForceRestricted => {
+                let reason = AbortReason::Restricted;
+                self.abort_self(t, reason, None);
+                Some(reason)
+            }
+            Fault::ShrinkBudgets => {
+                let tx = self.txs[t].as_mut().expect("checked above");
+                tx.budgets = tx.budgets.halved();
+                let reason = if tx.read_lines.len() > tx.budgets.read_lines {
+                    AbortReason::ReadOverflow
+                } else if tx.write_lines.len() > tx.budgets.write_lines {
+                    AbortReason::WriteOverflow
+                } else {
+                    return None;
+                };
+                self.abort_self(t, reason, None);
+                self.predictors[t].on_overflow();
+                Some(reason)
+            }
+        }
+    }
 
     fn take_doom(&mut self, t: ThreadId) -> Option<AbortReason> {
         self.doomed[t].take()

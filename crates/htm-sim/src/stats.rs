@@ -28,6 +28,9 @@ pub struct HtmStats {
     pub explicit: u64,
     pub eager_predicted: u64,
     pub restricted: u64,
+    /// Environment-induced aborts (timer interrupt, TLB, page fault)
+    /// produced by the fault injector.
+    pub spurious: u64,
     /// Non-transactional accesses that doomed at least one transaction
     /// (e.g. GIL-holder writes).
     pub nontx_dooms: u64,
@@ -44,18 +47,34 @@ impl HtmStats {
             AbortReason::Explicit(_) => self.explicit += 1,
             AbortReason::EagerPredicted => self.eager_predicted += 1,
             AbortReason::Restricted => self.restricted += 1,
+            AbortReason::Spurious { .. } => self.spurious += 1,
         }
+    }
+
+    /// Per-kind abort counts in the canonical [`AbortReason::ALL_LABELS`]
+    /// order; tables and report JSON iterate this instead of naming the
+    /// fields so a new variant cannot desync them.
+    pub fn abort_breakdown(&self) -> [(&'static str, u64); AbortReason::NUM_KINDS] {
+        let counts = [
+            self.conflicts_read,
+            self.conflicts_write,
+            self.overflow_read,
+            self.overflow_write,
+            self.explicit,
+            self.eager_predicted,
+            self.restricted,
+            self.spurious,
+        ];
+        let mut out = [("", 0u64); AbortReason::NUM_KINDS];
+        for (i, (&label, &count)) in AbortReason::ALL_LABELS.iter().zip(counts.iter()).enumerate() {
+            out[i] = (label, count);
+        }
+        out
     }
 
     /// Total aborts of every cause.
     pub fn total_aborts(&self) -> u64 {
-        self.conflicts_read
-            + self.conflicts_write
-            + self.overflow_read
-            + self.overflow_write
-            + self.explicit
-            + self.eager_predicted
-            + self.restricted
+        self.abort_breakdown().iter().map(|&(_, c)| c).sum()
     }
 
     /// Abort ratio in percent: aborts / begins (the paper's Fig. 7/8
@@ -97,6 +116,7 @@ impl HtmStats {
         self.explicit += other.explicit;
         self.eager_predicted += other.eager_predicted;
         self.restricted += other.restricted;
+        self.spurious += other.spurious;
         self.nontx_dooms += other.nontx_dooms;
     }
 }
@@ -120,6 +140,20 @@ mod tests {
         let s = HtmStats::default();
         assert_eq!(s.abort_ratio_pct(), 0.0);
         assert_eq!(s.read_conflict_share_pct(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_covers_every_kind_in_canonical_order() {
+        let mut s = HtmStats::default();
+        s.record_abort(AbortReason::Spurious { cause: crate::abort::SpuriousCause::Tlb });
+        s.record_abort(AbortReason::ConflictWrite { with: 2, line: 9 });
+        let bd = s.abort_breakdown();
+        assert_eq!(bd.len(), AbortReason::NUM_KINDS);
+        for (i, &(label, _)) in bd.iter().enumerate() {
+            assert_eq!(label, AbortReason::ALL_LABELS[i]);
+        }
+        assert_eq!(bd.iter().find(|&&(l, _)| l == "spurious").unwrap().1, 1);
+        assert_eq!(s.total_aborts(), 2);
     }
 
     #[test]

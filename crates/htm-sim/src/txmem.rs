@@ -43,7 +43,8 @@
 
 use machine_sim::ThreadId;
 
-use crate::abort::{AbortReason, ExplicitCode};
+use crate::abort::{AbortReason, ExplicitCode, SpuriousCause};
+use crate::inject::{Fault, FaultInjector, FaultPlan};
 use crate::predictor::OverflowPredictor;
 use crate::stats::HtmStats;
 use crate::trace::{TraceEvent, TraceSink};
@@ -156,6 +157,10 @@ pub struct TxMemory<W: Clone> {
     /// Structured event trace; `None` (the default) means tracing is off
     /// and event sites cost only this discriminant test.
     trace: Option<Box<dyn TraceSink>>,
+    /// Seeded fault injector; `None` (the default) injects nothing. Draws
+    /// are consumed only at transactional accesses, so a differential pair
+    /// given injectors from the same plan stays in lockstep.
+    injector: Option<FaultInjector>,
     /// Simulated cycle stamped onto trace events; advanced by the caller.
     now: u64,
 }
@@ -184,8 +189,20 @@ impl<W: Clone> TxMemory<W> {
             pending_dooms: 0,
             stats: HtmStats::default(),
             trace: None,
+            injector: None,
             now: 0,
         }
+    }
+
+    /// Install a fault-injection plan (or remove it with a no-op plan).
+    /// Both memories of a differential pair must be given the same plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_noop() { None } else { Some(FaultInjector::new(plan)) };
+    }
+
+    /// Faults injected so far (zero without a plan).
+    pub fn faults_injected(&self) -> u64 {
+        self.injector.as_ref().map_or(0, FaultInjector::injected)
     }
 
     /// Install a trace sink; every subsequent begin/commit/abort emits a
@@ -339,6 +356,15 @@ impl<W: Clone> TxMemory<W> {
         reason
     }
 
+    /// Abort `t`'s transaction for an environmental cause the transaction
+    /// did not earn — the interrupt-timer model and the fault injector use
+    /// this. Transient: the TLE runtime retries it like a conflict.
+    pub fn abort_spurious(&mut self, t: ThreadId, cause: SpuriousCause) -> AbortReason {
+        let reason = AbortReason::Spurious { cause };
+        self.abort_self(t, reason, None);
+        reason
+    }
+
     /// Check whether a remote conflict doomed `t`'s transaction. The
     /// transaction memory effects are already rolled back; this consumes
     /// the pending abort reason.
@@ -359,6 +385,9 @@ impl<W: Clone> TxMemory<W> {
             return Ok(self.words[addr].clone());
         }
         if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        if let Some(reason) = self.inject_fault(t) {
             return Err(reason);
         }
         let line = addr >> self.line_shift;
@@ -406,6 +435,9 @@ impl<W: Clone> TxMemory<W> {
             return Ok(());
         }
         if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        if let Some(reason) = self.inject_fault(t) {
             return Err(reason);
         }
         let line = addr >> self.line_shift;
@@ -479,6 +511,46 @@ impl<W: Clone> TxMemory<W> {
     }
 
     // ---- internals ------------------------------------------------------
+
+    /// Consult the fault injector for one transactional access by `t`.
+    /// Draws happen only while `t` has a live transaction (one draw per
+    /// access, before the memo shortcut), so two memories driven with the
+    /// same operation sequence consume identical randomness. Returns the
+    /// abort reason when the fault killed the transaction.
+    fn inject_fault(&mut self, t: ThreadId) -> Option<AbortReason> {
+        if !self.txs[t].active {
+            return None;
+        }
+        match self.injector.as_mut()?.decide()? {
+            Fault::Spurious(cause) => {
+                let reason = AbortReason::Spurious { cause };
+                self.abort_self(t, reason, None);
+                Some(reason)
+            }
+            Fault::ForceRestricted => {
+                let reason = AbortReason::Restricted;
+                self.abort_self(t, reason, None);
+                Some(reason)
+            }
+            Fault::ShrinkBudgets => {
+                // The interrupt handler's cache footprint evicted half the
+                // speculative capacity; an already-larger footprint bursts
+                // immediately (read set checked first, like the reference).
+                let tx = &mut self.txs[t];
+                tx.budgets = tx.budgets.halved();
+                let reason = if tx.read_lines.len() > tx.budgets.read_lines {
+                    AbortReason::ReadOverflow
+                } else if tx.write_lines.len() > tx.budgets.write_lines {
+                    AbortReason::WriteOverflow
+                } else {
+                    return None;
+                };
+                self.abort_self(t, reason, None);
+                self.predictors[t].on_overflow();
+                Some(reason)
+            }
+        }
+    }
 
     fn take_doom(&mut self, t: ThreadId) -> Option<AbortReason> {
         let reason = self.doomed[t].take();

@@ -22,7 +22,7 @@
 //! conflict attribution, victim choice, overflow ordering, statistics, or
 //! rollback behaviour shows up here as a minimal counterexample.
 
-use htm_sim::{Budgets, ReferenceTxMemory, RingBufferSink, TxMemory};
+use htm_sim::{Budgets, FaultPlan, ReferenceTxMemory, RingBufferSink, TxMemory};
 use proptest::prelude::*;
 
 const MEM_WORDS: usize = 256;
@@ -210,6 +210,101 @@ proptest! {
                 }
             }
             prop_assert_eq!(dut.stats(), reference.stats(), "stats at op {}", i);
+        }
+
+        let dut_events = dut_trace.lock().unwrap().drain();
+        let ref_events = ref_trace.lock().unwrap().drain();
+        prop_assert_eq!(dut_events, ref_events, "trace streams diverged");
+        for a in 0..MEM_WORDS {
+            prop_assert_eq!(dut.peek(a), reference.peek(a), "memory image at {}", a);
+        }
+    }
+
+    /// The same hot-line interleaving with the fault injector enabled on
+    /// **both** implementations: spurious aborts, mid-transaction budget
+    /// shrinks and forced restricted ops must fire at the same accesses,
+    /// attribute the same reasons, and leave identical memory images.
+    #[test]
+    fn directory_matches_reference_with_fault_injection(
+        threads in 2usize..6,
+        seed in any::<u64>(),
+        spurious_pct in 0u32..31,
+        shrink_pct in 0u32..16,
+        restricted_pct in 0u32..11,
+        ops in proptest::collection::vec(op_strategy(5), 1..200),
+    ) {
+        let plan = FaultPlan {
+            seed,
+            spurious_rate: f64::from(spurious_pct) / 100.0,
+            shrink_rate: f64::from(shrink_pct) / 100.0,
+            restricted_rate: f64::from(restricted_pct) / 100.0,
+        };
+        let line_words = 4usize;
+        let mut dut: TxMemory<u64> = TxMemory::new(MEM_WORDS, line_words, threads, 0);
+        let mut reference: ReferenceTxMemory<u64> =
+            ReferenceTxMemory::new(MEM_WORDS, line_words, threads, 0);
+        dut.set_fault_plan(plan);
+        reference.set_fault_plan(plan);
+        let dut_trace = RingBufferSink::shared(8192);
+        let ref_trace = RingBufferSink::shared(8192);
+        dut.set_trace_sink(Box::new(std::sync::Arc::clone(&dut_trace)));
+        reference.set_trace_sink(Box::new(std::sync::Arc::clone(&ref_trace)));
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Begin(t, r, w) => {
+                    let t = t % threads;
+                    if !dut.in_tx(t) {
+                        let b = Budgets { read_lines: r, write_lines: w };
+                        prop_assert_eq!(dut.begin(t, b), reference.begin(t, b),
+                            "begin diverged at op {}", i);
+                    }
+                }
+                Op::Read(t, a) => {
+                    let (t, a) = (t % threads, a % 32);
+                    prop_assert_eq!(dut.read(t, a), reference.read(t, a),
+                        "read diverged at op {}", i);
+                }
+                Op::Write(t, a, v) => {
+                    let (t, a) = (t % threads, a % 32);
+                    prop_assert_eq!(dut.write(t, a, v), reference.write(t, a, v),
+                        "write diverged at op {}", i);
+                }
+                Op::Commit(t) => {
+                    let t = t % threads;
+                    if dut.in_tx(t) {
+                        prop_assert_eq!(dut.commit(t), reference.commit(t),
+                            "commit diverged at op {}", i);
+                    }
+                }
+                Op::Tabort(t) => {
+                    let t = t % threads;
+                    prop_assert_eq!(dut.tabort(t, 7), reference.tabort(t, 7),
+                        "tabort diverged at op {}", i);
+                }
+                Op::Restricted(t) => {
+                    let t = t % threads;
+                    prop_assert_eq!(dut.abort_restricted(t), reference.abort_restricted(t),
+                        "restricted diverged at op {}", i);
+                }
+                Op::Poll(t) => {
+                    let t = t % threads;
+                    prop_assert_eq!(dut.poll_doomed(t), reference.poll_doomed(t),
+                        "poll diverged at op {}", i);
+                }
+                Op::Tick(d) => {
+                    dut.set_now(d);
+                    reference.set_now(d);
+                }
+            }
+            for u in 0..threads {
+                prop_assert_eq!(dut.in_tx(u), reference.in_tx(u), "in_tx({}) at op {}", u, i);
+                prop_assert_eq!(dut.footprint(u), reference.footprint(u),
+                    "footprint({}) at op {}", u, i);
+            }
+            prop_assert_eq!(dut.stats(), reference.stats(), "stats at op {}", i);
+            prop_assert_eq!(dut.faults_injected(), reference.faults_injected(),
+                "injection streams diverged at op {}", i);
         }
 
         let dut_events = dut_trace.lock().unwrap().drain();

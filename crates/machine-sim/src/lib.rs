@@ -16,8 +16,10 @@
 //! not of host parallelism. Everything is deterministic: the same inputs
 //! always produce the same figure.
 //!
-//! The crate has three parts:
+//! The crate has four parts:
 //!
+//! * [`interrupt`] — the deterministic per-thread timer-interrupt model
+//!   (paper §5.6: interrupts abort in-flight transactions);
 //! * [`profile`] — machine descriptions ([`MachineProfile::zec12`],
 //!   [`MachineProfile::xeon_e3_1275_v3`]) including cache geometry and HTM
 //!   capacity budgets;
@@ -25,9 +27,11 @@
 //! * [`profile::CostModel`] — cycle costs used by the interpreter and the
 //!   TLE runtime.
 
+pub mod interrupt;
 pub mod profile;
 pub mod sched;
 
+pub use interrupt::InterruptTimer;
 pub use profile::{CacheGeometry, CostModel, HtmCharacteristics, MachineProfile};
 pub use sched::{Scheduler, ThreadId, ThreadState};
 

@@ -41,7 +41,10 @@ pub use ruby_lang as lang;
 pub use ruby_vm as vm;
 pub use workloads as bench_workloads;
 
-pub use htm_gil_core::{ExecConfig, Executor, LengthPolicy, RunReport, RuntimeMode, YieldPolicy};
+pub use htm_gil_core::{
+    ExecConfig, Executor, LengthPolicy, RunReport, RuntimeMode, WatchdogConstants, YieldPolicy,
+};
+pub use htm_sim::{FaultPlan, SpuriousCause};
 pub use machine_sim::MachineProfile;
 pub use ruby_vm::VmConfig;
 pub use workloads::Workload;
