@@ -10,14 +10,51 @@
 //! 4. Target-abort-ratio sweep (the paper: the best target depends on the
 //!    HTM implementation's abort cost, not the application).
 
-use bench::{quick, run_workload_with, thread_counts, vm_config_for};
+use bench::{quick, run_workload_with, runner, thread_counts, vm_config_for};
 use htm_gil_core::{ExecConfig, LengthPolicy, RuntimeMode, YieldPolicy};
 use htm_gil_stats::Table;
 use machine_sim::MachineProfile;
+use ruby_vm::VmConfig;
 use workloads::Workload;
 
+/// The ablation variants, in the (kernel-major) column order of the
+/// table; each yields the executor/VM configuration to measure.
+const VARIANTS: [&str; 8] = ["gil", "full", "no_yp", "no_rm", "no_tls", "no_fl", "no_ic", "no_pad"];
+
+fn variant_configs(
+    variant: &str,
+    profile: &MachineProfile,
+    nthreads: usize,
+) -> (ExecConfig, VmConfig) {
+    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
+    let mut cfg = ExecConfig::new(dynamic, profile);
+    let mut vmc = vm_config_for(nthreads);
+    match variant {
+        "gil" => cfg = ExecConfig::new(RuntimeMode::Gil, profile),
+        "full" => {}
+        // 1. Original (coarse) yield points only.
+        "no_yp" => cfg.yield_policy = Some(YieldPolicy::Original),
+        // 2. No conflict removals at all (original CRuby internals +
+        //    shared running-thread global).
+        "no_rm" => {
+            cfg.tls_running_thread = false;
+            vmc = vmc.original_cruby();
+        }
+        // 3. Individual removals off.
+        "no_tls" => cfg.tls_running_thread = false,
+        "no_fl" => vmc.thread_local_free_lists = false,
+        "no_ic" => {
+            vmc.method_ic_fill_once = false;
+            vmc.ivar_ic_table_guard = false;
+        }
+        "no_pad" => vmc.padded_thread_structs = false,
+        other => panic!("unknown variant {other}"),
+    }
+    (cfg, vmc)
+}
+
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }
@@ -26,7 +63,6 @@ fn run() {
     let profile = MachineProfile::zec12();
     let scale = if quick() { 1 } else { 3 };
     let nthreads = if quick() { 4 } else { *thread_counts(&profile).last().unwrap() };
-    let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
 
     let kernels: Vec<Workload> = workloads::npb_all(nthreads, scale);
     let mut table = Table::new(&[
@@ -43,47 +79,25 @@ fn run() {
     let mut csv = String::from(
         "bench,gil,htm_dyn,no_yield_pts,no_removals,no_tls,no_freelists,no_ic,no_padding\n",
     );
-    for w in &kernels {
-        let gil_cfg = ExecConfig::new(RuntimeMode::Gil, &profile);
-        let gil = run_workload_with(w, &profile, gil_cfg, vm_config_for(nthreads));
-        let base_cycles = gil.elapsed_cycles as f64;
-        let speedup = |r: htm_gil_core::RunReport| base_cycles / r.elapsed_cycles as f64;
-
-        // Full HTM-dynamic.
-        let full = speedup(run_workload_with(
-            w,
-            &profile,
-            ExecConfig::new(dynamic, &profile),
-            vm_config_for(nthreads),
-        ));
-        // 1. Original (coarse) yield points only.
-        let mut cfg = ExecConfig::new(dynamic, &profile);
-        cfg.yield_policy = Some(YieldPolicy::Original);
-        let no_yp = speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads)));
-        // 2. No conflict removals at all (original CRuby internals +
-        //    shared running-thread global).
-        let mut cfg = ExecConfig::new(dynamic, &profile);
-        cfg.tls_running_thread = false;
-        let no_rm =
-            speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads).original_cruby()));
-        // 3. Individual removals off.
-        let mut cfg = ExecConfig::new(dynamic, &profile);
-        cfg.tls_running_thread = false;
-        let no_tls = speedup(run_workload_with(w, &profile, cfg, vm_config_for(nthreads)));
-        let mut vmc = vm_config_for(nthreads);
-        vmc.thread_local_free_lists = false;
-        let no_fl =
-            speedup(run_workload_with(w, &profile, ExecConfig::new(dynamic, &profile), vmc));
-        let mut vmc = vm_config_for(nthreads);
-        vmc.method_ic_fill_once = false;
-        vmc.ivar_ic_table_guard = false;
-        let no_ic =
-            speedup(run_workload_with(w, &profile, ExecConfig::new(dynamic, &profile), vmc));
-        let mut vmc = vm_config_for(nthreads);
-        vmc.padded_thread_structs = false;
-        let no_pad =
-            speedup(run_workload_with(w, &profile, ExecConfig::new(dynamic, &profile), vmc));
-
+    // kernel × variant points are independent runs; the GIL baseline each
+    // speedup divides by is just another point, resolved after collection.
+    let points: Vec<(usize, &'static str)> =
+        (0..kernels.len()).flat_map(|k| VARIANTS.iter().map(move |&v| (k, v))).collect();
+    let cycles = runner::sweep(
+        "Ablations",
+        &points,
+        |&(k, v)| format!("{} {v}", kernels[k].name),
+        |&(k, v)| {
+            let (cfg, vmc) = variant_configs(v, &profile, nthreads);
+            run_workload_with(&kernels[k], &profile, cfg, vmc).elapsed_cycles
+        },
+    );
+    for (w, chunk) in kernels.iter().zip(cycles.chunks(VARIANTS.len())) {
+        let base_cycles = chunk[0] as f64;
+        let s: Vec<f64> = chunk[1..].iter().map(|&c| base_cycles / c as f64).collect();
+        let [full, no_yp, no_rm, no_tls, no_fl, no_ic, no_pad] = s[..] else {
+            unreachable!("one result per non-GIL variant");
+        };
         table.row(&[
             w.name.to_string(),
             "1.00".into(),

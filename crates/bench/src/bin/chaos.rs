@@ -1,122 +1,26 @@
-//! Chaos suite: fault-injection degradation sweep.
+//! Chaos suite binary: fault-injection degradation sweep.
 //!
-//! Sweeps the spurious-abort injection rate from 0 % to 100 % over the
-//! While/Iterator micro-benchmarks, the NPB CG kernel and the WEBrick
-//! server model, running each point under HTM-dynamic with the livelock
-//! watchdog armed. Every run is differentially checked against the plain
-//! GIL oracle (identical stdout + identical final global-heap digest) —
-//! any divergence is a bug and aborts the sweep. A second, smaller sweep
-//! arms the §5.6 timer-interrupt model at decreasing intervals.
-//!
-//! Emits `bench-results/chaos_degradation.json`: per workload, the
-//! throughput relative to the GIL baseline at each injection rate. The
-//! headline property — enforced numerically by `tests/chaos_suite.rs` —
-//! is graceful degradation: as the rate approaches 100 %, throughput
+//! Thin wrapper over [`bench::chaos::degradation_report`] (shared with
+//! `tests/pool_determinism.rs`). Emits
+//! `bench-results/chaos_degradation.json`: per workload, the throughput
+//! relative to the GIL baseline at each injection rate. The headline
+//! property — enforced numerically by `tests/chaos_suite.rs` — is
+//! graceful degradation: as the rate approaches 100 %, throughput
 //! converges toward the GIL baseline instead of collapsing, because the
-//! watchdog stops paying per-attempt HTM overhead for doomed speculation.
+//! watchdog stops paying per-attempt HTM overhead for doomed
+//! speculation.
 //!
-//! `HTMGIL_QUICK=1` shrinks the sweep for smoke runs.
+//! `HTMGIL_QUICK=1` shrinks the sweep for smoke runs; `--jobs <N|auto>`
+//! fans the (independently oracle-checked) points out across a worker
+//! pool without changing a byte of the report.
 
-use bench::{quick, results_dir, throughput_of, vm_config_for};
-use htm_gil_core::{oracle, ExecConfig, Json, LengthPolicy, RuntimeMode, WatchdogConstants};
-use htm_sim::FaultPlan;
-use machine_sim::MachineProfile;
-use workloads::Workload;
-
-/// Fixed injection seed: the whole suite is deterministic.
-const SEED: u64 = 0x0DA1_2A09;
-
-fn chaos_workloads(q: bool) -> Vec<Workload> {
-    let threads = 4;
-    let iters = if q { 150 } else { 1_000 };
-    vec![
-        workloads::micro::while_bench(threads, iters),
-        workloads::micro::iterator_bench(threads, iters),
-        workloads::npb::cg(threads, if q { 1 } else { 2 }),
-        workloads::webrick::webrick(threads, if q { 8 } else { 40 }),
-    ]
-}
-
-fn rates(q: bool) -> Vec<f64> {
-    if q {
-        vec![0.0, 0.25, 1.0]
-    } else {
-        vec![0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0]
-    }
-}
-
-fn subject_cfg(profile: &MachineProfile, rate: f64, interrupt_interval: u64) -> ExecConfig {
-    let mut cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, profile);
-    if rate > 0.0 {
-        cfg.fault_plan = Some(FaultPlan::spurious(SEED, rate));
-    }
-    cfg.interrupt_interval = interrupt_interval;
-    cfg.watchdog = WatchdogConstants::enabled();
-    cfg
-}
-
-/// Run one chaos point and oracle-check it; panics on divergence.
-fn run_point(w: &Workload, profile: &MachineProfile, cfg: ExecConfig) -> (Json, f64) {
-    let label = cfg.mode.label();
-    let v = oracle::check_against_gil(&w.source, vm_config_for(w.threads), profile.clone(), cfg)
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    if let Some(m) = &v.mismatch {
-        panic!("{} diverged from the GIL oracle under injection ({label}):\n{m}", w.name);
-    }
-    let rel = throughput_of(w, &v.subject) / throughput_of(w, &v.oracle);
-    let point = Json::obj()
-        .field("throughput", throughput_of(w, &v.subject))
-        .field("relative_to_gil", rel)
-        .field("spurious_aborts", v.subject.htm.spurious)
-        .field("total_aborts", v.subject.htm.total_aborts())
-        .field("watchdog_escalations", v.subject.watchdog_escalations)
-        .field("gil_acquisitions", v.subject.gil_acquisitions)
-        .field("oracle_match", true);
-    (point, rel)
-}
+use bench::{quick, results_dir};
 
 fn main() {
-    let q = quick();
-    let profile = MachineProfile::generic(4);
-    let mut workload_reports = Vec::new();
-    for w in chaos_workloads(q) {
-        println!("== chaos: {} ({} threads) ==", w.name, w.threads);
-        println!("  {:>6}  {:>8}  {:>10}  {:>9}", "rate", "rel-GIL", "spurious", "watchdog");
-        let mut points = Vec::new();
-        for &rate in &rates(q) {
-            let (point, rel) = run_point(&w, &profile, subject_cfg(&profile, rate, 0));
-            println!(
-                "  {:>5.0}%  {:>8.2}  {:>10}  {:>9}",
-                rate * 100.0,
-                rel,
-                point.get("spurious_aborts").and_then(Json::as_u64).unwrap_or(0),
-                point.get("watchdog_escalations").and_then(Json::as_u64).unwrap_or(0),
-            );
-            points.push(point.field("rate", rate));
-        }
-        workload_reports.push(
-            Json::obj().field("name", w.name).field("threads", w.threads).field("points", points),
-        );
-    }
-    // §5.6 interrupt-pressure sweep: shorter intervals kill more
-    // in-flight transactions; output must stay oracle-identical.
-    let mut interrupt_points = Vec::new();
-    let w = workloads::micro::while_bench(4, if q { 150 } else { 1_000 });
-    println!("== chaos: interrupt pressure ({}) ==", w.name);
-    for interval in [200_000u64, 50_000, 10_000] {
-        let (point, rel) = run_point(&w, &profile, subject_cfg(&profile, 0.0, interval));
-        println!("  interval {interval:>7}: rel-GIL {rel:.2}");
-        interrupt_points.push(point.field("interrupt_interval", interval));
-    }
-    let report = Json::obj()
-        .field("suite", "chaos")
-        .field("machine", profile.name)
-        .field("seed", SEED)
-        .field("quick", q)
-        .field("mode", "HTM-dynamic")
-        .field("workloads", workload_reports)
-        .field("interrupt_pressure", interrupt_points);
+    bench::runner::init_from_args();
+    let report = bench::chaos::degradation_report(quick());
     let path = results_dir().join("chaos_degradation.json");
     std::fs::write(&path, report.to_pretty()).expect("write chaos report");
     println!("\n  [json] {}", path.display());
+    bench::reporting::finalize();
 }

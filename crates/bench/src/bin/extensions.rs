@@ -11,13 +11,42 @@
 //!    HTM scalability because shared objects' count words join every
 //!    transaction's write set.
 
-use bench::{quick, run_workload_with, vm_config_for};
+use bench::{quick, run_workload_with, runner, vm_config_for};
 use htm_gil_core::{ExecConfig, LengthPolicy, RuntimeMode};
 use htm_gil_stats::Table;
 use machine_sim::MachineProfile;
+use ruby_vm::VmConfig;
+
+/// Measured variants, in the old serial order (also the column order).
+const VARIANTS: [&str; 6] = ["gil", "base", "tl_sweep", "small", "tl_ics", "refcount"];
+
+fn variant_configs(
+    variant: &str,
+    profile: &MachineProfile,
+    nthreads: usize,
+) -> (ExecConfig, VmConfig) {
+    let htm16 = RuntimeMode::Htm { length: LengthPolicy::Fixed(16) };
+    let cfg = ExecConfig::new(htm16, profile);
+    let mut vmc = vm_config_for(nthreads);
+    match variant {
+        "gil" => return (ExecConfig::new(RuntimeMode::Gil, profile), vmc),
+        "base" => {}
+        // Sweeping only matters when the heap is small enough to cycle:
+        // compare base vs +tl-sweep under the paper's *small* heap.
+        "tl_sweep" => {
+            vmc = vmc.small_heap();
+            vmc.tl_lazy_sweep = true;
+        }
+        "small" => vmc = vmc.small_heap(),
+        "tl_ics" => vmc.thread_local_ics = true,
+        "refcount" => vmc.refcount_writes = true,
+        other => panic!("unknown variant {other}"),
+    }
+    (cfg, vmc)
+}
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }
@@ -26,7 +55,6 @@ fn run() {
     let profile = MachineProfile::zec12();
     let scale = if quick() { 1 } else { 4 };
     let nthreads = if quick() { 4 } else { 12 };
-    let htm16 = RuntimeMode::Htm { length: LengthPolicy::Fixed(16) };
 
     let mut table = Table::new(&[
         "bench",
@@ -39,43 +67,24 @@ fn run() {
     ]);
     let mut csv =
         String::from("bench,gil,htm16,tl_sweep_small_heap,base_small_heap,tl_ics,refcount\n");
-    for w in workloads::npb_all(nthreads, scale) {
-        let gil = run_workload_with(
-            &w,
-            &profile,
-            ExecConfig::new(RuntimeMode::Gil, &profile),
-            vm_config_for(nthreads),
-        );
-        let base_cycles = gil.elapsed_cycles as f64;
-        let speedup = |r: htm_gil_core::RunReport| base_cycles / r.elapsed_cycles as f64;
-
-        let base = speedup(run_workload_with(
-            &w,
-            &profile,
-            ExecConfig::new(htm16, &profile),
-            vm_config_for(nthreads),
-        ));
-        // Sweeping only matters when the heap is small enough to cycle:
-        // compare base vs +tl-sweep under the paper's *small* heap.
-        let mut vmc = vm_config_for(nthreads).small_heap();
-        vmc.tl_lazy_sweep = true;
-        let tl_sweep =
-            speedup(run_workload_with(&w, &profile, ExecConfig::new(htm16, &profile), vmc));
-        let small = speedup(run_workload_with(
-            &w,
-            &profile,
-            ExecConfig::new(htm16, &profile),
-            vm_config_for(nthreads).small_heap(),
-        ));
-        let mut vmc = vm_config_for(nthreads);
-        vmc.thread_local_ics = true;
-        let tl_ics =
-            speedup(run_workload_with(&w, &profile, ExecConfig::new(htm16, &profile), vmc));
-        let mut vmc = vm_config_for(nthreads);
-        vmc.refcount_writes = true;
-        let refcount =
-            speedup(run_workload_with(&w, &profile, ExecConfig::new(htm16, &profile), vmc));
-
+    let kernels = workloads::npb_all(nthreads, scale);
+    let points: Vec<(usize, &'static str)> =
+        (0..kernels.len()).flat_map(|k| VARIANTS.iter().map(move |&v| (k, v))).collect();
+    let cycles = runner::sweep(
+        "Extensions",
+        &points,
+        |&(k, v)| format!("{} {v}", kernels[k].name),
+        |&(k, v)| {
+            let (cfg, vmc) = variant_configs(v, &profile, nthreads);
+            run_workload_with(&kernels[k], &profile, cfg, vmc).elapsed_cycles
+        },
+    );
+    for (w, chunk) in kernels.iter().zip(cycles.chunks(VARIANTS.len())) {
+        let base_cycles = chunk[0] as f64;
+        let s: Vec<f64> = chunk[1..].iter().map(|&c| base_cycles / c as f64).collect();
+        let [base, tl_sweep, small, tl_ics, refcount] = s[..] else {
+            unreachable!("one result per non-GIL variant");
+        };
         table.row(&[
             w.name.to_string(),
             "1.00".into(),

@@ -13,7 +13,7 @@ use bench::{print_panel, quick, sweep_panel, thread_counts, write_csv};
 use machine_sim::MachineProfile;
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }

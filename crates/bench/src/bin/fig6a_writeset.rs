@@ -7,17 +7,31 @@
 //! iterations) because of the CPU's overflow-learning — the behaviour our
 //! predictor reproduces.
 
-use bench::{quick, results_dir};
+use bench::{quick, results_dir, runner};
 use htm_sim::{Budgets, OverflowPredictor, TxMemory};
 use machine_sim::MachineProfile;
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }
 
 fn run() {
+    // The probe is one serial trajectory — the overflow predictor's state
+    // at iteration i depends on every prior iteration — so there is
+    // nothing to fan out. It still goes through the runner as a
+    // single-point sweep so this binary shares the others' flag handling
+    // and progress reporting.
+    let mut results = runner::sweep("Fig.6a", &[()], |_| "probe".into(), |_| probe());
+    let (csv, totals) = results.pop().expect("one point, one result");
+    let path = results_dir().join("fig6a_writeset.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    println!("  [csv] {}", path.display());
+    println!("{totals}");
+}
+
+fn probe() -> (String, String) {
     let profile = MachineProfile::xeon_e3_1275_v3();
     let iters = if quick() { 600 } else { 10_000 };
     let window = 100usize;
@@ -72,15 +86,13 @@ fn run() {
             }
         }
     }
-    let path = results_dir().join("fig6a_writeset.csv");
-    std::fs::write(&path, csv).expect("write csv");
-    println!("  [csv] {}", path.display());
     let s = mem.stats();
-    println!(
+    let totals = format!(
         "totals: {} begins, {} commits, {} overflow aborts, {} predictor kills",
         s.begins,
         s.commits,
         s.overflow_read + s.overflow_write,
         s.eager_predicted
     );
+    (csv, totals)
 }

@@ -7,13 +7,13 @@
 //! WEBrick, +24 % for Rails); HTM-dynamic abort ratios stay elevated
 //! because most lengths bottom out at 1.
 
-use bench::{paper_modes, print_panel, quick, run_workload, throughput_of, write_csv};
+use bench::{paper_modes, print_panel, quick, run_workload, runner, throughput_of, write_csv};
 use htm_gil_stats::{Series, SeriesSet};
 use machine_sim::MachineProfile;
 use workloads::Workload;
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }
@@ -30,20 +30,29 @@ fn run() {
     let mut abort_panel =
         SeriesSet::new("Fig.7 abort ratios of HTM-dynamic", "clients", "abort ratio %");
     for (name, profile, build) in cases {
-        let mut set = SeriesSet::new(
-            format!("Fig.7 {name} / {}", profile.name),
-            "clients",
-            "throughput (1 = 1-client GIL)",
-        );
-        let mut aborts = Series::new(format!("{name} / {}", profile.name));
-        for mode in paper_modes() {
-            let mut s = Series::new(mode.label());
-            for &c in &clients {
+        let title = format!("Fig.7 {name} / {}", profile.name);
+        // mode × clients are independent server simulations: fan them out
+        // through the runner and assemble the series in submission order.
+        let points: Vec<(htm_gil_core::RuntimeMode, usize)> =
+            paper_modes().into_iter().flat_map(|m| clients.iter().map(move |&c| (m, c))).collect();
+        let results = runner::sweep(
+            &title,
+            &points,
+            |&(mode, c)| format!("{} c={c}", mode.label()),
+            |&(mode, c)| {
                 let w = build(c, requests);
                 let r = run_workload(&w, mode, &profile);
-                s.push(c as f64, throughput_of(&w, &r));
+                (throughput_of(&w, &r), r.abort_ratio_pct())
+            },
+        );
+        let mut set = SeriesSet::new(title, "clients", "throughput (1 = 1-client GIL)");
+        let mut aborts = Series::new(format!("{name} / {}", profile.name));
+        for (mode, chunk) in paper_modes().into_iter().zip(results.chunks(clients.len())) {
+            let mut s = Series::new(mode.label());
+            for (&c, &(tput, abort_pct)) in clients.iter().zip(chunk) {
+                s.push(c as f64, tput);
                 if mode.label() == "HTM-dynamic" {
-                    aborts.push(c as f64, r.abort_ratio_pct());
+                    aborts.push(c as f64, abort_pct);
                 }
             }
             set.add(s);

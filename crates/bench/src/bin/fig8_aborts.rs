@@ -6,7 +6,7 @@
 use bench::{print_panel, quick, write_csv};
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }

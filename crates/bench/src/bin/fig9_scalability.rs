@@ -7,13 +7,13 @@
 //! own scalability), and the average at 12 threads lands near the paper's
 //! 3.6× (HTM) / 3.5× (JRuby).
 
-use bench::{print_panel, quick, run_workload, thread_counts, write_csv};
+use bench::{print_panel, quick, run_workload, runner, thread_counts, write_csv};
 use htm_gil_core::{LengthPolicy, RunReport, RuntimeMode};
 use htm_gil_stats::{geomean, Series, SeriesSet};
 use machine_sim::MachineProfile;
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }
@@ -34,18 +34,30 @@ fn run() {
     let mut final_speedups: Vec<(String, Vec<f64>)> = Vec::new();
     for (label, mode, profile) in cases {
         let threads = if quick() { vec![1, 2, 4] } else { thread_counts(&profile) };
-        let mut set = SeriesSet::new(
-            format!("Fig.9 scalability — {label}"),
-            "threads",
-            "throughput (1 = 1 thread, same config)",
+        let title = format!("Fig.9 scalability — {label}");
+        // Per kernel: one 1-thread base run plus one run per thread count,
+        // all independent — enumerate them flat (kernel-major, base
+        // first, matching the old serial order) and fan out.
+        let kernels: Vec<&'static str> =
+            workloads::npb_all(1, scale).iter().map(|w| w.name).collect();
+        let runs_per_kernel = 1 + threads.len();
+        let points: Vec<(&'static str, usize)> = kernels
+            .iter()
+            .flat_map(|&k| std::iter::once((k, 1)).chain(threads.iter().map(move |&n| (k, n))))
+            .collect();
+        let results = runner::sweep(
+            &title,
+            &points,
+            |&(k, n)| format!("{k} t={n}"),
+            |&(k, n)| elapsed(&run_workload(&rebuild(k, n, scale), mode, &profile)),
         );
+        let mut set = SeriesSet::new(title, "threads", "throughput (1 = 1 thread, same config)");
         let mut at_max = Vec::new();
-        for w0 in workloads::npb_all(1, scale) {
-            let mut s = Series::new(w0.name);
-            let base = elapsed(&run_workload(&rebuild(w0.name, 1, scale), mode, &profile));
-            for &n in &threads {
-                let r = run_workload(&rebuild(w0.name, n, scale), mode, &profile);
-                s.push(n as f64, base as f64 / elapsed(&r) as f64);
+        for (name, chunk) in kernels.iter().zip(results.chunks(runs_per_kernel)) {
+            let mut s = Series::new(*name);
+            let base = chunk[0];
+            for (&n, &e) in threads.iter().zip(&chunk[1..]) {
+                s.push(n as f64, base as f64 / e as f64);
             }
             at_max.push(s.points.last().map(|&(_, y)| y).unwrap_or(1.0));
             set.add(s);

@@ -8,13 +8,17 @@
 //!   > those at object allocation;
 //! * ≈40 % of frequently-executed yield points end at length 1.
 
-use bench::{quick, run_workload, thread_counts};
+use bench::{quick, run_workload, runner, thread_counts};
 use htm_gil_core::{LengthPolicy, RuntimeMode};
 use htm_gil_stats::Table;
 use machine_sim::MachineProfile;
 
+/// Per-kernel runs, in the old serial order: the 1-thread GIL/HTM pair
+/// (for the overhead claim), then the max-thread pair (for the rest).
+const RUNS: [&str; 4] = ["gil1", "htm1", "giln", "htmn"];
+
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     run();
     bench::reporting::finalize();
 }
@@ -36,14 +40,27 @@ fn run() {
     let mut csv = String::from(
         "bench,speedup,overhead_1t_pct,gilwait_gt_aborted,read_conflict_pct,alloc_share_pct,len1_share_pct\n",
     );
-    for name in ["BT", "CG", "FT", "IS", "LU", "MG", "SP"] {
-        let w1 = build(name, 1, scale);
-        let gil1 = run_workload(&w1, RuntimeMode::Gil, &profile);
-        let htm1 = run_workload(&w1, dynamic, &profile);
+    let kernels = ["BT", "CG", "FT", "IS", "LU", "MG", "SP"];
+    let points: Vec<(&str, &str)> =
+        kernels.iter().flat_map(|&k| RUNS.iter().map(move |&r| (k, r))).collect();
+    let reports = runner::sweep(
+        "In-text numbers",
+        &points,
+        |&(k, r)| format!("{k} {r}"),
+        |&(k, r)| {
+            let (threads, mode) = match r {
+                "gil1" => (1, RuntimeMode::Gil),
+                "htm1" => (1, dynamic),
+                "giln" => (nmax, RuntimeMode::Gil),
+                "htmn" => (nmax, dynamic),
+                other => panic!("unknown run {other}"),
+            };
+            run_workload(&build(k, threads, scale), mode, &profile)
+        },
+    );
+    for (name, chunk) in kernels.iter().zip(reports.chunks(RUNS.len())) {
+        let [gil1, htm1, giln, htmn] = chunk else { unreachable!("one report per run") };
         let overhead = 100.0 * (htm1.elapsed_cycles as f64 / gil1.elapsed_cycles as f64 - 1.0);
-        let wn = build(name, nmax, scale);
-        let giln = run_workload(&wn, RuntimeMode::Gil, &profile);
-        let htmn = run_workload(&wn, dynamic, &profile);
         let speedup = giln.elapsed_cycles as f64 / htmn.elapsed_cycles as f64;
         let gil_gt = htmn.breakdown.gil_wait > htmn.breakdown.aborted;
         table.row(&[

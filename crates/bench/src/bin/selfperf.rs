@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use bench::{quick, run_workload, vm_config_for};
+use bench::{quick, run_workload, runner, vm_config_for};
 use htm_gil_core::{ExecConfig, Json, LengthPolicy, RunReport, RuntimeMode};
 use machine_sim::MachineProfile;
 use workloads::Workload;
@@ -74,7 +74,7 @@ fn measure(name: &'static str, w: &Workload, reps: usize) -> Measurement {
 }
 
 fn main() {
-    bench::reporting::init_from_args();
+    bench::runner::init_from_args();
     let q = quick();
     let reps = if q { 3 } else { 5 };
     // Warm up allocator/page cache once so rep 1 is comparable to rep N.
@@ -85,10 +85,24 @@ fn main() {
         bench::run_workload_with(&w, &profile, cfg, vm_config_for(w.threads));
     }
 
+    // The three configs fan out through the shared runner like any other
+    // sweep (reps stay serial inside each point so a median means
+    // something). Concurrent points contend for cores, so wall times taken
+    // at --jobs > 1 are only comparable with other runs at the same pool
+    // size — the JSON records `jobs`, and the baseline comparison (which
+    // was measured serially) is reported at --jobs 1 only.
+    let jobs = runner::jobs();
+    let cfgs = configs(q);
+    let measurements = runner::sweep(
+        "selfperf",
+        &cfgs,
+        |(name, _)| name.to_string(),
+        |&(name, ref w)| measure(name, w, reps),
+    );
+
     let mut current = Json::obj();
-    println!("== selfperf: simulator wall-clock (median of {reps}) ==");
-    for (name, w) in configs(q) {
-        let m = measure(name, &w, reps);
+    println!("== selfperf: simulator wall-clock (median of {reps}, jobs={jobs}) ==");
+    for m in measurements {
         let wall_s = m.wall_ms / 1e3;
         let insns = m.report.committed_insns + m.report.wasted_insns;
         let words = m.report.htm.total_accesses();
@@ -98,7 +112,7 @@ fn main() {
             .iter()
             .find(|(n, _)| *n == m.name)
             .map(|&(_, ms)| ms)
-            .filter(|&ms| ms > 0.0 && !q);
+            .filter(|&ms| ms > 0.0 && !q && jobs == 1);
         let speedup = baseline_ms.map(|b| b / m.wall_ms);
         println!(
             "  {:<18} {:>9.1} ms  {:>12.0} bytecodes/s  {:>12.0} words/s{}",
@@ -129,6 +143,7 @@ fn main() {
         .field("schema", "htm-gil-selfperf/v1")
         .field("quick", q)
         .field("reps", reps as u64)
+        .field("jobs", jobs as u64)
         .field("machine_profile", "zEC12")
         .field("mode", "HTM-dynamic")
         .field(

@@ -1,0 +1,171 @@
+//! Chaos suite: fault-injection degradation sweep (library part).
+//!
+//! Sweeps the spurious-abort injection rate from 0 % to 100 % over the
+//! While/Iterator micro-benchmarks, the NPB CG kernel and the WEBrick
+//! server model, running each point under HTM-dynamic with the livelock
+//! watchdog armed. Every run is differentially checked against the plain
+//! GIL oracle (identical stdout + identical final global-heap digest) —
+//! any divergence is a bug and aborts the sweep. A second, smaller sweep
+//! arms the §5.6 timer-interrupt model at decreasing intervals.
+//!
+//! All points are independent `(workload, rate | interrupt-interval)`
+//! configurations, so the whole sweep fans out through
+//! [`crate::runner::sweep`]; per-point console lines and the emitted
+//! JSON document are assembled from the ordered results, making
+//! `chaos_degradation.json` byte-identical at any `--jobs` value —
+//! `tests/pool_determinism.rs` asserts exactly that on a quick slice.
+//!
+//! The `chaos` binary wraps [`degradation_report`] and writes
+//! `bench-results/chaos_degradation.json`.
+
+use htm_gil_core::{oracle, ExecConfig, Json, LengthPolicy, RuntimeMode, WatchdogConstants};
+use htm_sim::FaultPlan;
+use machine_sim::MachineProfile;
+use workloads::Workload;
+
+use crate::{runner, throughput_of, vm_config_for};
+
+/// Fixed injection seed: the whole suite is deterministic.
+pub const SEED: u64 = 0x0DA1_2A09;
+
+fn chaos_workloads(q: bool) -> Vec<Workload> {
+    let threads = 4;
+    let iters = if q { 150 } else { 1_000 };
+    vec![
+        workloads::micro::while_bench(threads, iters),
+        workloads::micro::iterator_bench(threads, iters),
+        workloads::npb::cg(threads, if q { 1 } else { 2 }),
+        workloads::webrick::webrick(threads, if q { 8 } else { 40 }),
+    ]
+}
+
+fn rates(q: bool) -> Vec<f64> {
+    if q {
+        vec![0.0, 0.25, 1.0]
+    } else {
+        vec![0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0]
+    }
+}
+
+/// Interrupt intervals of the §5.6 pressure sweep (simulated cycles).
+const INTERRUPT_INTERVALS: [u64; 3] = [200_000, 50_000, 10_000];
+
+fn subject_cfg(profile: &MachineProfile, rate: f64, interrupt_interval: u64) -> ExecConfig {
+    let mut cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, profile);
+    if rate > 0.0 {
+        cfg.fault_plan = Some(FaultPlan::spurious(SEED, rate));
+    }
+    cfg.interrupt_interval = interrupt_interval;
+    cfg.watchdog = WatchdogConstants::enabled();
+    cfg
+}
+
+/// Run one chaos point and oracle-check it; panics on divergence.
+fn run_point(w: &Workload, profile: &MachineProfile, cfg: ExecConfig) -> (Json, f64) {
+    let label = cfg.mode.label();
+    let v = oracle::check_against_gil(&w.source, vm_config_for(w.threads), profile.clone(), cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    if let Some(m) = &v.mismatch {
+        panic!("{} diverged from the GIL oracle under injection ({label}):\n{m}", w.name);
+    }
+    let rel = throughput_of(w, &v.subject) / throughput_of(w, &v.oracle);
+    let point = Json::obj()
+        .field("throughput", throughput_of(w, &v.subject))
+        .field("relative_to_gil", rel)
+        .field("spurious_aborts", v.subject.htm.spurious)
+        .field("total_aborts", v.subject.htm.total_aborts())
+        .field("watchdog_escalations", v.subject.watchdog_escalations)
+        .field("gil_acquisitions", v.subject.gil_acquisitions)
+        .field("oracle_match", true);
+    (point, rel)
+}
+
+/// One enumerated sweep point: an injection-rate point of a workload, or
+/// an interrupt-pressure point (always on the While micro-benchmark).
+enum Point {
+    Inject { workload: usize, rate: f64 },
+    Interrupt { interval: u64 },
+}
+
+/// Run the full chaos sweep (injection rates × workloads, then the
+/// interrupt-pressure sweep), print the per-workload tables, and return
+/// the `chaos_degradation.json` document.
+pub fn degradation_report(q: bool) -> Json {
+    let profile = MachineProfile::generic(4);
+    let workloads = chaos_workloads(q);
+    let rates = rates(q);
+    let interrupt_workload = workloads::micro::while_bench(4, if q { 150 } else { 1_000 });
+
+    let mut points: Vec<Point> = Vec::new();
+    for wi in 0..workloads.len() {
+        for &rate in &rates {
+            points.push(Point::Inject { workload: wi, rate });
+        }
+    }
+    for interval in INTERRUPT_INTERVALS {
+        points.push(Point::Interrupt { interval });
+    }
+
+    let results = runner::sweep(
+        "chaos",
+        &points,
+        |p| match p {
+            Point::Inject { workload, rate } => {
+                format!("{} rate={:.0}%", workloads[*workload].name, rate * 100.0)
+            }
+            Point::Interrupt { interval } => format!("interrupt interval={interval}"),
+        },
+        |p| match p {
+            Point::Inject { workload, rate } => {
+                let w = &workloads[*workload];
+                run_point(w, &profile, subject_cfg(&profile, *rate, 0))
+            }
+            Point::Interrupt { interval } => {
+                run_point(&interrupt_workload, &profile, subject_cfg(&profile, 0.0, *interval))
+            }
+        },
+    );
+
+    // Assemble tables and the JSON document from the ordered results.
+    let mut results = results.into_iter();
+    let mut workload_reports = Vec::new();
+    for w in &workloads {
+        println!("== chaos: {} ({} threads) ==", w.name, w.threads);
+        println!("  {:>6}  {:>8}  {:>10}  {:>9}", "rate", "rel-GIL", "spurious", "watchdog");
+        let mut rate_points = Vec::new();
+        for &rate in &rates {
+            let (point, rel) = results.next().expect("one result per point");
+            println!(
+                "  {:>5.0}%  {:>8.2}  {:>10}  {:>9}",
+                rate * 100.0,
+                rel,
+                point.get("spurious_aborts").and_then(Json::as_u64).unwrap_or(0),
+                point.get("watchdog_escalations").and_then(Json::as_u64).unwrap_or(0),
+            );
+            rate_points.push(point.field("rate", rate));
+        }
+        workload_reports.push(
+            Json::obj()
+                .field("name", w.name)
+                .field("threads", w.threads)
+                .field("points", rate_points),
+        );
+    }
+    // §5.6 interrupt-pressure sweep: shorter intervals kill more
+    // in-flight transactions; output must stay oracle-identical.
+    let mut interrupt_points = Vec::new();
+    println!("== chaos: interrupt pressure ({}) ==", interrupt_workload.name);
+    for interval in INTERRUPT_INTERVALS {
+        let (point, rel) = results.next().expect("one result per interrupt point");
+        println!("  interval {interval:>7}: rel-GIL {rel:.2}");
+        interrupt_points.push(point.field("interrupt_interval", interval));
+    }
+    Json::obj()
+        .field("suite", "chaos")
+        .field("machine", profile.name)
+        .field("seed", SEED)
+        .field("quick", q)
+        .field("mode", "HTM-dynamic")
+        .field("workloads", workload_reports)
+        .field("interrupt_pressure", interrupt_points)
+}

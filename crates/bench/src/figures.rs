@@ -16,7 +16,7 @@ use htm_gil_stats::{Series, SeriesSet, Table};
 use machine_sim::MachineProfile;
 use workloads::Workload;
 
-use crate::{run_workload, sweep_panel, thread_counts};
+use crate::{run_workload, runner, sweep_panel, thread_counts};
 
 /// One Fig. 4 sweep: a micro-benchmark × machine panel.
 pub struct Fig4Panel {
@@ -68,21 +68,31 @@ pub fn fig8_abort_panels(quick: bool) -> Vec<Fig8AbortPanel> {
     let dynamic = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
     let mut panels = Vec::new();
     for profile in [MachineProfile::zec12(), MachineProfile::xeon_e3_1275_v3()] {
-        let threads = if quick { vec![2, 4] } else { thread_counts(&profile) };
-        let mut set = SeriesSet::new(
-            format!("Fig.8 abort ratios / {}", profile.name),
-            "threads",
-            "abort ratio %",
+        // Single-threaded runs use the GIL fast path: enumerate only the
+        // multi-threaded points (the old serial loop skipped n < 2 too).
+        let threads: Vec<usize> = if quick { vec![2, 4] } else { thread_counts(&profile) }
+            .into_iter()
+            .filter(|&n| n >= 2)
+            .collect();
+        let kernels: Vec<&'static str> =
+            workloads::npb_all(2, scale).iter().map(|w| w.name).collect();
+        let points: Vec<(&'static str, usize)> =
+            kernels.iter().flat_map(|&name| threads.iter().map(move |&n| (name, n))).collect();
+        let title = format!("Fig.8 abort ratios / {}", profile.name);
+        let results = runner::sweep(
+            &title,
+            &points,
+            |&(name, n)| format!("{name} t={n}"),
+            |&(name, n)| {
+                let w = rebuild(name, n, scale);
+                run_workload(&w, dynamic, &profile).abort_ratio_pct()
+            },
         );
-        for w0 in workloads::npb_all(2, scale) {
-            let mut s = Series::new(w0.name);
-            for &n in &threads {
-                if n < 2 {
-                    continue; // single-threaded runs use the GIL fast path
-                }
-                let w = rebuild(w0.name, n, scale);
-                let r = run_workload(&w, dynamic, &profile);
-                s.push(n as f64, r.abort_ratio_pct());
+        let mut set = SeriesSet::new(title, "threads", "abort ratio %");
+        for (name, chunk) in kernels.iter().zip(results.chunks(threads.len())) {
+            let mut s = Series::new(*name);
+            for (&n, &pct) in threads.iter().zip(chunk) {
+                s.push(n as f64, pct);
             }
             set.add(s);
         }
@@ -124,8 +134,14 @@ pub fn fig8_breakdown(quick: bool) -> Fig8Breakdown {
     let mut csv = String::from(
         "bench,tx_begin_end,success,gil_held,aborted,gil_wait,io_wait,other,abort_ratio,read_conflict_share,alloc_share\n",
     );
-    for w0 in workloads::npb_all(nthreads, scale) {
-        let r = run_workload(&w0, dynamic, &profile);
+    let kernels = workloads::npb_all(nthreads, scale);
+    let reports = runner::sweep(
+        "Fig.8 breakdown",
+        &kernels,
+        |w| w.name.to_string(),
+        |w| run_workload(w, dynamic, &profile),
+    );
+    for (w0, r) in kernels.iter().zip(&reports) {
         let sh = r.breakdown.shares_pct();
         table.row(&[
             w0.name.to_string(),

@@ -9,9 +9,17 @@
 //! writes CSV files under `bench-results/` for external plotting.
 //! `HTMGIL_QUICK=1` shrinks every sweep for smoke runs (the integration
 //! tests use it).
+//!
+//! Sweeps fan out through the [`runner`] module's deterministic worker
+//! pool (`--jobs <N|auto>`, default 1): independent simulation points
+//! run concurrently, but results — and therefore every CSV/JSON byte —
+//! are collected in submission order, identical at any pool size.
 
+pub mod chaos;
 pub mod figures;
+pub mod pool;
 pub mod reporting;
+pub mod runner;
 
 use std::fs;
 use std::path::PathBuf;
@@ -86,19 +94,34 @@ pub fn throughput_of(w: &Workload, r: &RunReport) -> f64 {
 
 /// Sweep a workload builder over thread counts × the paper modes,
 /// producing a Fig. 5-style panel normalized to 1-thread GIL.
+///
+/// The `mode × threads` points are independent simulations, so they fan
+/// out through [`runner::sweep`]; results come back in submission order
+/// (mode-major, threads inner — the order the old serial loop used), so
+/// the assembled panel is byte-for-byte the same at any `--jobs` size.
 pub fn sweep_panel(
     title: &str,
     profile: &MachineProfile,
     threads: &[usize],
-    build: impl Fn(usize) -> Workload,
+    build: impl Fn(usize) -> Workload + Sync,
 ) -> SeriesSet {
-    let mut set = SeriesSet::new(title, "threads", "throughput (1 = 1-thread GIL)");
-    for mode in paper_modes() {
-        let mut s = Series::new(mode.label());
-        for &n in threads {
+    let points: Vec<(RuntimeMode, usize)> =
+        paper_modes().into_iter().flat_map(|m| threads.iter().map(move |&n| (m, n))).collect();
+    let results = runner::sweep(
+        title,
+        &points,
+        |&(mode, n)| format!("{} t={n}", mode.label()),
+        |&(mode, n)| {
             let w = build(n);
             let r = run_workload(&w, mode, profile);
-            s.push(n as f64, throughput_of(&w, &r));
+            throughput_of(&w, &r)
+        },
+    );
+    let mut set = SeriesSet::new(title, "threads", "throughput (1 = 1-thread GIL)");
+    for (mode, chunk) in paper_modes().into_iter().zip(results.chunks(threads.len())) {
+        let mut s = Series::new(mode.label());
+        for (&n, &y) in threads.iter().zip(chunk) {
+            s.push(n as f64, y);
         }
         set.add(s);
     }

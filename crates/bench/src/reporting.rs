@@ -8,12 +8,22 @@
 //! the flag the collector stays uninstalled and [`record`] is a no-op, so
 //! the human-readable tables and CSV outputs are unchanged.
 
+use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
 use htm_gil_core::{Json, RunReport};
 
 static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+
+thread_local! {
+    /// Per-point capture buffer installed by [`capture`] around a pool
+    /// worker's point execution. `Some` diverts [`record`] calls away
+    /// from the process-global collector so the runner can flush them in
+    /// submission order — the order a serial run would have produced —
+    /// instead of completion order.
+    static CAPTURE: RefCell<Option<Vec<Json>>> = const { RefCell::new(None) };
+}
 
 #[derive(Debug)]
 struct Collector {
@@ -63,12 +73,64 @@ pub fn enabled() -> bool {
 
 /// Capture one run. No-op unless [`init_from_args`]/[`install`] armed the
 /// collector; the harness calls this for every completed workload run.
+/// Inside a pool worker (see [`capture`]) the entry lands in the point's
+/// buffer instead of the global collector.
 pub fn record(workload: &str, report: &RunReport) {
+    let diverted = CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => {
+                buf.push(entry(workload, report));
+                true
+            }
+            None => false,
+        }
+    });
+    if diverted {
+        return;
+    }
     let mut guard = COLLECTOR.lock().unwrap();
     if let Some(collector) = guard.as_mut() {
-        collector
-            .runs
-            .push(Json::obj().field("workload", workload).field("report", report.to_json()));
+        collector.runs.push(entry(workload, report));
+    }
+}
+
+fn entry(workload: &str, report: &RunReport) -> Json {
+    Json::obj().field("workload", workload).field("report", report.to_json())
+}
+
+/// Run `f` with [`record`] calls diverted into a per-point buffer, and
+/// return the result together with the captured entries. When the
+/// collector is disarmed the diversion is skipped entirely (records stay
+/// no-ops). The buffer is cleared even if `f` panics, so a reused pool
+/// worker never leaks a failed point's records into the next point.
+pub(crate) fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Json>) {
+    if !enabled() {
+        return (f(), Vec::new());
+    }
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CAPTURE.with(|c| *c.borrow_mut() = None);
+        }
+    }
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    let guard = Guard;
+    let r = f();
+    let buf = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+    drop(guard);
+    (r, buf)
+}
+
+/// Append entries captured by [`capture`] to the collector, preserving
+/// the caller's (submission) order. No-op when the collector is off.
+pub(crate) fn flush_captured(entries: Vec<Json>) {
+    if entries.is_empty() {
+        return;
+    }
+    let mut guard = COLLECTOR.lock().unwrap();
+    if let Some(collector) = guard.as_mut() {
+        collector.runs.extend(entries);
     }
 }
 

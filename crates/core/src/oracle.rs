@@ -292,6 +292,53 @@ puts($sum)
     }
 
     #[test]
+    fn cyclic_graphs_digest_identically_across_modes() {
+        // A self-referential array must not hang the walker, and the
+        // rendered <cycle> form must agree between an HTM subject and the
+        // GIL oracle (the cycle is reached at the same structural path
+        // whatever the schedule or allocation order).
+        let src = r#"
+$a = Array.new(2, 0)
+$a[0] = $a
+$a[1] = 7
+puts($a[1])
+"#;
+        let profile = MachineProfile::generic(4);
+        let cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &profile);
+        let v = check_against_gil(src, VmConfig::default(), profile, cfg).unwrap();
+        assert!(v.matches(), "{}", v.mismatch.unwrap());
+        assert_eq!(v.subject_heap, "$a=[<cycle>,7]\n");
+    }
+
+    #[test]
+    fn digest_ignores_allocation_addresses() {
+        // Two heaps holding the same global values at different addresses
+        // (a pile of garbage allocated before vs after the global) must
+        // digest identically — the digest walks structure, not memory.
+        let early_garbage = r#"
+tmp = Array.new(24, 1)
+tmp[0] = tmp[1]
+$x = Array.new(2, 5)
+$y = "done"
+"#;
+        let late_garbage = r#"
+$x = Array.new(2, 5)
+$y = "done"
+tmp = Array.new(24, 1)
+tmp[0] = tmp[1]
+"#;
+        let profile = MachineProfile::generic(2);
+        let cfg = ExecConfig::new(RuntimeMode::Gil, &profile);
+        let mut a = Executor::new(early_garbage, VmConfig::default(), profile.clone(), cfg.clone())
+            .unwrap();
+        a.run().unwrap();
+        let mut b = Executor::new(late_garbage, VmConfig::default(), profile, cfg).unwrap();
+        b.run().unwrap();
+        assert_eq!(heap_digest(&a.vm), heap_digest(&b.vm));
+        assert_eq!(heap_digest(&a.vm), "$x=[5,5]\n$y=\"done\"\n");
+    }
+
+    #[test]
     fn injected_run_still_matches_oracle() {
         let profile = MachineProfile::generic(4);
         let mut cfg =

@@ -446,6 +446,129 @@ mod tests {
     }
 
     #[test]
+    fn quantum_handover_charges_context_switch_to_the_waiter() {
+        let mut s = sched(1, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        assert_eq!(s.next(), Some(a));
+        s.advance(a, OVERSUB_QUANTUM);
+        // a's quantum is exactly exhausted; the handover happens inside
+        // next(), which must re-select and return b with the switch cost
+        // charged as busy time and its clock held back to the switch point.
+        assert_eq!(s.next(), Some(b));
+        assert_eq!(s.clock(b), OVERSUB_QUANTUM + 1_000);
+        assert_eq!(s.busy(b), 1_000);
+        assert!(s.threads[a].slot.is_none(), "a must have handed its slot over");
+        assert_eq!(s.threads[a].slot_usage, 0, "usage resets on handover");
+    }
+
+    #[test]
+    fn preemption_victim_is_the_max_usage_holder() {
+        let mut s = sched(2, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        let c = s.spawn(0);
+        assert_eq!(s.next(), Some(a));
+        s.advance(a, 300);
+        assert_eq!(s.next(), Some(b));
+        s.advance(b, 100);
+        // c has no slot and none is free: the holder with the most quantum
+        // used (a, 300 > 100) is preempted, and c pays the context switch
+        // on top of the victim's clock (the OS switches at expiry).
+        assert_eq!(s.next(), Some(c));
+        assert!(s.threads[a].slot.is_none(), "max-usage holder a is the victim");
+        assert!(s.threads[b].slot.is_some(), "lighter holder b keeps its slot");
+        assert_eq!(s.clock(c), 300 + 1_000);
+        assert_eq!(s.busy(c), 1_000);
+    }
+
+    #[test]
+    fn preemption_tie_on_usage_breaks_to_min_tid_not_min_clock() {
+        let mut s = sched(2, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        let c = s.spawn(0);
+        assert_eq!(s.next(), Some(a));
+        s.advance(a, 200);
+        assert_eq!(s.next(), Some(b));
+        s.advance(b, 200);
+        // Equal slot usage; skip a's clock ahead (no busy charge) so the
+        // tie-break is observable: it must go by tid, not clock.
+        s.skip_to(a, 400);
+        assert_eq!(s.next(), Some(c));
+        assert!(s.threads[a].slot.is_none(), "usage tie must evict the smaller tid");
+        assert!(s.threads[b].slot.is_some());
+        assert_eq!(s.clock(c), 400 + 1_000, "waiter resumes after the victim's clock");
+    }
+
+    #[test]
+    fn equal_ready_time_tie_breaks_to_min_tid_even_when_sleeping() {
+        let mut s = sched(2, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        assert_eq!(s.next(), Some(a));
+        s.sleep_until(a, 100);
+        s.skip_to(b, 100);
+        // Both become ready at exactly 100; the sleeping thread still wins
+        // the tie because its tid is smaller.
+        assert_eq!(s.next(), Some(a));
+        assert_eq!(s.clock(a), 100);
+    }
+
+    #[test]
+    fn smt_budget_halving_ends_when_the_sibling_parks_or_sleeps() {
+        let mut s = sched(1, 2);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        assert_eq!(s.next(), Some(a));
+        s.advance(a, 1);
+        assert_eq!(s.next(), Some(b));
+        s.advance(b, 1);
+        assert!(s.smt_sibling_busy(a), "both lanes of the core are held");
+        // Parking releases the lane: a gets its full capacity back.
+        s.park(b);
+        assert!(!s.smt_sibling_busy(a));
+        s.advance(a, 100);
+        s.unpark(b, 10);
+        // b (ready at 10) now precedes a (clock 101) and retakes a lane.
+        assert_eq!(s.next(), Some(b));
+        assert!(s.smt_sibling_busy(a), "rejoining sibling halves the budget again");
+        // Blocking I/O releases the lane just like parking.
+        s.sleep_until(b, 1_000_000);
+        assert!(!s.smt_sibling_busy(a));
+    }
+
+    #[test]
+    fn smt_sibling_on_another_core_does_not_halve_budgets() {
+        let mut s = sched(2, 2);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        let c = s.spawn(0);
+        for _ in 0..3 {
+            let t = s.next().unwrap();
+            s.advance(t, 1);
+        }
+        // Slots fill cores first: a → core 0, b → core 1, c → core 0's
+        // second lane. Only the core-0 pair shares capacity.
+        assert!(s.smt_sibling_busy(a));
+        assert!(!s.smt_sibling_busy(b), "b is alone on core 1");
+        assert!(s.smt_sibling_busy(c));
+    }
+
+    #[test]
+    fn no_smt_lanes_means_no_halving_even_oversubscribed() {
+        let mut s = sched(1, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        assert_eq!(s.next(), Some(a));
+        s.advance(a, 1);
+        // b is waiting for the only slot, but it is a whole-core wait, not
+        // SMT sharing: capacity budgets stay full.
+        assert!(!s.smt_sibling_busy(a));
+        assert!(!s.smt_sibling_busy(b), "slotless thread has no sibling");
+    }
+
+    #[test]
     fn determinism_same_sequence() {
         let run = || {
             let mut s = sched(2, 1);
