@@ -3,12 +3,12 @@
 //!
 //! Every figure sweep in this repo is bounded by how fast `TxMemory` can
 //! push simulated words around, so this binary is the perf trajectory the
-//! other benches read their budgets from. It runs three fixed
-//! configurations (the While micro-benchmark, NPB CG, and the WEBrick
-//! server model — compute-, conflict-, and I/O-shaped workloads) at 12/12/6
-//! threads on the zEC12 profile under HTM-dynamic, repeats each one several
-//! times, takes the median wall time, and writes `BENCH_selfperf.json` at
-//! the repo root:
+//! other benches read their budgets from. It runs four fixed
+//! configurations (the While micro-benchmark, NPB CG, the WEBrick server
+//! model, and the task server — compute-, conflict-, I/O- and
+//! queue-shaped workloads) at 12/12/6/12 threads on the zEC12 profile
+//! under HTM-dynamic, repeats each one several times, takes the median
+//! wall time, and writes `BENCH_selfperf.json` at the repo root:
 //!
 //! * `current` — this build's medians, plus simulated bytecodes/sec and
 //!   simulated words/sec derived from the (deterministic) run report;
@@ -41,10 +41,14 @@ fn configs(q: bool) -> Vec<(&'static str, Workload)> {
     let scale = if q { 1 } else { 4 };
     let iters = if q { 150 } else { 2_000 };
     let requests = if q { 48 } else { 600 };
+    let tasks = if q { 96 } else { 1_200 };
     vec![
         ("while_12t_zec12", workloads::micro::while_bench(12, iters)),
         ("cg_12t_zec12", workloads::npb::cg(12, scale)),
         ("webrick_6c_zec12", workloads::webrick::webrick(6, requests)),
+        // 8 clients + 4 workers = 12 simulated threads: the queue-heavy
+        // mutex/park/wake shape the figure sweeps don't otherwise cover.
+        ("taskserver_12t_zec12", workloads::taskserver::taskserver(8, 4, 64, tasks, false)),
     ]
 }
 

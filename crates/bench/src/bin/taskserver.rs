@@ -1,0 +1,25 @@
+//! Task-server latency sweep binary.
+//!
+//! Thin wrapper over [`bench::taskserver::latency_sweep`] (shared with
+//! `tests/pool_determinism.rs`). Emits
+//! `bench-results/taskserver_latency.json`: for every client count ×
+//! queue configuration × runtime mode point, the end-to-end and
+//! queue-wait latency percentiles (p50/p90/p99/p999, simulated cycles)
+//! plus the queue-depth/shed time series, measured over ≥1M simulated
+//! requests per point in the full sweep.
+//!
+//! `HTMGIL_QUICK=1` shrinks the sweep for smoke runs; `--jobs <N|auto>`
+//! fans the points out across a worker pool without changing a byte of
+//! the report; `--report-json <path>` additionally captures every
+//! underlying `RunReport`.
+
+use bench::{quick, results_dir};
+
+fn main() {
+    bench::runner::init_from_args();
+    let report = bench::taskserver::latency_sweep(quick());
+    let path = results_dir().join("taskserver_latency.json");
+    std::fs::write(&path, report.to_pretty()).expect("write taskserver report");
+    println!("\n  [json] {}", path.display());
+    bench::reporting::finalize();
+}

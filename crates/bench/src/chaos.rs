@@ -36,7 +36,17 @@ fn chaos_workloads(q: bool) -> Vec<Workload> {
         workloads::micro::iterator_bench(threads, iters),
         workloads::npb::cg(threads, if q { 1 } else { 2 }),
         workloads::webrick::webrick(threads, if q { 8 } else { 40 }),
+        chaos_taskserver(q),
     ]
+}
+
+/// The taskserver chaos subject: backpressure (no shedding), so stdout
+/// and the final heap digest are mode-independent and the GIL
+/// differential check applies. Shed points are excluded on purpose —
+/// *which* tasks are shed is timing-dependent, so a shed run has no GIL
+/// oracle.
+fn chaos_taskserver(q: bool) -> Workload {
+    workloads::taskserver::taskserver(3, 2, 4, if q { 24 } else { 240 }, false)
 }
 
 fn rates(q: bool) -> Vec<f64> {
@@ -80,12 +90,20 @@ fn run_point(w: &Workload, profile: &MachineProfile, cfg: ExecConfig) -> (Json, 
     (point, rel)
 }
 
-/// One enumerated sweep point: an injection-rate point of a workload, or
-/// an interrupt-pressure point (always on the While micro-benchmark).
+/// One enumerated sweep point: an injection-rate point of a workload, an
+/// interrupt-pressure point (always on the While micro-benchmark), or
+/// the combined taskserver point (injection *and* timer interrupts at
+/// once — the worst-case chaos the latency pipeline must survive).
 enum Point {
     Inject { workload: usize, rate: f64 },
     Interrupt { interval: u64 },
+    TaskserverCombined,
 }
+
+/// Fixed configuration of the combined taskserver point.
+pub const TASKSERVER_COMBINED_RATE: f64 = 0.25;
+/// Interrupt interval of the combined taskserver point (simulated cycles).
+pub const TASKSERVER_COMBINED_INTERVAL: u64 = 50_000;
 
 /// Run the full chaos sweep (injection rates × workloads, then the
 /// interrupt-pressure sweep), print the per-workload tables, and return
@@ -105,7 +123,9 @@ pub fn degradation_report(q: bool) -> Json {
     for interval in INTERRUPT_INTERVALS {
         points.push(Point::Interrupt { interval });
     }
+    points.push(Point::TaskserverCombined);
 
+    let taskserver_workload = chaos_taskserver(q);
     let results = runner::sweep(
         "chaos",
         &points,
@@ -114,6 +134,7 @@ pub fn degradation_report(q: bool) -> Json {
                 format!("{} rate={:.0}%", workloads[*workload].name, rate * 100.0)
             }
             Point::Interrupt { interval } => format!("interrupt interval={interval}"),
+            Point::TaskserverCombined => "TaskServer inject+interrupt".to_string(),
         },
         |p| match p {
             Point::Inject { workload, rate } => {
@@ -123,6 +144,11 @@ pub fn degradation_report(q: bool) -> Json {
             Point::Interrupt { interval } => {
                 run_point(&interrupt_workload, &profile, subject_cfg(&profile, 0.0, *interval))
             }
+            Point::TaskserverCombined => run_point(
+                &taskserver_workload,
+                &profile,
+                subject_cfg(&profile, TASKSERVER_COMBINED_RATE, TASKSERVER_COMBINED_INTERVAL),
+            ),
         },
     );
 
@@ -160,6 +186,15 @@ pub fn degradation_report(q: bool) -> Json {
         println!("  interval {interval:>7}: rel-GIL {rel:.2}");
         interrupt_points.push(point.field("interrupt_interval", interval));
     }
+    // Combined taskserver point: fault injection and timer interrupts at
+    // once, differentially checked like everything else — the lifecycle
+    // marks' escrow must keep the latency pipeline consistent while
+    // transactions are being killed from two directions.
+    let (combined, rel) = results.next().expect("the combined taskserver point");
+    println!("== chaos: {} inject+interrupt: rel-GIL {rel:.2} ==", taskserver_workload.name);
+    let combined = combined
+        .field("rate", TASKSERVER_COMBINED_RATE)
+        .field("interrupt_interval", TASKSERVER_COMBINED_INTERVAL);
     Json::obj()
         .field("suite", "chaos")
         .field("machine", profile.name)
@@ -168,4 +203,5 @@ pub fn degradation_report(q: bool) -> Json {
         .field("mode", "HTM-dynamic")
         .field("workloads", workload_reports)
         .field("interrupt_pressure", interrupt_points)
+        .field("taskserver_combined", combined)
 }

@@ -20,6 +20,7 @@ pub mod figures;
 pub mod pool;
 pub mod reporting;
 pub mod runner;
+pub mod taskserver;
 
 use std::fs;
 use std::path::PathBuf;

@@ -36,7 +36,14 @@ pub enum RunError {
     Boot(String),
     Vm(String),
     Deadlock(String),
-    CycleLimit(u64),
+    /// The configured simulated-cycle budget ran out. Carries the same
+    /// thread-state dump as [`RunError::Deadlock`] — a cycle-limit hit is
+    /// usually an application-level livelock, and the dump shows where
+    /// every thread was spinning.
+    CycleLimit {
+        limit: u64,
+        dump: String,
+    },
     /// Forward-progress invariant violation: the scheduler kept running
     /// threads, but no instruction committed for `steps` consecutive
     /// scheduling steps — a livelock the retry machinery failed to break.
@@ -52,7 +59,9 @@ impl std::fmt::Display for RunError {
             RunError::Boot(m) => write!(f, "boot error: {m}"),
             RunError::Vm(m) => write!(f, "vm error: {m}"),
             RunError::Deadlock(m) => write!(f, "deadlock: {m}"),
-            RunError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+            RunError::CycleLimit { limit, dump } => {
+                write!(f, "cycle limit {limit} exceeded\n{dump}")
+            }
             RunError::NoProgress { steps, dump } => {
                 write!(f, "no committed instruction in {steps} scheduler steps (livelock)\n{dump}")
             }
@@ -72,6 +81,18 @@ struct TxInfo {
     work: Cycles,
     /// Instructions retired inside the transaction (escrow).
     insns: u64,
+    /// `srv_mark` lifecycle events emitted inside the transaction
+    /// (escrow): recorded with the commit-time clock on commit, dropped
+    /// on abort — an aborted slice leaves no phantom latency events.
+    marks: Vec<(u8, i64)>,
+    /// Wake keys produced inside the transaction (a transactional
+    /// `Mutex#unlock`'s owner-word write is invisible until commit, so
+    /// its wake must be too). Published at commit, dropped on abort — a
+    /// phantom wake from an uncommitted unlock revives the whole waiter
+    /// herd against a still-locked mutex, and each woken thread's
+    /// GIL fallback then dooms the unlocking transaction before it can
+    /// commit: a self-sustaining livelock at high thread counts.
+    wakes: Vec<ruby_vm::vm::WakeKey>,
 }
 
 /// Per-thread TLE controller state (paper Fig. 1's local variables).
@@ -169,6 +190,8 @@ pub struct Executor {
     interrupts: InterruptTimer,
     /// Watchdog escalations performed (report statistic).
     watchdog_escalations: u64,
+    /// Task-latency accounting fed by committed `srv_mark` events.
+    latency: crate::latency::LatencyRecorder,
     /// `committed_insns` at the last scheduler step that made progress.
     progress_watermark: u64,
     /// Scheduler steps since `committed_insns` last advanced.
@@ -242,6 +265,7 @@ impl Executor {
             last_allocs: 0,
             interrupts,
             watchdog_escalations: 0,
+            latency: crate::latency::LatencyRecorder::new(),
             progress_watermark: 0,
             stalled_steps: 0,
             trace,
@@ -265,7 +289,10 @@ impl Executor {
                 return Err(RunError::Deadlock(self.deadlock_dump()));
             };
             if self.cfg.max_cycles != 0 && self.sched.clock(t) > self.cfg.max_cycles {
-                return Err(RunError::CycleLimit(self.cfg.max_cycles));
+                return Err(RunError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                    dump: self.deadlock_dump(),
+                });
             }
             if self.vm.threads[t].finished {
                 self.sched.finish(t);
@@ -386,6 +413,7 @@ impl Executor {
             allocations: self.vm.allocations,
             gc_runs: self.vm.gc_runs,
             stdout: self.vm.stdout_text(),
+            task_latency: self.latency.summary(),
         }
     }
 
@@ -429,6 +457,24 @@ impl Executor {
             + self.vm.step_native_cost;
         self.sched.advance(t, cost);
         (r, cost)
+    }
+
+    /// Drain the marks the last step emitted. Outside any transaction
+    /// they are externally visible now; inside one they go to escrow and
+    /// surface (or vanish) with the transaction.
+    fn drain_marks(&mut self, t: ThreadId) {
+        if self.vm.pending_marks.is_empty() {
+            return;
+        }
+        let marks = std::mem::take(&mut self.vm.pending_marks);
+        if let Some(tx) = self.tle.get_mut(t).and_then(|x| x.tx.as_mut()) {
+            tx.marks.extend(marks);
+        } else {
+            let now = self.sched.clock(t);
+            for (kind, id) in marks {
+                self.latency.on_mark(kind, id, now);
+            }
+        }
     }
 
     /// Classify a conflicting line into a VM region, consulting the
@@ -518,8 +564,22 @@ impl Executor {
     }
 
     fn drain_wakes(&mut self, t: ThreadId) {
-        let now = self.sched.clock(t);
+        if self.vm.pending_wakes.is_empty() {
+            return;
+        }
         let wakes = std::mem::take(&mut self.vm.pending_wakes);
+        if let Some(tx) = self.tle.get_mut(t).and_then(|x| x.tx.as_mut()) {
+            // The writes that justify these wakes are uncommitted:
+            // escrow them with the transaction (see `TxInfo::wakes`).
+            tx.wakes.extend(wakes);
+        } else {
+            self.publish_wakes(t, wakes);
+        }
+    }
+
+    /// Unpark every thread waiting on the given keys, at `t`'s clock.
+    fn publish_wakes(&mut self, t: ThreadId, wakes: Vec<ruby_vm::vm::WakeKey>) {
+        let now = self.sched.clock(t);
         for key in wakes {
             let pk = match key {
                 ruby_vm::vm::WakeKey::Mutex(a) => ParkKey::Mutex(a),
@@ -586,6 +646,7 @@ impl Executor {
         }
         let (r, cost) = self.raw_step(t);
         self.breakdown.gil_held += cost;
+        self.drain_marks(t);
         match r {
             Ok(ok) => {
                 self.committed_insns += 1;
@@ -609,6 +670,7 @@ impl Executor {
     fn step_free(&mut self, t: ThreadId) -> Result<(), RunError> {
         let (r, cost) = self.raw_step(t);
         self.breakdown.tx_success += cost;
+        self.drain_marks(t);
         // JRuby-like allocation serialization.
         if self.cfg.mode == RuntimeMode::FineGrained {
             let allocs = self.vm.allocations;
@@ -690,6 +752,10 @@ impl Executor {
             self.breakdown.gil_held += cost;
             self.committed_insns += 1;
         }
+        // Marks from a step that aborted (`r` is `Err(Tx)`) land in the
+        // still-open transaction's escrow here and are dropped with it in
+        // `on_tx_abort` below.
+        self.drain_marks(t);
         match r {
             Ok(ok) => {
                 let finished = matches!(ok, StepOk::Finished);
@@ -723,6 +789,17 @@ impl Executor {
             Ok(()) => {
                 self.breakdown.tx_success += info.work;
                 self.committed_insns += info.insns;
+                // Escrowed lifecycle marks become externally visible at
+                // the commit, so they carry the commit-time clock.
+                let now = self.sched.clock(t);
+                for (kind, id) in info.marks {
+                    self.latency.on_mark(kind, id, now);
+                }
+                // Escrowed wakes: the unlocks behind them just became
+                // visible, so the waiters can be revived.
+                if !info.wakes.is_empty() {
+                    self.publish_wakes(t, info.wakes);
+                }
                 // A commit is forward progress: stand the watchdog down.
                 self.tle[t].consecutive_aborts = 0;
                 self.tle[t].backoff = self.cfg.watchdog.cooldown_base;
@@ -848,7 +925,14 @@ impl Executor {
             self.abort_path(t, pc, reason)?;
             return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
         }
-        self.tle[t].tx = Some(TxInfo { start_pc: pc, snapshot, work: 0, insns: 0 });
+        self.tle[t].tx = Some(TxInfo {
+            start_pc: pc,
+            snapshot,
+            work: 0,
+            insns: 0,
+            marks: Vec::new(),
+            wakes: Vec::new(),
+        });
         self.tle[t].fresh = true;
         Ok(true)
     }
@@ -859,6 +943,11 @@ impl Executor {
         let Some(info) = self.tle[t].tx.take() else {
             return Err(RunError::Vm(format!("abort {reason:?} outside any transaction")));
         };
+        // Marks and wakes from the aborted slice vanish with it: the
+        // escrow in `info` is dropped, and anything the aborting step
+        // pushed but never drained is discarded too.
+        self.vm.pending_marks.clear();
+        self.vm.pending_wakes.clear();
         self.vm.restore(t, info.snapshot);
         self.sched.advance(t, self.profile.cost.abort_penalty);
         self.breakdown.aborted += info.work + self.profile.cost.abort_penalty;

@@ -1,0 +1,349 @@
+//! Task-latency accounting for server scenarios.
+//!
+//! The `workloads::taskserver` scenario emits lifecycle marks from the
+//! Ruby program via the non-restricted `Kernel#srv_mark(kind, id)`
+//! builtin. The executor forwards each mark here stamped with the
+//! simulated clock of the *moment it became externally visible*: marks
+//! emitted inside a hardware transaction are held in escrow and arrive
+//! with the commit-time clock; marks from an aborted transaction never
+//! arrive at all. Latencies therefore measure what a client of the
+//! simulated server would observe, not speculative work that was rolled
+//! back.
+//!
+//! Mark kinds (the Ruby side and this module must agree):
+//!
+//! | kind | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | task enqueued by a client                 |
+//! | 1    | task dequeued by a worker                 |
+//! | 2    | task completed (result published)         |
+//! | 3    | task shed: rejected by a full bounded queue |
+//!
+//! Two latency distributions are kept as log-bucketed histograms
+//! ([`htm_gil_stats::LatencyHistogram`]): end-to-end (enqueue →
+//! complete) and queue wait (enqueue → dequeue). Queue depth and shed
+//! counts are tracked as a windowed time series whose resolution
+//! coarsens adaptively, so the report stays bounded no matter how long
+//! the run is while remaining a pure function of the (deterministic)
+//! mark stream.
+
+use std::collections::HashMap;
+
+use htm_gil_stats::LatencyHistogram;
+use machine_sim::Cycles;
+
+use crate::json::Json;
+
+/// Mark kinds — keep in sync with the taskserver Ruby template.
+pub mod mark {
+    pub const ENQUEUE: u8 = 0;
+    pub const DEQUEUE: u8 = 1;
+    pub const COMPLETE: u8 = 2;
+    pub const SHED: u8 = 3;
+}
+
+/// Initial time-series window width (cycles): 2^16.
+const INITIAL_WINDOW_BITS: u32 = 16;
+/// Coarsen (double the window) when the series exceeds this many windows.
+const MAX_WINDOWS: usize = 512;
+
+/// Per-window aggregate for the queue time series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WindowAgg {
+    max_depth: u64,
+    sheds: u64,
+}
+
+/// Accumulates task lifecycle marks into latency histograms and a
+/// bounded queue-depth/shed time series.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    /// Open tasks: id → (enqueue clock, dequeue clock if seen).
+    pending: HashMap<i64, (Cycles, Option<Cycles>)>,
+    e2e: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    enqueued: u64,
+    completed: u64,
+    shed: u64,
+    /// Current queue depth (enqueues not yet dequeued).
+    depth: u64,
+    window_bits: u32,
+    series: HashMap<u64, WindowAgg>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        LatencyRecorder { window_bits: INITIAL_WINDOW_BITS, ..Default::default() }
+    }
+
+    /// True when no mark has ever been recorded (the report omits the
+    /// whole section in that case).
+    pub fn is_empty(&self) -> bool {
+        self.enqueued == 0 && self.shed == 0 && self.completed == 0
+    }
+
+    /// Record one committed lifecycle mark at simulated time `now`.
+    ///
+    /// Unknown kinds and marks for unknown task ids are ignored rather
+    /// than panicking: the Ruby program is the source of the stream and
+    /// a scenario bug should surface in its own assertions, not tear
+    /// down the executor.
+    pub fn on_mark(&mut self, kind: u8, id: i64, now: Cycles) {
+        match kind {
+            mark::ENQUEUE => {
+                self.enqueued += 1;
+                self.depth += 1;
+                self.pending.insert(id, (now, None));
+                self.touch_depth(now);
+            }
+            mark::DEQUEUE => {
+                if let Some(p) = self.pending.get_mut(&id) {
+                    if p.1.is_none() {
+                        p.1 = Some(now);
+                        self.queue_wait.record(now.saturating_sub(p.0));
+                        self.depth = self.depth.saturating_sub(1);
+                        self.touch_depth(now);
+                    }
+                }
+            }
+            mark::COMPLETE => {
+                if let Some((enq, _)) = self.pending.remove(&id) {
+                    self.completed += 1;
+                    self.e2e.record(now.saturating_sub(enq));
+                }
+            }
+            mark::SHED => {
+                self.shed += 1;
+                self.window_entry(now).sheds += 1;
+                self.coarsen_if_needed();
+            }
+            _ => {}
+        }
+    }
+
+    fn touch_depth(&mut self, now: Cycles) {
+        let depth = self.depth;
+        let w = self.window_entry(now);
+        w.max_depth = w.max_depth.max(depth);
+        self.coarsen_if_needed();
+    }
+
+    fn window_entry(&mut self, now: Cycles) -> &mut WindowAgg {
+        let idx = now >> self.window_bits;
+        self.series.entry(idx).or_default()
+    }
+
+    /// Halve the series resolution until it fits the bound again. The
+    /// merge is max/sum per pair of adjacent windows, so the final
+    /// series depends only on the mark stream, not on when coarsening
+    /// happened to trigger.
+    fn coarsen_if_needed(&mut self) {
+        while self.series.len() > MAX_WINDOWS {
+            self.window_bits += 1;
+            let mut merged: HashMap<u64, WindowAgg> = HashMap::with_capacity(self.series.len() / 2);
+            for (idx, agg) in self.series.drain() {
+                let m = merged.entry(idx >> 1).or_default();
+                m.max_depth = m.max_depth.max(agg.max_depth);
+                m.sheds += agg.sheds;
+            }
+            self.series = merged;
+        }
+    }
+
+    /// Summarize into the report form; `None` when nothing was recorded.
+    pub fn summary(&self) -> Option<TaskLatencyReport> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut series: Vec<QueueWindow> = self
+            .series
+            .iter()
+            .map(|(&idx, agg)| QueueWindow {
+                start_cycle: idx << self.window_bits,
+                max_depth: agg.max_depth,
+                sheds: agg.sheds,
+            })
+            .collect();
+        series.sort_by_key(|w| w.start_cycle);
+        Some(TaskLatencyReport {
+            enqueued: self.enqueued,
+            completed: self.completed,
+            shed: self.shed,
+            e2e: LatencyStats::of(&self.e2e),
+            queue_wait: LatencyStats::of(&self.queue_wait),
+            window_cycles: 1u64 << self.window_bits,
+            queue_series: series,
+        })
+    }
+}
+
+/// Percentile summary of one latency histogram, in simulated cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub min: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub max: u64,
+}
+
+impl LatencyStats {
+    fn of(h: &LatencyHistogram) -> LatencyStats {
+        LatencyStats {
+            count: h.count(),
+            min: h.min(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            max: h.max(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("count", self.count)
+            .field("min", self.min)
+            .field("mean", self.mean)
+            .field("p50", self.p50)
+            .field("p90", self.p90)
+            .field("p99", self.p99)
+            .field("p999", self.p999)
+            .field("max", self.max)
+    }
+}
+
+/// One window of the queue time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueWindow {
+    pub start_cycle: Cycles,
+    pub max_depth: u64,
+    pub sheds: u64,
+}
+
+/// The `task_latency` section of a [`crate::report::RunReport`]. Present
+/// only for runs whose program emitted `srv_mark` lifecycle events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskLatencyReport {
+    pub enqueued: u64,
+    pub completed: u64,
+    pub shed: u64,
+    /// Enqueue → complete.
+    pub e2e: LatencyStats,
+    /// Enqueue → dequeue.
+    pub queue_wait: LatencyStats,
+    /// Width of each time-series window, in cycles.
+    pub window_cycles: Cycles,
+    /// Sparse, start-cycle-ordered queue-depth/shed series.
+    pub queue_series: Vec<QueueWindow>,
+}
+
+impl TaskLatencyReport {
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .queue_series
+            .iter()
+            .map(|w| {
+                Json::obj()
+                    .field("start_cycle", w.start_cycle)
+                    .field("max_depth", w.max_depth)
+                    .field("sheds", w.sheds)
+            })
+            .collect::<Vec<Json>>();
+        Json::obj()
+            .field("enqueued", self.enqueued)
+            .field("completed", self.completed)
+            .field("shed", self.shed)
+            .field("e2e", self.e2e.to_json())
+            .field("queue_wait", self.queue_wait.to_json())
+            .field("window_cycles", self.window_cycles)
+            .field("queue_series", Json::Arr(series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_produces_both_latencies() {
+        let mut r = LatencyRecorder::new();
+        r.on_mark(mark::ENQUEUE, 7, 100);
+        r.on_mark(mark::DEQUEUE, 7, 250);
+        r.on_mark(mark::COMPLETE, 7, 900);
+        let s = r.summary().expect("non-empty");
+        assert_eq!(s.enqueued, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.queue_wait.count, 1);
+        assert_eq!(s.queue_wait.max, 150);
+        assert_eq!(s.e2e.count, 1);
+        assert_eq!(s.e2e.max, 800);
+        // Single sample: every quantile is that sample.
+        assert_eq!(s.e2e.p50, 800);
+        assert_eq!(s.e2e.p999, 800);
+    }
+
+    #[test]
+    fn shed_counts_without_touching_depth() {
+        let mut r = LatencyRecorder::new();
+        r.on_mark(mark::ENQUEUE, 1, 10);
+        r.on_mark(mark::SHED, 2, 20);
+        r.on_mark(mark::SHED, 3, 30);
+        let s = r.summary().unwrap();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.enqueued, 1);
+        let total_sheds: u64 = s.queue_series.iter().map(|w| w.sheds).sum();
+        assert_eq!(total_sheds, 2);
+        assert_eq!(s.queue_series.iter().map(|w| w.max_depth).max(), Some(1));
+    }
+
+    #[test]
+    fn depth_tracks_enqueue_dequeue_balance() {
+        let mut r = LatencyRecorder::new();
+        for id in 0..5 {
+            r.on_mark(mark::ENQUEUE, id, 10 + id as u64);
+        }
+        for id in 0..3 {
+            r.on_mark(mark::DEQUEUE, id, 100 + id as u64);
+        }
+        let s = r.summary().unwrap();
+        assert_eq!(s.queue_series.iter().map(|w| w.max_depth).max(), Some(5));
+        assert_eq!(s.queue_wait.count, 3);
+    }
+
+    #[test]
+    fn duplicate_dequeue_is_ignored() {
+        let mut r = LatencyRecorder::new();
+        r.on_mark(mark::ENQUEUE, 1, 10);
+        r.on_mark(mark::DEQUEUE, 1, 20);
+        r.on_mark(mark::DEQUEUE, 1, 30);
+        let s = r.summary().unwrap();
+        assert_eq!(s.queue_wait.count, 1, "second dequeue of the same task must not count");
+    }
+
+    #[test]
+    fn series_coarsens_but_preserves_totals() {
+        let mut r = LatencyRecorder::new();
+        // Spread sheds over enough distinct windows to force coarsening.
+        let span = (MAX_WINDOWS as u64 + 100) << INITIAL_WINDOW_BITS;
+        let step = span / 2000;
+        for i in 0..2000u64 {
+            r.on_mark(mark::SHED, i as i64, i * step);
+        }
+        let s = r.summary().unwrap();
+        assert!(s.queue_series.len() <= MAX_WINDOWS);
+        assert!(s.window_cycles > 1 << INITIAL_WINDOW_BITS, "must have coarsened");
+        let total: u64 = s.queue_series.iter().map(|w| w.sheds).sum();
+        assert_eq!(total, 2000, "coarsening must not lose sheds");
+    }
+
+    #[test]
+    fn empty_recorder_reports_nothing() {
+        assert!(LatencyRecorder::new().summary().is_none());
+    }
+}

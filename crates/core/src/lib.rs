@@ -32,6 +32,7 @@ pub mod config;
 pub mod exec;
 pub mod gil;
 pub mod json;
+pub mod latency;
 pub mod locks;
 pub mod oracle;
 pub mod report;
@@ -42,6 +43,7 @@ pub use config::{
 };
 pub use exec::{Executor, RunError};
 pub use json::Json;
+pub use latency::{LatencyRecorder, LatencyStats, QueueWindow, TaskLatencyReport};
 pub use oracle::{check_against_gil, heap_digest, OracleVerdict};
 pub use report::{ConflictSite, CycleBreakdown, RunReport};
 pub use tle::{LengthTables, SiteProfile};

@@ -96,6 +96,9 @@ pub struct RunReport {
     pub gc_runs: u64,
     /// Program output (correctness oracle across modes).
     pub stdout: String,
+    /// Task-latency section — present only when the program emitted
+    /// `srv_mark` lifecycle events (the taskserver scenario).
+    pub task_latency: Option<crate::latency::TaskLatencyReport>,
 }
 
 impl RunReport {
@@ -163,7 +166,7 @@ impl RunReport {
                     .field("length", p.length)
             })
             .collect::<Vec<Json>>();
-        Json::obj()
+        let report = Json::obj()
             .field("schema", "htm-gil-run-report/v1")
             .field("mode", self.mode_label.as_str())
             .field("machine", self.machine)
@@ -188,7 +191,13 @@ impl RunReport {
                     .field("dropped", self.trace_events_dropped),
             )
             .field("allocations", self.allocations)
-            .field("gc_runs", self.gc_runs)
+            .field("gc_runs", self.gc_runs);
+        // Emitted only when present, so reports from non-server runs are
+        // byte-identical to the pre-taskserver schema.
+        match &self.task_latency {
+            Some(tl) => report.field("task_latency", tl.to_json()),
+            None => report,
+        }
     }
 
     /// Share of read-set conflicts that hit the allocator (paper §5.6).
@@ -245,6 +254,7 @@ mod tests {
             allocations: 0,
             gc_runs: 0,
             stdout: String::new(),
+            task_latency: None,
         };
         assert!((r.throughput() - 0.5).abs() < 1e-12);
     }
@@ -290,6 +300,7 @@ mod tests {
             allocations: 77,
             gc_runs: 1,
             stdout: String::new(),
+            task_latency: None,
         };
         let j = r.to_json();
         let parsed = crate::json::Json::parse(&j.to_pretty()).unwrap();
@@ -356,6 +367,7 @@ mod tests {
             allocations: 0,
             gc_runs: 0,
             stdout: String::new(),
+            task_latency: None,
         };
         assert!((r.allocator_conflict_share_pct() - 60.0).abs() < 1e-9);
     }

@@ -1,0 +1,117 @@
+//! Simulated client connections on the blocking-I/O layer.
+//!
+//! The task-server scenario models N clients submitting work over
+//! persistent connections. Real connections have variable service times
+//! (kernel accept queues, NIC interrupts, TCP windows); here each
+//! accept/request/response event costs a deterministic number of I/O
+//! units drawn from a hash of `(seed, connection, sequence, event)`.
+//! The model is a **pure function** — no mutable state — for two
+//! reasons:
+//!
+//! * transaction aborts re-execute the blocking builtin on the GIL
+//!   fallback path, and a re-execution must observe the identical
+//!   latency (stateful models would double-advance);
+//! * the latency a client sees must be independent of the runtime mode
+//!   under test, so mode comparisons measure queueing and elision
+//!   effects, not divergent input schedules.
+//!
+//! The executor multiplies the returned units by the machine profile's
+//! `io_latency`, exactly like `Kernel#io_wait`.
+
+/// Connection event classes with distinct latency shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// Accepting a new connection (slowest: handshake).
+    Accept,
+    /// Reading one request off an established connection.
+    Request,
+    /// Writing one response back.
+    Response,
+}
+
+impl ConnEvent {
+    /// (base units, jitter span in units) per event class.
+    fn shape(self) -> (u32, u32) {
+        match self {
+            ConnEvent::Accept => (3, 4),
+            ConnEvent::Request => (1, 3),
+            ConnEvent::Response => (1, 2),
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            ConnEvent::Accept => 0x11,
+            ConnEvent::Request => 0x22,
+            ConnEvent::Response => 0x33,
+        }
+    }
+}
+
+/// Deterministic per-connection latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnModel {
+    /// Stream seed: distinct seeds give distinct (but reproducible)
+    /// latency schedules.
+    pub seed: u64,
+}
+
+/// SplitMix64 finalizer — a full-avalanche mix of the packed event key.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ConnModel {
+    pub fn new(seed: u64) -> Self {
+        ConnModel { seed }
+    }
+
+    /// I/O units charged for `event` number `seq` on connection
+    /// `conn`. Always at least 1: a connection interaction is never
+    /// free. Pure: the same arguments always give the same answer.
+    pub fn latency_units(&self, conn: u64, seq: u64, event: ConnEvent) -> u32 {
+        let (base, jitter) = event.shape();
+        let h = mix(self.seed ^ conn.rotate_left(17) ^ seq.rotate_left(41) ^ event.salt());
+        (base + (h % u64::from(jitter + 1)) as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_deterministic_and_positive() {
+        let m = ConnModel::new(0xBEEF);
+        for conn in 0..8 {
+            for seq in 0..64 {
+                for ev in [ConnEvent::Accept, ConnEvent::Request, ConnEvent::Response] {
+                    let a = m.latency_units(conn, seq, ev);
+                    let b = m.latency_units(conn, seq, ev);
+                    assert_eq!(a, b, "pure function");
+                    assert!(a >= 1);
+                    let (base, jitter) = ev.shape();
+                    assert!(a >= base.max(1) && a <= base + jitter, "unit out of shape: {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_vary_by_connection_sequence_and_seed() {
+        let m = ConnModel::new(1);
+        let stream = |conn: u64| -> Vec<u32> {
+            (0..32).map(|s| m.latency_units(conn, s, ConnEvent::Request)).collect()
+        };
+        assert_ne!(stream(0), stream(1), "connections must differ");
+        let m2 = ConnModel::new(2);
+        let other: Vec<u32> = (0..32).map(|s| m2.latency_units(0, s, ConnEvent::Request)).collect();
+        assert_ne!(stream(0), other, "seeds must differ");
+        // And the jitter actually jitters within one stream.
+        let s = stream(0);
+        assert!(s.iter().any(|&u| u != s[0]), "no variation in {s:?}");
+    }
+}

@@ -16,8 +16,10 @@
 //! not of host parallelism. Everything is deterministic: the same inputs
 //! always produce the same figure.
 //!
-//! The crate has four parts:
+//! The crate has five parts:
 //!
+//! * [`conn`] — the deterministic connection/accept latency model used by
+//!   the task-server scenario on top of the blocking-I/O layer;
 //! * [`interrupt`] — the deterministic per-thread timer-interrupt model
 //!   (paper §5.6: interrupts abort in-flight transactions);
 //! * [`profile`] — machine descriptions ([`MachineProfile::zec12`],
@@ -27,10 +29,12 @@
 //! * [`profile::CostModel`] — cycle costs used by the interpreter and the
 //!   TLE runtime.
 
+pub mod conn;
 pub mod interrupt;
 pub mod profile;
 pub mod sched;
 
+pub use conn::{ConnEvent, ConnModel};
 pub use interrupt::InterruptTimer;
 pub use profile::{CacheGeometry, CostModel, HtmCharacteristics, MachineProfile};
 pub use sched::{Scheduler, ThreadId, ThreadState};

@@ -52,6 +52,8 @@ pub fn install(vm: &mut Vm) {
     reg(vm, c.object, "p", false, bi_p);
     reg(vm, c.object, "rand", false, bi_rand);
     reg(vm, c.object, "io_wait", false, bi_io_wait);
+    reg(vm, c.object, "conn_wait", false, bi_conn_wait);
+    reg(vm, c.object, "srv_mark", false, bi_srv_mark);
     reg(vm, c.object, "to_s", false, bi_to_s);
     reg(vm, c.object, "inspect", false, bi_inspect);
     reg(vm, c.object, "class", false, bi_class);
@@ -303,6 +305,38 @@ fn bi_io_wait(
     forbid_in_tx(vm, t)?;
     let units = args.first().and_then(|w| w.as_int()).unwrap_or(1).max(1) as u32;
     Ok(BResult::Block(BlockOn::Io(units)))
+}
+
+fn bi_conn_wait(
+    vm: &mut Vm,
+    t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
+    forbid_in_tx(vm, t)?;
+    let conn = args.first().and_then(|w| w.as_int()).unwrap_or(0).max(0) as u64;
+    let seq = args.get(1).and_then(|w| w.as_int()).unwrap_or(0).max(0) as u64;
+    let units = vm.conn.latency_units(conn, seq, machine_sim::ConnEvent::Request);
+    Ok(BResult::Block(BlockOn::Io(units)))
+}
+
+fn bi_srv_mark(
+    vm: &mut Vm,
+    _t: ThreadId,
+    _recv: Word,
+    args: Vec<Word>,
+    _b: Addr,
+) -> Result<BResult, VmAbort> {
+    // Deliberately NOT restricted: marks must be emittable from inside a
+    // transaction (the executor escrows them until commit), otherwise every
+    // latency observation would force a GIL fallback and perturb the very
+    // timings being measured.
+    let kind = args.first().and_then(|w| w.as_int()).unwrap_or(0).clamp(0, 255) as u8;
+    let id = args.get(1).and_then(|w| w.as_int()).unwrap_or(0);
+    vm.pending_marks.push((kind, id));
+    vm.step_native_cost += 1;
+    Ok(BResult::Value(Word::Nil))
 }
 
 fn bi_to_s(

@@ -56,6 +56,9 @@ pub struct VmConfig {
     /// §7 what-if: CPython-style reference-count writes on every object
     /// store (the counts are decorative; the *traffic* is the point).
     pub refcount_writes: bool,
+    /// Seed of the deterministic connection-latency model behind
+    /// `Kernel#conn_wait` (task-server scenario).
+    pub conn_seed: u64,
 }
 
 impl Default for VmConfig {
@@ -78,6 +81,7 @@ impl Default for VmConfig {
             tl_lazy_sweep: false,
             thread_local_ics: false,
             refcount_writes: false,
+            conn_seed: 0xC0_11EC7,
         }
     }
 }
@@ -297,6 +301,13 @@ pub struct Vm {
     /// the role CRuby's conservative C-stack scan plays. Cleared at the
     /// start of every step.
     pub temp_roots: Vec<Word>,
+    /// Deterministic connection-latency model behind `Kernel#conn_wait`.
+    pub conn: machine_sim::ConnModel,
+    /// Server-scenario marks (`Kernel#srv_mark`: kind, task id) emitted by
+    /// the current step; the executor drains them after every step and —
+    /// inside a transaction — holds them in escrow until commit, so an
+    /// aborted slice leaves no phantom latency events.
+    pub pending_marks: Vec<(u8, i64)>,
 }
 
 impl Vm {
@@ -357,6 +368,7 @@ impl Vm {
         let mem = TxMemory::new(layout.total_words, line_words, config.max_threads, Word::Uninit);
         let attribution = crate::layout::AttributionMap::from_layout(&layout);
         let config_slots = config.heap_slots;
+        let conn_seed = config.conn_seed;
         let mut vm = Vm {
             mem,
             layout,
@@ -383,6 +395,8 @@ impl Vm {
             promoted_envs: Vec::new(),
             gc_sweep_total: config_slots,
             temp_roots: Vec::new(),
+            conn: machine_sim::ConnModel::new(conn_seed),
+            pending_marks: Vec::new(),
         };
         vm.init_memory();
         vm.bootstrap_classes();

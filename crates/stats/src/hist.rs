@@ -1,0 +1,260 @@
+//! Log-bucketed latency histogram (HdrHistogram-style).
+//!
+//! The task-server scenario records one enqueue→complete and one
+//! enqueue→dequeue latency per task — millions of samples per sweep
+//! point — so storing raw samples is out. Instead samples land in
+//! power-of-two octaves subdivided into [`SUB_BUCKETS`] linear
+//! sub-buckets: values below [`SUB_BUCKETS`] are exact, larger values
+//! are bounded by a relative error of `1/SUB_BUCKETS` (~3 %). Quantiles
+//! report the *upper* bound of the bucket holding the target rank, so a
+//! reported p99 is never below the true p99.
+//!
+//! Everything is plain counter arithmetic: `merge` is associative and
+//! commutative, and recording order never changes the stored state —
+//! the properties the pool-determinism contract needs from any artifact
+//! assembled out of per-point histograms
+//! (`crates/stats/tests/hist_proptest.rs` pins both).
+
+/// log2 of the linear sub-bucket count per octave.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per octave (also the exact-value range).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Octave groups: group 0 is the exact range, the rest cover the
+/// remaining 64-bit magnitudes.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1;
+/// Total bucket count.
+const BUCKETS: usize = GROUPS * SUB_BUCKETS as usize;
+
+/// A fixed-size log-bucketed histogram over `u64` values (cycles).
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    /// Exact running extremes and sum (the buckets only bound them).
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Bucket index of `v`: identity below [`SUB_BUCKETS`], then
+/// `SUB_BUCKETS` linear sub-buckets per power-of-two octave.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // 2^e <= v < 2^(e+1), e >= SUB_BITS
+    let group = (e - SUB_BITS + 1) as usize;
+    let within = ((v >> (e - SUB_BITS)) - SUB_BUCKETS) as usize;
+    group * SUB_BUCKETS as usize + within
+}
+
+/// Largest value mapping to bucket `idx` (what quantiles report).
+fn bucket_upper_bound(idx: usize) -> u64 {
+    let group = idx / SUB_BUCKETS as usize;
+    let within = (idx % SUB_BUCKETS as usize) as u64;
+    if group == 0 {
+        return within;
+    }
+    let shift = (group - 1) as u32;
+    let low = (SUB_BUCKETS + within) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram { counts: Box::new([0; BUCKETS]), total: 0, min: u64::MAX, max: 0, sum: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += u128::from(v) * u128::from(n);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding rank `ceil(q·count)`, clamped
+    /// to the exact max; 0 when empty. `q` is clamped into [0, 1], and
+    /// `quantile(0)` reports the minimum's bucket. The result never
+    /// underestimates the true quantile and is monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram's samples into this one. Associative and
+    /// commutative: any merge tree over the same histograms yields the
+    /// same state.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_monotone() {
+        // Every value maps into a bucket whose upper bound is >= it and
+        // within the relative-error contract.
+        for e in 0..63u32 {
+            for v in [1u64 << e, (1u64 << e) + 1, (1u64 << e).wrapping_mul(2).wrapping_sub(1)] {
+                if v == 0 {
+                    continue;
+                }
+                let ub = bucket_upper_bound(bucket_index(v));
+                assert!(ub >= v, "upper bound {ub} < value {v}");
+                assert!(
+                    ub - v <= v / SUB_BUCKETS + 1,
+                    "relative error too large: value {v}, bound {ub}"
+                );
+            }
+        }
+        // Upper bounds strictly increase across bucket indices.
+        let mut prev = bucket_upper_bound(0);
+        for idx in 1..BUCKETS {
+            let ub = bucket_upper_bound(idx);
+            assert!(ub > prev, "bounds not increasing at {idx}");
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn quantiles_never_underestimate() {
+        let mut h = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..1000).map(|i| i * i * 37 + 5).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &(q, rank) in &[(0.5, 499), (0.9, 899), (0.99, 989)] {
+            let exact = values[rank];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q{q}: {est} < exact {exact}");
+            assert!(
+                est <= exact + exact / (SUB_BUCKETS - 2) + 1,
+                "q{q}: {est} too far above {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 13 % 4096;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.mean(), both.mean());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

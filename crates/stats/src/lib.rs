@@ -6,9 +6,11 @@
 //! re-plotted with external tools.
 
 pub mod chart;
+pub mod hist;
 pub mod series;
 pub mod table;
 
 pub use chart::ascii_chart;
+pub use hist::LatencyHistogram;
 pub use series::{geomean, mean, Series, SeriesSet};
 pub use table::Table;

@@ -1,0 +1,84 @@
+//! Property tests for the log-bucketed latency histogram: the two
+//! algebraic contracts the report pipeline leans on.
+//!
+//! * **Quantile monotonicity** — for any recorded sample set, `quantile`
+//!   is non-decreasing in `q`, bracketed by the exact min/max, and never
+//!   underestimates the true order statistic (bucket upper bounds).
+//! * **Merge associativity/commutativity** — per-point histograms are
+//!   merged in whatever grouping the sweep produces; any merge tree over
+//!   the same parts must yield byte-identical state, or `--jobs` could
+//!   leak into artifact bytes.
+
+use htm_gil_stats::LatencyHistogram;
+use proptest::prelude::*;
+
+fn from_samples(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        samples in proptest::collection::vec(0u64..2_000_000_000, 1..400),
+        qs in proptest::collection::vec(0u32..1001, 2..24),
+    ) {
+        let h = from_samples(&samples);
+        let mut qs: Vec<f64> = qs.into_iter().map(|q| q as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prev = v;
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert!(h.quantile(0.0) >= lo);
+        prop_assert_eq!(h.quantile(1.0), hi);
+        // Never underestimate the exact order statistic.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            prop_assert!(
+                h.quantile(q) >= sorted[target - 1],
+                "quantile({q}) underestimates rank {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (from_samples(&a), from_samples(&b), from_samples(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.clone(), right, "merge grouping changed state");
+        // c ⊕ b ⊕ a (commutativity)
+        let mut rev = hc.clone();
+        rev.merge(&hb);
+        rev.merge(&ha);
+        prop_assert_eq!(left.clone(), rev, "merge order changed state");
+        // And both equal recording everything into one histogram.
+        let mut all: Vec<u64> = a;
+        all.extend(b);
+        all.extend(c);
+        prop_assert_eq!(left, from_samples(&all));
+    }
+}

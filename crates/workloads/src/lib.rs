@@ -12,6 +12,9 @@
 //!   GIL);
 //! * [`rails`] — the Ruby-on-Rails model (routing → controller → query on
 //!   the relational-store substrate → template render);
+//! * [`taskserver`] — the task-execution-server scenario (clients →
+//!   bounded queue with backpressure/shedding → worker pool) whose
+//!   lifecycle marks feed the latency-percentile reporting;
 //! * [`probe`] — the write-set-shrinking probe of Fig. 6(a).
 //!
 //! Every workload is a [`Workload`]: a named source template plus
@@ -25,6 +28,7 @@ pub mod micro;
 pub mod npb;
 pub mod probe;
 pub mod rails;
+pub mod taskserver;
 pub mod webrick;
 
 /// A runnable benchmark program.
@@ -85,6 +89,8 @@ mod tests {
             micro::iterator_bench(4, 100),
             webrick::webrick(4, 20),
             rails::rails(4, 20),
+            taskserver::taskserver(4, 2, 8, 32, false),
+            taskserver::taskserver(4, 2, 2, 32, true),
             probe::writeset_probe(&[24, 20, 16, 12], 50),
         ];
         all.extend(npb_all(4, 1));
@@ -99,6 +105,7 @@ mod tests {
         all.extend(npb_all(2, 1));
         all.push(webrick::webrick(2, 4));
         all.push(rails::rails(2, 4));
+        all.push(taskserver::taskserver(2, 2, 4, 8, false));
         for w in all {
             let mut p = ruby_vm::Program::default();
             ruby_vm::compile::compile_source(&w.source, &mut p)

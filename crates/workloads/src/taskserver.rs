@@ -1,0 +1,262 @@
+//! The task-execution-server scenario: N clients submit heterogeneous
+//! tasks over simulated connections into a bounded queue; a worker pool
+//! executes them and publishes per-task results.
+//!
+//! This is the latency-oriented counterpart to [`crate::webrick`]: where
+//! WEBrick measures throughput of a uniform request stream, the task
+//! server measures *queueing* — each task's enqueue, dequeue, completion
+//! (or shed, when the bounded queue rejects under load) is reported to
+//! the executor via `Kernel#srv_mark`, and the run report carries
+//! p50/p90/p99/p999 latency percentiles plus a queue-depth time series.
+//!
+//! Structure of the Ruby program:
+//!
+//! * `%CLIENTS%` client threads each submit `%SCALE% / %CLIENTS%` tasks.
+//!   A submission waits on its connection (`Kernel#conn_wait`, the
+//!   deterministic per-connection latency model), then pushes the task
+//!   id into a Mutex-protected ring buffer of capacity `%QBOUND%`.
+//! * When the queue is full, behaviour depends on `%SHED%`: `0` blocks
+//!   the client (backpressure — it backs off on simulated I/O and
+//!   retries), `1` sheds the task (marks it and moves on).
+//! * `%WORKERS%` worker threads pop ids and execute one of four task
+//!   classes keyed by `id % 4`: CPU-bound arithmetic, allocation-heavy
+//!   string building, blocking I/O, and shared-state mutation under a
+//!   second Mutex.
+//! * Shutdown is a graceful drain: the main thread joins the clients,
+//!   sets the closed flag under the queue lock, and joins the workers —
+//!   workers exit only once the queue is closed *and* empty, so no
+//!   accepted task is lost.
+//!
+//! With shedding off every task completes, results are pure functions of
+//! the task id, and the final checksum line is identical across runtime
+//! modes — so the scenario composes with the GIL-oracle differential
+//! checker and the chaos suite. With shedding on, *which* tasks are shed
+//! depends on timing and therefore on the runtime mode; shed
+//! configurations are for latency sweeps (each point is still fully
+//! deterministic), not for cross-mode output comparison.
+
+use crate::Workload;
+
+const TASKSERVER_SRC: &str = r#"
+NCLIENTS = %CLIENTS%
+NWORKERS = %WORKERS%
+NTASKS = %SCALE%
+QBOUND = %QBOUND%
+SHED = %SHED%
+PER = %PER%
+
+$check = 0
+$tally = 0
+
+qm = Mutex.new()
+tm = Mutex.new()
+qbuf = Array.new(QBOUND, 0)
+qstate = Array.new(3, 0)
+# Per-worker checksum accumulators — deliberately a local (worker blocks
+# share this scope): which worker runs which task is timing-dependent, so
+# the partials differ across runtime modes and must stay out of the
+# $-global heap digest the GIL oracle compares. Their order-independent
+# sum ($check) is mode-invariant when nothing is shed.
+wsum = Array.new(NWORKERS, 0)
+
+clients = []
+NCLIENTS.times do |c|
+  clients << Thread.new(c) do |cid|
+    k = 0
+    while k < PER
+      id = cid * PER + k
+      conn_wait(cid, k)
+      settled = 0
+      back = 1
+      while settled == 0
+        qm.synchronize do
+          if qstate[1] < QBOUND
+            qbuf[(qstate[0] + qstate[1]) % QBOUND] = id
+            qstate[1] = qstate[1] + 1
+            srv_mark(0, id)
+            settled = 1
+          elsif SHED == 1
+            srv_mark(3, id)
+            settled = 1
+          end
+        end
+        if settled == 0
+          io_wait(back)
+          if back < 32
+            back = back * 2
+          end
+        end
+      end
+      k += 1
+    end
+  end
+end
+
+workers = []
+NWORKERS.times do |w|
+  workers << Thread.new(w) do |wid|
+    running = 1
+    back = 1
+    while running == 1
+      id = 0
+      got = 0
+      fin = 0
+      qm.synchronize do
+        if qstate[1] > 0
+          id = qbuf[qstate[0]]
+          qstate[0] = (qstate[0] + 1) % QBOUND
+          qstate[1] = qstate[1] - 1
+          srv_mark(1, id)
+          got = 1
+        elsif qstate[2] == 1
+          fin = 1
+        end
+      end
+      if got == 1
+        cls = id % 4
+        v = 0
+        if cls == 0
+          i = 1
+          while i <= 40
+            v += i * (id % 7 + 1)
+            i += 1
+          end
+        elsif cls == 1
+          s = ""
+          j = 0
+          while j < 6
+            s = s + "item" + (id % 5).to_s
+            j += 1
+          end
+          v = (id % 5 + 1) * 30
+        elsif cls == 2
+          io_wait(1)
+          v = id % 97 + 1
+        else
+          v = id % 13 + 1
+          tm.synchronize do
+            $tally += v
+          end
+        end
+        wsum[wid] = wsum[wid] + v * (id % 3 + 1)
+        srv_mark(2, id)
+        back = 1
+      elsif fin == 1
+        running = 0
+      else
+        io_wait(back)
+        if back < 32
+          back = back * 2
+        end
+      end
+    end
+  end
+end
+
+clients.each do |t|
+  t.join()
+end
+qm.synchronize do
+  qstate[2] = 1
+end
+workers.each do |t|
+  t.join()
+end
+i = 0
+while i < NWORKERS
+  $check += wsum[i]
+  i += 1
+end
+puts($check.to_s + ":" + $tally.to_s)
+"#;
+
+/// Task server: `clients` submitting threads, `workers` executing
+/// threads, a bounded queue of `qbound` slots, `tasks` total tasks.
+/// `shed` selects the full-queue policy: `false` blocks the client
+/// (backpressure), `true` drops the task with a shed mark.
+///
+/// `tasks` must divide evenly among `clients`.
+pub fn taskserver(
+    clients: usize,
+    workers: usize,
+    qbound: usize,
+    tasks: usize,
+    shed: bool,
+) -> Workload {
+    assert!(clients > 0 && workers > 0 && qbound > 0, "degenerate server shape");
+    assert_eq!(tasks % clients, 0, "tasks must divide evenly among clients");
+    let source = TASKSERVER_SRC
+        .replace("%CLIENTS%", &clients.to_string())
+        .replace("%WORKERS%", &workers.to_string())
+        .replace("%SCALE%", &tasks.to_string())
+        .replace("%QBOUND%", &qbound.to_string())
+        .replace("%SHED%", if shed { "1" } else { "0" })
+        .replace("%PER%", &(tasks / clients).to_string());
+    Workload { name: "TaskServer", source, threads: clients + workers, requests: tasks as u64 }
+}
+
+/// The value a worker computes for task `id` (mirrors the Ruby task
+/// classes exactly).
+fn task_value(id: u64) -> u64 {
+    match id % 4 {
+        0 => 820 * (id % 7 + 1), // sum 1..=40 scaled
+        1 => (id % 5 + 1) * 30,  // string length × factor
+        2 => id % 97 + 1,        // I/O task's token
+        _ => id % 13 + 1,        // shared-tally increment
+    }
+}
+
+/// The exact stdout a no-shed run of `taskserver(_, _, _, tasks, false)`
+/// must produce in every runtime mode — the cross-mode oracle for the
+/// queue-semantics tests.
+pub fn expected_stdout(tasks: usize) -> String {
+    let mut check: u64 = 0;
+    let mut tally: u64 = 0;
+    for id in 0..tasks as u64 {
+        let v = task_value(id);
+        check += v * (id % 3 + 1);
+        if id % 4 == 3 {
+            tally += v;
+        }
+    }
+    format!("{check}:{tally}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_instantiates_and_parses() {
+        let w = taskserver(4, 2, 8, 64, false);
+        assert!(w.source.contains("NCLIENTS = 4"));
+        assert!(w.source.contains("NWORKERS = 2"));
+        assert!(w.source.contains("QBOUND = 8"));
+        assert!(w.source.contains("SHED = 0"));
+        assert!(w.source.contains("PER = 16"));
+        assert_eq!(w.threads, 6);
+        assert_eq!(w.requests, 64);
+        ruby_lang::parse_program(&w.source).unwrap();
+    }
+
+    #[test]
+    fn shed_variant_flips_the_policy_flag() {
+        let w = taskserver(2, 2, 1, 8, true);
+        assert!(w.source.contains("SHED = 1"));
+        ruby_lang::parse_program(&w.source).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_split_is_rejected() {
+        taskserver(3, 1, 4, 10, false);
+    }
+
+    #[test]
+    fn expected_stdout_matches_task_classes() {
+        // First four ids by hand: id 0 → cpu 820·1, id 1 → alloc 2·30,
+        // id 2 → io 3, id 3 → shared 4.
+        // check = 820·1 + 60·2 + 3·3 + 4·1 = 953; tally = 4.
+        assert_eq!(expected_stdout(4), "953:4");
+    }
+}

@@ -188,3 +188,26 @@ fn interrupt_model_kills_transactions_but_preserves_output() {
         "a 15k-cycle interrupt interval must kill some in-flight transactions"
     );
 }
+
+#[test]
+fn taskserver_chaos_point_matches_the_gil_oracle() {
+    // The fixed-seed taskserver chaos point: fault injection *and* timer
+    // interrupts at once, against the full queue machinery (bounded ring,
+    // backpressure parking, graceful drain) and the mark escrow that
+    // feeds the latency pipeline. Shedding stays off so stdout and the
+    // final heap digest have a GIL oracle; the latency counters must
+    // balance even while transactions are killed from two directions —
+    // an aborted slice may leak neither a phantom mark nor a phantom
+    // wake.
+    let w = workloads::taskserver::taskserver(3, 2, 4, 24, false);
+    let vm = VmConfig { max_threads: w.threads + 2, ..VmConfig::default() };
+    let v = check_against_gil(&w.source, vm, profile(), chaos_cfg(0.25, 0.05, 0.0, 50_000))
+        .expect("taskserver chaos run failed");
+    assert!(v.matches(), "{}", v.mismatch.unwrap());
+    assert_eq!(v.subject.stdout, workloads::taskserver::expected_stdout(24));
+    assert!(v.subject.htm.spurious > 0, "injection must fire on the chaos point");
+    let tl = v.subject.task_latency.as_ref().expect("subject latency section");
+    assert_eq!((tl.enqueued, tl.completed, tl.shed), (24, 24, 0), "latency counters must balance");
+    let otl = v.oracle.task_latency.as_ref().expect("oracle latency section");
+    assert_eq!((otl.enqueued, otl.completed, otl.shed), (24, 24, 0));
+}

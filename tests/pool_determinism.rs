@@ -73,6 +73,17 @@ fn chaos_report_is_pool_size_invariant() {
     assert_eq!(serial, pooled, "chaos JSON differs between --jobs 1 and --jobs 4");
 }
 
+#[test]
+fn taskserver_report_is_pool_size_invariant() {
+    // The latency artifact carries percentile tables and queue-depth
+    // time series derived from every point's run report; none of it may
+    // depend on how the sweep was scheduled onto the worker pool.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let serial = at_jobs(1, || bench::taskserver::latency_sweep(true).to_pretty());
+    let pooled = at_jobs(4, || bench::taskserver::latency_sweep(true).to_pretty());
+    assert_eq!(serial, pooled, "taskserver JSON differs between --jobs 1 and --jobs 4");
+}
+
 fn committed(csv_name: &str) -> String {
     let path = bench::results_dir().join(format!("{csv_name}.csv"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))

@@ -7,18 +7,21 @@
 //! document alone — exactly what an external consumer of
 //! `--report-json` would see.
 
-use htm_gil_core::{ExecConfig, Executor, Json, LengthPolicy, RuntimeMode};
+use htm_gil_core::{ExecConfig, Executor, Json, LengthPolicy, RunReport, RuntimeMode};
 use machine_sim::MachineProfile;
 use ruby_vm::VmConfig;
 
-fn npb_report_json(threads: usize) -> Json {
+fn run(w: &workloads::Workload, mode: RuntimeMode) -> RunReport {
     let profile = MachineProfile::zec12();
-    let mode = RuntimeMode::Htm { length: LengthPolicy::Dynamic };
     let cfg = ExecConfig::new(mode, &profile);
-    let w = workloads::npb::cg(threads, 1);
-    let vm = VmConfig { max_threads: threads + 2, ..VmConfig::default() };
+    let vm = VmConfig { max_threads: w.threads + 2, ..VmConfig::default() };
     let mut ex = Executor::new(&w.source, vm, profile, cfg).expect("boot");
-    let report = ex.run().expect("run");
+    ex.run().expect("run")
+}
+
+fn npb_report_json(threads: usize) -> Json {
+    let w = workloads::npb::cg(threads, 1);
+    let report = run(&w, RuntimeMode::Htm { length: LengthPolicy::Dynamic });
     let json = report.to_json();
     // Round-trip through text so the assertions only use what a consumer
     // of the file would have.
@@ -110,4 +113,58 @@ fn report_json_totals_are_consistent() {
         assert_eq!(Some(per), p.get("total_aborts").unwrap().as_u64());
         assert!(p.get("length").unwrap().as_u64().unwrap() >= 1);
     }
+
+    // A non-server workload must not emit the task_latency section: its
+    // document keeps the exact pre-taskserver schema.
+    assert!(doc.get("task_latency").is_none(), "NPB report must not carry task_latency");
+}
+
+#[test]
+fn taskserver_latency_section_round_trips() {
+    // Run the task server, emit the report as text, parse it back, and
+    // check the latency section the way a dashboard consuming
+    // `--report-json` would: field presence, percentile ordering, and
+    // agreement between the counters and the histograms.
+    let tasks = 48;
+    let w = workloads::taskserver::taskserver(3, 2, 4, tasks, false);
+    let report = run(&w, RuntimeMode::Htm { length: LengthPolicy::Dynamic });
+    let doc = Json::parse(&report.to_json().to_pretty()).expect("self-emitted JSON must parse");
+
+    let tl = doc.get("task_latency").expect("taskserver report must carry task_latency");
+    let n = |k: &str| tl.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("field {k}"));
+    assert_eq!(n("enqueued"), tasks as u64);
+    assert_eq!(n("completed"), tasks as u64);
+    assert_eq!(n("shed"), 0);
+
+    for hist in ["e2e", "queue_wait"] {
+        let h = tl.get(hist).unwrap_or_else(|| panic!("{hist} histogram"));
+        let v =
+            |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("{hist}.{k} field"));
+        assert_eq!(v("count"), tasks as u64, "{hist} must have one sample per task");
+        assert!(v("min") <= v("p50"), "{hist}: min <= p50");
+        assert!(v("p50") <= v("p90"), "{hist}: p50 <= p90");
+        assert!(v("p90") <= v("p99"), "{hist}: p90 <= p99");
+        assert!(v("p99") <= v("p999"), "{hist}: p99 <= p999");
+        assert!(v("p999") <= v("max"), "{hist}: p999 <= max");
+        assert!(h.get("mean").and_then(Json::as_f64).expect("mean") > 0.0);
+    }
+
+    // Queue-depth time series: windows are ordered, the depth respects
+    // the configured bound, and at least one window saw a queued task.
+    assert!(tl.get("window_cycles").and_then(Json::as_u64).expect("window_cycles") > 0);
+    let series = tl.get("queue_series").and_then(Json::as_array).expect("queue_series");
+    assert!(!series.is_empty(), "queue series must not be empty");
+    let mut last_start = None;
+    let mut max_depth = 0;
+    for wnd in series {
+        let start = wnd.get("start_cycle").and_then(Json::as_u64).expect("start_cycle");
+        if let Some(prev) = last_start {
+            assert!(start > prev, "windows must be strictly ordered");
+        }
+        last_start = Some(start);
+        max_depth = max_depth.max(wnd.get("max_depth").and_then(Json::as_u64).expect("max_depth"));
+        wnd.get("sheds").and_then(Json::as_u64).expect("sheds");
+    }
+    assert!(max_depth >= 1, "some window must have seen a queued task");
+    assert!(max_depth <= 4, "queue depth may never exceed the bound");
 }

@@ -1,0 +1,164 @@
+//! Queue semantics of the taskserver scenario: backpressure blocking,
+//! shed accounting, FIFO completion under a single worker, and graceful
+//! drain without loss or duplication — each at fixed seeds/configs, in
+//! GIL and HTM modes.
+
+use htm_gil::bench_workloads::taskserver::{expected_stdout, taskserver};
+use htm_gil::{
+    ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, VmConfig,
+};
+
+fn run(w: &htm_gil::Workload, mode: RuntimeMode) -> RunReport {
+    let profile = MachineProfile::generic(4);
+    let vm_config = VmConfig { max_threads: w.threads + 2, ..VmConfig::default() };
+    let cfg = ExecConfig::new(mode, &profile);
+    let mut ex = Executor::new(&w.source, vm_config, profile, cfg).expect("boot");
+    ex.run().unwrap_or_else(|e| panic!("{} {}: {e}", w.name, mode.label()))
+}
+
+const MODES: [RuntimeMode; 3] = [
+    RuntimeMode::Gil,
+    RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+    RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+];
+
+#[test]
+fn backpressure_blocks_and_completes_everything() {
+    // Queue bound 1: clients must block (not drop) whenever the single
+    // slot is taken; every task still completes, and the observed queue
+    // depth never exceeds the bound.
+    let w = taskserver(3, 2, 1, 12, false);
+    for mode in MODES {
+        let r = run(&w, mode);
+        assert_eq!(r.stdout, expected_stdout(12), "mode {}", mode.label());
+        let tl = r.task_latency.as_ref().expect("server run must report latency");
+        assert_eq!(tl.enqueued, 12, "mode {}", mode.label());
+        assert_eq!(tl.completed, 12, "mode {}", mode.label());
+        assert_eq!(tl.shed, 0, "mode {}", mode.label());
+        let max_depth = tl.queue_series.iter().map(|w| w.max_depth).max().unwrap_or(0);
+        assert!(max_depth <= 1, "depth {max_depth} exceeded bound 1 in {}", mode.label());
+    }
+}
+
+#[test]
+fn shed_accounting_balances() {
+    // Shedding on with a tiny queue: every task is either enqueued or
+    // shed — exactly once — and everything enqueued completes.
+    let w = taskserver(4, 1, 1, 16, true);
+    for mode in MODES {
+        let r = run(&w, mode);
+        let tl = r.task_latency.as_ref().expect("latency section");
+        assert_eq!(tl.enqueued + tl.shed, 16, "mode {}", mode.label());
+        assert_eq!(tl.completed, tl.enqueued, "accepted tasks must complete");
+        let series_sheds: u64 = tl.queue_series.iter().map(|w| w.sheds).sum();
+        assert_eq!(series_sheds, tl.shed, "time series must account every shed");
+        assert!(tl.shed > 0, "bound-1 queue with 4 clients and 1 worker must shed");
+    }
+}
+
+#[test]
+fn fifo_completion_under_single_worker() {
+    // One client, one worker: the ring buffer must hand tasks out in
+    // submission order. This source mirrors the taskserver queue but
+    // records the completion order (safe: one worker, no races on it).
+    const SRC: &str = r#"
+NTASKS = 8
+QBOUND = 3
+$order = ""
+qm = Mutex.new()
+qbuf = Array.new(QBOUND, 0)
+qstate = Array.new(3, 0)
+client = Thread.new() do
+  k = 0
+  while k < NTASKS
+    conn_wait(0, k)
+    settled = 0
+    while settled == 0
+      qm.synchronize do
+        if qstate[1] < QBOUND
+          qbuf[(qstate[0] + qstate[1]) % QBOUND] = k
+          qstate[1] = qstate[1] + 1
+          srv_mark(0, k)
+          settled = 1
+        end
+      end
+      if settled == 0
+        io_wait(1)
+      end
+    end
+    k += 1
+  end
+end
+worker = Thread.new() do
+  running = 1
+  while running == 1
+    id = 0
+    got = 0
+    fin = 0
+    qm.synchronize do
+      if qstate[1] > 0
+        id = qbuf[qstate[0]]
+        qstate[0] = (qstate[0] + 1) % QBOUND
+        qstate[1] = qstate[1] - 1
+        srv_mark(1, id)
+        got = 1
+      elsif qstate[2] == 1
+        fin = 1
+      end
+    end
+    if got == 1
+      $order = $order + id.to_s + ","
+      srv_mark(2, id)
+    elsif fin == 1
+      running = 0
+    else
+      io_wait(1)
+    end
+  end
+end
+client.join()
+qm.synchronize do
+  qstate[2] = 1
+end
+worker.join()
+puts($order)
+"#;
+    for mode in MODES {
+        let profile = MachineProfile::generic(4);
+        let cfg = ExecConfig::new(mode, &profile);
+        let mut ex = Executor::new(SRC, VmConfig::default(), profile, cfg).expect("boot");
+        let r = ex.run().unwrap_or_else(|e| panic!("{}: {e}", mode.label()));
+        assert_eq!(r.stdout, "0,1,2,3,4,5,6,7,", "FIFO violated in {}", mode.label());
+        let tl = r.task_latency.as_ref().expect("latency section");
+        assert_eq!(tl.completed, 8);
+        assert_eq!(tl.queue_wait.count, 8);
+    }
+}
+
+#[test]
+fn graceful_drain_loses_and_duplicates_nothing() {
+    // Clients finish while tasks are still queued; workers must drain
+    // the backlog before exiting. Every task contributes a positive term
+    // to the checksum, so a lost task lowers it and a re-executed one
+    // raises it — either way the stdout comparison fails.
+    let w = taskserver(2, 3, 4, 16, false);
+    for mode in MODES {
+        let r = run(&w, mode);
+        assert_eq!(r.stdout, expected_stdout(16), "mode {}", mode.label());
+        let tl = r.task_latency.as_ref().expect("latency section");
+        assert_eq!((tl.enqueued, tl.completed, tl.shed), (16, 16, 0), "mode {}", mode.label());
+        assert_eq!(tl.e2e.count, 16, "every task needs an end-to-end sample");
+        assert_eq!(tl.queue_wait.count, 16, "every task needs a queue-wait sample");
+        assert!(tl.e2e.p50 >= tl.queue_wait.min, "e2e includes the queue wait");
+        assert!(tl.e2e.max >= tl.e2e.p99 && tl.e2e.p99 >= tl.e2e.p50, "percentiles ordered");
+    }
+}
+
+#[test]
+fn latency_report_absent_without_marks() {
+    // Ordinary workloads never emit srv_mark: the report section must
+    // stay None so their JSON artifacts keep the pre-taskserver schema.
+    let w = htm_gil::bench_workloads::micro::while_bench(2, 50);
+    let r = run(&w, RuntimeMode::Gil);
+    assert!(r.task_latency.is_none());
+}
