@@ -16,9 +16,20 @@
 //!   the ownership-directory rewrite of `TxMemory` (set-scan conflict
 //!   detection), so `speedup_vs_baseline` records what the rewrite bought.
 //!
+//! `--gate` turns the binary into a regression gate instead: it measures
+//! the same configurations, compares each one's simulated bytecodes/sec
+//! against the **committed** `BENCH_selfperf.json`, writes the comparison
+//! to `bench-results/selfperf_gate.json` (never touching the committed
+//! file), and exits non-zero when any configuration regresses by more
+//! than the tolerance (`HTMGIL_SELFPERF_TOLERANCE`, default 0.15). The
+//! gate compares the *best* repetition — the committed number states what
+//! the build can reach, and a regression gate asks whether this build can
+//! still reach it; medians would flake on loaded CI runners without
+//! catching any additional real regressions.
+//!
 //! `HTMGIL_QUICK=1` shrinks the workloads and the repetition count for
 //! smoke runs; quick numbers are labelled as such and are not comparable
-//! with the recorded baseline.
+//! with the recorded baseline (and are rejected in `--gate` mode).
 
 use std::time::Instant;
 
@@ -59,7 +70,10 @@ fn median(samples: &mut [f64]) -> f64 {
 
 struct Measurement {
     name: &'static str,
+    /// Median wall time over the repetitions.
     wall_ms: f64,
+    /// Fastest repetition (the gate's comparison point).
+    best_ms: f64,
     report: RunReport,
 }
 
@@ -74,13 +88,16 @@ fn measure(name: &'static str, w: &Workload, reps: usize) -> Measurement {
         walls.push(start.elapsed().as_secs_f64() * 1e3);
         report = Some(r);
     }
-    Measurement { name, wall_ms: median(&mut walls), report: report.expect("reps >= 1") }
+    let best_ms = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    Measurement { name, wall_ms: median(&mut walls), best_ms, report: report.expect("reps >= 1") }
 }
 
-fn main() {
-    bench::runner::init_from_args();
-    let q = quick();
-    let reps = if q { 3 } else { 5 };
+/// Simulated bytecodes retired by one (deterministic) run of a config.
+fn sim_bytecodes(r: &RunReport) -> u64 {
+    r.committed_insns + r.wasted_insns
+}
+
+fn run_measurements(q: bool, reps: usize) -> Vec<Measurement> {
     // Warm up allocator/page cache once so rep 1 is comparable to rep N.
     {
         let w = workloads::micro::while_bench(2, 50);
@@ -88,27 +105,146 @@ fn main() {
         let cfg = ExecConfig::new(RuntimeMode::Gil, &profile);
         bench::run_workload_with(&w, &profile, cfg, vm_config_for(w.threads));
     }
+    let cfgs = configs(q);
+    runner::sweep(
+        "selfperf",
+        &cfgs,
+        |(name, _)| name.to_string(),
+        |&(name, ref w)| measure(name, w, reps),
+    )
+}
 
-    // The three configs fan out through the shared runner like any other
+/// `--gate`: compare against the committed `BENCH_selfperf.json` and fail
+/// on regression past the tolerance. Never rewrites the committed file.
+fn run_gate() -> i32 {
+    let jobs = runner::jobs();
+    if jobs != 1 {
+        eprintln!("error: --gate wall times are only comparable at --jobs 1 (got {jobs})");
+        return 2;
+    }
+    if quick() {
+        eprintln!("error: --gate compares full-size runs; unset HTMGIL_QUICK");
+        return 2;
+    }
+    let tolerance = match std::env::var("HTMGIL_SELFPERF_TOLERANCE") {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!(
+                    "error: HTMGIL_SELFPERF_TOLERANCE must be a fraction in [0, 1), got {v:?}"
+                );
+                return 2;
+            }
+        },
+        Err(_) => 0.15,
+    };
+    let committed_path = bench::repo_root().join("BENCH_selfperf.json");
+    let committed = match std::fs::read_to_string(&committed_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(&text))
+    {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: cannot read committed {}: {e}", committed_path.display());
+            return 2;
+        }
+    };
+    let reps = 7; // more than the recording run: the gate gets one shot
+    let measurements = run_measurements(false, reps);
+
+    println!(
+        "== selfperf gate: best of {reps} vs committed (tolerance {:.0}%) ==",
+        tolerance * 100.0
+    );
+    let mut results = Json::obj();
+    let mut all_pass = true;
+    for m in &measurements {
+        let committed_bps = committed
+            .get("current")
+            .and_then(|c| c.get(m.name))
+            .and_then(|e| e.get("sim_bytecodes_per_sec"))
+            .and_then(Json::as_f64);
+        let measured_bps = sim_bytecodes(&m.report) as f64 / (m.best_ms / 1e3);
+        let (ratio, pass) = match committed_bps {
+            Some(c) if c > 0.0 => {
+                let ratio = measured_bps / c;
+                (Some(ratio), ratio >= 1.0 - tolerance)
+            }
+            // A config the committed file has never measured cannot
+            // regress; it starts gating once its numbers are recorded.
+            _ => (None, true),
+        };
+        all_pass &= pass;
+        println!(
+            "  {:<20} {:>12.0} bytecodes/s  committed {:>12}  {}",
+            m.name,
+            measured_bps,
+            committed_bps.map(|c| format!("{c:.0}")).unwrap_or_else(|| "-".into()),
+            match (ratio, pass) {
+                (Some(r), true) => format!("{:.2}x  ok", r),
+                (Some(r), false) => format!("{:.2}x  REGRESSION", r),
+                (None, _) => "new config (no committed number)".into(),
+            }
+        );
+        let mut entry = Json::obj()
+            .field("measured_bytecodes_per_sec", measured_bps)
+            .field("measured_best_wall_ms", m.best_ms)
+            .field("measured_median_wall_ms", m.wall_ms)
+            .field("pass", pass);
+        if let Some(c) = committed_bps {
+            entry = entry.field("committed_bytecodes_per_sec", c);
+        }
+        if let Some(r) = ratio {
+            entry = entry.field("ratio", r);
+        }
+        results = results.field(m.name, entry);
+    }
+    let doc = Json::obj()
+        .field("schema", "htm-gil-selfperf-gate/v1")
+        .field("tolerance", tolerance)
+        .field("reps", reps as u64)
+        .field("jobs", jobs as u64)
+        .field("pass", all_pass)
+        .field("configs", results);
+    let out = bench::repo_root().join("bench-results").join("selfperf_gate.json");
+    std::fs::create_dir_all(out.parent().expect("bench-results parent")).expect("mkdir");
+    std::fs::write(&out, doc.to_pretty() + "\n").expect("write selfperf_gate.json");
+    println!("  [json] {}", out.display());
+    if all_pass {
+        0
+    } else {
+        eprintln!(
+            "selfperf gate FAILED: a config regressed more than {:.0}% below the committed \
+             throughput (override with HTMGIL_SELFPERF_TOLERANCE)",
+            tolerance * 100.0
+        );
+        1
+    }
+}
+
+fn main() {
+    bench::runner::init_from_args();
+    if std::env::args().skip(1).any(|a| a == "--gate") {
+        let code = run_gate();
+        bench::reporting::finalize();
+        std::process::exit(code);
+    }
+    let q = quick();
+    let reps = if q { 3 } else { 5 };
+    let jobs = runner::jobs();
+    // The configs fan out through the shared runner like any other
     // sweep (reps stay serial inside each point so a median means
     // something). Concurrent points contend for cores, so wall times taken
     // at --jobs > 1 are only comparable with other runs at the same pool
     // size — the JSON records `jobs`, and the baseline comparison (which
     // was measured serially) is reported at --jobs 1 only.
-    let jobs = runner::jobs();
-    let cfgs = configs(q);
-    let measurements = runner::sweep(
-        "selfperf",
-        &cfgs,
-        |(name, _)| name.to_string(),
-        |&(name, ref w)| measure(name, w, reps),
-    );
+    let measurements = run_measurements(q, reps);
 
     let mut current = Json::obj();
     println!("== selfperf: simulator wall-clock (median of {reps}, jobs={jobs}) ==");
     for m in measurements {
         let wall_s = m.wall_ms / 1e3;
-        let insns = m.report.committed_insns + m.report.wasted_insns;
+        let insns = sim_bytecodes(&m.report);
         let words = m.report.htm.total_accesses();
         let bytecodes_per_sec = insns as f64 / wall_s;
         let words_per_sec = words as f64 / wall_s;

@@ -1,0 +1,92 @@
+//! Decode differential: the pre-decoded dispatch path and the un-decoded
+//! reference interpreter (`VmConfig::slow_dispatch`, the path CI forces
+//! with `HTMGIL_FORCE_SLOW_DISPATCH=1`) must produce **identical** run
+//! reports — same stdout, same cycle counts, same abort statistics, same
+//! conflict attribution — for every workload shape and runtime mode.
+//!
+//! The comparison is on the serialized report JSON, which contains only
+//! simulated quantities, so a single string equality covers every counter
+//! the harness exposes. Pre-decoding is a host-side representation change;
+//! any divergence here means the decoder or a superinstruction leaked into
+//! simulated behaviour.
+
+use bench::{run_workload_with, vm_config_for};
+use htm_gil_core::{ExecConfig, Json, LengthPolicy, RuntimeMode};
+use machine_sim::MachineProfile;
+use workloads::Workload;
+
+/// Run `w` in `mode` with the given dispatch path and return the report
+/// JSON (compact — the comparison artifact).
+fn report_json(w: &Workload, mode: RuntimeMode, slow: bool) -> String {
+    let profile = MachineProfile::zec12();
+    let cfg = ExecConfig::new(mode, &profile);
+    let mut vm_config = vm_config_for(w.threads);
+    vm_config.slow_dispatch = slow;
+    run_workload_with(w, &profile, cfg, vm_config).to_json().to_compact()
+}
+
+fn assert_paths_agree(w: &Workload, mode: RuntimeMode) {
+    let fast = report_json(w, mode, false);
+    let slow = report_json(w, mode, true);
+    if fast != slow {
+        // Point at the first differing field instead of dumping two blobs.
+        let f = Json::parse(&fast).expect("fast report parses");
+        let s = Json::parse(&slow).expect("slow report parses");
+        let (Json::Obj(ff), Json::Obj(sf)) = (&f, &s) else {
+            panic!("{} [{mode:?}]: reports are not objects", w.name);
+        };
+        for ((fk, fv), (sk, sv)) in ff.iter().zip(sf.iter()) {
+            assert_eq!(fk, sk, "{} [{mode:?}]: field order diverged", w.name);
+            assert_eq!(
+                fv.to_compact(),
+                sv.to_compact(),
+                "{} [{mode:?}]: decoded and reference dispatch disagree on {fk:?}",
+                w.name
+            );
+        }
+        panic!("{} [{mode:?}]: reports differ but fields match?", w.name);
+    }
+}
+
+/// Quick fig8-shaped slice: the abort-investigation workloads at small
+/// scale, where conflicts, overflows and the GIL fallback all fire.
+fn quick_slice() -> Vec<Workload> {
+    vec![
+        workloads::micro::while_bench(4, 200),
+        workloads::micro::iterator_bench(4, 120),
+        workloads::npb::cg(4, 1),
+        workloads::webrick::webrick(3, 24),
+        workloads::taskserver::taskserver(4, 2, 16, 48, false),
+    ]
+}
+
+#[test]
+fn decoded_dispatch_matches_reference_under_htm_dynamic() {
+    for w in quick_slice() {
+        assert_paths_agree(&w, RuntimeMode::Htm { length: LengthPolicy::Dynamic });
+    }
+}
+
+#[test]
+fn decoded_dispatch_matches_reference_under_htm_fixed() {
+    for w in quick_slice() {
+        assert_paths_agree(&w, RuntimeMode::Htm { length: LengthPolicy::Fixed(16) });
+    }
+}
+
+#[test]
+fn decoded_dispatch_matches_reference_under_gil() {
+    for w in quick_slice() {
+        assert_paths_agree(&w, RuntimeMode::Gil);
+    }
+}
+
+#[test]
+fn decoded_dispatch_matches_reference_in_single_thread_fusion_regime() {
+    // One live thread is where superinstruction fusion actually engages;
+    // the fused pairs must leave every simulated number untouched.
+    for w in [workloads::micro::while_bench(1, 500), workloads::npb::cg(1, 1)] {
+        assert_paths_agree(&w, RuntimeMode::Htm { length: LengthPolicy::Dynamic });
+        assert_paths_agree(&w, RuntimeMode::Gil);
+    }
+}

@@ -21,7 +21,6 @@ use htm_sim::abort::abort_codes;
 use htm_sim::trace::{RingBufferSink, TraceEvent};
 use htm_sim::{AbortReason, Budgets, OverflowPredictor, SpuriousCause};
 use machine_sim::{Cycles, InterruptTimer, MachineProfile, Scheduler, ThreadId};
-use ruby_vm::bytecode::InsnKind;
 use ruby_vm::{BlockOn, StepOk, Vm, VmAbort, VmConfig, Word};
 
 use crate::config::{ExecConfig, LengthPolicy, RuntimeMode, YieldPolicy};
@@ -200,6 +199,15 @@ pub struct Executor {
     /// `ExecConfig::trace_capacity > 0`; the other clone lives inside the
     /// transactional memory as its sink.
     trace: Option<Arc<Mutex<RingBufferSink>>>,
+    /// Pre-decoded flag bit identifying yield points under the effective
+    /// yield policy (`decode::YP_ORIG` or `decode::YP_EXT`): the per-step
+    /// yield test is one flags load and a mask instead of an instruction
+    /// fetch plus a kind classification.
+    yp_bit: u8,
+    /// Superinstruction-fusion bit for the effective yield policy, handed
+    /// to the VM only when fusion is trace-transparent (no other live
+    /// thread, no open transaction, no trace sink) — see `raw_step`.
+    fuse_bit: u8,
 }
 
 impl Executor {
@@ -247,6 +255,10 @@ impl Executor {
             vm.mem.set_fault_plan(plan);
         }
         let interrupts = InterruptTimer::new(cfg.interrupt_interval);
+        let (yp_bit, fuse_bit) = match cfg.effective_yield_policy() {
+            YieldPolicy::Original => (ruby_vm::decode::YP_ORIG, ruby_vm::decode::FUSE_ORIG),
+            YieldPolicy::Extended => (ruby_vm::decode::YP_EXT, ruby_vm::decode::FUSE_EXT),
+        };
         Ok(Executor {
             vm,
             sched,
@@ -269,6 +281,8 @@ impl Executor {
             progress_watermark: 0,
             stalled_steps: 0,
             trace,
+            yp_bit,
+            fuse_bit,
         })
     }
 
@@ -425,17 +439,11 @@ impl Executor {
         self.vm.program.global_pc(c.iseq, c.pc)
     }
 
-    /// Kind of the instruction `t` is about to execute.
-    fn insn_kind(&self, t: ThreadId) -> InsnKind {
-        let c = &self.vm.threads[t];
-        self.vm.program.insn(c.iseq, c.pc).kind()
-    }
-
-    fn is_yield_point(&self, kind: InsnKind) -> bool {
-        match self.cfg.effective_yield_policy() {
-            YieldPolicy::Original => kind.is_original_yield_point(),
-            YieldPolicy::Extended => kind.is_extended_yield_point(),
-        }
+    /// Is the instruction `t` is about to execute a yield point under the
+    /// effective policy? One load from the decoded stream's flag lane.
+    #[inline]
+    fn at_yield_point(&self, t: ThreadId) -> bool {
+        self.vm.insn_flags(t) & self.yp_bit != 0
     }
 
     /// HTM footprint budgets for `t` right now (SMT halving, §5.4).
@@ -447,12 +455,27 @@ impl Executor {
         }
     }
 
-    /// Execute one VM instruction and charge its cycles to `t`. Returns
-    /// the VM outcome and the charged work cycles.
+    /// Execute one VM step and charge its cycles to `t`. Returns the VM
+    /// outcome and the charged work cycles. A step retires one bytecode —
+    /// or two when superinstruction fusion is permitted, which it is only
+    /// when the interleaving cannot matter (no other live thread), no
+    /// transaction's escrow could straddle the pair, and no trace sink
+    /// observes per-access ordering. The charge is per retired bytecode
+    /// (`dispatch × step_insns` plus the accumulated memory/native costs),
+    /// so a fused pair lands on the simulated clock exactly where the two
+    /// separate steps would have.
     fn raw_step(&mut self, t: ThreadId) -> (Result<StepOk, VmAbort>, Cycles) {
+        self.vm.fuse_allowed = if self.trace.is_none()
+            && self.tle[t].tx.is_none()
+            && self.sched.other_live_threads(t) == 0
+        {
+            self.fuse_bit
+        } else {
+            0
+        };
         self.vm.reset_step_counters();
         let r = self.vm.step(t);
-        let cost = self.profile.cost.dispatch
+        let cost = self.profile.cost.dispatch * Cycles::from(self.vm.step_insns)
             + Cycles::from(self.vm.step_mem_refs) * self.profile.cost.mem_ref
             + self.vm.step_native_cost;
         self.sched.advance(t, cost);
@@ -619,8 +642,7 @@ impl Executor {
         }
         // Yield points: yield only when the timer flagged us and another
         // live thread exists (paper §3.2).
-        let kind = self.insn_kind(t);
-        if self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
+        if self.at_yield_point(t) && self.sched.other_live_threads(t) > 0 {
             let flag_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::INTERRUPT;
             // GIL mode runs no transactions, so these plain accesses can
             // only fail if the memory invariants are broken — surface
@@ -649,7 +671,8 @@ impl Executor {
         self.drain_marks(t);
         match r {
             Ok(ok) => {
-                self.committed_insns += 1;
+                self.committed_insns += u64::from(self.vm.step_insns);
+                self.vm.publish_method_bumps();
                 let was_block = matches!(ok, StepOk::Block(_));
                 let finished = matches!(ok, StepOk::Finished);
                 if was_block || finished {
@@ -684,7 +707,8 @@ impl Executor {
         }
         match r {
             Ok(ok) => {
-                self.committed_insns += 1;
+                self.committed_insns += u64::from(self.vm.step_insns);
+                self.vm.publish_method_bumps();
                 self.handle_outcome(t, ok)
             }
             Err(VmAbort::Err(e)) => Err(RunError::Vm(e.to_string())),
@@ -715,8 +739,7 @@ impl Executor {
         //    was just (re-)established at this pc — the instruction here
         //    belongs to the new transaction/GIL tenure.
         let fresh = std::mem::take(&mut self.tle[t].fresh);
-        let kind = self.insn_kind(t);
-        if !fresh && self.is_yield_point(kind) && self.sched.other_live_threads(t) > 0 {
+        if !fresh && self.at_yield_point(t) && self.sched.other_live_threads(t) > 0 {
             let counter_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
             let c = match self.vm.mem.read(t, counter_addr) {
                 Ok(Word::Int(c)) => c,
@@ -747,10 +770,13 @@ impl Executor {
         let (r, cost) = self.raw_step(t);
         if let Some(tx) = self.tle[t].tx.as_mut() {
             tx.work += cost;
-            tx.insns += 1;
+            tx.insns += u64::from(self.vm.step_insns);
         } else {
             self.breakdown.gil_held += cost;
-            self.committed_insns += 1;
+            self.committed_insns += u64::from(self.vm.step_insns);
+            // A method defined under the GIL is externally visible now:
+            // its version bump publishes with it.
+            self.vm.publish_method_bumps();
         }
         // Marks from a step that aborted (`r` is `Err(Tx)`) land in the
         // still-open transaction's escrow here and are dropped with it in
@@ -789,6 +815,9 @@ impl Executor {
             Ok(()) => {
                 self.breakdown.tx_success += info.work;
                 self.committed_insns += info.insns;
+                // Escrowed method-version bumps become visible with the
+                // writes that earned them (exactly like marks and wakes).
+                self.vm.publish_method_bumps();
                 // Escrowed lifecycle marks become externally visible at
                 // the commit, so they carry the commit-time clock.
                 let now = self.sched.clock(t);
@@ -808,6 +837,7 @@ impl Executor {
             Err(reason) => {
                 // Already rolled back; restore registers and report.
                 self.vm.restore(t, info.snapshot);
+                self.vm.drop_method_bumps();
                 self.breakdown.aborted += info.work;
                 self.wasted_insns += info.insns;
                 self.tle[t].resume_pc = Some(info.start_pc);
@@ -943,11 +973,12 @@ impl Executor {
         let Some(info) = self.tle[t].tx.take() else {
             return Err(RunError::Vm(format!("abort {reason:?} outside any transaction")));
         };
-        // Marks and wakes from the aborted slice vanish with it: the
-        // escrow in `info` is dropped, and anything the aborting step
-        // pushed but never drained is discarded too.
+        // Marks, wakes, and method-version bumps from the aborted slice
+        // vanish with it: the escrow in `info` is dropped, and anything
+        // the aborting step pushed but never drained is discarded too.
         self.vm.pending_marks.clear();
         self.vm.pending_wakes.clear();
+        self.vm.drop_method_bumps();
         self.vm.restore(t, info.snapshot);
         self.sched.advance(t, self.profile.cost.abort_penalty);
         self.breakdown.aborted += info.work + self.profile.cost.abort_penalty;

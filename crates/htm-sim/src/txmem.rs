@@ -99,8 +99,10 @@ struct TxSlot {
     read_lines: Vec<usize>,
     /// Lines in the write set, in first-touch order; no duplicates.
     write_lines: Vec<usize>,
-    /// (address, undo-arena slot) pairs, in write order.
-    undo: Vec<(usize, usize)>,
+    /// Overwritten addresses in write order; entry `i` pairs with slot `i`
+    /// of the thread's undo arena (the two grow in lockstep, so the arena
+    /// index needs no separate storage).
+    undo: Vec<usize>,
 }
 
 impl TxSlot {
@@ -445,9 +447,8 @@ impl<W: Clone> TxMemory<W> {
         if memo.line == line && memo.in_write {
             // Line already in our write set ⇒ we are the sole owner; only
             // the undo log needs to grow.
-            let slot = self.undo_words[t].len();
             self.undo_words[t].push(self.words[addr].clone());
-            self.txs[t].undo.push((addr, slot));
+            self.txs[t].undo.push(addr);
             self.words[addr] = value;
             return Ok(());
         }
@@ -477,9 +478,8 @@ impl<W: Clone> TxMemory<W> {
             }
         }
         if self.txs[t].active {
-            let slot = self.undo_words[t].len();
             self.undo_words[t].push(self.words[addr].clone());
-            self.txs[t].undo.push((addr, slot));
+            self.txs[t].undo.push(addr);
             if self.dir[line].writer as usize != t {
                 self.dir[line].writer = t as u8;
                 self.txs[t].write_lines.push(line);
@@ -518,6 +518,8 @@ impl<W: Clone> TxMemory<W> {
     /// same operation sequence consume identical randomness. Returns the
     /// abort reason when the fault killed the transaction.
     fn inject_fault(&mut self, t: ThreadId) -> Option<AbortReason> {
+        // Ordered so the no-plan common case is a single null test.
+        self.injector.as_ref()?;
         if !self.txs[t].active {
             return None;
         }
@@ -552,7 +554,14 @@ impl<W: Clone> TxMemory<W> {
         }
     }
 
+    #[inline]
     fn take_doom(&mut self, t: ThreadId) -> Option<AbortReason> {
+        // The counter is one hot word; with no doom pending anywhere the
+        // per-access check costs a load instead of an `Option::take`
+        // load + store on the (much colder) doomed array.
+        if self.pending_dooms == 0 {
+            return None;
+        }
         let reason = self.doomed[t].take();
         if reason.is_some() {
             self.pending_dooms -= 1;
@@ -590,7 +599,7 @@ impl<W: Clone> TxMemory<W> {
             return;
         }
         let undo = std::mem::take(&mut self.txs[t].undo);
-        for &(addr, slot) in undo.iter().rev() {
+        for (slot, &addr) in undo.iter().enumerate().rev() {
             self.words[addr] = self.undo_words[t][slot].clone();
         }
         self.txs[t].undo = undo;

@@ -56,6 +56,10 @@ struct ThreadSched {
     busy: Cycles,
 }
 
+/// Sentinel in the ready array: the thread cannot run without an external
+/// wake (parked or finished). Simulated clocks never reach this value.
+const NEVER_READY: Cycles = Cycles::MAX;
+
 /// Deterministic discrete-event scheduler over a fixed core/SMT topology.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
@@ -68,6 +72,13 @@ pub struct Scheduler {
     slots: Vec<Option<ThreadId>>,
     /// Cost of a context switch, charged on quantum preemption.
     context_switch: Cycles,
+    /// Cached per-thread ready time: `clock` when runnable,
+    /// `max(clock, until)` when sleeping, [`NEVER_READY`] otherwise.
+    /// Maintained at every state/clock transition so [`Scheduler::next`]
+    /// is a branch-free min-scan instead of a per-thread state match.
+    ready: Vec<Cycles>,
+    /// Threads not yet finished (O(1) `other_live_threads`).
+    unfinished: usize,
 }
 
 impl Scheduler {
@@ -82,6 +93,8 @@ impl Scheduler {
             smt_per_core,
             slots: vec![None; cores * smt_per_core],
             context_switch,
+            ready: Vec::new(),
+            unfinished: 0,
         }
     }
 
@@ -101,6 +114,8 @@ impl Scheduler {
             slot_usage: 0,
             busy: 0,
         });
+        self.ready.push(start);
+        self.unfinished += 1;
         tid
     }
 
@@ -135,6 +150,7 @@ impl Scheduler {
         th.clock += cycles;
         th.busy += cycles;
         th.slot_usage += cycles;
+        self.refresh_ready(t);
     }
 
     /// Move `t`'s clock forward to at least `to` without counting the gap
@@ -144,7 +160,20 @@ impl Scheduler {
         let th = &mut self.threads[t];
         if th.clock < to {
             th.clock = to;
+            self.refresh_ready(t);
         }
+    }
+
+    /// Recompute the cached ready time of `t` after a clock change. A
+    /// sleeping thread whose clock is advanced past its wake deadline
+    /// becomes ready at the (later) clock, not the deadline.
+    fn refresh_ready(&mut self, t: ThreadId) {
+        let th = &self.threads[t];
+        self.ready[t] = match th.state {
+            ThreadState::Runnable => th.clock,
+            ThreadState::Sleeping { until } => th.clock.max(until),
+            ThreadState::Parked | ThreadState::Finished => NEVER_READY,
+        };
     }
 
     /// Put `t` to sleep until simulated time `until` (blocking I/O).
@@ -153,12 +182,14 @@ impl Scheduler {
         self.release_slot(t);
         let th = &mut self.threads[t];
         th.state = ThreadState::Sleeping { until: until.max(th.clock) };
+        self.ready[t] = until.max(th.clock);
     }
 
     /// Park `t` until an explicit [`Scheduler::unpark`]. Releases its slot.
     pub fn park(&mut self, t: ThreadId) {
         self.release_slot(t);
         self.threads[t].state = ThreadState::Parked;
+        self.ready[t] = NEVER_READY;
     }
 
     /// Wake a parked or sleeping thread; it becomes runnable no earlier
@@ -169,6 +200,7 @@ impl Scheduler {
             ThreadState::Parked | ThreadState::Sleeping { .. } => {
                 th.clock = th.clock.max(at);
                 th.state = ThreadState::Runnable;
+                self.ready[t] = th.clock;
             }
             ThreadState::Runnable => {
                 // Spurious wake-up: harmless.
@@ -180,7 +212,11 @@ impl Scheduler {
     /// Mark `t` terminated and release its slot.
     pub fn finish(&mut self, t: ThreadId) {
         self.release_slot(t);
+        if self.threads[t].state != ThreadState::Finished {
+            self.unfinished -= 1;
+        }
         self.threads[t].state = ThreadState::Finished;
+        self.ready[t] = NEVER_READY;
     }
 
     /// True when every registered thread has finished.
@@ -201,11 +237,17 @@ impl Scheduler {
     /// live thread" test deciding whether concurrency is worthwhile at all,
     /// Fig. 1 line 2 / Fig. 2 line 9).
     pub fn other_live_threads(&self, t: ThreadId) -> usize {
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|&(i, th)| i != t && th.state != ThreadState::Finished)
-            .count()
+        let n = self.unfinished - usize::from(self.threads[t].state != ThreadState::Finished);
+        debug_assert_eq!(
+            n,
+            self.threads
+                .iter()
+                .enumerate()
+                .filter(|&(i, th)| i != t && th.state != ThreadState::Finished)
+                .count(),
+            "unfinished counter out of sync"
+        );
+        n
     }
 
     /// True when the SMT sibling lane of `t`'s hardware slot is held by
@@ -230,24 +272,39 @@ impl Scheduler {
     /// external wake (deadlock or completion).
     #[allow(clippy::should_implement_trait)] // scheduler step, not an Iterator
     pub fn next(&mut self) -> Option<ThreadId> {
-        // Pass 1: find the best candidate by (ready_time, tid).
-        let mut best: Option<(Cycles, ThreadId)> = None;
-        for (tid, th) in self.threads.iter().enumerate() {
-            let ready = match th.state {
-                ThreadState::Runnable => th.clock,
-                ThreadState::Sleeping { until } => th.clock.max(until),
-                _ => continue,
-            };
-            if best.is_none_or(|(bt, _)| ready < bt) {
-                best = Some((ready, tid));
+        // Pass 1: find the best candidate by (ready_time, tid) — a plain
+        // min-scan over the cached ready array (strict `<` keeps the
+        // smallest tid on ties, matching the per-state scan it replaced).
+        let mut ready = NEVER_READY;
+        let mut tid = 0;
+        for (i, &r) in self.ready.iter().enumerate() {
+            if r < ready {
+                ready = r;
+                tid = i;
             }
         }
-        let (ready, tid) = best?;
+        if ready == NEVER_READY {
+            return None;
+        }
+        debug_assert_eq!(
+            Some((ready, tid)),
+            self.threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, th)| match th.state {
+                    ThreadState::Runnable => Some((th.clock, i)),
+                    ThreadState::Sleeping { until } => Some((th.clock.max(until), i)),
+                    _ => None,
+                })
+                .min(),
+            "ready cache out of sync with thread states"
+        );
         // Wake if sleeping.
         {
             let th = &mut self.threads[tid];
             th.clock = ready;
             th.state = ThreadState::Runnable;
+            self.ready[tid] = ready;
         }
         // Ensure it holds a hardware slot.
         if self.threads[tid].slot.is_none() {
@@ -275,6 +332,7 @@ impl Scheduler {
                 th.slot_usage = 0;
                 th.clock = th.clock.max(switch_at) + self.context_switch;
                 th.busy += self.context_switch;
+                self.ready[tid] = th.clock;
             }
         }
         // Quantum accounting: if others are waiting for slots and this
@@ -296,6 +354,7 @@ impl Scheduler {
                 wt.slot_usage = 0;
                 wt.clock = wt.clock.max(switch_at) + self.context_switch;
                 wt.busy += self.context_switch;
+                self.ready[w] = wt.clock;
                 // Re-select: the waiter may now be the best candidate.
                 return self.next();
             }

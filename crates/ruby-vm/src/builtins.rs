@@ -1412,6 +1412,7 @@ fn bi_thread_new(
         sp: stack_base,
         pc: 0,
         iseq,
+        base: vm.program.base(iseq),
         finished: false,
         thread_obj: tobj_w.as_obj().unwrap(),
         result: Word::Nil,

@@ -1,0 +1,403 @@
+//! Pre-decoded threaded bytecode.
+//!
+//! [`crate::program::Program::finalize`] lowers every [`Insn`] into one
+//! fixed-width (16-byte) [`DecodedInsn`] in a single flat array indexed by
+//! global pc (`iseq_base[iseq] + pc`). The lowering is a pure
+//! representation change — the decoded stream is 1:1 with the original
+//! code, so per-instruction stepping, cycle charges, simulated memory
+//! traffic and yield-point placement are exactly those of the undecoded
+//! interpreter (asserted by the decode-differential CI step and the
+//! yield-point proptest). What it buys the *host*:
+//!
+//! * dispatch is a dense `u8` opcode match over a `Copy` struct — no
+//!   per-step `Insn` clone, no nested `Vec` indexing;
+//! * operands are pre-unpacked: depth-0 locals carry their frame offset,
+//!   branch targets are absolute, `Send` has name/argc/block/ic in fixed
+//!   lanes, the `opt_*` operators carry their pre-resolved fallback
+//!   selector;
+//! * both yield-point policies are precomputed as flag bits, so the
+//!   executor's per-step yield classification is a single load instead of
+//!   an `Insn` fetch + `kind()` match;
+//! * superinstruction pairs for the hot `opt_*` family are marked at
+//!   decode time (`opt_arith`+`setlocal`, compare+forward-branch,
+//!   `getlocal`+`opt_aref`). Fused execution is only legal where the
+//!   missing scheduler boundary is unobservable — see
+//!   [`crate::vm::Vm::fuse_allowed`] and DESIGN.md §12.
+
+use crate::bytecode::{ISeq, Insn, InsnKind, RareBinOp};
+use crate::interp::FRAME_WORDS;
+use crate::symbols::SymbolTable;
+
+/// Flag bit: original-policy yield point (backward branch / leave).
+pub const YP_ORIG: u8 = 1 << 0;
+/// Flag bit: extended-policy yield point (§4.2 fine-grained set).
+pub const YP_EXT: u8 = 1 << 1;
+/// Flag bit: starts a fusable pair when the original policy is active.
+pub const FUSE_ORIG: u8 = 1 << 2;
+/// Flag bit: starts a fusable pair when the extended policy is active.
+pub const FUSE_EXT: u8 = 1 << 3;
+/// Both fusion bits (contexts with no yield checks at all).
+pub const FUSE_ANY: u8 = FUSE_ORIG | FUSE_EXT;
+
+/// Sentinel in the selector lane of an `opt_*` instruction whose generic
+/// fallback selector was not interned at decode time; the runtime resolves
+/// it lazily exactly like the undecoded interpreter does.
+pub const NO_SYM: u32 = u32::MAX;
+
+/// Dense opcode of the decoded stream (one per [`Insn`] variant, with
+/// depth-0 local accesses split out as their own hot opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    Nop,
+    PutNil,
+    PutTrue,
+    PutFalse,
+    PutSelf,
+    /// `a` = the i64 literal (bit-cast).
+    PutInt,
+    /// `a` = literal-pool index.
+    PutPooled,
+    /// `a` = string-pool index.
+    PutString,
+    /// `a` = raw `SymId`.
+    PutSym,
+    Pop,
+    Dup,
+    /// `b` = n.
+    DupN,
+    /// Depth-0 local read: `a` = frame offset (`FRAME_WORDS + idx`).
+    GetLocal0,
+    /// Depth-0 local write: `a` = frame offset.
+    SetLocal0,
+    /// Outer-scope local read: `a` = idx, `b` = depth.
+    GetLocalUp,
+    /// Outer-scope local write: `a` = idx, `b` = depth.
+    SetLocalUp,
+    /// `a` = name, `c` = ic site.
+    GetIvar,
+    SetIvar,
+    /// `a` = name.
+    GetCvar,
+    SetCvar,
+    GetGlobal,
+    SetGlobal,
+    GetConst,
+    SetConst,
+    /// `b` = element count.
+    NewArray,
+    NewHash,
+    /// `b` = 1 when exclusive.
+    NewRange,
+    /// `a` = name | (block_iseq+1) << 32, `b` = argc, `c` = ic site.
+    Send,
+    /// `b` = argc.
+    InvokeBlock,
+    /// Arithmetic/compare operators: `a` = pre-resolved fallback selector
+    /// (or [`NO_SYM`]), `c` = ic site.
+    OptPlus,
+    OptMinus,
+    OptMult,
+    OptDiv,
+    OptMod,
+    OptEq,
+    OptNeq,
+    OptLt,
+    OptLe,
+    OptGt,
+    OptGe,
+    OptAref,
+    OptAset,
+    OptShl,
+    OptNot,
+    OptNeg,
+    /// `b` = [`RareBinOp`] index.
+    RareOp,
+    /// `a` = absolute target pc (iseq-relative index).
+    Jump,
+    BranchIf,
+    BranchUnless,
+    Leave,
+    /// `a` = name | iseq << 32, `b` = 1 when `on_self`.
+    DefineMethod,
+    /// `a` = name | body << 32, `c` = superclass sym + 1 (0 = none).
+    DefineClass,
+}
+
+/// One pre-decoded instruction: 16 bytes, `Copy`, operands in fixed lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInsn {
+    pub op: Op,
+    pub flags: u8,
+    pub b: u16,
+    pub c: u32,
+    pub a: u64,
+}
+
+impl DecodedInsn {
+    /// The low selector lane (`SymId` raw / pool index / frame offset).
+    #[inline]
+    pub fn a_lo(&self) -> u32 {
+        self.a as u32
+    }
+
+    /// The high lane of packed two-operand instructions.
+    #[inline]
+    pub fn a_hi(&self) -> u32 {
+        (self.a >> 32) as u32
+    }
+}
+
+pub(crate) fn rare_index(op: RareBinOp) -> u16 {
+    match op {
+        RareBinOp::BitAnd => 0,
+        RareBinOp::BitOr => 1,
+        RareBinOp::BitXor => 2,
+        RareBinOp::Shr => 3,
+        RareBinOp::Pow => 4,
+        RareBinOp::Cmp => 5,
+    }
+}
+
+pub(crate) fn rare_from_index(i: u16) -> RareBinOp {
+    match i {
+        0 => RareBinOp::BitAnd,
+        1 => RareBinOp::BitOr,
+        2 => RareBinOp::BitXor,
+        3 => RareBinOp::Shr,
+        4 => RareBinOp::Pow,
+        5 => RareBinOp::Cmp,
+        other => unreachable!("bad RareBinOp index {other}"),
+    }
+}
+
+/// Lower one instruction (yield flags + operands; fusion bits are added in
+/// a second pass over each iseq).
+fn lower(insn: &Insn, pc: usize, symbols: &SymbolTable) -> DecodedInsn {
+    let sym_or = |s: &str| symbols.lookup(s).map_or(NO_SYM, |id| id.0);
+    let mut d = DecodedInsn { op: Op::Nop, flags: 0, b: 0, c: 0, a: 0 };
+    let kind = insn.kind();
+    if kind.is_original_yield_point() {
+        d.flags |= YP_ORIG;
+    }
+    if kind.is_extended_yield_point() {
+        d.flags |= YP_EXT;
+    }
+    match *insn {
+        Insn::Nop => d.op = Op::Nop,
+        Insn::PutNil => d.op = Op::PutNil,
+        Insn::PutTrue => d.op = Op::PutTrue,
+        Insn::PutFalse => d.op = Op::PutFalse,
+        Insn::PutSelf => d.op = Op::PutSelf,
+        Insn::PutInt(i) => {
+            d.op = Op::PutInt;
+            d.a = i as u64;
+        }
+        Insn::PutPooled(i) => {
+            d.op = Op::PutPooled;
+            d.a = u64::from(i);
+        }
+        Insn::PutString(i) => {
+            d.op = Op::PutString;
+            d.a = u64::from(i);
+        }
+        Insn::PutSym(s) => {
+            d.op = Op::PutSym;
+            d.a = u64::from(s.0);
+        }
+        Insn::Pop => d.op = Op::Pop,
+        Insn::Dup => d.op = Op::Dup,
+        Insn::DupN(n) => {
+            d.op = Op::DupN;
+            d.b = u16::from(n);
+        }
+        Insn::GetLocal { idx, depth } => {
+            if depth == 0 {
+                d.op = Op::GetLocal0;
+                d.a = (FRAME_WORDS + idx as usize) as u64;
+            } else {
+                d.op = Op::GetLocalUp;
+                d.a = u64::from(idx);
+                d.b = u16::from(depth);
+            }
+        }
+        Insn::SetLocal { idx, depth } => {
+            if depth == 0 {
+                d.op = Op::SetLocal0;
+                d.a = (FRAME_WORDS + idx as usize) as u64;
+            } else {
+                d.op = Op::SetLocalUp;
+                d.a = u64::from(idx);
+                d.b = u16::from(depth);
+            }
+        }
+        Insn::GetIvar { name, ic } => {
+            d.op = Op::GetIvar;
+            d.a = u64::from(name.0);
+            d.c = ic;
+        }
+        Insn::SetIvar { name, ic } => {
+            d.op = Op::SetIvar;
+            d.a = u64::from(name.0);
+            d.c = ic;
+        }
+        Insn::GetCvar { name } => {
+            d.op = Op::GetCvar;
+            d.a = u64::from(name.0);
+        }
+        Insn::SetCvar { name } => {
+            d.op = Op::SetCvar;
+            d.a = u64::from(name.0);
+        }
+        Insn::GetGlobal { name } => {
+            d.op = Op::GetGlobal;
+            d.a = u64::from(name.0);
+        }
+        Insn::SetGlobal { name } => {
+            d.op = Op::SetGlobal;
+            d.a = u64::from(name.0);
+        }
+        Insn::GetConst { name } => {
+            d.op = Op::GetConst;
+            d.a = u64::from(name.0);
+        }
+        Insn::SetConst { name } => {
+            d.op = Op::SetConst;
+            d.a = u64::from(name.0);
+        }
+        Insn::NewArray { n } => {
+            d.op = Op::NewArray;
+            d.b = n;
+        }
+        Insn::NewHash { n } => {
+            d.op = Op::NewHash;
+            d.b = n;
+        }
+        Insn::NewRange { excl } => {
+            d.op = Op::NewRange;
+            d.b = u16::from(excl);
+        }
+        Insn::Send { name, argc, block, ic } => {
+            d.op = Op::Send;
+            d.a = u64::from(name.0) | u64::from(block.map_or(0, |b| b.0 + 1)) << 32;
+            d.b = u16::from(argc);
+            d.c = ic;
+        }
+        Insn::InvokeBlock { argc } => {
+            d.op = Op::InvokeBlock;
+            d.b = u16::from(argc);
+        }
+        Insn::OptPlus { ic } => (d.op, d.a, d.c) = (Op::OptPlus, u64::from(sym_or("+")), ic),
+        Insn::OptMinus { ic } => (d.op, d.a, d.c) = (Op::OptMinus, u64::from(sym_or("-")), ic),
+        Insn::OptMult { ic } => (d.op, d.a, d.c) = (Op::OptMult, u64::from(sym_or("*")), ic),
+        Insn::OptDiv { ic } => (d.op, d.a, d.c) = (Op::OptDiv, u64::from(sym_or("/")), ic),
+        Insn::OptMod { ic } => (d.op, d.a, d.c) = (Op::OptMod, u64::from(sym_or("%")), ic),
+        Insn::OptEq { ic } => (d.op, d.a, d.c) = (Op::OptEq, u64::from(sym_or("==")), ic),
+        Insn::OptNeq { ic } => (d.op, d.a, d.c) = (Op::OptNeq, u64::from(sym_or("!=")), ic),
+        Insn::OptLt { ic } => (d.op, d.a, d.c) = (Op::OptLt, u64::from(sym_or("<")), ic),
+        Insn::OptLe { ic } => (d.op, d.a, d.c) = (Op::OptLe, u64::from(sym_or("<=")), ic),
+        Insn::OptGt { ic } => (d.op, d.a, d.c) = (Op::OptGt, u64::from(sym_or(">")), ic),
+        Insn::OptGe { ic } => (d.op, d.a, d.c) = (Op::OptGe, u64::from(sym_or(">=")), ic),
+        Insn::OptAref { ic } => (d.op, d.a, d.c) = (Op::OptAref, u64::from(sym_or("[]")), ic),
+        Insn::OptAset { ic } => (d.op, d.a, d.c) = (Op::OptAset, u64::from(sym_or("[]=")), ic),
+        Insn::OptShl { ic } => (d.op, d.a, d.c) = (Op::OptShl, u64::from(sym_or("<<")), ic),
+        Insn::OptNot => d.op = Op::OptNot,
+        Insn::OptNeg => d.op = Op::OptNeg,
+        Insn::RareOp(op) => {
+            d.op = Op::RareOp;
+            d.b = rare_index(op);
+        }
+        Insn::Jump(off) => {
+            d.op = Op::Jump;
+            d.a = (pc as i64 + i64::from(off)) as u64;
+        }
+        Insn::BranchIf(off) => {
+            d.op = Op::BranchIf;
+            d.a = (pc as i64 + i64::from(off)) as u64;
+        }
+        Insn::BranchUnless(off) => {
+            d.op = Op::BranchUnless;
+            d.a = (pc as i64 + i64::from(off)) as u64;
+        }
+        Insn::Leave => d.op = Op::Leave,
+        Insn::DefineMethod { name, iseq, on_self } => {
+            d.op = Op::DefineMethod;
+            d.a = u64::from(name.0) | u64::from(iseq.0) << 32;
+            d.b = u16::from(on_self);
+        }
+        Insn::DefineClass { name, superclass, body } => {
+            d.op = Op::DefineClass;
+            d.a = u64::from(name.0) | u64::from(body.0) << 32;
+            d.c = superclass.map_or(0, |s| s.0 + 1);
+        }
+    }
+    d
+}
+
+/// Fusion bits for the pair starting at `first` (followed by `second`).
+///
+/// A pair may only be marked when executing both halves in one `Vm::step`
+/// is *unobservable* given that fused execution is additionally gated on
+/// single-threaded no-transaction contexts (see DESIGN.md §12): the first
+/// half must fall through to `pc + 1` on its fast path, and the second
+/// half must not be a yield point under the policy the bit covers, so no
+/// yield-counter or interrupt-flag access disappears from the trace.
+fn fusion_bits(first: &Insn, second: &Insn) -> u8 {
+    let fwd_branch = matches!(second, Insn::BranchIf(off) | Insn::BranchUnless(off) if *off >= 0);
+    match first {
+        // opt_plus/minus/mult + setlocal: SetLocal is a yield point under
+        // neither policy.
+        Insn::OptPlus { .. } | Insn::OptMinus { .. } | Insn::OptMult { .. }
+            if matches!(second, Insn::SetLocal { .. }) =>
+        {
+            FUSE_ANY
+        }
+        // compare + forward branch: forward branches are never yield
+        // points (only BranchBack is).
+        Insn::OptEq { .. }
+        | Insn::OptNeq { .. }
+        | Insn::OptLt { .. }
+        | Insn::OptLe { .. }
+        | Insn::OptGt { .. }
+        | Insn::OptGe { .. }
+            if fwd_branch =>
+        {
+            FUSE_ANY
+        }
+        // getlocal + opt_aref: opt_aref is an *extended* yield point, so
+        // the pair is only transparent under the original policy.
+        Insn::GetLocal { .. } if matches!(second, Insn::OptAref { .. }) => FUSE_ORIG,
+        _ => 0,
+    }
+}
+
+/// Decode every iseq into the flat stream, 1:1 with
+/// `Program::global_pc` indexing.
+pub fn decode(iseqs: &[ISeq], symbols: &SymbolTable) -> Vec<DecodedInsn> {
+    let total: usize = iseqs.iter().map(|i| i.code.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for iseq in iseqs {
+        let base = out.len();
+        for (pc, insn) in iseq.code.iter().enumerate() {
+            out.push(lower(insn, pc, symbols));
+        }
+        for pc in 0..iseq.code.len().saturating_sub(1) {
+            out[base + pc].flags |= fusion_bits(&iseq.code[pc], &iseq.code[pc + 1]);
+        }
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// The yield-point flag bit for a policy-independent check against
+/// [`InsnKind`] classification (used by tests).
+pub fn yield_flags_of_kind(kind: InsnKind) -> u8 {
+    let mut f = 0;
+    if kind.is_original_yield_point() {
+        f |= YP_ORIG;
+    }
+    if kind.is_extended_yield_point() {
+        f |= YP_EXT;
+    }
+    f
+}

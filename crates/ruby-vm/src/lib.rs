@@ -39,6 +39,7 @@
 pub mod builtins;
 pub mod bytecode;
 pub mod compile;
+pub mod decode;
 pub mod extensions;
 pub mod heap;
 pub mod interp;

@@ -461,8 +461,40 @@ impl Vm {
         }
     }
 
+    /// Host-side (uncounted) probe: does `cls`'s *own* table at
+    /// `holder_off` (instance = 2, static = 3) already define `name`?
+    /// `define_method` uses it to decide whether a definition *replaces*
+    /// an existing method — the case that must invalidate versioned
+    /// inline caches. It peeks rather than reads because a real VM gets
+    /// this for free from `st_insert`'s return value; modelling it as
+    /// extra memory traffic would be charging for loads CRuby does not
+    /// do. Deliberately not a superclass-chain walk: a *shadowing*
+    /// definition (subclass overrides an inherited method after call
+    /// sites cached the inherited entry) does not bump, matching the
+    /// fill-once staleness the undecoded cache always had (DESIGN.md
+    /// §12).
+    fn method_defined_here(&self, cls: Addr, holder_off: usize, name: SymId) -> bool {
+        let buf = match self.mem.peek(cls + holder_off) {
+            Word::Int(b) => *b as Addr,
+            _ => 0,
+        };
+        if buf == 0 {
+            return false;
+        }
+        let n = match self.mem.peek(buf) {
+            Word::Int(n) => *n as usize,
+            _ => 0,
+        };
+        (0..n).any(|i| *self.mem.peek(buf + 2 + 2 * i) == Word::Sym(name))
+    }
+
     /// Define a method on `cls` (instance table, or static when
-    /// `on_self`).
+    /// `on_self`). Replacing an existing definition bumps the global
+    /// method-table version — escrowed in
+    /// [`crate::vm::Vm::pending_method_bumps`] until the enclosing
+    /// transaction commits (the table words themselves roll back via the
+    /// undo log, so an aborted definition leaves neither the entry nor
+    /// the bump behind).
     pub fn define_method(
         &mut self,
         t: ThreadId,
@@ -471,8 +503,11 @@ impl Vm {
         entry: MethodEntry,
         on_self: bool,
     ) -> Result<(), VmAbort> {
-        let holder = if on_self { cls + 3 } else { cls + 2 };
-        self.assoc_set(t, holder, name, Word::Int(entry.encode()))
+        let holder_off = if on_self { 3 } else { 2 };
+        if self.method_defined_here(cls, holder_off, name) {
+            self.pending_method_bumps = self.pending_method_bumps.wrapping_add(1);
+        }
+        self.assoc_set(t, cls + holder_off, name, Word::Int(entry.encode()))
     }
 
     /// Resolve (creating on `create`) the ivar index of `name` for `cls`.

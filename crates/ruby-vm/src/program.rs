@@ -3,6 +3,7 @@
 //! per-yield-point tables.
 
 use crate::bytecode::{ISeq, Insn, IseqId};
+use crate::decode::DecodedInsn;
 use crate::symbols::{SymId, SymbolTable};
 
 /// A literal destined for the constant-object pool (shared, frozen) or the
@@ -32,10 +33,14 @@ pub struct Program {
     total_insns: u32,
     /// Per-iseq operand-stack bounds (computed by [`Program::finalize`]).
     max_stacks: Vec<usize>,
+    /// Flat pre-decoded stream, indexed by global pc (see
+    /// [`crate::decode`]; rebuilt by [`Program::finalize`]).
+    decoded: Vec<DecodedInsn>,
 }
 
 impl Program {
-    /// Recompute the global pc numbering after all iseqs are in place.
+    /// Recompute the global pc numbering after all iseqs are in place and
+    /// lower every instruction into the flat decoded stream.
     pub fn finalize(&mut self) {
         self.iseq_base.clear();
         let mut base = 0u32;
@@ -45,6 +50,31 @@ impl Program {
         }
         self.total_insns = base;
         self.max_stacks = self.iseqs.iter().map(|i| i.max_stack()).collect();
+        self.decoded = crate::decode::decode(&self.iseqs, &self.symbols);
+    }
+
+    /// Global-pc base of an iseq in the decoded stream.
+    #[inline]
+    pub fn base(&self, iseq: IseqId) -> u32 {
+        self.iseq_base[iseq.0 as usize]
+    }
+
+    /// Fetch a pre-decoded instruction by global pc.
+    #[inline]
+    pub fn decoded_at(&self, gpc: usize) -> DecodedInsn {
+        self.decoded[gpc]
+    }
+
+    /// Flag byte of the decoded instruction at a global pc (the
+    /// executor's one-load yield-point query).
+    #[inline]
+    pub fn decoded_flags(&self, gpc: usize) -> u8 {
+        self.decoded[gpc].flags
+    }
+
+    /// The whole decoded stream (tests, differential checks).
+    pub fn decoded(&self) -> &[DecodedInsn] {
+        &self.decoded
     }
 
     /// Operand-stack bound of an iseq (frame sizing).

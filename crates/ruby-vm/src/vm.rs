@@ -59,6 +59,11 @@ pub struct VmConfig {
     /// Seed of the deterministic connection-latency model behind
     /// `Kernel#conn_wait` (task-server scenario).
     pub conn_seed: u64,
+    /// Force the un-decoded reference interpreter (`Vm::step_slow`);
+    /// also settable via `HTMGIL_FORCE_SLOW_DISPATCH=1`. The decoded
+    /// fast path and this reference path must be observationally
+    /// identical — CI diffs figure reports across the two.
+    pub slow_dispatch: bool,
 }
 
 impl Default for VmConfig {
@@ -82,6 +87,7 @@ impl Default for VmConfig {
             thread_local_ics: false,
             refcount_writes: false,
             conn_seed: 0xC0_11EC7,
+            slow_dispatch: false,
         }
     }
 }
@@ -201,6 +207,10 @@ pub struct ThreadCtx {
     pub sp: Addr,
     pub pc: usize,
     pub iseq: IseqId,
+    /// Global-pc base of `iseq` in the pre-decoded stream (cached so the
+    /// fast dispatcher fetches `decoded[base + pc]` without an indirection
+    /// through the iseq table). Maintained by every frame transition.
+    pub base: u32,
     pub finished: bool,
     /// Heap address of the Ruby `Thread` object (0 for the main thread
     /// until materialized).
@@ -308,6 +318,27 @@ pub struct Vm {
     /// inside a transaction — holds them in escrow until commit, so an
     /// aborted slice leaves no phantom latency events.
     pub pending_marks: Vec<(u8, i64)>,
+    /// True when the un-decoded reference interpreter is forced (config
+    /// flag or `HTMGIL_FORCE_SLOW_DISPATCH`).
+    pub slow_dispatch: bool,
+    /// Superinstruction gate: a decoded insn whose fusion bits intersect
+    /// this mask may execute its fused pair in one step. The executor only
+    /// raises it when fusion is invisible (single live thread, no active
+    /// transaction, no trace sink); 0 disables fusion entirely.
+    pub fuse_allowed: u8,
+    /// Bytecodes retired by the current step (2 when a fused pair ran,
+    /// else 1); the executor folds this into committed-insn accounting and
+    /// cycle charging so fusion stays invisible to the simulation.
+    pub step_insns: u32,
+    /// Committed global method-table version. A versioned inline cache is
+    /// valid only if the version half of its guard word matches
+    /// [`Vm::effective_method_version`]; bumped when a method definition
+    /// shadows or replaces a resolvable one.
+    pub method_version: u32,
+    /// Version bumps made inside the current transaction, escrowed exactly
+    /// like marks and wakes: published at commit, dropped on abort (the
+    /// method-table words themselves roll back via the undo log).
+    pub pending_method_bumps: u32,
 }
 
 impl Vm {
@@ -369,6 +400,9 @@ impl Vm {
         let attribution = crate::layout::AttributionMap::from_layout(&layout);
         let config_slots = config.heap_slots;
         let conn_seed = config.conn_seed;
+        let slow_dispatch = config.slow_dispatch
+            || std::env::var_os("HTMGIL_FORCE_SLOW_DISPATCH")
+                .is_some_and(|v| v != "0" && !v.is_empty());
         let mut vm = Vm {
             mem,
             layout,
@@ -397,6 +431,11 @@ impl Vm {
             temp_roots: Vec::new(),
             conn: machine_sim::ConnModel::new(conn_seed),
             pending_marks: Vec::new(),
+            slow_dispatch,
+            fuse_allowed: 0,
+            step_insns: 1,
+            method_version: 0,
+            pending_method_bumps: 0,
         };
         vm.init_memory();
         vm.bootstrap_classes();
@@ -482,6 +521,7 @@ impl Vm {
             sp: stack_base,
             pc: 0,
             iseq,
+            base: self.program.base(iseq),
             finished: false,
             thread_obj: 0,
             result: Word::Nil,
@@ -503,6 +543,7 @@ impl Vm {
         ctx.sp = stack_base;
         ctx.pc = 0;
         ctx.iseq = iseq;
+        ctx.base = self.program.base(iseq);
         ctx.finished = false;
         ctx.result = Word::Nil;
         let mut ctx = self.threads[tid].clone();
@@ -513,16 +554,24 @@ impl Vm {
     /// Run thread `tid` to completion without transactions or scheduling —
     /// boot-time only (prelude execution).
     fn run_to_completion_single(&mut self, tid: ThreadId) -> Result<(), VmAbort> {
+        // Single-threaded, transaction-free: superinstructions are
+        // unobservable here, so always allow them.
+        self.fuse_allowed = crate::decode::FUSE_ANY;
+        let mut result = Err(VmAbort::fatal("prelude did not terminate"));
         for _ in 0..50_000_000u64 {
-            match self.step(tid)? {
-                StepOk::Normal => {}
-                StepOk::Finished => return Ok(()),
-                StepOk::Spawned { .. } | StepOk::Block(_) => {
-                    return Err(VmAbort::fatal("prelude must not spawn or block"))
+            match self.step(tid) {
+                Ok(StepOk::Normal) => continue,
+                Ok(StepOk::Finished) => result = Ok(()),
+                Ok(StepOk::Spawned { .. } | StepOk::Block(_)) => {
+                    result = Err(VmAbort::fatal("prelude must not spawn or block"))
                 }
+                Err(e) => result = Err(e),
             }
+            break;
         }
-        Err(VmAbort::fatal("prelude did not terminate"))
+        self.fuse_allowed = 0;
+        self.publish_method_bumps();
+        result
     }
 
     /// Take a register snapshot (transaction begin).
@@ -533,11 +582,13 @@ impl Vm {
 
     /// Restore registers after an abort (memory already rolled back).
     pub fn restore(&mut self, tid: ThreadId, s: RegSnapshot) {
+        let base = self.program.base(s.iseq);
         let c = &mut self.threads[tid];
         c.fp = s.fp;
         c.sp = s.sp;
         c.pc = s.pc;
         c.iseq = s.iseq;
+        c.base = base;
     }
 
     // ---- memory access helpers (count refs for cycle charging) ----------
@@ -580,7 +631,40 @@ impl Vm {
     pub fn reset_step_counters(&mut self) {
         self.step_mem_refs = 0;
         self.step_native_cost = 0;
+        self.step_insns = 1;
         self.temp_roots.clear();
+    }
+
+    /// Flag byte of the next instruction thread `t` will execute — the
+    /// executor's one-load yield-point / fusion query.
+    #[inline]
+    pub fn insn_flags(&self, t: ThreadId) -> u8 {
+        let c = &self.threads[t];
+        self.program.decoded_flags(c.base as usize + c.pc)
+    }
+
+    /// Method-table version as seen by in-flight code: committed version
+    /// plus this thread's escrowed (uncommitted) bumps.
+    #[inline]
+    pub fn effective_method_version(&self) -> u32 {
+        self.method_version.wrapping_add(self.pending_method_bumps)
+    }
+
+    /// Commit escrowed method-version bumps (transaction commit, or any
+    /// step taken outside a transaction).
+    #[inline]
+    pub fn publish_method_bumps(&mut self) {
+        if self.pending_method_bumps != 0 {
+            self.method_version = self.method_version.wrapping_add(self.pending_method_bumps);
+            self.pending_method_bumps = 0;
+        }
+    }
+
+    /// Discard escrowed bumps after an abort (the method-table words
+    /// themselves roll back via the undo log).
+    #[inline]
+    pub fn drop_method_bumps(&mut self) {
+        self.pending_method_bumps = 0;
     }
 
     /// Deterministic xorshift for `rand`.
