@@ -324,7 +324,7 @@ impl Executor {
                     self.gil.next_timer += self.profile.cost.timer_interval;
                     if let Some(h) = self.gil.holder {
                         let flag = self.vm.layout.thread_struct(h) + ruby_vm::layout::ts::INTERRUPT;
-                        self.vm.mem.write(h, flag, Word::Int(1)).map_err(|r| {
+                        self.vm.wr_untimed(h, flag, Word::Int(1)).map_err(|r| {
                             RunError::Vm(format!("timer flag write aborted unexpectedly: {r:?}"))
                         })?;
                     }
@@ -369,6 +369,9 @@ impl Executor {
                 }
             }
         }
+        // Leased accesses batch their stats deltas; fold them in so the
+        // report sees the same totals the per-word path would have.
+        self.vm.mem.flush_lease_stats();
         Ok(self.report())
     }
 
@@ -643,17 +646,20 @@ impl Executor {
         // Yield points: yield only when the timer flagged us and another
         // live thread exists (paper §3.2).
         if self.at_yield_point(t) && self.sched.other_live_threads(t) > 0 {
+            // Yield points are where stats become externally observable;
+            // settle any batched lease deltas before deciding to switch.
+            self.vm.mem.flush_lease_stats();
             let flag_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::INTERRUPT;
             // GIL mode runs no transactions, so these plain accesses can
             // only fail if the memory invariants are broken — surface
             // that as a run error instead of tearing down the process.
-            let flag = self.vm.mem.read(t, flag_addr).map_err(|r| {
+            let flag = self.vm.rd_untimed(t, flag_addr).map_err(|r| {
                 RunError::Vm(format!("interrupt flag read aborted outside any transaction: {r:?}"))
             })?;
             self.sched.advance(t, 2 * self.profile.cost.mem_ref);
             self.breakdown.gil_held += 2 * self.profile.cost.mem_ref;
             if flag == Word::Int(1) {
-                self.vm.mem.write(t, flag_addr, Word::Int(0)).map_err(|r| {
+                self.vm.wr_untimed(t, flag_addr, Word::Int(0)).map_err(|r| {
                     RunError::Vm(format!(
                         "interrupt flag clear aborted outside any transaction: {r:?}"
                     ))
@@ -740,8 +746,11 @@ impl Executor {
         //    belongs to the new transaction/GIL tenure.
         let fresh = std::mem::take(&mut self.tle[t].fresh);
         if !fresh && self.at_yield_point(t) && self.sched.other_live_threads(t) > 0 {
+            // Settle batched lease deltas at the yield point, mirroring the
+            // GIL path, so mid-run stats observations are path-independent.
+            self.vm.mem.flush_lease_stats();
             let counter_addr = self.vm.layout.thread_struct(t) + ruby_vm::layout::ts::YIELD_COUNTER;
-            let c = match self.vm.mem.read(t, counter_addr) {
+            let c = match self.vm.rd_untimed(t, counter_addr) {
                 Ok(Word::Int(c)) => c,
                 Ok(_) => 0,
                 Err(reason) => {
@@ -762,7 +771,7 @@ impl Executor {
                 if !self.transaction_end_and_restart(t)? {
                     return Ok(()); // aborted at commit or parked
                 }
-            } else if let Err(reason) = self.vm.mem.write(t, counter_addr, Word::Int(c - 1)) {
+            } else if let Err(reason) = self.vm.wr_untimed(t, counter_addr, Word::Int(c - 1)) {
                 return self.on_tx_abort(t, reason);
             }
         }
@@ -950,7 +959,10 @@ impl Executor {
             self.sched.advance(t, self.profile.cost.mem_ref);
         }
         // Install the yield-point counter (Fig. 3's yield_point_counter).
-        if let Err(reason) = self.vm.mem.write(t, counter_addr, Word::Int(i64::from(len))) {
+        // Leased install: seeds the write lease on the thread-struct line
+        // that the per-yield-point decrements then hit for the rest of the
+        // transaction.
+        if let Err(reason) = self.vm.wr_untimed(t, counter_addr, Word::Int(i64::from(len))) {
             self.tle[t].resume_pc = Some(pc);
             self.abort_path(t, pc, reason)?;
             return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);

@@ -1,0 +1,89 @@
+//! Epoch-validated **line leases**: amortized access rights to one cache
+//! line.
+//!
+//! Every call to [`crate::TxMemory::read`]/[`crate::TxMemory::write`] pays
+//! the same fixed bookkeeping — doom check, fault-injection poll,
+//! requester-wins conflict resolution, directory update, footprint/budget
+//! accounting — even though the directory already tracks ownership at
+//! cache-line granularity. A [`LineLease`] is a token proving that this
+//! bookkeeping has been settled for one `(thread, line, mode)` triple and
+//! cannot change until some invalidating event occurs. While the token is
+//! current, words on the line are accessed through a direct slice path
+//! ([`crate::TxMemory::lease_read`] / [`crate::TxMemory::lease_write`])
+//! that skips all of it, batching the stats deltas locally.
+//!
+//! Validity is a single comparison: the token is stamped with an **epoch
+//! slot** counter at grant time — the owning thread's slot for a lease
+//! granted inside a transaction, a shared *plain* slot for one granted
+//! outside any transaction — and the memory bumps exactly the slots whose
+//! leases an event can invalidate. A transaction boundary on thread `t`
+//! bumps `t`'s slot (its own leases die with its transaction) and, for
+//! `begin`, the plain slot (plain leases assume no transaction is active
+//! anywhere); a doom bumps the victim's slot; fault-plan installation and
+//! memory growth bump every slot. Remote begins/commits do *not* touch
+//! another thread's in-transaction leases: their soundness rests on the
+//! per-line directory ownership the remote transaction cannot take away
+//! without dooming the owner first. Checking validity costs one indexed
+//! load; no per-line generation table is needed. The soundness argument
+//! is in `DESIGN.md` §13.
+
+use machine_sim::ThreadId;
+
+/// Access token for one cache line, granted by
+/// [`crate::TxMemory::try_lease`] and validated against the memory's epoch
+/// slots on every use ([`crate::TxMemory::lease_valid`]).
+///
+/// A lease is *mode-specific*: a read lease only covers reads and a write
+/// lease only covers writes, because the two modes charge different
+/// footprint sets on the full path and the leased path must account
+/// identically. Holders keep one of each per hot line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineLease {
+    /// Epoch stamp; the lease is valid while this equals the memory's
+    /// current value for `slot`. 0 never matches (slots start at 1).
+    pub epoch: u64,
+    /// Epoch slot the stamp compares against: the owner's thread index
+    /// for an in-transaction lease, the memory's plain slot otherwise.
+    pub slot: usize,
+    /// First word address on the leased line.
+    pub start: usize,
+    /// One past the last covered word (the line may be cut short by the
+    /// end of memory).
+    pub end: usize,
+    /// Write lease (covers `lease_write`) vs read lease (`lease_read`).
+    pub write: bool,
+    /// Thread the lease was granted to.
+    pub owner: ThreadId,
+}
+
+impl LineLease {
+    /// The never-valid lease: epoch 0 predates every memory.
+    pub const INVALID: LineLease =
+        LineLease { epoch: 0, slot: 0, start: 0, end: 0, write: false, owner: 0 };
+
+    /// True when `addr` lies on the leased line.
+    #[inline]
+    pub fn covers(&self, addr: usize) -> bool {
+        self.start <= addr && addr < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_lease_covers_nothing() {
+        assert!(!LineLease::INVALID.covers(0));
+        assert_eq!(LineLease::INVALID.epoch, 0);
+    }
+
+    #[test]
+    fn covers_is_half_open() {
+        let l = LineLease { epoch: 3, slot: 1, start: 8, end: 16, write: false, owner: 1 };
+        assert!(!l.covers(7));
+        assert!(l.covers(8));
+        assert!(l.covers(15));
+        assert!(!l.covers(16));
+    }
+}

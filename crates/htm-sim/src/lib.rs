@@ -39,6 +39,7 @@
 
 pub mod abort;
 pub mod inject;
+pub mod lease;
 pub mod predictor;
 pub mod refimpl;
 #[cfg(feature = "rtm-hardware")]
@@ -49,6 +50,7 @@ pub mod txmem;
 
 pub use abort::{AbortReason, ExplicitCode, SpuriousCause};
 pub use inject::{Fault, FaultInjector, FaultPlan};
+pub use lease::LineLease;
 pub use predictor::OverflowPredictor;
 pub use refimpl::ReferenceTxMemory;
 pub use stats::HtmStats;

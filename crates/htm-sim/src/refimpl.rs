@@ -21,10 +21,11 @@ use machine_sim::ThreadId;
 
 use crate::abort::{AbortReason, ExplicitCode, SpuriousCause};
 use crate::inject::{Fault, FaultInjector, FaultPlan};
+use crate::lease::LineLease;
 use crate::predictor::OverflowPredictor;
 use crate::stats::HtmStats;
 use crate::trace::{TraceEvent, TraceSink};
-use crate::txmem::Budgets;
+use crate::txmem::{out_of_bounds, Budgets};
 
 #[derive(Debug)]
 struct Tx {
@@ -54,6 +55,12 @@ pub struct ReferenceTxMemory<W: Clone> {
     /// differential pair see the same fault stream.
     injector: Option<FaultInjector>,
     now: u64,
+    /// Per-slot lease epochs, bumped in lockstep with
+    /// [`crate::TxMemory`]'s (same events, same slots, same per-victim
+    /// granularity) so `epoch_bumps` compares strictly in the
+    /// differential test. Slot `t` guards thread `t`'s in-transaction
+    /// leases; the last slot guards plain (out-of-transaction) leases.
+    epochs: Vec<u64>,
 }
 
 impl<W: Clone> ReferenceTxMemory<W> {
@@ -73,11 +80,13 @@ impl<W: Clone> ReferenceTxMemory<W> {
             trace: None,
             injector: None,
             now: 0,
+            epochs: vec![1; max_threads + 1],
         }
     }
 
     /// Install a fault-injection plan (or remove it with a no-op plan).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.bump_all_slots();
         self.injector = if plan.is_noop() { None } else { Some(FaultInjector::new(plan)) };
     }
 
@@ -117,6 +126,7 @@ impl<W: Clone> ReferenceTxMemory<W> {
     /// Grow the memory by `extra` words initialized to `init`.
     pub fn grow(&mut self, extra: usize, init: W) {
         assert!(self.txs.iter().all(Option::is_none), "memory growth with active transactions");
+        self.bump_all_slots();
         let new = self.words.len() + extra;
         self.words.resize(new, init);
     }
@@ -150,6 +160,10 @@ impl<W: Clone> ReferenceTxMemory<W> {
     /// Begin a transaction for thread `t` with the given budgets.
     pub fn begin(&mut self, t: ThreadId, budgets: Budgets) -> Result<(), AbortReason> {
         assert!(self.txs[t].is_none(), "nested transaction on thread {t}");
+        // A begin kills `t`'s own stale leases and every plain lease
+        // (granted on the promise that no transaction was active).
+        self.bump_slot(t);
+        self.bump_slot(self.txs.len());
         self.doomed[t] = None;
         if self.predictors[t].should_abort_eagerly() {
             let reason = AbortReason::EagerPredicted;
@@ -174,6 +188,8 @@ impl<W: Clone> ReferenceTxMemory<W> {
 
     /// Commit thread `t`'s transaction.
     pub fn commit(&mut self, t: ThreadId) -> Result<(), AbortReason> {
+        // Only `t`'s own in-transaction leases die with its transaction.
+        self.bump_slot(t);
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
         }
@@ -218,8 +234,26 @@ impl<W: Clone> ReferenceTxMemory<W> {
     }
 
     /// Transactional or plain read of one word by thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) on an out-of-bounds `addr`, with the
+    /// same addr/line message as [`crate::TxMemory::read`].
     pub fn read(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
-        debug_assert!(addr < self.words.len(), "read out of bounds: {addr}");
+        self.read_with(t, addr, W::clone)
+    }
+
+    /// Mirror of [`crate::TxMemory::read_with`]: the full accounting path
+    /// applying `f` in place, one counted access.
+    pub fn read_with<R>(
+        &mut self,
+        t: ThreadId,
+        addr: usize,
+        f: impl FnOnce(&W) -> R,
+    ) -> Result<R, AbortReason> {
+        if addr >= self.words.len() {
+            out_of_bounds("read", addr, addr / self.line_words, self.words.len());
+        }
         self.stats.reads += 1;
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
@@ -239,12 +273,19 @@ impl<W: Clone> ReferenceTxMemory<W> {
                 return Err(reason);
             }
         }
-        Ok(self.words[addr].clone())
+        Ok(f(&self.words[addr]))
     }
 
     /// Transactional or plain write of one word by thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) on an out-of-bounds `addr`, with the
+    /// same addr/line message as [`crate::TxMemory::write`].
     pub fn write(&mut self, t: ThreadId, addr: usize, value: W) -> Result<(), AbortReason> {
-        debug_assert!(addr < self.words.len(), "write out of bounds: {addr}");
+        if addr >= self.words.len() {
+            out_of_bounds("write", addr, addr / self.line_words, self.words.len());
+        }
         self.stats.writes += 1;
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
@@ -282,7 +323,90 @@ impl<W: Clone> ReferenceTxMemory<W> {
         self.words[addr] = value;
     }
 
+    // ---- line leases (degenerate per-word fallback) ---------------------
+    //
+    // The reference never grants a lease: `try_lease` returns a token that
+    // can never validate, and the `lease_*` accessors fall back to the full
+    // per-word path through the token's recorded owner. This is the
+    // executable specification of the lease API — the differential test
+    // drives both implementations with the same lease operations and the
+    // degenerate fallback must produce identical memory images, abort
+    // behaviour, and (lease_hits aside) statistics.
+
+    /// Current epoch of one lease slot (bumped in lockstep with the
+    /// directory impl).
+    #[inline]
+    pub fn epoch(&self, slot: usize) -> u64 {
+        self.epochs[slot]
+    }
+
+    /// True when `lease` is still current — never, for leases issued here.
+    #[inline]
+    pub fn lease_valid(&self, lease: &LineLease) -> bool {
+        lease.epoch == self.epochs[lease.slot]
+    }
+
+    /// Mirror of [`crate::TxMemory::try_lease`] that always declines:
+    /// counts the miss, then returns an epoch-0 token that still carries
+    /// the addressing (owner/line bounds/mode) so the `lease_*` fallbacks
+    /// know how to route the access.
+    pub fn try_lease(&mut self, t: ThreadId, addr: usize, write: bool) -> LineLease {
+        self.stats.lease_misses += 1;
+        if addr >= self.words.len() {
+            return LineLease::INVALID;
+        }
+        let start = self.line_of(addr) * self.line_words;
+        let end = (start + self.line_words).min(self.words.len());
+        let slot = if self.txs[t].is_some() { t } else { self.txs.len() };
+        LineLease { epoch: 0, slot, start, end, write, owner: t }
+    }
+
+    /// Degenerate [`crate::TxMemory::lease_read`]: a full per-word read by
+    /// the token's owner. Infallible for the same reason the directory
+    /// impl's direct path is: while the *directory* lease is valid no doom,
+    /// fault, or overflow can hit this access — the `expect` doubles as a
+    /// soundness check in the differential test.
+    pub fn lease_read(&mut self, lease: &LineLease, addr: usize) -> W {
+        self.read(lease.owner, addr).expect("degenerate lease read aborted")
+    }
+
+    /// Degenerate [`crate::TxMemory::lease_read_with`].
+    pub fn lease_read_with<R>(
+        &mut self,
+        lease: &LineLease,
+        addr: usize,
+        f: impl FnOnce(&W) -> R,
+    ) -> R {
+        self.read_with(lease.owner, addr, f).expect("degenerate lease read aborted")
+    }
+
+    /// Degenerate [`crate::TxMemory::lease_write`]: a full per-word write.
+    pub fn lease_write(&mut self, lease: &LineLease, addr: usize, value: W) {
+        self.write(lease.owner, addr, value).expect("degenerate lease write aborted");
+    }
+
+    /// No-op mirror of [`crate::TxMemory::flush_lease_stats`]: the fallback
+    /// counts every access eagerly, so there is never anything to flush.
+    pub fn flush_lease_stats(&mut self) {}
+
     // ---- internals ------------------------------------------------------
+
+    /// Mirror of the directory impl's per-slot epoch bump (minus the
+    /// stats flush, which the eager fallback never needs).
+    #[inline]
+    fn bump_slot(&mut self, slot: usize) {
+        self.epochs[slot] += 1;
+        self.stats.epoch_bumps += 1;
+    }
+
+    /// Mirror of the directory impl's bump-every-slot path (fault-plan
+    /// installation and memory growth).
+    fn bump_all_slots(&mut self) {
+        for e in &mut self.epochs {
+            *e += 1;
+        }
+        self.stats.epoch_bumps += self.epochs.len() as u64;
+    }
 
     /// Consult the fault injector for one transactional access by `t` —
     /// the mirror of `TxMemory::inject_fault` (same gating, same draw
@@ -341,6 +465,7 @@ impl<W: Clone> ReferenceTxMemory<W> {
                 None
             };
             if let Some(reason) = reason {
+                self.bump_slot(victim); // one bump per doomed victim, like `doom`
                 self.rollback(victim);
                 self.doomed[victim] = Some(reason);
                 self.stats.record_abort(reason);
@@ -356,6 +481,7 @@ impl<W: Clone> ReferenceTxMemory<W> {
 
     /// Roll back and discard `t`'s transaction, recording `reason`.
     fn abort_self(&mut self, t: ThreadId, reason: AbortReason, line: Option<usize>) {
+        self.bump_slot(t);
         self.rollback(t);
         self.doomed[t] = None;
         self.stats.record_abort(reason);

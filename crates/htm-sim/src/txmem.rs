@@ -40,11 +40,24 @@
 //! observes committed data, mirroring how real HTM buffers speculative
 //! stores; the victim thread learns of the abort at its next access or at
 //! an explicit [`TxMemory::poll_doomed`].
+//!
+//! On top of the per-word entry points sits the **line-lease** batched
+//! path ([`TxMemory::try_lease`] / [`TxMemory::lease_read`] /
+//! [`TxMemory::lease_write`], see [`crate::lease`] and `DESIGN.md` §13):
+//! once an access has settled a line's bookkeeping, the interpreter can
+//! take an epoch-stamped token for that `(thread, line, mode)` and access
+//! further words on the line directly, batching the read/write counters
+//! until [`TxMemory::flush_lease_stats`]. Any event that could change the
+//! answer — begin, commit, abort, doom, fault-plan install, growth —
+//! bumps the epoch slots of exactly the leases it can invalidate: the
+//! affected thread's slot for its own transaction boundaries and dooms,
+//! the shared plain slot for any begin, every slot for global events.
 
 use machine_sim::ThreadId;
 
 use crate::abort::{AbortReason, ExplicitCode, SpuriousCause};
 use crate::inject::{Fault, FaultInjector, FaultPlan};
+use crate::lease::LineLease;
 use crate::predictor::OverflowPredictor;
 use crate::stats::HtmStats;
 use crate::trace::{TraceEvent, TraceSink};
@@ -76,6 +89,16 @@ pub const MAX_THREADS: usize = 32;
 /// Sentinel in [`LineState::writer`]: no speculative writer.
 const NO_WRITER: u8 = u8::MAX;
 
+/// Panic with addr/line context on an out-of-bounds access. Kept out of
+/// line so the bounds check in the hot path compiles to a compare and a
+/// cold jump. Shared with [`crate::refimpl`] so both implementations fail
+/// identically.
+#[cold]
+#[inline(never)]
+pub(crate) fn out_of_bounds(op: &str, addr: usize, line: usize, size: usize) -> ! {
+    panic!("TxMemory {op} out of bounds: addr {addr} (line {line}) >= memory size {size}");
+}
+
 /// Ownership record for one cache line: which transactions currently hold
 /// it in their read set (bit per thread) and which single transaction, if
 /// any, holds it in its write set.
@@ -99,9 +122,10 @@ struct TxSlot {
     read_lines: Vec<usize>,
     /// Lines in the write set, in first-touch order; no duplicates.
     write_lines: Vec<usize>,
-    /// Overwritten addresses in write order; entry `i` pairs with slot `i`
-    /// of the thread's undo arena (the two grow in lockstep, so the arena
-    /// index needs no separate storage).
+    /// Undo log in write order: each entry is one overwritten address
+    /// pairing with one slot of the thread's undo arena. Log and arena
+    /// grow in lockstep, so rollback replays the log backward while
+    /// walking an arena cursor.
     undo: Vec<usize>,
 }
 
@@ -165,6 +189,17 @@ pub struct TxMemory<W: Clone> {
     injector: Option<FaultInjector>,
     /// Simulated cycle stamped onto trace events; advanced by the caller.
     now: u64,
+    /// Lease epoch slots: one per thread (index `t`, stamps leases granted
+    /// inside `t`'s transactions) plus a final shared *plain* slot (index
+    /// `txs.len()`, stamps leases granted outside any transaction). A
+    /// [`LineLease`] is dead once its slot's value moved past its stamp.
+    /// All slots start at 1 so [`LineLease::INVALID`] (epoch 0) never
+    /// validates. Bumped by [`Self::bump_slot`] / [`Self::bump_all_slots`].
+    epochs: Vec<u64>,
+    /// Leased reads not yet folded into `stats.reads`.
+    pending_reads: u64,
+    /// Leased writes not yet folded into `stats.writes`.
+    pending_writes: u64,
 }
 
 impl<W: Clone> TxMemory<W> {
@@ -193,12 +228,19 @@ impl<W: Clone> TxMemory<W> {
             trace: None,
             injector: None,
             now: 0,
+            epochs: vec![1; max_threads + 1],
+            pending_reads: 0,
+            pending_writes: 0,
         }
     }
 
     /// Install a fault-injection plan (or remove it with a no-op plan).
     /// Both memories of a differential pair must be given the same plan.
+    /// Invalidates all outstanding leases: the leased path never consults
+    /// the injector, so no lease may outlive a plan change (and none is
+    /// granted while a plan is installed).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.bump_all_slots();
         self.injector = if plan.is_noop() { None } else { Some(FaultInjector::new(plan)) };
     }
 
@@ -259,6 +301,7 @@ impl<W: Clone> TxMemory<W> {
     /// doomed by the GIL-word write.
     pub fn grow(&mut self, extra: usize, init: W) {
         assert!(self.active_txs == 0, "memory growth with active transactions");
+        self.bump_all_slots(); // leases cache end-of-line clamps against the old size
         let new = self.words.len() + extra;
         self.words.resize(new, init);
         self.dir.resize(new.div_ceil(self.line_words), EMPTY_LINE);
@@ -300,6 +343,12 @@ impl<W: Clone> TxMemory<W> {
     /// kills it ([`AbortReason::EagerPredicted`]).
     pub fn begin(&mut self, t: ThreadId, budgets: Budgets) -> Result<(), AbortReason> {
         assert!(!self.txs[t].active, "nested transaction on thread {t}");
+        // `t`'s own pre-transaction leases die with the mode change, and
+        // every plain lease anywhere dies because a transaction now exists.
+        // Remote in-transaction leases stay valid: this begin takes no line
+        // ownership away from them.
+        self.bump_slot(t);
+        self.bump_slot(self.txs.len());
         let _ = self.take_doom(t);
         if self.predictors[t].should_abort_eagerly() {
             let reason = AbortReason::EagerPredicted;
@@ -328,6 +377,9 @@ impl<W: Clone> TxMemory<W> {
     /// Commit thread `t`'s transaction (`TEND`/`XEND`). Fails if a remote
     /// conflict doomed it first (the transaction is already rolled back).
     pub fn commit(&mut self, t: ThreadId) -> Result<(), AbortReason> {
+        // Only `t`'s leases die: releasing `t`'s line marks cannot affect
+        // what another thread's settled footprint already covers.
+        self.bump_slot(t);
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
         }
@@ -379,12 +431,39 @@ impl<W: Clone> TxMemory<W> {
     /// Outside a transaction the read is immediate but still dooms remote
     /// transactions that speculatively *wrote* the line (a real coherence
     /// read request would abort them).
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) when `addr` is out of bounds — a
+    /// decoded operand pointing outside memory is a VM bug, and the panic
+    /// message carries the address and cache line rather than surfacing as
+    /// a bare slice index failure.
+    #[inline]
     pub fn read(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
-        debug_assert!(addr < self.words.len(), "read out of bounds: {addr}");
+        self.read_with(t, addr, W::clone)
+    }
+
+    /// [`Self::read`] that applies `f` to the word in place instead of
+    /// cloning it out — the full accounting path, one counted access. Lets
+    /// callers probe a word (e.g. "is it an immediate integer?") without
+    /// paying the clone of heap-carrying variants.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::read`]: out-of-bounds `addr` panics with context.
+    pub fn read_with<R>(
+        &mut self,
+        t: ThreadId,
+        addr: usize,
+        f: impl FnOnce(&W) -> R,
+    ) -> Result<R, AbortReason> {
+        if addr >= self.words.len() {
+            out_of_bounds("read", addr, addr >> self.line_shift, self.words.len());
+        }
         self.stats.reads += 1;
         if self.active_txs == 0 && self.pending_dooms == 0 {
             // Non-transactional fast path: nothing to doom, nothing doomed.
-            return Ok(self.words[addr].clone());
+            return Ok(f(&self.words[addr]));
         }
         if let Some(reason) = self.take_doom(t) {
             return Err(reason);
@@ -398,7 +477,7 @@ impl<W: Clone> TxMemory<W> {
             // Line already in our read set ⇒ no remote writer can exist
             // (its write would have doomed us), and the footprint cannot
             // grow — skip the directory entirely.
-            return Ok(self.words[addr].clone());
+            return Ok(f(&self.words[addr]));
         }
         // Requester wins: kill a remote writer of this line.
         let st = self.dir[line];
@@ -424,12 +503,19 @@ impl<W: Clone> TxMemory<W> {
             self.memos[t] =
                 LineMemo { line, in_read: true, in_write: self.dir[line].writer as usize == t };
         }
-        Ok(self.words[addr].clone())
+        Ok(f(&self.words[addr]))
     }
 
     /// Transactional or plain write of one word by thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also in release builds) when `addr` is out of bounds, with
+    /// addr/line context — see [`Self::read`].
     pub fn write(&mut self, t: ThreadId, addr: usize, value: W) -> Result<(), AbortReason> {
-        debug_assert!(addr < self.words.len(), "write out of bounds: {addr}");
+        if addr >= self.words.len() {
+            out_of_bounds("write", addr, addr >> self.line_shift, self.words.len());
+        }
         self.stats.writes += 1;
         if self.active_txs == 0 && self.pending_dooms == 0 {
             // Non-transactional fast path: nothing to doom, nothing doomed.
@@ -510,7 +596,156 @@ impl<W: Clone> TxMemory<W> {
         self.words[addr] = value;
     }
 
+    // ---- line leases (batched accounting fast path) ---------------------
+
+    /// Current value of one lease epoch slot (thread index, or
+    /// `threads()` for the plain slot). A [`LineLease`] is valid iff its
+    /// stamp equals its slot's current value.
+    #[inline]
+    pub fn epoch(&self, slot: usize) -> u64 {
+        self.epochs[slot]
+    }
+
+    /// True when `lease` is still current: its stamp matches its epoch
+    /// slot. Events bump exactly the slots whose leases they can
+    /// invalidate — the owner's slot at its own begin/commit/abort and
+    /// when it is doomed, the shared plain slot at any begin, every slot
+    /// at fault-plan installs and memory growth.
+    #[inline]
+    pub fn lease_valid(&self, lease: &LineLease) -> bool {
+        lease.epoch == self.epochs[lease.slot]
+    }
+
+    /// Try to take a lease on the line containing `addr` for thread `t`,
+    /// in write mode (`write = true`) or read mode. Returns
+    /// [`LineLease::INVALID`] when the batched path cannot soundly serve
+    /// accesses that the full path would account for:
+    ///
+    /// - a fault plan is installed (every access must draw from the PRNG);
+    /// - in a transaction, a write lease requires `t` to already be the
+    ///   line's speculative writer, and a read lease requires `t`'s reader
+    ///   bit — i.e. a full-path access of the same mode must have settled
+    ///   the footprint/budget accounting for this line first;
+    /// - outside a transaction, no transaction may be active anywhere
+    ///   (a leased access performs no dooming) and `t` must have no
+    ///   undelivered doom (a leased access delivers no pending abort).
+    ///
+    /// Every call counts one `lease_misses` — by construction the caller
+    /// just performed (or is about to perform) a full-path access that a
+    /// valid lease would have absorbed.
+    pub fn try_lease(&mut self, t: ThreadId, addr: usize, write: bool) -> LineLease {
+        self.stats.lease_misses += 1;
+        if self.injector.is_some() || addr >= self.words.len() {
+            return LineLease::INVALID;
+        }
+        let line = addr >> self.line_shift;
+        let grantable = if self.txs[t].active {
+            let st = self.dir[line];
+            if write {
+                st.writer as usize == t
+            } else {
+                // Reader bit set ⇒ line is in our read set; requester-wins
+                // guarantees no remote writer can coexist with it.
+                st.readers & (1u32 << t) != 0
+            }
+        } else {
+            // Plain leases: no transaction may be active anywhere (a leased
+            // access dooms nothing) and `t` itself must have no undelivered
+            // doom (a leased access would skip its own abort delivery).
+            // Other threads' pending dooms don't matter — they are
+            // delivered at those threads' own next full-path access, and a
+            // doom can only target an active transaction, which `t` does
+            // not have, so none can arrive while the lease is held. This
+            // keeps leases alive for a GIL-fallback holder while its
+            // victims have not yet polled their dooms.
+            self.active_txs == 0 && self.doomed[t].is_none()
+        };
+        if !grantable {
+            return LineLease::INVALID;
+        }
+        let start = line << self.line_shift;
+        let end = (start + self.line_words).min(self.words.len());
+        let slot = if self.txs[t].active { t } else { self.txs.len() };
+        LineLease { epoch: self.epochs[slot], slot, start, end, write, owner: t }
+    }
+
+    /// Read a word through a valid read lease — no accounting beyond a
+    /// batched counter. The caller must have checked [`Self::lease_valid`]
+    /// and [`LineLease::covers`]; both are debug-asserted.
+    #[inline]
+    pub fn lease_read(&mut self, lease: &LineLease, addr: usize) -> W {
+        self.lease_read_with(lease, addr, W::clone)
+    }
+
+    /// [`Self::lease_read`] applying `f` in place instead of cloning.
+    #[inline]
+    pub fn lease_read_with<R>(
+        &mut self,
+        lease: &LineLease,
+        addr: usize,
+        f: impl FnOnce(&W) -> R,
+    ) -> R {
+        debug_assert!(self.lease_valid(lease), "read through a stale lease");
+        debug_assert!(!lease.write && lease.covers(addr), "lease does not cover this read");
+        self.pending_reads += 1;
+        f(&self.words[addr])
+    }
+
+    /// Write a word through a valid write lease. In a transaction the old
+    /// word is still undo-logged (skipped when the log's newest entry is
+    /// already this address — replaying backward makes the older record
+    /// win, so intermediate values need no entry); what the lease skips is
+    /// the doom/fault/conflict/footprint bookkeeping. Same caller
+    /// obligations as [`Self::lease_read`].
+    #[inline]
+    pub fn lease_write(&mut self, lease: &LineLease, addr: usize, value: W) {
+        debug_assert!(self.lease_valid(lease), "write through a stale lease");
+        debug_assert!(lease.write && lease.covers(addr), "lease does not cover this write");
+        self.pending_writes += 1;
+        let t = lease.owner;
+        // slot == owner exactly for in-transaction leases (the plain slot
+        // is one past the last thread index).
+        if lease.slot == t && self.txs[t].undo.last() != Some(&addr) {
+            self.undo_words[t].push(self.words[addr].clone());
+            self.txs[t].undo.push(addr);
+        }
+        self.words[addr] = value;
+    }
+
+    /// Fold the batched leased-access counters into [`HtmStats`]. Called
+    /// internally at every epoch bump; the executor also calls it at yield
+    /// points and before reporting so `stats()` is exact there.
+    pub fn flush_lease_stats(&mut self) {
+        if self.pending_reads != 0 || self.pending_writes != 0 {
+            self.stats.lease_hits += self.pending_reads + self.pending_writes;
+            self.stats.reads += self.pending_reads;
+            self.stats.writes += self.pending_writes;
+            self.pending_reads = 0;
+            self.pending_writes = 0;
+        }
+    }
+
     // ---- internals ------------------------------------------------------
+
+    /// Invalidate every lease stamped against `slot` (one counter
+    /// increment) and settle the batched stats while they are still
+    /// attributable.
+    #[inline]
+    fn bump_slot(&mut self, slot: usize) {
+        self.epochs[slot] += 1;
+        self.stats.epoch_bumps += 1;
+        self.flush_lease_stats();
+    }
+
+    /// Invalidate every outstanding lease, whatever its slot — for events
+    /// that change global ground rules (fault-plan installs, growth).
+    fn bump_all_slots(&mut self) {
+        for e in &mut self.epochs {
+            *e += 1;
+        }
+        self.stats.epoch_bumps += self.epochs.len() as u64;
+        self.flush_lease_stats();
+    }
 
     /// Consult the fault injector for one transactional access by `t`.
     /// Draws happen only while `t` has a live transaction (one draw per
@@ -573,6 +808,10 @@ impl<W: Clone> TxMemory<W> {
     /// `line`: roll it back eagerly and park the abort reason for the
     /// victim's next access or poll.
     fn doom(&mut self, victim: ThreadId, reason: AbortReason, line: usize) {
+        // Only the victim's leases die: its ownership marks are about to
+        // be released and its memory rolled back, but no other thread's
+        // settled footprint changes.
+        self.bump_slot(victim);
         self.rollback(victim);
         debug_assert!(self.doomed[victim].is_none(), "victim already doomed");
         self.doomed[victim] = Some(reason);
@@ -586,6 +825,7 @@ impl<W: Clone> TxMemory<W> {
     /// `line` is the faulting cache line where the abort has one
     /// (footprint overflows pass the line that burst the budget).
     fn abort_self(&mut self, t: ThreadId, reason: AbortReason, line: Option<usize>) {
+        self.bump_slot(t);
         self.rollback(t);
         let _ = self.take_doom(t);
         self.stats.record_abort(reason);
@@ -593,16 +833,23 @@ impl<W: Clone> TxMemory<W> {
         self.emit(TraceEvent::Abort { thread: t, cycle, reason, line });
     }
 
-    /// Replay `t`'s undo log in reverse and drop the transaction.
+    /// Replay `t`'s undo log in reverse and drop the transaction. The log
+    /// is walked backward with an arena cursor; the earliest record for an
+    /// address replays last, so duplicates restore correctly.
     fn rollback(&mut self, t: ThreadId) {
         if !self.txs[t].active {
             return;
         }
         let undo = std::mem::take(&mut self.txs[t].undo);
-        for (slot, &addr) in undo.iter().enumerate().rev() {
-            self.words[addr] = self.undo_words[t][slot].clone();
+        let arena = std::mem::take(&mut self.undo_words[t]);
+        let mut cursor = arena.len();
+        for &entry in undo.iter().rev() {
+            cursor -= 1;
+            self.words[entry] = arena[cursor].clone();
         }
+        debug_assert_eq!(cursor, 0, "undo log and arena out of sync");
         self.txs[t].undo = undo;
+        self.undo_words[t] = arena;
         self.release_tx(t);
     }
 
@@ -1018,5 +1265,209 @@ mod tests {
             m.write(1, i * 8, 0).unwrap();
         }
         assert_eq!(m.stats().total_aborts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read out of bounds: addr 99999")]
+    fn read_out_of_bounds_panics_with_context() {
+        let mut m = mem();
+        let _ = m.read(0, 99_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "write out of bounds: addr 4096 (line 512)")]
+    fn write_out_of_bounds_panics_with_context() {
+        let mut m = mem();
+        let _ = m.write(0, 4096, 1);
+    }
+
+    #[test]
+    fn read_with_probes_in_place_and_counts_once() {
+        let mut m = mem();
+        m.write(0, 7, 41).unwrap();
+        let reads_before = m.stats().reads;
+        let doubled = m.read_with(1, 7, |w| w * 2).unwrap();
+        assert_eq!(doubled, 82);
+        assert_eq!(m.stats().reads, reads_before + 1);
+    }
+
+    #[test]
+    fn plain_lease_round_trip_matches_full_path_stats() {
+        let mut m = mem();
+        let rl = m.try_lease(0, 10, false);
+        let wl = m.try_lease(0, 10, true);
+        assert!(m.lease_valid(&rl) && m.lease_valid(&wl));
+        assert_eq!((rl.start, rl.end), (8, 16), "line-aligned half-open range");
+        m.lease_write(&wl, 10, 5);
+        assert_eq!(m.lease_read(&rl, 10), 5);
+        // Batched counters are invisible until flushed...
+        assert_eq!((m.stats().reads, m.stats().writes), (0, 0));
+        m.flush_lease_stats();
+        // ...then exactly match what the per-word path would have counted.
+        let s = m.stats();
+        assert_eq!((s.reads, s.writes), (1, 1));
+        assert_eq!(s.lease_hits, 2);
+        assert_eq!(s.lease_misses, 2, "each try_lease counts one miss");
+    }
+
+    #[test]
+    fn plain_lease_denied_while_any_transaction_is_active() {
+        let mut m = mem();
+        m.begin(1, big_budgets()).unwrap();
+        let rl = m.try_lease(0, 10, false);
+        let wl = m.try_lease(0, 10, true);
+        assert!(!m.lease_valid(&rl));
+        assert!(!m.lease_valid(&wl));
+        m.commit(1).unwrap();
+        let rl = m.try_lease(0, 10, false);
+        assert!(m.lease_valid(&rl));
+    }
+
+    #[test]
+    fn in_tx_lease_requires_prior_same_mode_footprint() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        // Nothing touched yet: both modes denied.
+        let rl = m.try_lease(0, 10, false);
+        let wl = m.try_lease(0, 10, true);
+        assert!(!m.lease_valid(&rl));
+        assert!(!m.lease_valid(&wl));
+        // A full-path read settles the read footprint only.
+        let _ = m.read(0, 10).unwrap();
+        let rl = m.try_lease(0, 10, false);
+        let wl = m.try_lease(0, 10, true);
+        assert!(m.lease_valid(&rl));
+        assert!(!m.lease_valid(&wl), "read set does not cover writes");
+        // A full-path write settles the write footprint.
+        m.write(0, 10, 1).unwrap();
+        let wl = m.try_lease(0, 10, true);
+        assert!(m.lease_valid(&wl));
+        m.commit(0).unwrap();
+    }
+
+    #[test]
+    fn any_begin_invalidates_plain_leases() {
+        let mut m = mem();
+        let lease = m.try_lease(0, 10, false);
+        assert!(m.lease_valid(&lease));
+        m.begin(1, big_budgets()).unwrap();
+        assert!(!m.lease_valid(&lease), "any begin bumps the plain slot");
+        m.commit(1).unwrap();
+        assert!(!m.lease_valid(&lease));
+        assert!(m.stats().epoch_bumps >= 2);
+    }
+
+    #[test]
+    fn remote_tx_boundaries_keep_in_tx_leases_valid() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        let _ = m.read(0, 10).unwrap();
+        m.write(0, 10, 1).unwrap();
+        let rl = m.try_lease(0, 10, false);
+        let wl = m.try_lease(0, 10, true);
+        assert!(m.lease_valid(&rl) && m.lease_valid(&wl));
+        // A remote transaction beginning and committing on an unrelated
+        // line cannot take ownership away from thread 0 without dooming
+        // it first, so thread 0's leases survive both boundaries.
+        m.begin(1, big_budgets()).unwrap();
+        assert!(m.lease_valid(&rl) && m.lease_valid(&wl));
+        m.write(1, 500, 9).unwrap();
+        m.commit(1).unwrap();
+        assert!(m.lease_valid(&rl) && m.lease_valid(&wl));
+        // Thread 0's own commit kills them.
+        m.commit(0).unwrap();
+        assert!(!m.lease_valid(&rl) && !m.lease_valid(&wl));
+    }
+
+    #[test]
+    fn doom_invalidates_only_the_victims_leases() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        let _ = m.read(0, 10).unwrap();
+        let rl0 = m.try_lease(0, 10, false);
+        m.begin(1, big_budgets()).unwrap();
+        let _ = m.read(1, 500).unwrap();
+        let rl1 = m.try_lease(1, 500, false);
+        assert!(m.lease_valid(&rl0) && m.lease_valid(&rl1));
+        // Thread 1 writes thread 0's line: requester wins, thread 0 is
+        // doomed and its lease dies; thread 1's own lease survives.
+        m.write(1, 10, 5).unwrap();
+        assert!(!m.lease_valid(&rl0), "doomed victim's slot is bumped");
+        assert!(m.lease_valid(&rl1), "the requester's leases survive");
+        assert!(m.poll_doomed(0).is_some());
+        m.commit(1).unwrap();
+    }
+
+    #[test]
+    fn leased_writes_roll_back_like_full_path_writes() {
+        let mut m = mem();
+        for i in 8..16 {
+            m.write(0, i, 100 + i as u64).unwrap();
+        }
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 10, 1).unwrap(); // full path claims the line
+        let wl = m.try_lease(0, 10, true);
+        assert!(m.lease_valid(&wl));
+        m.lease_write(&wl, 8, 7);
+        m.lease_write(&wl, 15, 7);
+        m.tabort(0, 1);
+        for i in 8..16 {
+            assert_eq!(*m.peek(i), 100 + i as u64, "word {i} restored after abort");
+        }
+    }
+
+    #[test]
+    fn repeated_leased_writes_log_one_undo_entry_and_restore_oldest() {
+        let mut m = mem();
+        m.poke(8, 70);
+        m.poke(9, 71);
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 8, 1).unwrap();
+        let wl1 = m.try_lease(0, 8, true);
+        assert!(m.lease_valid(&wl1));
+        m.lease_write(&wl1, 9, 2);
+        // A no-op fault-plan install bumps every slot, killing wl1
+        // without disturbing thread 0's transaction.
+        m.set_fault_plan(FaultPlan::spurious(7, 0.0));
+        assert!(!m.lease_valid(&wl1));
+        let wl2 = m.try_lease(0, 8, true); // still the writer: re-granted
+        assert!(m.lease_valid(&wl2));
+        // Consecutive same-address writes dedup to the first undo entry,
+        // which holds the oldest (pre-transaction) value.
+        m.lease_write(&wl2, 9, 3);
+        m.lease_write(&wl2, 9, 4);
+        m.tabort(0, 1);
+        assert_eq!(*m.peek(8), 70);
+        assert_eq!(*m.peek(9), 71, "oldest undo record wins on rollback");
+    }
+
+    #[test]
+    fn fault_plan_denies_and_invalidates_leases() {
+        let mut m = mem();
+        let lease = m.try_lease(0, 10, false);
+        assert!(m.lease_valid(&lease));
+        m.set_fault_plan(FaultPlan::spurious(7, 1.0));
+        assert!(!m.lease_valid(&lease), "plan install bumps the epoch");
+        let denied = m.try_lease(0, 10, false);
+        assert!(!m.lease_valid(&denied), "no leases under injection");
+    }
+
+    #[test]
+    fn leased_stats_flush_automatically_at_epoch_bumps() {
+        let mut m = mem();
+        let rl = m.try_lease(0, 10, false);
+        let _ = m.lease_read(&rl, 10);
+        let _ = m.lease_read(&rl, 11);
+        m.begin(1, big_budgets()).unwrap(); // bump flushes the batch
+        assert_eq!(m.stats().reads, 2);
+        assert_eq!(m.stats().lease_hits, 2);
+        m.commit(1).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_lease_request_is_denied() {
+        let mut m = mem();
+        let lease = m.try_lease(0, 99_999, false);
+        assert!(!m.lease_valid(&lease));
     }
 }

@@ -22,7 +22,7 @@
 //! conflict attribution, victim choice, overflow ordering, statistics, or
 //! rollback behaviour shows up here as a minimal counterexample.
 
-use htm_sim::{Budgets, FaultPlan, ReferenceTxMemory, RingBufferSink, TxMemory};
+use htm_sim::{Budgets, FaultPlan, LineLease, ReferenceTxMemory, RingBufferSink, TxMemory};
 use proptest::prelude::*;
 
 const MEM_WORDS: usize = 256;
@@ -39,6 +39,53 @@ enum Op {
     Restricted(usize),
     Poll(usize),
     Tick(u64),
+}
+
+/// Operations for the lease differential test: the base interleaving plus
+/// lease acquisition, accesses through a held lease (direct path on the
+/// directory impl, degenerate per-word fallback on the reference), and the
+/// epoch-invalidating events — spurious interrupt kills and fault-plan
+/// toggles — the lease protocol must survive.
+#[derive(Debug, Clone)]
+enum LOp {
+    Begin(usize, usize, usize),
+    Read(usize, usize),
+    Write(usize, usize, u64),
+    Commit(usize),
+    Tabort(usize),
+    Poll(usize),
+    /// `try_lease(t, addr, write)` on both sides; the pair is held in the
+    /// thread's lease slot (replacing any previous one).
+    Acquire(usize, usize, bool),
+    /// Access through the thread's held lease: direct path while the
+    /// directory lease is valid, full per-word path once it went stale.
+    Access(usize, usize, u64),
+    /// Timer-interrupt kill (`abort_spurious`), an epoch bump.
+    Spurious(usize),
+    /// Install (`true`) or remove a fault plan; leases are denied while a
+    /// plan is live and every toggle bumps the epoch.
+    SetPlan(bool),
+}
+
+fn lease_op_strategy(threads: usize) -> impl Strategy<Value = LOp> {
+    let unbound = |b: usize| if b == 6 { 1 << 20 } else { b };
+    prop_oneof![
+        (0..threads, 1usize..7, 1usize..7).prop_map(move |(t, r, w)| LOp::Begin(
+            t,
+            unbound(r),
+            unbound(w)
+        )),
+        (0..threads, 0..MEM_WORDS).prop_map(|(t, a)| LOp::Read(t, a)),
+        (0..threads, 0..MEM_WORDS, any::<u64>()).prop_map(|(t, a, v)| LOp::Write(t, a, v)),
+        (0..threads).prop_map(LOp::Commit),
+        (0..threads).prop_map(LOp::Tabort),
+        (0..threads).prop_map(LOp::Poll),
+        (0..threads, 0..MEM_WORDS, any::<bool>()).prop_map(|(t, a, w)| LOp::Acquire(t, a, w)),
+        (0..threads, 0..MEM_WORDS, any::<u64>()).prop_map(|(t, o, v)| LOp::Access(t, o, v)),
+        (0..threads, 0..MEM_WORDS, any::<u64>()).prop_map(|(t, o, v)| LOp::Access(t, o, v)),
+        (0..threads).prop_map(LOp::Spurious),
+        any::<bool>().prop_map(LOp::SetPlan),
+    ]
 }
 
 fn op_strategy(threads: usize) -> impl Strategy<Value = Op> {
@@ -303,6 +350,154 @@ proptest! {
                     "footprint({}) at op {}", u, i);
             }
             prop_assert_eq!(dut.stats(), reference.stats(), "stats at op {}", i);
+            prop_assert_eq!(dut.faults_injected(), reference.faults_injected(),
+                "injection streams diverged at op {}", i);
+        }
+
+        let dut_events = dut_trace.lock().unwrap().drain();
+        let ref_events = ref_trace.lock().unwrap().drain();
+        prop_assert_eq!(dut_events, ref_events, "trace streams diverged");
+        for a in 0..MEM_WORDS {
+            prop_assert_eq!(dut.peek(a), reference.peek(a), "memory image at {}", a);
+        }
+    }
+
+    /// Lease differential: the directory impl serving accesses through
+    /// epoch-validated line leases (batched direct path, span undo) must be
+    /// observationally identical to the reference serving the *same* lease
+    /// operations through its degenerate per-word fallback — across
+    /// interleaved transactions, dooms, mid-lease aborts, interrupt kills,
+    /// and fault-plan toggles. Compared per op: results, abort reasons,
+    /// `in_tx`/footprints, fault-draw counts, and the full stats struct
+    /// with only `lease_hits` masked (the fallback never hits); compared at
+    /// the end: trace streams and the byte-exact memory image.
+    #[test]
+    fn leases_match_reference_degenerate_fallback(
+        threads in 2usize..6,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(lease_op_strategy(5), 1..250),
+    ) {
+        let line_words = 4usize;
+        let mut dut: TxMemory<u64> = TxMemory::new(MEM_WORDS, line_words, threads, 0);
+        let mut reference: ReferenceTxMemory<u64> =
+            ReferenceTxMemory::new(MEM_WORDS, line_words, threads, 0);
+        let dut_trace = RingBufferSink::shared(8192);
+        let ref_trace = RingBufferSink::shared(8192);
+        dut.set_trace_sink(Box::new(std::sync::Arc::clone(&dut_trace)));
+        reference.set_trace_sink(Box::new(std::sync::Arc::clone(&ref_trace)));
+
+        // One held (directory lease, reference lease) pair per thread.
+        let mut held: Vec<Option<(LineLease, LineLease)>> = vec![None; threads];
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                LOp::Begin(t, r, w) => {
+                    let t = t % threads;
+                    if !dut.in_tx(t) {
+                        let b = Budgets { read_lines: r, write_lines: w };
+                        prop_assert_eq!(dut.begin(t, b), reference.begin(t, b),
+                            "begin diverged at op {}", i);
+                    }
+                }
+                LOp::Read(t, a) => {
+                    let (t, a) = (t % threads, a % 32);
+                    prop_assert_eq!(dut.read(t, a), reference.read(t, a),
+                        "read diverged at op {}", i);
+                }
+                LOp::Write(t, a, v) => {
+                    let (t, a) = (t % threads, a % 32);
+                    prop_assert_eq!(dut.write(t, a, v), reference.write(t, a, v),
+                        "write diverged at op {}", i);
+                }
+                LOp::Commit(t) => {
+                    let t = t % threads;
+                    if dut.in_tx(t) {
+                        prop_assert_eq!(dut.commit(t), reference.commit(t),
+                            "commit diverged at op {}", i);
+                    }
+                }
+                LOp::Tabort(t) => {
+                    let t = t % threads;
+                    prop_assert_eq!(dut.tabort(t, 7), reference.tabort(t, 7),
+                        "tabort diverged at op {}", i);
+                }
+                LOp::Poll(t) => {
+                    let t = t % threads;
+                    prop_assert_eq!(dut.poll_doomed(t), reference.poll_doomed(t),
+                        "poll diverged at op {}", i);
+                }
+                LOp::Acquire(t, a, write) => {
+                    let (t, a) = (t % threads, a % 32);
+                    let d = dut.try_lease(t, a, write);
+                    let r = reference.try_lease(t, a, write);
+                    prop_assert!(!reference.lease_valid(&r),
+                        "reference must never grant a lease (op {})", i);
+                    held[t] = Some((d, r));
+                }
+                LOp::Access(t, off, v) => {
+                    let t = t % threads;
+                    let Some((d, r)) = held[t] else { continue };
+                    if dut.lease_valid(&d) {
+                        let a = d.start + off % (d.end - d.start);
+                        if d.write {
+                            dut.lease_write(&d, a, v);
+                            reference.lease_write(&r, a, v);
+                        } else {
+                            prop_assert_eq!(
+                                dut.lease_read(&d, a), reference.lease_read(&r, a),
+                                "leased read diverged at op {}", i);
+                        }
+                    } else {
+                        // Stale token: the interpreter falls back to the
+                        // full per-word path on both sides.
+                        let a = if d.end > d.start {
+                            d.start + off % (d.end - d.start)
+                        } else {
+                            off % 32
+                        };
+                        if d.write {
+                            prop_assert_eq!(dut.write(t, a, v), reference.write(t, a, v),
+                                "post-lease write diverged at op {}", i);
+                        } else {
+                            prop_assert_eq!(dut.read(t, a), reference.read(t, a),
+                                "post-lease read diverged at op {}", i);
+                        }
+                    }
+                }
+                LOp::Spurious(t) => {
+                    let t = t % threads;
+                    prop_assert_eq!(
+                        dut.abort_spurious(t, htm_sim::SpuriousCause::TimerInterrupt),
+                        reference.abort_spurious(t, htm_sim::SpuriousCause::TimerInterrupt),
+                        "spurious kill diverged at op {}", i);
+                }
+                LOp::SetPlan(on) => {
+                    let plan = if on {
+                        FaultPlan {
+                            seed,
+                            spurious_rate: 0.10,
+                            shrink_rate: 0.05,
+                            restricted_rate: 0.05,
+                        }
+                    } else {
+                        FaultPlan::none()
+                    };
+                    dut.set_fault_plan(plan);
+                    reference.set_fault_plan(plan);
+                }
+            }
+            for u in 0..threads {
+                prop_assert_eq!(dut.in_tx(u), reference.in_tx(u), "in_tx({}) at op {}", u, i);
+                prop_assert_eq!(dut.footprint(u), reference.footprint(u),
+                    "footprint({}) at op {}", u, i);
+            }
+            // Settle the directory impl's batched counters, then compare
+            // every stats field except lease_hits (zero in the fallback).
+            dut.flush_lease_stats();
+            let mut ds = dut.stats().clone();
+            let mut rs = reference.stats().clone();
+            ds.lease_hits = 0;
+            rs.lease_hits = 0;
+            prop_assert_eq!(ds, rs, "stats at op {}", i);
             prop_assert_eq!(dut.faults_injected(), reference.faults_injected(),
                 "injection streams diverged at op {}", i);
         }

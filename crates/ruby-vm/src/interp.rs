@@ -29,6 +29,11 @@ use crate::symbols::SymId;
 use crate::value::{Addr, ObjKind, Word};
 use crate::vm::{BlockOn, StepOk, ThreadCtx, Vm, VmAbort};
 
+/// A popped operand, already classified: `Ok` when it was an immediate
+/// integer (the arithmetic fast lane), `Err` carrying the original word
+/// otherwise.
+type IntOrWord = Result<i64, Word>;
+
 pub const F_PREV_FP: usize = 0;
 pub const F_RET_PC: usize = 1;
 pub const F_RET_ISEQ: usize = 2;
@@ -1207,119 +1212,146 @@ impl Vm {
         }
     }
 
+    /// Pop the two operands of a binary operator, classifying each as an
+    /// immediate integer in a single counted access apiece. Read order —
+    /// rhs at `sp-1` first, then lhs at `sp-2` — matches the two `pop`
+    /// calls this replaces, so memory traces are unchanged.
+    #[inline]
+    fn pop_binop_operands(&mut self, t: ThreadId) -> Result<(IntOrWord, IntOrWord), VmAbort> {
+        let sp = self.threads[t].sp;
+        if sp < self.threads[t].stack_base + 2 {
+            return Err(VmAbort::fatal("stack underflow"));
+        }
+        let rhs = self.rd_int(t, sp - 1)?;
+        let lhs = self.rd_int(t, sp - 2)?;
+        self.threads[t].sp = sp - 2;
+        Ok((lhs, rhs))
+    }
+
     fn op_arith(&mut self, t: ThreadId, op: ArithOp, sym: u32, ic: u32) -> Result<StepOk, VmAbort> {
-        let rhs = self.pop(t)?;
-        let lhs = self.pop(t)?;
-        match (&lhs, &rhs) {
-            (Word::Int(a), Word::Int(b)) => {
-                let (a, b) = (*a, *b);
-                let r = match op {
-                    ArithOp::Add => a.wrapping_add(b),
-                    ArithOp::Sub => a.wrapping_sub(b),
-                    ArithOp::Mul => a.wrapping_mul(b),
-                    ArithOp::Div => {
-                        if b == 0 {
-                            return Err(VmAbort::fatal("divided by 0"));
-                        }
-                        crate::value::ruby_div(a, b)
+        let (lhs, rhs) = self.pop_binop_operands(t)?;
+        if let (&Ok(a), &Ok(b)) = (&lhs, &rhs) {
+            let r = match op {
+                ArithOp::Add => a.wrapping_add(b),
+                ArithOp::Sub => a.wrapping_sub(b),
+                ArithOp::Mul => a.wrapping_mul(b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        return Err(VmAbort::fatal("divided by 0"));
                     }
-                    ArithOp::Mod => {
-                        if b == 0 {
-                            return Err(VmAbort::fatal("divided by 0"));
-                        }
-                        crate::value::ruby_mod(a, b)
+                    crate::value::ruby_div(a, b)
+                }
+                ArithOp::Mod => {
+                    if b == 0 {
+                        return Err(VmAbort::fatal("divided by 0"));
                     }
-                };
-                self.push(t, Word::Int(r))?;
-                self.advance(t);
-                Ok(StepOk::Normal)
-            }
-            _ => {
-                // Float path (heap-allocates the result, CRuby 1.9 style).
-                let lf = self.as_number(t, &lhs)?;
-                let rf = self.as_number(t, &rhs)?;
-                if let (Some(a), Some(b)) = (lf, rf) {
-                    let r = match op {
-                        ArithOp::Add => a + b,
-                        ArithOp::Sub => a - b,
-                        ArithOp::Mul => a * b,
-                        ArithOp::Div => a / b,
-                        ArithOp::Mod => a.rem_euclid(b),
-                    };
-                    let w = self.make_float(t, r)?;
+                    crate::value::ruby_mod(a, b)
+                }
+            };
+            self.push(t, Word::Int(r))?;
+            self.advance(t);
+            return Ok(StepOk::Normal);
+        }
+        let lhs = match lhs {
+            Ok(i) => Word::Int(i),
+            Err(w) => w,
+        };
+        let rhs = match rhs {
+            Ok(i) => Word::Int(i),
+            Err(w) => w,
+        };
+        // Float path (heap-allocates the result, CRuby 1.9 style).
+        let lf = self.as_number(t, &lhs)?;
+        let rf = self.as_number(t, &rhs)?;
+        if let (Some(a), Some(b)) = (lf, rf) {
+            let r = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+                ArithOp::Mod => a.rem_euclid(b),
+            };
+            let w = self.make_float(t, r)?;
+            self.push(t, w)?;
+            self.advance(t);
+            return Ok(StepOk::Normal);
+        }
+        // String + String.
+        if op == ArithOp::Add {
+            if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
+                if self.kind_of(t, *a)? == ObjKind::String
+                    && self.kind_of(t, *b)? == ObjKind::String
+                {
+                    let sa = self.string_content(t, *a)?;
+                    let sb = self.string_content(t, *b)?;
+                    let joined = format!("{sa}{sb}");
+                    self.step_native_cost += (joined.len() / 8) as u64;
+                    let w = self.make_string(t, &joined)?;
                     self.push(t, w)?;
                     self.advance(t);
                     return Ok(StepOk::Normal);
                 }
-                // String + String.
-                if op == ArithOp::Add {
-                    if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
-                        if self.kind_of(t, *a)? == ObjKind::String
-                            && self.kind_of(t, *b)? == ObjKind::String
-                        {
-                            let sa = self.string_content(t, *a)?;
-                            let sb = self.string_content(t, *b)?;
-                            let joined = format!("{sa}{sb}");
-                            self.step_native_cost += (joined.len() / 8) as u64;
-                            let w = self.make_string(t, &joined)?;
-                            self.push(t, w)?;
-                            self.advance(t);
-                            return Ok(StepOk::Normal);
-                        }
-                        if self.kind_of(t, *a)? == ObjKind::Array
-                            && self.kind_of(t, *b)? == ObjKind::Array
-                        {
-                            let mut elems = Vec::new();
-                            for i in 0..self.array_len(t, *a)? {
-                                elems.push(self.array_get(t, *a, i as i64)?);
-                            }
-                            for i in 0..self.array_len(t, *b)? {
-                                elems.push(self.array_get(t, *b, i as i64)?);
-                            }
-                            let w = self.make_array(t, &elems)?;
-                            self.push(t, w)?;
-                            self.advance(t);
-                            return Ok(StepOk::Normal);
-                        }
+                if self.kind_of(t, *a)? == ObjKind::Array && self.kind_of(t, *b)? == ObjKind::Array
+                {
+                    let mut elems = Vec::new();
+                    for i in 0..self.array_len(t, *a)? {
+                        elems.push(self.array_get(t, *a, i as i64)?);
                     }
+                    for i in 0..self.array_len(t, *b)? {
+                        elems.push(self.array_get(t, *b, i as i64)?);
+                    }
+                    let w = self.make_array(t, &elems)?;
+                    self.push(t, w)?;
+                    self.advance(t);
+                    return Ok(StepOk::Normal);
                 }
-                // Generic dispatch to a user-defined operator.
-                self.push(t, lhs)?;
-                self.push(t, rhs)?;
-                let name = self.op_fallback_sym(sym, op.name());
-                self.do_send(t, name, 1, None, ic)
             }
         }
+        // Generic dispatch to a user-defined operator.
+        self.push(t, lhs)?;
+        self.push(t, rhs)?;
+        let name = self.op_fallback_sym(sym, op.name());
+        self.do_send(t, name, 1, None, ic)
     }
 
     fn op_cmp(&mut self, t: ThreadId, op: CmpOp, sym: u32, ic: u32) -> Result<StepOk, VmAbort> {
-        let rhs = self.pop(t)?;
-        let lhs = self.pop(t)?;
-        let result: Option<bool> = match (&lhs, &rhs) {
-            (Word::Int(a), Word::Int(b)) => Some(op.apply_ord(a.cmp(b))),
-            _ => match op {
-                CmpOp::Eq => Some(self.words_eq(t, &lhs, &rhs)?),
-                CmpOp::Ne => Some(!self.words_eq(t, &lhs, &rhs)?),
-                _ => {
-                    let lf = self.as_number(t, &lhs)?;
-                    let rf = self.as_number(t, &rhs)?;
-                    if let (Some(a), Some(b)) = (lf, rf) {
-                        a.partial_cmp(&b).map(|o| op.apply_ord(o))
-                    } else if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
-                        if self.kind_of(t, *a)? == ObjKind::String
-                            && self.kind_of(t, *b)? == ObjKind::String
-                        {
-                            let sa = self.string_content(t, *a)?;
-                            let sb = self.string_content(t, *b)?;
-                            Some(op.apply_ord(sa.cmp(&sb)))
-                        } else {
-                            None
-                        }
+        let (lhs, rhs) = self.pop_binop_operands(t)?;
+        if let (&Ok(a), &Ok(b)) = (&lhs, &rhs) {
+            let hit = op.apply_ord(a.cmp(&b));
+            self.push(t, if hit { Word::True } else { Word::False })?;
+            self.advance(t);
+            return Ok(StepOk::Normal);
+        }
+        let lhs = match lhs {
+            Ok(i) => Word::Int(i),
+            Err(w) => w,
+        };
+        let rhs = match rhs {
+            Ok(i) => Word::Int(i),
+            Err(w) => w,
+        };
+        let result: Option<bool> = match op {
+            CmpOp::Eq => Some(self.words_eq(t, &lhs, &rhs)?),
+            CmpOp::Ne => Some(!self.words_eq(t, &lhs, &rhs)?),
+            _ => {
+                let lf = self.as_number(t, &lhs)?;
+                let rf = self.as_number(t, &rhs)?;
+                if let (Some(a), Some(b)) = (lf, rf) {
+                    a.partial_cmp(&b).map(|o| op.apply_ord(o))
+                } else if let (Word::Obj(a), Word::Obj(b)) = (&lhs, &rhs) {
+                    if self.kind_of(t, *a)? == ObjKind::String
+                        && self.kind_of(t, *b)? == ObjKind::String
+                    {
+                        let sa = self.string_content(t, *a)?;
+                        let sb = self.string_content(t, *b)?;
+                        Some(op.apply_ord(sa.cmp(&sb)))
                     } else {
                         None
                     }
+                } else {
+                    None
                 }
-            },
+            }
         };
         match result {
             Some(b) => {

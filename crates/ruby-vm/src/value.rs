@@ -50,7 +50,7 @@ pub struct ObjHeader {
 }
 
 /// One word of simulated memory.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub enum Word {
     /// Untouched memory.
     #[default]
@@ -72,6 +72,28 @@ pub enum Word {
     Str(Rc<str>),
     /// Slot header.
     Hdr(ObjHeader),
+}
+
+/// Hand-written so the clone on the memory read path inlines to a plain
+/// 16-byte copy for every immediate variant, with the `Rc` refcount bump
+/// isolated in the one heap-carrying arm (`Str`) instead of dominating the
+/// whole match.
+impl Clone for Word {
+    #[inline(always)]
+    fn clone(&self) -> Word {
+        match self {
+            Word::Uninit => Word::Uninit,
+            Word::Nil => Word::Nil,
+            Word::True => Word::True,
+            Word::False => Word::False,
+            Word::Int(i) => Word::Int(*i),
+            Word::Sym(s) => Word::Sym(*s),
+            Word::Obj(a) => Word::Obj(*a),
+            Word::F64(f) => Word::F64(*f),
+            Word::Str(s) => Word::Str(Rc::clone(s)),
+            Word::Hdr(h) => Word::Hdr(*h),
+        }
+    }
 }
 
 impl Word {

@@ -120,6 +120,30 @@ fn report_json_totals_are_consistent() {
 }
 
 #[test]
+fn report_json_exposes_lease_accounting() {
+    let doc = npb_report_json(4);
+    let htm = doc.get("htm").unwrap();
+    let n = |k: &str| {
+        htm.get(k).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("htm.{k} must be present"))
+    };
+
+    // The interpreter hot path runs leased in the default config, so a
+    // real workload must record both grants and (hit) traffic, and every
+    // transaction boundary bumps the epoch at least once.
+    assert!(n("lease_misses") > 0, "try_lease is always counted, even when denied");
+    assert!(n("lease_hits") > 0, "NPB under leases must serve some accesses from leases");
+    assert!(
+        n("epoch_bumps") >= n("begins"),
+        "every begin/commit/abort/doom bumps the global lease epoch"
+    );
+
+    // Batched deltas are flushed before the report is emitted: the
+    // mem_reads/mem_writes totals already contain the leased accesses, so
+    // they bound the hit count.
+    assert!(n("lease_hits") <= n("mem_reads") + n("mem_writes"));
+}
+
+#[test]
 fn taskserver_latency_section_round_trips() {
     // Run the task server, emit the report as text, parse it back, and
     // check the latency section the way a dashboard consuming
