@@ -16,6 +16,7 @@
 //! are collected in submission order, identical at any pool size.
 
 pub mod chaos;
+pub mod explore;
 pub mod figures;
 pub mod pool;
 pub mod reporting;

@@ -121,6 +121,111 @@ where
     Ok(out)
 }
 
+/// Verdict of one point under [`try_map_ordered_pruned`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointOutcome<R> {
+    /// Keep going: the point produced a result and the sweep continues.
+    Continue(R),
+    /// Stop here: the point produced a result that makes the rest of the
+    /// sweep unnecessary (e.g. the first violating schedule under
+    /// `--stop-first`). The result is kept; later points are dropped.
+    Prune(R),
+}
+
+/// [`try_map_ordered`] with early exit: a point may return
+/// [`PointOutcome::Prune`] to cancel the remainder of the sweep while
+/// keeping its own result.
+///
+/// Returns submission-ordered slots: `Some` for every point up to and
+/// including the **lowest-index** pruning point, `None` after it. The
+/// output is pool-size invariant: the queue hands indices out strictly
+/// in submission order and started points run to completion, so every
+/// index below the first "event" (panic or prune) has a completed
+/// `Continue` verdict at any pool size — and everything a bigger pool
+/// happens to compute beyond the first prune is dropped, because a
+/// 1-job pool would never have started it. A panic below the first
+/// prune fails the sweep exactly like [`try_map_ordered`]; a panic
+/// above it is discarded with the rest of the over-computation.
+pub fn try_map_ordered_pruned<P, R>(
+    jobs: usize,
+    points: &[P],
+    label: impl Fn(&P) -> String + Sync,
+    run: impl Fn(usize, &P) -> PointOutcome<R> + Sync,
+    on_done: impl Fn(usize, usize) + Sync,
+) -> Result<Vec<Option<R>>, SweepError>
+where
+    P: Sync,
+    R: Send,
+{
+    if points.is_empty() {
+        return Ok(Vec::new());
+    }
+    let jobs = jobs.clamp(1, points.len());
+    type Slot<R> = Mutex<Option<Result<(R, bool), String>>>;
+    let slots: Vec<Slot<R>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let worker = || loop {
+        if cancelled.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= points.len() {
+            break;
+        }
+        let out = catch_unwind(AssertUnwindSafe(|| run(i, &points[i])));
+        let out = match out {
+            Ok(PointOutcome::Continue(r)) => Ok((r, false)),
+            Ok(PointOutcome::Prune(r)) => {
+                cancelled.store(true, Ordering::Relaxed);
+                Ok((r, true))
+            }
+            Err(p) => {
+                cancelled.store(true, Ordering::Relaxed);
+                Err(payload_text(&*p))
+            }
+        };
+        *slots[i].lock().expect("result slot") = Some(out);
+        on_done(done.fetch_add(1, Ordering::Relaxed) + 1, i);
+    };
+    if jobs == 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for n in 0..jobs {
+                std::thread::Builder::new()
+                    .name(format!("simpool-{n}"))
+                    .spawn_scoped(s, worker)
+                    .expect("spawn pool worker");
+            }
+        });
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(points.len());
+    let mut pruned = false;
+    for (i, slot) in slots.into_iter().enumerate() {
+        if pruned {
+            // Over-computation by a bigger pool: a 1-job sweep would
+            // never have started this point. Drop it, verdict and all.
+            out.push(None);
+            continue;
+        }
+        match slot.into_inner().expect("result slot") {
+            Some(Ok((r, prune))) => {
+                pruned = prune;
+                out.push(Some(r));
+            }
+            Some(Err(payload)) => {
+                return Err(SweepError { index: i, label: label(&points[i]), payload });
+            }
+            // Unstarted: only possible after a cancellation, whose cause
+            // (panic or prune) sits at a lower index and was handled.
+            None => unreachable!("unstarted point before any failure or prune"),
+        }
+    }
+    Ok(out)
+}
+
 fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -187,6 +292,102 @@ mod tests {
             assert_eq!(err.label, "point-3");
             assert!(err.payload.contains("boom at 3"), "{}", err.payload);
         }
+    }
+
+    #[test]
+    fn pruned_map_truncates_identically_at_any_pool_size() {
+        let points: Vec<usize> = (0..30).collect();
+        let mut expect: Vec<Option<usize>> = points.iter().map(|p| Some(p * 2)).collect();
+        for slot in expect.iter_mut().skip(12) {
+            *slot = None;
+        }
+        expect[11] = Some(22);
+        for jobs in [1, 2, 4, 8] {
+            let out = try_map_ordered_pruned(
+                jobs,
+                &points,
+                |p| p.to_string(),
+                |_, p| {
+                    if *p == 11 {
+                        PointOutcome::Prune(p * 2)
+                    } else {
+                        PointOutcome::Continue(p * 2)
+                    }
+                },
+                |_, _| {},
+            )
+            .unwrap();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panic_below_the_first_prune_fails_the_pruned_sweep() {
+        let points: Vec<usize> = (0..20).collect();
+        for jobs in [1, 4] {
+            let err = try_map_ordered_pruned(
+                jobs,
+                &points,
+                |p| format!("pt-{p}"),
+                |_, p| {
+                    if *p == 5 {
+                        panic!("kaboom");
+                    }
+                    if *p == 9 {
+                        PointOutcome::Prune(*p)
+                    } else {
+                        PointOutcome::Continue(*p)
+                    }
+                },
+                |_, _| {},
+            )
+            .unwrap_err();
+            assert_eq!(err.index, 5, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panic_beyond_the_first_prune_is_dropped_overcomputation() {
+        // At jobs=1 point 3 prunes before point 7 ever starts, so a
+        // panic at 7 must not surface at any pool size.
+        let points: Vec<usize> = (0..8).collect();
+        for jobs in [1, 4, 8] {
+            let out = try_map_ordered_pruned(
+                jobs,
+                &points,
+                |p| p.to_string(),
+                |_, p| {
+                    if *p == 3 {
+                        return PointOutcome::Prune(*p);
+                    }
+                    if *p == 7 {
+                        // Give the pruner time to win the race so the
+                        // jobs=8 ordering matches jobs=1 semantics.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("late kaboom");
+                    }
+                    PointOutcome::Continue(*p)
+                },
+                |_, _| {},
+            );
+            let out = out.unwrap_or_else(|e| panic!("jobs={jobs}: {e}"));
+            assert_eq!(out[3], Some(3), "jobs={jobs}");
+            assert!(out[4..].iter().all(Option::is_none), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn pruned_map_without_prunes_matches_plain_map() {
+        let points: Vec<usize> = (0..10).collect();
+        let out = try_map_ordered_pruned(
+            3,
+            &points,
+            |p| p.to_string(),
+            |_, p| PointOutcome::Continue(p + 100),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(out, points.iter().map(|p| Some(p + 100)).collect::<Vec<_>>());
     }
 
     #[test]

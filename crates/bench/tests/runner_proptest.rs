@@ -9,6 +9,7 @@
 //! order, so every point below a failure was started and ran to its own
 //! verdict.
 
+use bench::pool::{try_map_ordered_pruned, PointOutcome};
 use bench::runner::try_sweep_with_jobs;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -80,5 +81,71 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The pruned map truncates at the lowest-index pruning point and is
+    /// pool-size invariant: whatever a bigger pool over-computes past
+    /// the first prune is dropped, so the output always equals the
+    /// 1-job reference — results for every index up to and including
+    /// the first `Prune`, `None` after it.
+    #[test]
+    fn pruned_map_matches_the_serial_reference_at_any_pool_size(
+        fates in vec((0u8..10, 0u64..120), 1..40),
+        jobs in 2usize..9,
+    ) {
+        // fate < 2 → the point prunes (~20 % per case); the rest continue.
+        let points: Vec<(usize, bool, u64)> = fates
+            .iter()
+            .enumerate()
+            .map(|(i, &(fate, delay))| (i, fate < 2, delay))
+            .collect();
+        let run = |_: usize, &(i, prunes, d): &(usize, bool, u64)| {
+            std::thread::sleep(std::time::Duration::from_micros(d));
+            if prunes {
+                PointOutcome::Prune(i * 10)
+            } else {
+                PointOutcome::Continue(i * 10)
+            }
+        };
+        // Serial reference.
+        let mut expect: Vec<Option<usize>> = Vec::new();
+        for &(i, prunes, _) in &points {
+            expect.push(Some(i * 10));
+            if prunes {
+                break;
+            }
+        }
+        expect.resize(points.len(), None);
+        let serial = try_map_ordered_pruned(
+            1, &points, |&(i, _, _)| i.to_string(), run, |_, _| {},
+        ).expect("no panics");
+        prop_assert_eq!(&serial, &expect);
+        let pooled = try_map_ordered_pruned(
+            jobs, &points, |&(i, _, _)| i.to_string(), run, |_, _| {},
+        ).expect("no panics");
+        prop_assert_eq!(&pooled, &expect, "jobs={}", jobs);
+    }
+
+    /// Without any pruning point the pruned map degenerates to the plain
+    /// ordered map: every slot filled, in submission order.
+    #[test]
+    fn pruned_map_without_prunes_is_complete_and_ordered(
+        delays_us in vec(0u64..150, 0..30),
+        jobs in 1usize..9,
+    ) {
+        let points: Vec<(usize, u64)> = delays_us.iter().copied().enumerate().collect();
+        let out = try_map_ordered_pruned(
+            jobs,
+            &points,
+            |&(i, _)| i.to_string(),
+            |_, &(i, d)| {
+                std::thread::sleep(std::time::Duration::from_micros(d));
+                PointOutcome::Continue(i)
+            },
+            |_, _| {},
+        )
+        .expect("no panics");
+        let want: Vec<Option<usize>> = (0..points.len()).map(Some).collect();
+        prop_assert_eq!(out, want, "jobs={}", jobs);
     }
 }

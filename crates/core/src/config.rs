@@ -164,6 +164,21 @@ pub struct ExecConfig {
     /// hundred instructions; the GIL timer forces handoffs every ~10⁵
     /// cycles), so it only trips on genuine livelock.
     pub progress_bound_steps: u64,
+    /// Schedule-exploration path replayed by this run (`None` — the
+    /// default — installs no controller and leaves every decision-point
+    /// hook a no-op). An installed *empty* path also reproduces the
+    /// natural schedule exactly; see `machine_sim::explore`.
+    pub explore_path: Option<machine_sim::SchedPath>,
+    /// Enable the exploration's interrupt-delivery decisions (kill an
+    /// open transaction at a yield point or in the commit window). Off,
+    /// those windows consume no path bytes.
+    pub explore_interrupts: bool,
+    /// Test-only injected serializability bug: the transactional
+    /// memory's *read* path skips the requester-wins doom of a remote
+    /// writer, so reads observe speculative (possibly torn) state. Used
+    /// to prove the exploration driver actually finds real violations;
+    /// never enabled outside explore tests.
+    pub bug_dirty_read: bool,
 }
 
 impl ExecConfig {
@@ -180,6 +195,9 @@ impl ExecConfig {
             interrupt_interval: 0,
             watchdog: WatchdogConstants::disabled(),
             progress_bound_steps: 5_000_000,
+            explore_path: None,
+            explore_interrupts: false,
+            bug_dirty_read: false,
         }
     }
 
@@ -227,6 +245,8 @@ mod tests {
         assert_eq!(cfg.interrupt_interval, 0, "interrupt model off by default");
         assert!(!cfg.watchdog.is_enabled(), "watchdog off by default");
         assert!(cfg.progress_bound_steps > 0, "progress invariant on by default");
+        assert!(cfg.explore_path.is_none(), "no exploration controller by default");
+        assert!(!cfg.explore_interrupts && !cfg.bug_dirty_read);
         assert!(WatchdogConstants::enabled().is_enabled());
     }
 

@@ -231,6 +231,12 @@ impl Executor {
         }
         let mut sched =
             Scheduler::new(profile.cores, profile.smt_per_core, profile.cost.context_switch);
+        if let Some(path) = cfg.explore_path.clone() {
+            sched.set_explore(machine_sim::ExploreCtl::new(path, cfg.explore_interrupts));
+        }
+        if cfg.bug_dirty_read {
+            vm.mem.set_bug_dirty_read(true);
+        }
         let t0 = sched.spawn(0);
         debug_assert_eq!(t0, 0);
         let total_pcs = vm.program.total_insns();
@@ -401,6 +407,11 @@ impl Executor {
             self.gil.waiters,
             self.parked.keys().collect::<Vec<_>>()
         );
+        // Under exploration, append the trailing scheduler decision trail
+        // so a stuck explored run is diagnosable without a rerun.
+        if let Some(trail) = self.sched.explore_trail() {
+            let _ = writeln!(out, "  sched decisions (tail): {trail}");
+        }
         out
     }
 
@@ -604,6 +615,11 @@ impl Executor {
     }
 
     /// Unpark every thread waiting on the given keys, at `t`'s clock.
+    ///
+    /// Under exploration, a wake-order decision may rotate the waiter
+    /// list and stagger the unpark times by one cycle each, so the
+    /// rotation actually changes the downstream ready-time tie-breaks;
+    /// choice 0 (and no controller) is the exact legacy publish.
     fn publish_wakes(&mut self, t: ThreadId, wakes: Vec<ruby_vm::vm::WakeKey>) {
         let now = self.sched.clock(t);
         for key in wakes {
@@ -611,9 +627,18 @@ impl Executor {
                 ruby_vm::vm::WakeKey::Mutex(a) => ParkKey::Mutex(a),
                 ruby_vm::vm::WakeKey::Barrier(a) => ParkKey::Barrier(a),
             };
-            if let Some(waiters) = self.parked.remove(&pk) {
-                for w in waiters {
-                    self.sched.unpark(w, now);
+            if let Some(mut waiters) = self.parked.remove(&pk) {
+                let rot = self.sched.explore_wake_order(waiters.len()) as usize;
+                if rot == 0 {
+                    for w in waiters {
+                        self.sched.unpark(w, now);
+                    }
+                } else {
+                    let n = waiters.len().max(1);
+                    waiters.rotate_left(rot % n);
+                    for (i, w) in waiters.into_iter().enumerate() {
+                        self.sched.unpark(w, now + i as Cycles);
+                    }
                 }
             }
         }
@@ -646,6 +671,11 @@ impl Executor {
         // Yield points: yield only when the timer flagged us and another
         // live thread exists (paper §3.2).
         if self.at_yield_point(t) && self.sched.other_live_threads(t) > 0 {
+            // Schedule-exploration decision point: a forced preemption
+            // hands control to the pinned thread without running t.
+            if self.sched.explore_active() && self.sched.explore_preempt(t).is_some() {
+                return Ok(());
+            }
             // Yield points are where stats become externally observable;
             // settle any batched lease deltas before deciding to switch.
             self.vm.mem.flush_lease_stats();
@@ -746,6 +776,25 @@ impl Executor {
         //    belongs to the new transaction/GIL tenure.
         let fresh = std::mem::take(&mut self.tle[t].fresh);
         if !fresh && self.at_yield_point(t) && self.sched.other_live_threads(t) > 0 {
+            // Schedule-exploration decision point (no-op unless a
+            // controller is installed — see `machine_sim::explore`).
+            if self.sched.explore_active() {
+                if self.sched.explore_preempt(t).is_some() {
+                    // Forced preemption: t executes nothing this step and
+                    // re-decides at this same yield point when the pinned
+                    // thread reaches its own next decision point.
+                    return Ok(());
+                }
+                if self.tle[t].tx.is_some() && self.sched.explore_interrupt_kill() {
+                    // Explored interrupt slot: kill the open transaction
+                    // exactly like the §5.6 timer model would.
+                    let reason = match self.vm.mem.poll_doomed(t) {
+                        Some(r) => r,
+                        None => self.vm.mem.abort_spurious(t, SpuriousCause::TimerInterrupt),
+                    };
+                    return self.on_tx_abort(t, reason);
+                }
+            }
             // Settle batched lease deltas at the yield point, mirroring the
             // GIL path, so mid-run stats observations are path-independent.
             self.vm.mem.flush_lease_stats();
@@ -817,6 +866,16 @@ impl Executor {
 
     /// Commit `t`'s transaction, moving escrowed work to `tx_success`.
     fn commit_tx(&mut self, t: ThreadId) -> Result<(), AbortReason> {
+        // Explored interrupt slot in the commit window: kill the
+        // transaction right before TEND. The tx stays in `self.tle` so
+        // the caller's `on_tx_abort` runs the normal rollback/retry path.
+        if self.sched.explore_commit_kill() {
+            let reason = match self.vm.mem.poll_doomed(t) {
+                Some(r) => r,
+                None => self.vm.mem.abort_spurious(t, SpuriousCause::TimerInterrupt),
+            };
+            return Err(reason);
+        }
         let info = self.tle[t].tx.take().expect("commit without tx");
         self.sched.advance(t, self.profile.cost.tend);
         self.breakdown.tx_begin_end += self.profile.cost.tend;

@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod exec;
+pub mod explore;
 pub mod gil;
 pub mod json;
 pub mod latency;
@@ -42,6 +43,10 @@ pub use config::{
     ExecConfig, LengthPolicy, RuntimeMode, TleConstants, WatchdogConstants, YieldPolicy,
 };
 pub use exec::{Executor, RunError};
+pub use explore::{
+    check_path, gil_expected, mismatch_of, run_path, shrink, Expected, ExploreTarget, PathRun,
+    ShrinkResult,
+};
 pub use json::Json;
 pub use latency::{LatencyRecorder, LatencyStats, QueueWindow, TaskLatencyReport};
 pub use oracle::{check_against_gil, heap_digest, OracleVerdict};

@@ -200,6 +200,14 @@ pub struct TxMemory<W: Clone> {
     pending_reads: u64,
     /// Leased writes not yet folded into `stats.writes`.
     pending_writes: u64,
+    /// Test-only injected serializability bug for the schedule-space
+    /// explorer: when set, the read path skips the requester-wins doom of
+    /// a remote writer, so reads observe speculative (possibly torn)
+    /// state. Never enabled outside explore tests. Read-lease grants are
+    /// unaffected: they require the reader bit, which `read_with` sets
+    /// either way, and leased re-reads of an already-read line match the
+    /// memo fast path's (bugged) behaviour exactly.
+    bug_dirty_read: bool,
 }
 
 impl<W: Clone> TxMemory<W> {
@@ -231,7 +239,13 @@ impl<W: Clone> TxMemory<W> {
             epochs: vec![1; max_threads + 1],
             pending_reads: 0,
             pending_writes: 0,
+            bug_dirty_read: false,
         }
+    }
+
+    /// Arm (or disarm) the test-only dirty-read bug — see the field doc.
+    pub fn set_bug_dirty_read(&mut self, on: bool) {
+        self.bug_dirty_read = on;
     }
 
     /// Install a fault-injection plan (or remove it with a no-op plan).
@@ -479,9 +493,11 @@ impl<W: Clone> TxMemory<W> {
             // grow — skip the directory entirely.
             return Ok(f(&self.words[addr]));
         }
-        // Requester wins: kill a remote writer of this line.
+        // Requester wins: kill a remote writer of this line. (The
+        // test-only dirty-read bug skips exactly this doom, letting the
+        // read observe the writer's speculative in-place state.)
         let st = self.dir[line];
-        if st.writer != NO_WRITER && st.writer as usize != t {
+        if st.writer != NO_WRITER && st.writer as usize != t && !self.bug_dirty_read {
             let in_tx = self.txs[t].active;
             self.doom(st.writer as usize, AbortReason::ConflictWrite { with: t, line }, line);
             if !in_tx {

@@ -16,10 +16,13 @@
 //! not of host parallelism. Everything is deterministic: the same inputs
 //! always produce the same figure.
 //!
-//! The crate has five parts:
+//! The crate has six parts:
 //!
 //! * [`conn`] — the deterministic connection/accept latency model used by
 //!   the task-server scenario on top of the blocking-I/O layer;
+//! * [`explore`] — the schedule-space exploration encoding: a compact
+//!   byte-per-branch path ([`explore::SchedPath`]) replayed exactly by
+//!   the scheduler's decision-point hooks;
 //! * [`interrupt`] — the deterministic per-thread timer-interrupt model
 //!   (paper §5.6: interrupts abort in-flight transactions);
 //! * [`profile`] — machine descriptions ([`MachineProfile::zec12`],
@@ -30,11 +33,13 @@
 //!   TLE runtime.
 
 pub mod conn;
+pub mod explore;
 pub mod interrupt;
 pub mod profile;
 pub mod sched;
 
 pub use conn::{ConnEvent, ConnModel};
+pub use explore::{DecisionKind, ExploreCtl, SchedPath};
 pub use interrupt::InterruptTimer;
 pub use profile::{CacheGeometry, CostModel, HtmCharacteristics, MachineProfile};
 pub use sched::{Scheduler, ThreadId, ThreadState};

@@ -19,6 +19,7 @@
 //!   threads exist, slots rotate on a quantum with a context-switch charge,
 //!   like an OS scheduler.
 
+use crate::explore::{DecisionKind, ExploreCtl};
 use crate::Cycles;
 
 /// Identifier of a virtual thread (dense, starting at 0).
@@ -79,7 +80,20 @@ pub struct Scheduler {
     ready: Vec<Cycles>,
     /// Threads not yet finished (O(1) `other_live_threads`).
     unfinished: usize,
+    /// Schedule-exploration controller; `None` (the default) leaves every
+    /// decision-point hook a no-op and the schedule byte-identical to the
+    /// pre-exploration scheduler.
+    explore: Option<ExploreCtl>,
+    /// Thread pinned by a forced preemption: [`Scheduler::next`] keeps
+    /// selecting it while it stays runnable, until it reaches its own
+    /// next decision point (or parks/sleeps/finishes).
+    pinned: Option<ThreadId>,
 }
+
+/// Alternate runnable threads offered per preemption decision (plus
+/// choice 0 = natural schedule). Caps decision arity at 4 so the branch
+/// factor stays bounded on wide machines.
+const MAX_ALTERNATES: usize = 3;
 
 impl Scheduler {
     /// Create a scheduler for `cores` cores with `smt_per_core` hardware
@@ -95,6 +109,8 @@ impl Scheduler {
             context_switch,
             ready: Vec::new(),
             unfinished: 0,
+            explore: None,
+            pinned: None,
         }
     }
 
@@ -179,6 +195,7 @@ impl Scheduler {
     /// Put `t` to sleep until simulated time `until` (blocking I/O).
     /// Releases its hardware slot.
     pub fn sleep_until(&mut self, t: ThreadId, until: Cycles) {
+        self.unpin(t);
         self.release_slot(t);
         let th = &mut self.threads[t];
         th.state = ThreadState::Sleeping { until: until.max(th.clock) };
@@ -187,6 +204,7 @@ impl Scheduler {
 
     /// Park `t` until an explicit [`Scheduler::unpark`]. Releases its slot.
     pub fn park(&mut self, t: ThreadId) {
+        self.unpin(t);
         self.release_slot(t);
         self.threads[t].state = ThreadState::Parked;
         self.ready[t] = NEVER_READY;
@@ -211,6 +229,7 @@ impl Scheduler {
 
     /// Mark `t` terminated and release its slot.
     pub fn finish(&mut self, t: ThreadId) {
+        self.unpin(t);
         self.release_slot(t);
         if self.threads[t].state != ThreadState::Finished {
             self.unfinished -= 1;
@@ -272,6 +291,17 @@ impl Scheduler {
     /// external wake (deadlock or completion).
     #[allow(clippy::should_implement_trait)] // scheduler step, not an Iterator
     pub fn next(&mut self) -> Option<ThreadId> {
+        // Exploration pin: a forced preemption keeps its target running
+        // (quantum handover suspended — the pin *is* the quantum) until
+        // the target reaches its own next decision point or stops being
+        // runnable.
+        if let Some(p) = self.pinned {
+            if self.threads[p].state == ThreadState::Runnable {
+                self.acquire_slot(p);
+                return Some(p);
+            }
+            self.pinned = None;
+        }
         // Pass 1: find the best candidate by (ready_time, tid) — a plain
         // min-scan over the cached ready array (strict `<` keeps the
         // smallest tid on ties, matching the per-state scan it replaced).
@@ -307,34 +337,7 @@ impl Scheduler {
             self.ready[tid] = ready;
         }
         // Ensure it holds a hardware slot.
-        if self.threads[tid].slot.is_none() {
-            if let Some(free) = self.slots.iter().position(|s| s.is_none()) {
-                self.slots[free] = Some(tid);
-                self.threads[tid].slot = Some(free);
-                self.threads[tid].slot_usage = 0;
-            } else {
-                // Oversubscribed: preempt the slot holder that has used the
-                // most quantum (deterministic: max usage, then min tid).
-                let victim = self
-                    .slots
-                    .iter()
-                    .filter_map(|s| *s)
-                    .max_by_key(|&v| (self.threads[v].slot_usage, usize::MAX - v))
-                    .expect("all slots held");
-                // The waiter cannot run before the victim's clock: the OS
-                // switches at the victim's quantum expiry.
-                let switch_at = self.threads[victim].clock;
-                let slot = self.threads[victim].slot.take().expect("victim slot");
-                self.threads[victim].slot_usage = 0;
-                self.slots[slot] = Some(tid);
-                let th = &mut self.threads[tid];
-                th.slot = Some(slot);
-                th.slot_usage = 0;
-                th.clock = th.clock.max(switch_at) + self.context_switch;
-                th.busy += self.context_switch;
-                self.ready[tid] = th.clock;
-            }
-        }
+        self.acquire_slot(tid);
         // Quantum accounting: if others are waiting for slots and this
         // thread exhausted its quantum, hand the slot over instead.
         if self.threads[tid].slot_usage >= OVERSUB_QUANTUM {
@@ -362,11 +365,141 @@ impl Scheduler {
         Some(tid)
     }
 
+    /// Give `t` a hardware slot if it lacks one: a free slot when
+    /// available, otherwise preempt the holder that has used the most
+    /// quantum (deterministic: max usage, then min tid) and charge `t`
+    /// the context switch on top of the victim's clock.
+    fn acquire_slot(&mut self, t: ThreadId) {
+        if self.threads[t].slot.is_some() {
+            return;
+        }
+        if let Some(free) = self.slots.iter().position(|s| s.is_none()) {
+            self.slots[free] = Some(t);
+            self.threads[t].slot = Some(free);
+            self.threads[t].slot_usage = 0;
+        } else {
+            let victim = self
+                .slots
+                .iter()
+                .filter_map(|s| *s)
+                .max_by_key(|&v| (self.threads[v].slot_usage, usize::MAX - v))
+                .expect("all slots held");
+            // The waiter cannot run before the victim's clock: the OS
+            // switches at the victim's quantum expiry.
+            let switch_at = self.threads[victim].clock;
+            let slot = self.threads[victim].slot.take().expect("victim slot");
+            self.threads[victim].slot_usage = 0;
+            self.slots[slot] = Some(t);
+            let th = &mut self.threads[t];
+            th.slot = Some(slot);
+            th.slot_usage = 0;
+            th.clock = th.clock.max(switch_at) + self.context_switch;
+            th.busy += self.context_switch;
+            self.ready[t] = th.clock;
+        }
+    }
+
     fn release_slot(&mut self, t: ThreadId) {
         if let Some(s) = self.threads[t].slot.take() {
             self.slots[s] = None;
             self.threads[t].slot_usage = 0;
         }
+    }
+
+    fn unpin(&mut self, t: ThreadId) {
+        if self.pinned == Some(t) {
+            self.pinned = None;
+        }
+    }
+
+    // ---- schedule-space exploration hooks --------------------------------
+    //
+    // All hooks are no-ops (consuming no decisions) until a controller is
+    // installed, so the unexplored scheduler is byte-identical to before.
+
+    /// Install an exploration controller for the coming run.
+    pub fn set_explore(&mut self, ctl: ExploreCtl) {
+        self.explore = Some(ctl);
+        self.pinned = None;
+    }
+
+    /// The installed controller, if any (trail/stats inspection).
+    pub fn explore(&self) -> Option<&ExploreCtl> {
+        self.explore.as_ref()
+    }
+
+    /// True when a controller is installed (cheap gate for callers that
+    /// would otherwise do work just to reach a no-op hook).
+    pub fn explore_active(&self) -> bool {
+        self.explore.is_some()
+    }
+
+    /// Preemption decision at one of `t`'s yield points. Choice 0 (and
+    /// no controller, and no alternate runnable thread — those consume
+    /// no decision) continues `t` naturally; choice k pins the k-th
+    /// alternate (other runnable threads by `(clock, tid)`, at most
+    /// [`MAX_ALTERNATES`]) and returns it — the caller must then return
+    /// to the scheduler *without* running `t`, and `t` re-decides at the
+    /// same point when next selected (each consult consumes one path
+    /// byte, so a finite path always drains back to choice 0).
+    pub fn explore_preempt(&mut self, t: ThreadId) -> Option<ThreadId> {
+        self.unpin(t); // t reached its own next decision point
+        self.explore.as_ref()?;
+        let mut cands: Vec<(Cycles, ThreadId)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|&(i, th)| i != t && th.state == ThreadState::Runnable)
+            .map(|(i, th)| (th.clock, i))
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        cands.sort_unstable();
+        cands.truncate(MAX_ALTERNATES);
+        let arity = (1 + cands.len()) as u8;
+        let ctl = self.explore.as_mut().expect("checked above");
+        let choice = ctl.decide(DecisionKind::Sched, arity);
+        if choice == 0 {
+            return None;
+        }
+        let pin = cands[choice as usize - 1].1;
+        self.pinned = Some(pin);
+        Some(pin)
+    }
+
+    /// Interrupt-delivery decision at a yield point with an open
+    /// transaction: true = kill it. Consumes a decision only when the
+    /// controller has its interrupt windows enabled.
+    pub fn explore_interrupt_kill(&mut self) -> bool {
+        match self.explore.as_mut() {
+            Some(ctl) if ctl.interrupts => ctl.decide(DecisionKind::Interrupt, 2) == 1,
+            _ => false,
+        }
+    }
+
+    /// Interrupt-delivery decision in the commit window: true = kill the
+    /// transaction right before `TEND`.
+    pub fn explore_commit_kill(&mut self) -> bool {
+        match self.explore.as_mut() {
+            Some(ctl) if ctl.interrupts => ctl.decide(DecisionKind::Commit, 2) == 1,
+            _ => false,
+        }
+    }
+
+    /// Wake-order decision over `n` waiters: the returned rotation is 0
+    /// (exact legacy publish — also whenever no controller is installed
+    /// or there is nothing to reorder) or 1..min(n,4).
+    pub fn explore_wake_order(&mut self, n: usize) -> u8 {
+        match self.explore.as_mut() {
+            Some(ctl) if n >= 2 => ctl.decide(DecisionKind::Wake, n.min(4) as u8),
+            _ => 0,
+        }
+    }
+
+    /// Tail of the decision trail for failure dumps, if exploring.
+    pub fn explore_trail(&self) -> Option<String> {
+        self.explore.as_ref().map(|c| c.trail_tail(32))
     }
 }
 
@@ -625,6 +758,71 @@ mod tests {
         // SMT sharing: capacity budgets stay full.
         assert!(!s.smt_sibling_busy(a));
         assert!(!s.smt_sibling_busy(b), "slotless thread has no sibling");
+    }
+
+    #[test]
+    fn pinned_thread_runs_until_its_own_decision_point() {
+        use crate::explore::SchedPath;
+        let mut s = sched(2, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(10);
+        s.set_explore(ExploreCtl::new(SchedPath::new(vec![1]), false));
+        assert_eq!(s.next(), Some(a));
+        // Decision point on a: byte 1 pins b, the only alternate.
+        assert_eq!(s.explore_preempt(a), Some(b));
+        assert_eq!(s.next(), Some(b));
+        s.advance(b, 5);
+        assert_eq!(s.next(), Some(b), "pin holds while b stays runnable");
+        // b reaches its own decision point: pin clears; the path is
+        // exhausted, so the decision is natural (choice 0).
+        assert_eq!(s.explore_preempt(b), None);
+        assert_eq!(s.next(), Some(a), "min-clock scheduling resumes");
+        assert_eq!(s.explore().unwrap().decisions(), 2);
+        assert_eq!(s.explore().unwrap().preemptions(), 1);
+    }
+
+    #[test]
+    fn empty_path_consults_but_never_deviates() {
+        use crate::explore::SchedPath;
+        let run = |explore: bool| {
+            let mut s = sched(2, 1);
+            let a = s.spawn(0);
+            let _b = s.spawn(3);
+            if explore {
+                s.set_explore(ExploreCtl::new(SchedPath::empty(), false));
+            }
+            let mut order = Vec::new();
+            for i in 0..40 {
+                let t = s.next().unwrap();
+                if explore {
+                    assert_eq!(s.explore_preempt(t), None);
+                    assert!(!s.explore_interrupt_kill(), "interrupts off consume nothing");
+                }
+                order.push(t);
+                s.advance(t, 7 + (i % 5) as Cycles);
+            }
+            let _ = a;
+            order
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn preempt_without_alternates_consumes_no_decision() {
+        use crate::explore::SchedPath;
+        let mut s = sched(2, 1);
+        let a = s.spawn(0);
+        let b = s.spawn(0);
+        s.set_explore(ExploreCtl::new(SchedPath::new(vec![1, 1]), false));
+        s.park(b);
+        assert_eq!(s.next(), Some(a));
+        assert_eq!(s.explore_preempt(a), None, "no runnable alternate");
+        assert_eq!(s.explore().unwrap().decisions(), 0);
+        // Parking the pinned thread clears the pin.
+        s.unpark(b, 0);
+        assert_eq!(s.explore_preempt(a), Some(b));
+        s.park(b);
+        assert_eq!(s.next(), Some(a), "pin on a parked thread dissolves");
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use htm_gil_core::{
     ExecConfig, Executor, LengthPolicy, RunReport, RuntimeMode, WatchdogConstants, YieldPolicy,
 };
 pub use htm_sim::{FaultPlan, SpuriousCause};
-pub use machine_sim::MachineProfile;
+pub use machine_sim::{MachineProfile, SchedPath};
 pub use ruby_vm::VmConfig;
 pub use workloads::Workload;

@@ -84,6 +84,62 @@ fn taskserver_report_is_pool_size_invariant() {
     assert_eq!(serial, pooled, "taskserver JSON differs between --jobs 1 and --jobs 4");
 }
 
+#[test]
+fn explore_stats_are_pool_size_invariant() {
+    // The exploration stats document deliberately carries no `jobs`
+    // field: DFS wave membership, submission order, budget truncation
+    // and `--stop-first` pruning are all deterministic, so the whole
+    // search — executions, distinct paths, depths, violations — must
+    // be byte-identical at any pool size. (`dfs` takes the pool size
+    // directly; no need for the process-global `--jobs` state.)
+    let params = bench::explore::SearchParams {
+        budget: 40,
+        max_preempt: 2,
+        horizon: 24,
+        ..bench::explore::SearchParams::default()
+    };
+    let targets = bench::explore::clean_targets(true);
+    let pick = |id: &str| targets.iter().find(|t| t.id == id).expect("corpus target").clone();
+    for target in [pick("mutex-counter/htm16"), pick("herd4/htm16")] {
+        let serial = bench::explore::dfs(&target, &params, 1);
+        let pooled = bench::explore::dfs(&target, &params, 4);
+        assert_eq!(
+            bench::explore::stats_json("dfs", &params, &[serial.stats]).to_pretty(),
+            bench::explore::stats_json("dfs", &params, &[pooled.stats]).to_pretty(),
+            "{}: exploration stats differ between jobs=1 and jobs=4",
+            target.id
+        );
+    }
+}
+
+#[test]
+fn explore_stop_first_is_pool_size_invariant() {
+    // With the injected bug armed and --stop-first on, the pruned pool
+    // map must stop at the same violation (and count the same
+    // executions) at any pool size.
+    let params = bench::explore::SearchParams {
+        budget: 120,
+        max_preempt: 2,
+        horizon: 24,
+        stop_first: true,
+        ..bench::explore::SearchParams::default()
+    };
+    let target = bench::explore::bug_demo_target(true);
+    let serial = bench::explore::dfs(&target, &params, 1);
+    let pooled = bench::explore::dfs(&target, &params, 4);
+    assert_eq!(serial.stats.violations, pooled.stats.violations);
+    assert!(serial.stats.violations > 0);
+    assert_eq!(
+        serial.violations[0].minimized.to_hex(),
+        pooled.violations[0].minimized.to_hex(),
+        "stop-first found different counterexamples at different pool sizes"
+    );
+    assert_eq!(
+        bench::explore::stats_json("dfs", &params, &[serial.stats]).to_pretty(),
+        bench::explore::stats_json("dfs", &params, &[pooled.stats]).to_pretty(),
+    );
+}
+
 fn committed(csv_name: &str) -> String {
     let path = bench::results_dir().join(format!("{csv_name}.csv"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
