@@ -9,9 +9,23 @@
 //!    elision headroom comes from.
 //! 4. Target-abort-ratio sweep (the paper: the best target depends on the
 //!    HTM implementation's abort cost, not the application).
+//!
+//! Two design-space columns ride along (DESIGN.md §15):
+//!
+//! * **lazy-guarded-sub** — the commit-guard GIL-subscription policy;
+//!   observably identical to the eager default, so its column must track
+//!   `HTM-dyn` (the plain-`Lazy` policy is unsafe and has no column — the
+//!   schedule explorer pins its divergence instead).
+//! * **constrained-htm** — HTM-dynamic on the FORTH-style
+//!   [`MachineProfile::constrained`] geometry (8 read / 4 write lines),
+//!   measured against the GIL on the *same* machine and differentially
+//!   checked against it; real capacity aborts must show up at every
+//!   kernel.
 
 use bench::{quick, run_workload_with, runner, thread_counts, vm_config_for};
-use htm_gil_core::{ExecConfig, LengthPolicy, RuntimeMode, YieldPolicy};
+use htm_gil_core::{
+    oracle, ExecConfig, LengthPolicy, RuntimeMode, SubscriptionPolicy, YieldPolicy,
+};
 use htm_gil_stats::Table;
 use machine_sim::MachineProfile;
 use ruby_vm::VmConfig;
@@ -19,7 +33,8 @@ use workloads::Workload;
 
 /// The ablation variants, in the (kernel-major) column order of the
 /// table; each yields the executor/VM configuration to measure.
-const VARIANTS: [&str; 8] = ["gil", "full", "no_yp", "no_rm", "no_tls", "no_fl", "no_ic", "no_pad"];
+const VARIANTS: [&str; 10] =
+    ["gil", "full", "no_yp", "no_rm", "no_tls", "no_fl", "no_ic", "no_pad", "lazy_g", "constr"];
 
 fn variant_configs(
     variant: &str,
@@ -48,9 +63,20 @@ fn variant_configs(
             vmc.ivar_ic_table_guard = false;
         }
         "no_pad" => vmc.padded_thread_structs = false,
+        // 4. GIL-subscription policy axis.
+        "lazy_g" => cfg.subscription = SubscriptionPolicy::LazyGuarded,
         other => panic!("unknown variant {other}"),
     }
     (cfg, vmc)
+}
+
+/// One measured cell: cycles, plus the point's *own* GIL baseline when
+/// it runs on a different machine than the shared zEC12 column, plus the
+/// capacity aborts the point observed.
+struct Cell {
+    cycles: u64,
+    own_gil: Option<u64>,
+    capacity_aborts: u64,
 }
 
 fn main() {
@@ -75,29 +101,69 @@ fn run() {
         "no-tl-freelists",
         "no-ic-fixes",
         "no-padding",
+        "lazy-guarded-sub",
+        "constrained-htm",
     ]);
     let mut csv = String::from(
-        "bench,gil,htm_dyn,no_yield_pts,no_removals,no_tls,no_freelists,no_ic,no_padding\n",
+        "bench,gil,htm_dyn,no_yield_pts,no_removals,no_tls,no_freelists,no_ic,no_padding,lazy_guarded,constrained\n",
     );
     // kernel × variant points are independent runs; the GIL baseline each
     // speedup divides by is just another point, resolved after collection.
     let points: Vec<(usize, &'static str)> =
         (0..kernels.len()).flat_map(|k| VARIANTS.iter().map(move |&v| (k, v))).collect();
-    let cycles = runner::sweep(
+    let cells = runner::sweep(
         "Ablations",
         &points,
         |&(k, v)| format!("{} {v}", kernels[k].name),
         |&(k, v)| {
+            if v == "constr" {
+                // Constrained machine: the speedup baseline is the GIL on
+                // the *same* geometry, and the run is differentially
+                // checked against it — the tiny read/write sets may cost
+                // throughput but never correctness.
+                let p = MachineProfile::constrained();
+                let cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &p);
+                let w = &kernels[k];
+                let v = oracle::check_against_gil(&w.source, vm_config_for(nthreads), p, cfg)
+                    .unwrap_or_else(|e| panic!("{} constrained: {e}", w.name));
+                if let Some(m) = &v.mismatch {
+                    panic!(
+                        "{} diverged from the GIL oracle on the constrained profile:\n{m}",
+                        w.name
+                    );
+                }
+                return Cell {
+                    cycles: v.subject.elapsed_cycles,
+                    own_gil: Some(v.oracle.elapsed_cycles),
+                    capacity_aborts: v.subject.htm.overflow_read + v.subject.htm.overflow_write,
+                };
+            }
             let (cfg, vmc) = variant_configs(v, &profile, nthreads);
-            run_workload_with(&kernels[k], &profile, cfg, vmc).elapsed_cycles
+            let r = run_workload_with(&kernels[k], &profile, cfg, vmc);
+            Cell {
+                cycles: r.elapsed_cycles,
+                own_gil: None,
+                capacity_aborts: r.htm.overflow_read + r.htm.overflow_write,
+            }
         },
     );
-    for (w, chunk) in kernels.iter().zip(cycles.chunks(VARIANTS.len())) {
-        let base_cycles = chunk[0] as f64;
-        let s: Vec<f64> = chunk[1..].iter().map(|&c| base_cycles / c as f64).collect();
-        let [full, no_yp, no_rm, no_tls, no_fl, no_ic, no_pad] = s[..] else {
+    let mut constrained_capacity = Vec::new();
+    for (w, chunk) in kernels.iter().zip(cells.chunks(VARIANTS.len())) {
+        let base_cycles = chunk[0].cycles as f64;
+        let s: Vec<f64> = chunk[1..]
+            .iter()
+            .map(|c| c.own_gil.map_or(base_cycles, |g| g as f64) / c.cycles as f64)
+            .collect();
+        let [full, no_yp, no_rm, no_tls, no_fl, no_ic, no_pad, lazy_g, constr] = s[..] else {
             unreachable!("one result per non-GIL variant");
         };
+        let constr_cell = chunk.last().expect("constr is the last variant");
+        assert!(
+            constr_cell.capacity_aborts > 0,
+            "{}: the constrained geometry produced no capacity aborts",
+            w.name
+        );
+        constrained_capacity.push((w.name, constr_cell.capacity_aborts));
         table.row(&[
             w.name.to_string(),
             "1.00".into(),
@@ -108,9 +174,11 @@ fn run() {
             format!("{no_fl:.2}"),
             format!("{no_ic:.2}"),
             format!("{no_pad:.2}"),
+            format!("{lazy_g:.2}"),
+            format!("{constr:.2}"),
         ]);
         csv.push_str(&format!(
-            "{},1.0,{full:.3},{no_yp:.3},{no_rm:.3},{no_tls:.3},{no_fl:.3},{no_ic:.3},{no_pad:.3}\n",
+            "{},1.0,{full:.3},{no_yp:.3},{no_rm:.3},{no_tls:.3},{no_fl:.3},{no_ic:.3},{no_pad:.3},{lazy_g:.3},{constr:.3}\n",
             w.name
         ));
     }
@@ -118,6 +186,10 @@ fn run() {
     println!("{}", table.render());
     println!("paper targets: no-new-yield-points <0.8 for all but CG;");
     println!("               no-conflict-removal ≈ ≤1.0 (no acceleration).");
+    println!("design space:  lazy-guarded-sub tracks HTM-dyn (observably eager);");
+    println!("               constrained-htm is vs the GIL on its own 8r/4w-line machine.");
+    let caps: Vec<String> = constrained_capacity.iter().map(|(n, c)| format!("{n}={c}")).collect();
+    println!("constrained capacity aborts (read+write overflows): {}", caps.join(" "));
     let path = bench::results_dir().join("ablations_zec12.csv");
     std::fs::write(&path, csv).expect("write csv");
     println!("  [csv] {}", path.display());

@@ -19,8 +19,9 @@
 //! `bench-results/explore/`).
 
 use bench::explore::{
-    bug_demo_target, clean_targets, dfs, random_walks, repro_json, stats_json,
-    torn_pair_clean_target, ExploreOutcome, SearchParams, WalkParams,
+    bug_demo_target, clean_targets, dfs, lazy_sub_clean_targets, lazy_sub_demo_target,
+    random_walks, repro_json, stats_json, torn_pair_clean_target, ExploreOutcome, SearchParams,
+    WalkParams,
 };
 use bench::runner;
 use htm_gil_core::explore::{check_path, gil_expected, ExploreTarget};
@@ -30,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: explore [--mode dfs|random] [--budget N] [--max-preempt K] [--horizon H]\n\
          \x20              [--walks N] [--depth D] [--seed S] [--jobs N|auto]\n\
-         \x20              [--target ID] [--bug-demo] [--differential] [--stop-first]\n\
+         \x20              [--target ID] [--bug-demo] [--lazy-demo] [--differential] [--stop-first]\n\
          \x20              [--expect-violation] [--replay HEX] [--report-json PATH]\n\
          \x20              [--repro-dir PATH] [--list]"
     );
@@ -43,6 +44,7 @@ struct Cli {
     walk: WalkParams,
     target: Option<String>,
     bug_demo: bool,
+    lazy_demo: bool,
     expect_violation: bool,
     replay: Option<SchedPath>,
     report_json: Option<String>,
@@ -57,6 +59,7 @@ fn parse_cli() -> Cli {
         walk: WalkParams::default(),
         target: None,
         bug_demo: false,
+        lazy_demo: false,
         expect_violation: false,
         replay: None,
         report_json: None,
@@ -99,6 +102,7 @@ fn parse_cli() -> Cli {
             "--report-json" => cli.report_json = Some(need(&mut args, "--report-json")),
             "--repro-dir" => cli.repro_dir = Some(need(&mut args, "--repro-dir")),
             "--bug-demo" => cli.bug_demo = true,
+            "--lazy-demo" => cli.lazy_demo = true,
             "--differential" => cli.params.differential = true,
             "--stop-first" => cli.params.stop_first = true,
             "--expect-violation" => cli.expect_violation = true,
@@ -138,6 +142,10 @@ fn corpus(cli: &Cli) -> Vec<ExploreTarget> {
     if cli.bug_demo {
         targets.push(bug_demo_target(quick));
     }
+    if cli.lazy_demo {
+        targets.extend(lazy_sub_clean_targets(quick));
+        targets.push(lazy_sub_demo_target(quick));
+    }
     if let Some(id) = &cli.target {
         targets.retain(|t| &t.id == id);
         if targets.is_empty() {
@@ -160,9 +168,10 @@ fn main() {
         println!("targets ({} available):", targets.len());
         for t in &targets {
             println!(
-                "  {:28} mode={:12} threads={} interrupts={} bug={}",
+                "  {:28} mode={:12} sub={:12} threads={} interrupts={} bug={}",
                 t.id,
                 t.mode.label(),
+                t.subscription.label(),
                 t.threads,
                 t.interrupts,
                 t.bug_dirty_read

@@ -18,7 +18,9 @@
 //! The `chaos` binary wraps [`degradation_report`] and writes
 //! `bench-results/chaos_degradation.json`.
 
-use htm_gil_core::{oracle, ExecConfig, Json, LengthPolicy, RuntimeMode, WatchdogConstants};
+use htm_gil_core::{
+    oracle, ExecConfig, Json, LengthPolicy, RuntimeMode, SubscriptionPolicy, WatchdogConstants,
+};
 use htm_sim::FaultPlan;
 use machine_sim::MachineProfile;
 use workloads::Workload;
@@ -86,18 +88,52 @@ fn run_point(w: &Workload, profile: &MachineProfile, cfg: ExecConfig) -> (Json, 
         .field("total_aborts", v.subject.htm.total_aborts())
         .field("watchdog_escalations", v.subject.watchdog_escalations)
         .field("gil_acquisitions", v.subject.gil_acquisitions)
+        .field("capacity_aborts", v.subject.htm.overflow_read + v.subject.htm.overflow_write)
         .field("oracle_match", true);
     (point, rel)
 }
+
+/// Injection rates of the two design-space axes (subscription policy and
+/// the constrained machine) — a smaller slice than the main sweep.
+fn axis_rates(q: bool) -> Vec<f64> {
+    if q {
+        vec![0.0, 0.25]
+    } else {
+        vec![0.0, 0.25, 1.0]
+    }
+}
+
+/// The safe subscription policies of the chaos axis, in column order.
+const POLICIES: [SubscriptionPolicy; 2] =
+    [SubscriptionPolicy::Eager, SubscriptionPolicy::LazyGuarded];
 
 /// One enumerated sweep point: an injection-rate point of a workload, an
 /// interrupt-pressure point (always on the While micro-benchmark), or
 /// the combined taskserver point (injection *and* timer interrupts at
 /// once — the worst-case chaos the latency pipeline must survive).
 enum Point {
-    Inject { workload: usize, rate: f64 },
-    Interrupt { interval: u64 },
+    Inject {
+        workload: usize,
+        rate: f64,
+    },
+    Interrupt {
+        interval: u64,
+    },
     TaskserverCombined,
+    /// GIL-subscription policy axis (DESIGN.md §15) under injection,
+    /// always on the While micro-benchmark. Only the two *safe* policies
+    /// appear: plain `Lazy` diverges from the GIL oracle by design (the
+    /// schedule explorer pins its counterexample), so a chaos point for
+    /// it would be a tautological failure.
+    Subscription {
+        policy: SubscriptionPolicy,
+        rate: f64,
+    },
+    /// Constrained-HTM machine axis: the FORTH-style 8-read/4-write-line
+    /// geometry, where real capacity aborts stack on top of injection.
+    Constrained {
+        rate: f64,
+    },
 }
 
 /// Fixed configuration of the combined taskserver point.
@@ -124,7 +160,17 @@ pub fn degradation_report(q: bool) -> Json {
         points.push(Point::Interrupt { interval });
     }
     points.push(Point::TaskserverCombined);
+    let axis_rates = axis_rates(q);
+    for policy in POLICIES {
+        for &rate in &axis_rates {
+            points.push(Point::Subscription { policy, rate });
+        }
+    }
+    for &rate in &axis_rates {
+        points.push(Point::Constrained { rate });
+    }
 
+    let constrained_profile = MachineProfile::constrained();
     let taskserver_workload = chaos_taskserver(q);
     let results = runner::sweep(
         "chaos",
@@ -135,6 +181,10 @@ pub fn degradation_report(q: bool) -> Json {
             }
             Point::Interrupt { interval } => format!("interrupt interval={interval}"),
             Point::TaskserverCombined => "TaskServer inject+interrupt".to_string(),
+            Point::Subscription { policy, rate } => {
+                format!("sub={} rate={:.0}%", policy.label(), rate * 100.0)
+            }
+            Point::Constrained { rate } => format!("constrained rate={:.0}%", rate * 100.0),
         },
         |p| match p {
             Point::Inject { workload, rate } => {
@@ -149,6 +199,15 @@ pub fn degradation_report(q: bool) -> Json {
                 &profile,
                 subject_cfg(&profile, TASKSERVER_COMBINED_RATE, TASKSERVER_COMBINED_INTERVAL),
             ),
+            Point::Subscription { policy, rate } => {
+                let mut cfg = subject_cfg(&profile, *rate, 0);
+                cfg.subscription = *policy;
+                run_point(&interrupt_workload, &profile, cfg)
+            }
+            Point::Constrained { rate } => {
+                let cfg = subject_cfg(&constrained_profile, *rate, 0);
+                run_point(&interrupt_workload, &constrained_profile, cfg)
+            }
         },
     );
 
@@ -195,6 +254,28 @@ pub fn degradation_report(q: bool) -> Json {
     let combined = combined
         .field("rate", TASKSERVER_COMBINED_RATE)
         .field("interrupt_interval", TASKSERVER_COMBINED_INTERVAL);
+    // Subscription-policy axis: the two safe policies must degrade the
+    // same way (LazyGuarded is observably eager — DESIGN.md §15).
+    let mut subscription_points = Vec::new();
+    println!("== chaos: subscription axis ({}) ==", interrupt_workload.name);
+    for policy in POLICIES {
+        for &rate in &axis_rates {
+            let (point, rel) = results.next().expect("one result per subscription point");
+            println!("  sub={:<12} rate {:>3.0}%: rel-GIL {rel:.2}", policy.label(), rate * 100.0);
+            subscription_points.push(point.field("policy", policy.label()).field("rate", rate));
+        }
+    }
+    // Constrained-machine axis: real capacity aborts stacked on
+    // injection; the oracle check inside `run_point` already guarantees
+    // every point matched the GIL on the same tiny geometry.
+    let mut constrained_points = Vec::new();
+    println!("== chaos: constrained profile ({}) ==", interrupt_workload.name);
+    for &rate in &axis_rates {
+        let (point, rel) = results.next().expect("one result per constrained point");
+        let caps = point.get("capacity_aborts").and_then(Json::as_u64).unwrap_or(0);
+        println!("  rate {:>3.0}%: rel-GIL {rel:.2} capacity-aborts {caps}", rate * 100.0);
+        constrained_points.push(point.field("rate", rate));
+    }
     Json::obj()
         .field("suite", "chaos")
         .field("machine", profile.name)
@@ -204,4 +285,11 @@ pub fn degradation_report(q: bool) -> Json {
         .field("workloads", workload_reports)
         .field("interrupt_pressure", interrupt_points)
         .field("taskserver_combined", combined)
+        .field("subscription_axis", subscription_points)
+        .field(
+            "constrained_profile",
+            Json::obj()
+                .field("machine", constrained_profile.name)
+                .field("points", constrained_points),
+        )
 }

@@ -33,7 +33,7 @@ use std::collections::HashSet;
 use htm_gil_core::explore::{
     check_path, gil_expected, mismatch_of, run_path, shrink, Expected, ExploreTarget,
 };
-use htm_gil_core::{Json, LengthPolicy, RuntimeMode};
+use htm_gil_core::{Json, LengthPolicy, RuntimeMode, SubscriptionPolicy};
 use machine_sim::{MachineProfile, SchedPath};
 
 use crate::pool::{self, PointOutcome};
@@ -174,6 +174,10 @@ fn profile() -> MachineProfile {
     MachineProfile::generic(4)
 }
 
+fn htm1() -> RuntimeMode {
+    RuntimeMode::Htm { length: LengthPolicy::Fixed(1) }
+}
+
 fn htm16() -> RuntimeMode {
     RuntimeMode::Htm { length: LengthPolicy::Fixed(16) }
 }
@@ -288,6 +292,7 @@ fn target(
         threads,
         mode,
         profile: profile(),
+        subscription: SubscriptionPolicy::Eager,
         interrupts,
         bug_dirty_read: false,
         max_cycles: 500_000_000,
@@ -323,6 +328,90 @@ pub fn bug_demo_target(quick: bool) -> ExploreTarget {
 pub fn torn_pair_clean_target(quick: bool) -> ExploreTarget {
     let iters = if quick { 20 } else { 60 };
     target("torn-pair/clean/htm16", torn_pair_src(iters), 2, htm16(), true)
+}
+
+/// The lazy-subscription hunting ground (DESIGN.md §15). The watcher
+/// prints every iteration, so it lives on the GIL fallback and its
+/// pair-load of `$x`/`$y` runs *non-transactionally* — invisible to the
+/// conflict directory. The writer toggles the pair between `(1,1)` and
+/// `(2,2)` with **constant** stores (the torn-pair idiom: a `$x = k`
+/// would read local `k`, and `getlocal` is an extended yield point that
+/// would split the pair across two transactions), so all four stores sit
+/// between two yield points — one VM slice ⇒ one transaction, and every
+/// *committed* state satisfies `$x == $y`. Under `Eager` and
+/// `LazyGuarded` no transaction can be live during the watcher's GIL
+/// tenure, so the watcher always sees a committed state. Under `Lazy` a
+/// transaction begun *before* the acquisition survives the whole tenure
+/// and can commit its toggle between the watcher's two loads — a torn
+/// observation no GIL schedule can produce, so `puts($bad)` diverges
+/// from the oracle's `0`. The filler locals widen the load-load window
+/// (in cycles) without adding a yield point the schedule could use. The
+/// demo runs under HTM-1: the surviving transaction must *fit inside*
+/// that window (begin → stores → commit), which only one-yield-point
+/// transactions are short enough to do.
+fn lazy_pair_src(iters: usize) -> String {
+    format!(
+        r#"
+$x = 1
+$y = 1
+$bad = 0
+watcher = Thread.new(0) do |tid|
+  k = 0
+  while k < {iters}
+    print("")
+    u = $x
+    w0 = 0
+    w1 = 0
+    w2 = 0
+    w3 = 0
+    w4 = 0
+    w5 = 0
+    w6 = 0
+    w7 = 0
+    w8 = 0
+    w9 = 0
+    v = $y
+    if u != v
+      $bad = $bad + 1
+    end
+    k += 1
+  end
+end
+writer = Thread.new(1) do |tid|
+  k = 0
+  while k < {iters}
+    $x = 1
+    $y = 1
+    $x = 2
+    $y = 2
+    k += 1
+  end
+end
+watcher.join()
+writer.join()
+puts($bad)
+"#
+    )
+}
+
+/// The lazy-subscription violation demo: the pair workload under the
+/// observably-unsafe `Lazy` policy.
+pub fn lazy_sub_demo_target(quick: bool) -> ExploreTarget {
+    let iters = if quick { 12 } else { 40 };
+    let mut t = target("lazy-sub/bug/htm1", lazy_pair_src(iters), 2, htm1(), true);
+    t.subscription = SubscriptionPolicy::Lazy;
+    t
+}
+
+/// The same workload under the two safe policies — every explored
+/// schedule (including the pinned Lazy counterexample) must match the
+/// oracle.
+pub fn lazy_sub_clean_targets(quick: bool) -> Vec<ExploreTarget> {
+    let iters = if quick { 12 } else { 40 };
+    let eager = target("lazy-sub/eager/htm1", lazy_pair_src(iters), 2, htm1(), true);
+    let mut guarded = target("lazy-sub/guarded/htm1", lazy_pair_src(iters), 2, htm1(), true);
+    guarded.subscription = SubscriptionPolicy::LazyGuarded;
+    vec![eager, guarded]
 }
 
 /// Strip the lease counters from a report JSON tree: the word-access
@@ -566,6 +655,7 @@ pub fn repro_json(target: &ExploreTarget, expected: &Expected, v: &ViolationReco
         .field("threads", target.threads)
         .field("interrupts", target.interrupts)
         .field("bug_dirty_read", target.bug_dirty_read)
+        .field("subscription", target.subscription.label())
         .field("max_cycles", target.max_cycles)
         .field("path_hex", v.minimized.to_hex())
         .field("found_path_hex", v.found.to_hex())

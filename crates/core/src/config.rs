@@ -179,6 +179,10 @@ pub struct ExecConfig {
     /// to prove the exploration driver actually finds real violations;
     /// never enabled outside explore tests.
     pub bug_dirty_read: bool,
+    /// When HTM transactions subscribe to the GIL word (DESIGN.md §15).
+    /// `Eager` (the default) is the paper's Fig. 1; `Lazy` is observably
+    /// unsafe by design; `LazyGuarded` models the hardware commit guard.
+    pub subscription: crate::tle::SubscriptionPolicy,
 }
 
 impl ExecConfig {
@@ -198,6 +202,7 @@ impl ExecConfig {
             explore_path: None,
             explore_interrupts: false,
             bug_dirty_read: false,
+            subscription: crate::tle::SubscriptionPolicy::Eager,
         }
     }
 
@@ -247,6 +252,12 @@ mod tests {
         assert!(cfg.progress_bound_steps > 0, "progress invariant on by default");
         assert!(cfg.explore_path.is_none(), "no exploration controller by default");
         assert!(!cfg.explore_interrupts && !cfg.bug_dirty_read);
+        assert_eq!(
+            cfg.subscription,
+            crate::tle::SubscriptionPolicy::Eager,
+            "eager GIL subscription (the paper's Fig. 1) is the default"
+        );
+        assert_eq!(crate::tle::SubscriptionPolicy::default().label(), "eager");
         assert!(WatchdogConstants::enabled().is_enabled());
     }
 

@@ -27,7 +27,7 @@ use crate::config::{ExecConfig, LengthPolicy, RuntimeMode, YieldPolicy};
 use crate::gil::{GilState, GilWait};
 use crate::locks::FineGrainedModel;
 use crate::report::{ConflictSite, CycleBreakdown, RunReport};
-use crate::tle::LengthTables;
+use crate::tle::{LengthTables, SubscriptionPolicy};
 
 /// Fatal run failure.
 #[derive(Debug)]
@@ -423,6 +423,7 @@ impl Executor {
         });
         RunReport {
             mode_label: self.cfg.mode.label(),
+            subscription: self.cfg.subscription,
             machine: self.profile.name,
             threads_used: self.sched.len(),
             elapsed_cycles: elapsed,
@@ -982,28 +983,43 @@ impl Executor {
             self.abort_path(t, pc, reason)?;
             return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
         }
-        // Subscribe to the GIL (Fig. 1 lines 14-15): read it inside the
-        // transaction; TABORT if held (cannot happen here — we checked
-        // above and nothing ran in between in discrete-event time — but
-        // keep the faithful sequence).
+        // Subscribe to the GIL (DESIGN.md §15). `Eager` is Fig. 1 lines
+        // 14-15: read the lock word inside the transaction so it joins the
+        // read set; TABORT if held (cannot happen here — we checked above
+        // and nothing ran in between in discrete-event time — but keep the
+        // faithful sequence). `LazyGuarded` arms the hardware lock monitor
+        // instead: same access cost and abort branches, but the line
+        // occupies no read-set capacity (the acquisition side dooms us via
+        // `doom_all_active`). `Lazy` skips the subscription entirely —
+        // that is the whole (unsafe) performance win: the commit-time
+        // check reduces to the value sampled before TBEGIN (the hoisted
+        // subscription load of arXiv 1407.6968), which lines 6-8 already
+        // proved free, so nothing guards the transaction's window.
         // (A fresh transaction cannot be *doomed* yet, but fault injection
         // may spuriously abort it on this very first read.)
-        let gil_word = match self.vm.mem.read(t, self.vm.layout.gil) {
-            Ok(w) => w,
-            Err(reason) => {
-                self.sched.advance(t, self.profile.cost.abort_penalty);
-                self.breakdown.aborted += self.profile.cost.abort_penalty;
+        if self.cfg.subscription != SubscriptionPolicy::Lazy {
+            let gil_probe = if self.cfg.subscription == SubscriptionPolicy::Eager {
+                self.vm.mem.read(t, self.vm.layout.gil)
+            } else {
+                self.vm.mem.arm_lock_monitor(t, self.vm.layout.gil)
+            };
+            let gil_word = match gil_probe {
+                Ok(w) => w,
+                Err(reason) => {
+                    self.sched.advance(t, self.profile.cost.abort_penalty);
+                    self.breakdown.aborted += self.profile.cost.abort_penalty;
+                    self.tle[t].resume_pc = Some(pc);
+                    self.abort_path(t, pc, reason)?;
+                    return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
+                }
+            };
+            self.sched.advance(t, self.profile.cost.mem_ref);
+            if gil_word == Word::Int(1) {
+                let reason = self.vm.mem.tabort(t, abort_codes::GIL_LOCKED);
                 self.tle[t].resume_pc = Some(pc);
                 self.abort_path(t, pc, reason)?;
                 return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
             }
-        };
-        self.sched.advance(t, self.profile.cost.mem_ref);
-        if gil_word == Word::Int(1) {
-            let reason = self.vm.mem.tabort(t, abort_codes::GIL_LOCKED);
-            self.tle[t].resume_pc = Some(pc);
-            self.abort_path(t, pc, reason)?;
-            return Ok(self.tle[t].tx.is_some() || self.tle[t].holds_gil);
         }
         // §4.4 #1 ablation: write the running-thread global inside the
         // transaction — every thread, every transaction, same line.
@@ -1151,6 +1167,13 @@ impl Executor {
         self.sched.advance(t, self.profile.cost.gil_acquire);
         self.breakdown.gil_wait += self.profile.cost.gil_acquire;
         self.gil.acquire(&mut self.vm, t, self.cfg.tls_running_thread);
+        if self.cfg.subscription == SubscriptionPolicy::LazyGuarded {
+            // The lock monitor fires on the store to the lock word: every
+            // in-flight transaction armed on the GIL line is doomed here,
+            // exactly where Eager's read-set subscription would have caught
+            // the same store (DESIGN.md §15).
+            self.vm.mem.doom_all_active(t, self.vm.layout.gil);
+        }
         self.tle[t].holds_gil = true;
         self.tle[t].reset_retries(&self.cfg.tle);
         // Fig. 3 note: the transaction length is consumed even under the
@@ -1272,6 +1295,93 @@ puts(results[0] + results[1])
         assert!(r.htm.begins > 10, "worker threads must run transactionally");
         assert!(r.htm.commits > 10);
         assert!(r.breakdown.tx_success > 0);
+    }
+
+    /// One thread repeatedly falls back on the GIL (`print` is restricted)
+    /// while the other mutates a shared global transactionally, so GIL
+    /// tenures overlap open transaction windows.
+    const GIL_OVERLAP_SRC: &str = r#"
+$sum = 0
+threads = []
+2.times do |i|
+  threads << Thread.new(i) do |tid|
+    j = 0
+    while j < 40
+      $sum = $sum + 1
+      if tid == 0
+        print("")
+      end
+      j += 1
+    end
+  end
+end
+threads.each do |t|
+  t.join()
+end
+puts($sum)
+"#;
+
+    fn run_subscription(sub: SubscriptionPolicy) -> RunReport {
+        run_subscription_on(sub, MachineProfile::generic(4))
+    }
+
+    fn run_subscription_on(sub: SubscriptionPolicy, profile: MachineProfile) -> RunReport {
+        let mut cfg =
+            ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Fixed(4) }, &profile);
+        cfg.subscription = sub;
+        let mut ex = Executor::new(GIL_OVERLAP_SRC, VmConfig::default(), profile, cfg).unwrap();
+        ex.run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn lazy_guarded_dooms_transactions_overlapping_a_gil_acquisition() {
+        let r = run_subscription(SubscriptionPolicy::LazyGuarded);
+        // `print("")` leaves one open (empty) line ahead of the final puts.
+        assert_eq!(r.stdout, "\n80");
+        assert!(r.htm.begins > 0, "the non-printing thread must run transactionally");
+        assert!(r.gil_acquisitions > 0, "the printing thread must take the GIL");
+        assert!(
+            r.htm.conflicts_read > 0,
+            "a GIL acquisition overlapping an armed transaction must doom it \
+             through the lock monitor (got stats {:?})",
+            r.htm
+        );
+    }
+
+    #[test]
+    fn lazy_guarded_matches_eager_exactly_on_gil_overlap() {
+        // The commit guard is modelled to be *observably identical* to the
+        // eager read-set subscription: same victims, same abort reasons,
+        // same cycle costs — the only difference is read-set capacity, so
+        // run on a budget this footprint never exhausts (on overflow-prone
+        // budgets the dying transaction gets exactly one extra access out
+        // of the slot Eager spends on the subscription).
+        let mut profile = MachineProfile::generic(4);
+        profile.cache.read_set_bytes = 1 << 20;
+        let eager = run_subscription_on(SubscriptionPolicy::Eager, profile.clone());
+        let lg = run_subscription_on(SubscriptionPolicy::LazyGuarded, profile);
+        assert_eq!(eager.stdout, lg.stdout);
+        assert_eq!(eager.htm.overflow_read, 0, "parity workload must not overflow");
+        assert_eq!(eager.htm, lg.htm, "hardware event stream must be identical");
+        assert_eq!(eager.elapsed_cycles, lg.elapsed_cycles);
+        assert_eq!(eager.gil_acquisitions, lg.gil_acquisitions);
+    }
+
+    #[test]
+    fn lazy_skips_the_subscription_read() {
+        // Lazy performs no in-transaction GIL access at all: strictly
+        // fewer counted reads than Eager on the same program. (Whether its
+        // output is *correct* depends on the schedule — the explore suite
+        // pins a counterexample; the default round-robin here is not it.)
+        let eager = run_subscription(SubscriptionPolicy::Eager);
+        let lazy = run_subscription(SubscriptionPolicy::Lazy);
+        assert!(lazy.htm.begins > 0);
+        assert!(
+            lazy.htm.reads < eager.htm.reads,
+            "lazy must skip the per-transaction GIL-word read ({} vs {})",
+            lazy.htm.reads,
+            eager.htm.reads
+        );
     }
 
     #[test]

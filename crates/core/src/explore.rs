@@ -37,6 +37,10 @@ pub struct ExploreTarget {
     pub threads: usize,
     pub mode: RuntimeMode,
     pub profile: MachineProfile,
+    /// GIL-subscription policy for HTM modes (the DESIGN.md §15 knob the
+    /// lazy-subscription violation targets). The GIL oracle run ignores
+    /// it — the expectation is policy-independent by construction.
+    pub subscription: crate::tle::SubscriptionPolicy,
     /// Enable the interrupt-delivery decisions (yield-point and
     /// commit-window transaction kills).
     pub interrupts: bool,
@@ -60,6 +64,7 @@ impl ExploreTarget {
         cfg.explore_path = Some(path.clone());
         cfg.explore_interrupts = self.interrupts;
         cfg.bug_dirty_read = self.bug_dirty_read;
+        cfg.subscription = self.subscription;
         cfg
     }
 
@@ -288,6 +293,7 @@ puts($sum)
             threads: 2,
             mode,
             profile: MachineProfile::generic(4),
+            subscription: crate::tle::SubscriptionPolicy::Eager,
             interrupts: true,
             bug_dirty_read: false,
             max_cycles: 500_000_000,

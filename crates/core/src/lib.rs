@@ -51,4 +51,4 @@ pub use json::Json;
 pub use latency::{LatencyRecorder, LatencyStats, QueueWindow, TaskLatencyReport};
 pub use oracle::{check_against_gil, heap_digest, OracleVerdict};
 pub use report::{ConflictSite, CycleBreakdown, RunReport};
-pub use tle::{LengthTables, SiteProfile};
+pub use tle::{LengthTables, SiteProfile, SubscriptionPolicy};

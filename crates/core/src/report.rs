@@ -64,6 +64,10 @@ impl CycleBreakdown {
 #[derive(Debug, Clone)]
 pub struct RunReport {
     pub mode_label: String,
+    /// GIL-subscription policy the run executed under (DESIGN.md §15).
+    /// Surfaced in the JSON only when it deviates from `Eager`, keeping
+    /// default-policy reports byte-identical to the pre-knob schema.
+    pub subscription: crate::tle::SubscriptionPolicy,
     pub machine: &'static str,
     pub threads_used: usize,
     /// Wall-clock of the run: max thread clock.
@@ -171,7 +175,13 @@ impl RunReport {
             .collect::<Vec<Json>>();
         let report = Json::obj()
             .field("schema", "htm-gil-run-report/v1")
-            .field("mode", self.mode_label.as_str())
+            .field("mode", self.mode_label.as_str());
+        let report = if self.subscription == crate::tle::SubscriptionPolicy::Eager {
+            report
+        } else {
+            report.field("subscription", self.subscription.label())
+        };
+        let report = report
             .field("machine", self.machine)
             .field("threads", self.threads_used)
             .field("elapsed_cycles", self.elapsed_cycles)
@@ -239,6 +249,7 @@ mod tests {
     fn throughput_is_work_per_cycle() {
         let r = RunReport {
             mode_label: "HTM-16".into(),
+            subscription: crate::tle::SubscriptionPolicy::Eager,
             machine: "zEC12",
             threads_used: 4,
             elapsed_cycles: 1_000,
@@ -279,6 +290,7 @@ mod tests {
         };
         let r = RunReport {
             mode_label: "HTM-dynamic".into(),
+            subscription: crate::tle::SubscriptionPolicy::Eager,
             machine: "zEC12",
             threads_used: 4,
             elapsed_cycles: 10_000,
@@ -349,6 +361,11 @@ mod tests {
         assert_eq!(htm_json.get("lease_hits").unwrap().as_u64(), Some(4_000));
         assert_eq!(htm_json.get("lease_misses").unwrap().as_u64(), Some(250));
         assert_eq!(htm_json.get("epoch_bumps").unwrap().as_u64(), Some(310));
+        assert!(parsed.get("subscription").is_none(), "eager runs keep the pre-knob schema");
+        let mut lazy = r.clone();
+        lazy.subscription = crate::tle::SubscriptionPolicy::Lazy;
+        let lp = crate::json::Json::parse(&lazy.to_json().to_pretty()).unwrap();
+        assert_eq!(lp.get("subscription").unwrap().as_str(), Some("lazy"));
     }
 
     #[test]
@@ -359,6 +376,7 @@ mod tests {
         sites.insert(ConflictSite::InlineCache, 40);
         let r = RunReport {
             mode_label: String::new(),
+            subscription: crate::tle::SubscriptionPolicy::Eager,
             machine: "x",
             threads_used: 1,
             elapsed_cycles: 1,

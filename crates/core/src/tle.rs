@@ -17,6 +17,51 @@ use htm_sim::AbortReason;
 
 use crate::config::{LengthPolicy, TleConstants};
 
+/// When a transaction subscribes to the GIL word (Fig. 1 line 10 reads it
+/// inside the transaction, *eagerly*, right after `TBEGIN`).
+///
+/// Dice, Harris, Kogan & Lev ("Pitfalls of lazy subscription", arXiv
+/// 1407.6968) observe that deferring the subscription to just before
+/// commit removes the GIL line from the read set for the transaction's
+/// whole lifetime — a real capacity and conflict win — but is **unsafe**
+/// on commodity HTM: the transaction runs unsubscribed, so it can read
+/// state a lock holder is mutating mid-critical-section and still commit
+/// (the compiler/CPU may even hoist the late lock load to where its value
+/// predates the holder). The three policies model that design space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SubscriptionPolicy {
+    /// Paper Fig. 1: read the GIL word immediately after `TBEGIN`, adding
+    /// it to the read set so any later acquisition dooms the transaction.
+    /// The default, and the only policy the paper ships.
+    #[default]
+    Eager,
+    /// Subscribe only at `TEND` — modeled as the hoisted-load pitfall: the
+    /// checked value is the one sampled at begin (always "free", because
+    /// Fig. 1 lines 6–8 spin before `TBEGIN`), so the commit-time check is
+    /// vacuous and the transaction commits regardless of the lock. A
+    /// transaction can therefore overlap a GIL holder's critical section
+    /// and still commit — observably unsafe; the schedule explorer pins a
+    /// minimized interleaving where this loses a GIL holder's update.
+    Lazy,
+    /// Lazy subscription with a hardware commit guard (the fix sketched in
+    /// arXiv 1407.6968 §5): a lock-monitor register armed at `TBEGIN`
+    /// watches the GIL word without occupying read-set capacity, and any
+    /// acquisition during the transaction's window dooms it — same safety
+    /// and same abort pattern as `Eager`, minus the read-set line.
+    LazyGuarded,
+}
+
+impl SubscriptionPolicy {
+    /// Display label used in reports and bench CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SubscriptionPolicy::Eager => "eager",
+            SubscriptionPolicy::Lazy => "lazy",
+            SubscriptionPolicy::LazyGuarded => "lazy-guarded",
+        }
+    }
+}
+
 /// Observability profile of one yield point: transaction attempts, aborts
 /// broken down by reason, and the site's current transaction length.
 /// Collected alongside the Fig. 3 adjustment state and exported in

@@ -312,6 +312,52 @@ impl<W: Clone> ReferenceTxMemory<W> {
         Ok(())
     }
 
+    /// Mirror of [`crate::TxMemory::arm_lock_monitor`]: the read path
+    /// minus the read-set insert (the monitor register consumes no
+    /// capacity). Note no fast path — the reference has none anywhere.
+    pub fn arm_lock_monitor(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
+        if addr >= self.words.len() {
+            out_of_bounds("arm_lock_monitor", addr, addr / self.line_words, self.words.len());
+        }
+        self.stats.reads += 1;
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        if let Some(reason) = self.inject_fault(t) {
+            return Err(reason);
+        }
+        let line = self.line_of(addr);
+        // Requester wins: kill remote writers of this line (but record
+        // nothing in our own sets).
+        self.doom_conflicting(t, line, false);
+        Ok(self.words[addr].clone())
+    }
+
+    /// Mirror of [`crate::TxMemory::doom_all_active`]: doom every other
+    /// active transaction in ascending thread order with the acquirer's
+    /// `ConflictRead`, counting one non-transactional doom.
+    pub fn doom_all_active(&mut self, t: ThreadId, addr: usize) {
+        let line = self.line_of(addr);
+        let in_tx = self.txs[t].is_some();
+        let mut doomed_any = false;
+        for victim in 0..self.txs.len() {
+            if victim == t || self.txs[victim].is_none() {
+                continue;
+            }
+            let reason = AbortReason::ConflictRead { with: t, line };
+            self.bump_slot(victim); // one bump per doomed victim, like `doom`
+            self.rollback(victim);
+            self.doomed[victim] = Some(reason);
+            self.stats.record_abort(reason);
+            let cycle = self.now;
+            self.emit(TraceEvent::Abort { thread: victim, cycle, reason, line: Some(line) });
+            doomed_any = true;
+        }
+        if doomed_any && !in_tx {
+            self.stats.nontx_dooms += 1;
+        }
+    }
+
     /// Read bypassing all transaction machinery.
     pub fn peek(&self, addr: usize) -> &W {
         &self.words[addr]
@@ -497,5 +543,72 @@ impl<W: Clone> ReferenceTxMemory<W> {
             }
             self.undo_words[t].clear();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> ReferenceTxMemory<u64> {
+        // Same geometry as the directory impl's unit tests: 1024 words,
+        // 8-word lines, 4 threads.
+        ReferenceTxMemory::new(1024, 8, 4, 0)
+    }
+
+    /// Mirror of the directory impl's constrained-budget bound tests
+    /// (`MachineProfile::constrained` geometry: 8 read / 4 write lines).
+    #[test]
+    fn read_capacity_exact_fit_and_one_over() {
+        let mut m = mem();
+        m.begin(0, Budgets { read_lines: 8, write_lines: 4 }).unwrap();
+        for line in 0..8 {
+            m.read(0, line * 8).unwrap();
+        }
+        assert_eq!(m.footprint(0), (8, 0), "exactly at the bound: no abort");
+        assert_eq!(m.read(0, 8 * 8), Err(AbortReason::ReadOverflow), "one over bursts");
+        assert!(!m.in_tx(0));
+        assert_eq!(m.stats().overflow_read, 1);
+    }
+
+    #[test]
+    fn write_capacity_exact_fit_and_one_over() {
+        let mut m = mem();
+        m.begin(0, Budgets { read_lines: 8, write_lines: 4 }).unwrap();
+        for line in 0..4 {
+            m.write(0, line * 8, 1).unwrap();
+        }
+        assert_eq!(m.footprint(0), (0, 4), "exactly at the bound: no abort");
+        assert_eq!(m.write(0, 4 * 8, 1), Err(AbortReason::WriteOverflow), "one over bursts");
+        assert!(!m.in_tx(0));
+        assert_eq!(m.stats().overflow_write, 1);
+        for line in 0..5 {
+            assert_eq!(m.read(1, line * 8).unwrap(), 0, "speculative writes rolled back");
+        }
+    }
+
+    #[test]
+    fn lock_monitor_consumes_no_read_capacity() {
+        let mut m = mem();
+        m.write(0, 800, 1).unwrap();
+        m.begin(0, Budgets { read_lines: 1, write_lines: 1 }).unwrap();
+        m.read(0, 0).unwrap();
+        assert_eq!(m.arm_lock_monitor(0, 800).unwrap(), 1);
+        assert_eq!(m.footprint(0), (1, 0), "no read-set growth");
+        m.commit(0).unwrap();
+    }
+
+    #[test]
+    fn doom_all_active_kills_every_transaction_in_order() {
+        let mut m = mem();
+        m.begin(0, Budgets { read_lines: 8, write_lines: 4 }).unwrap();
+        m.begin(1, Budgets { read_lines: 8, write_lines: 4 }).unwrap();
+        m.write(0, 5, 9).unwrap();
+        m.doom_all_active(2, 800);
+        assert!(matches!(m.poll_doomed(0), Some(AbortReason::ConflictRead { with: 2, line: 100 })));
+        assert!(matches!(m.poll_doomed(1), Some(AbortReason::ConflictRead { with: 2, line: 100 })));
+        assert_eq!(m.active_tx_count(), 0);
+        assert_eq!(m.read(2, 5).unwrap(), 0, "speculative write rolled back");
+        assert_eq!(m.stats().nontx_dooms, 1);
     }
 }

@@ -599,6 +599,69 @@ impl<W: Clone> TxMemory<W> {
         Ok(())
     }
 
+    /// Arm thread `t`'s hardware lock monitor on the line containing
+    /// `addr` — the begin-time half of the `LazyGuarded` commit guard
+    /// (DESIGN.md §15). Behaves exactly like [`Self::read`] — one counted
+    /// access, doom/fault checks, requester-wins doom of a remote
+    /// speculative writer, the current word returned — **except** the line
+    /// is *not* inserted into `t`'s read set: the monitor is a dedicated
+    /// register, so it consumes no read-set capacity. The acquisition-side
+    /// half is [`Self::doom_all_active`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::read`]: out-of-bounds `addr` panics with context.
+    pub fn arm_lock_monitor(&mut self, t: ThreadId, addr: usize) -> Result<W, AbortReason> {
+        if addr >= self.words.len() {
+            out_of_bounds("arm_lock_monitor", addr, addr >> self.line_shift, self.words.len());
+        }
+        self.stats.reads += 1;
+        if self.active_txs == 0 && self.pending_dooms == 0 {
+            return Ok(self.words[addr].clone());
+        }
+        if let Some(reason) = self.take_doom(t) {
+            return Err(reason);
+        }
+        if let Some(reason) = self.inject_fault(t) {
+            return Err(reason);
+        }
+        let line = addr >> self.line_shift;
+        let st = self.dir[line];
+        if st.writer != NO_WRITER && st.writer as usize != t {
+            let in_tx = self.txs[t].active;
+            self.doom(st.writer as usize, AbortReason::ConflictWrite { with: t, line }, line);
+            if !in_tx {
+                self.stats.nontx_dooms += 1;
+            }
+        }
+        Ok(self.words[addr].clone())
+    }
+
+    /// The acquisition-side half of the `LazyGuarded` commit guard: a
+    /// non-transactional lock acquirer `t` announcing its write to the
+    /// monitored `addr` dooms **every** other active transaction, in
+    /// ascending thread order — exactly the victim set, reasons, and
+    /// timing an eagerly-subscribed population would lose to the
+    /// acquirer's lock-word write (under eager subscription every active
+    /// transaction holds that line in its read set).
+    pub fn doom_all_active(&mut self, t: ThreadId, addr: usize) {
+        if self.active_txs == 0 {
+            return;
+        }
+        let line = addr >> self.line_shift;
+        let in_tx = self.txs[t].active;
+        let mut doomed_any = false;
+        for victim in 0..self.txs.len() {
+            if victim != t && self.txs[victim].active {
+                self.doom(victim, AbortReason::ConflictRead { with: t, line }, line);
+                doomed_any = true;
+            }
+        }
+        if doomed_any && !in_tx {
+            self.stats.nontx_dooms += 1;
+        }
+    }
+
     /// Read bypassing all transaction machinery — *debug/verification
     /// only* (used by tests and by the GC root scanner, which runs with
     /// every transaction already doomed by the GIL-word write).
@@ -940,6 +1003,93 @@ mod tests {
         assert_eq!(r, AbortReason::Explicit(abort_codes::GIL_LOCKED));
         assert!(!m.in_tx(0));
         assert_eq!(m.read(1, 5).unwrap(), 42, "original value restored");
+    }
+
+    /// FORTH-style constrained budgets (the `MachineProfile::constrained`
+    /// geometry): exactly `read_lines` distinct lines must fit, one more
+    /// must burst with `ReadOverflow`.
+    #[test]
+    fn read_capacity_exact_fit_and_one_over() {
+        let budgets = Budgets { read_lines: 8, write_lines: 4 };
+        let mut m = mem();
+        m.begin(0, budgets).unwrap();
+        for line in 0..8 {
+            m.read(0, line * 8).unwrap();
+        }
+        assert_eq!(m.footprint(0), (8, 0), "exactly at the bound: no abort");
+        assert_eq!(m.read(0, 8 * 8), Err(AbortReason::ReadOverflow), "one over bursts");
+        assert!(!m.in_tx(0), "overflow aborts the transaction");
+        assert_eq!(m.stats().overflow_read, 1);
+    }
+
+    /// Same at the (smaller) write-set bound: `write_lines` distinct lines
+    /// fit, the next one aborts with `WriteOverflow`.
+    #[test]
+    fn write_capacity_exact_fit_and_one_over() {
+        let budgets = Budgets { read_lines: 8, write_lines: 4 };
+        let mut m = mem();
+        m.begin(0, budgets).unwrap();
+        for line in 0..4 {
+            m.write(0, line * 8, 1).unwrap();
+        }
+        assert_eq!(m.footprint(0), (0, 4), "exactly at the bound: no abort");
+        assert_eq!(m.write(0, 4 * 8, 1), Err(AbortReason::WriteOverflow), "one over bursts");
+        assert!(!m.in_tx(0), "overflow aborts the transaction");
+        assert_eq!(m.stats().overflow_write, 1);
+        // The speculative writes rolled back with the abort.
+        for line in 0..5 {
+            assert_eq!(m.read(1, line * 8).unwrap(), 0);
+        }
+    }
+
+    /// The LazyGuarded lock monitor reads the word with full accounting
+    /// but occupies no read-set capacity — a transaction already at its
+    /// read bound can still arm it.
+    #[test]
+    fn lock_monitor_consumes_no_read_capacity() {
+        let mut m = mem();
+        m.write(0, 800, 1).unwrap(); // "GIL" word, line 100
+        m.begin(0, Budgets { read_lines: 1, write_lines: 1 }).unwrap();
+        m.read(0, 0).unwrap(); // read set now full
+        let reads_before = m.stats().reads;
+        assert_eq!(m.arm_lock_monitor(0, 800).unwrap(), 1, "monitor returns the word");
+        assert_eq!(m.footprint(0), (1, 0), "no read-set growth");
+        assert_eq!(m.stats().reads, reads_before + 1, "still one counted access");
+        m.commit(0).unwrap();
+    }
+
+    /// Arming the monitor is still a coherence read: it dooms a remote
+    /// speculative writer of the monitored line (requester wins).
+    #[test]
+    fn lock_monitor_dooms_remote_speculative_writer() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.write(0, 800, 7).unwrap();
+        m.begin(1, big_budgets()).unwrap();
+        assert_eq!(m.arm_lock_monitor(1, 800).unwrap(), 0, "committed value, not speculative");
+        assert!(matches!(m.poll_doomed(0), Some(AbortReason::ConflictWrite { with: 1, .. })));
+        m.commit(1).unwrap();
+    }
+
+    /// The acquisition half of the guard: a non-transactional acquirer
+    /// dooms every active transaction, ascending thread order, with the
+    /// same `ConflictRead` an eager subscription population would see.
+    #[test]
+    fn doom_all_active_kills_every_transaction_in_order() {
+        let mut m = mem();
+        m.begin(0, big_budgets()).unwrap();
+        m.begin(1, big_budgets()).unwrap();
+        m.write(0, 5, 9).unwrap();
+        let nontx_before = m.stats().nontx_dooms;
+        m.doom_all_active(2, 800);
+        assert!(matches!(m.poll_doomed(0), Some(AbortReason::ConflictRead { with: 2, line: 100 })));
+        assert!(matches!(m.poll_doomed(1), Some(AbortReason::ConflictRead { with: 2, line: 100 })));
+        assert_eq!(m.active_tx_count(), 0);
+        assert_eq!(m.read(2, 5).unwrap(), 0, "speculative write rolled back");
+        assert_eq!(m.stats().nontx_dooms, nontx_before + 1, "one doomer access, one count");
+        // Idempotent on an empty population.
+        m.doom_all_active(2, 800);
+        assert_eq!(m.stats().nontx_dooms, nontx_before + 1);
     }
 
     #[test]

@@ -39,6 +39,12 @@ enum Op {
     Restricted(usize),
     Poll(usize),
     Tick(u64),
+    /// `arm_lock_monitor(t, addr)` — the LazyGuarded begin-time guard:
+    /// read accounting without read-set growth.
+    Arm(usize, usize),
+    /// `doom_all_active(t, addr)` — the LazyGuarded acquisition-time
+    /// guard: every other active transaction dies.
+    DoomAll(usize, usize),
 }
 
 /// Operations for the lease differential test: the base interleaving plus
@@ -108,6 +114,8 @@ fn op_strategy(threads: usize) -> impl Strategy<Value = Op> {
         (0..threads).prop_map(Op::Restricted),
         (0..threads).prop_map(Op::Poll),
         (1u64..100).prop_map(Op::Tick),
+        (0..threads, 0..MEM_WORDS).prop_map(|(t, a)| Op::Arm(t, a)),
+        (0..threads, 0..MEM_WORDS).prop_map(|(t, a)| Op::DoomAll(t, a)),
     ]
 }
 
@@ -255,6 +263,17 @@ proptest! {
                     dut.set_now(now);
                     reference.set_now(now);
                 }
+                Op::Arm(t, a) => {
+                    let (t, a) = (t % threads, a % 32);
+                    prop_assert_eq!(
+                        dut.arm_lock_monitor(t, a), reference.arm_lock_monitor(t, a),
+                        "arm diverged at op {}", i);
+                }
+                Op::DoomAll(t, a) => {
+                    let (t, a) = (t % threads, a % 32);
+                    dut.doom_all_active(t, a);
+                    reference.doom_all_active(t, a);
+                }
             }
             prop_assert_eq!(dut.stats(), reference.stats(), "stats at op {}", i);
         }
@@ -342,6 +361,17 @@ proptest! {
                 Op::Tick(d) => {
                     dut.set_now(d);
                     reference.set_now(d);
+                }
+                Op::Arm(t, a) => {
+                    let (t, a) = (t % threads, a % 32);
+                    prop_assert_eq!(
+                        dut.arm_lock_monitor(t, a), reference.arm_lock_monitor(t, a),
+                        "arm diverged at op {}", i);
+                }
+                Op::DoomAll(t, a) => {
+                    let (t, a) = (t % threads, a % 32);
+                    dut.doom_all_active(t, a);
+                    reference.doom_all_active(t, a);
                 }
             }
             for u in 0..threads {

@@ -188,6 +188,25 @@ impl MachineProfile {
         }
     }
 
+    /// A zEC12-derived machine with FORTH-style *tiny* HTM capacities
+    /// (arXiv 2510.15888 studies designs this constrained): 8 read-set
+    /// lines and 4 write-set lines. Footprints that commit effortlessly on
+    /// the real machines overflow here constantly, so this profile is the
+    /// capacity-abort stress axis of the ablation and chaos sweeps —
+    /// everything else (topology, line size, cost table, no learning
+    /// predictor) matches [`MachineProfile::zec12`].
+    pub fn constrained() -> Self {
+        MachineProfile {
+            name: "constrained",
+            cache: CacheGeometry {
+                line_bytes: 256,
+                read_set_bytes: 2 * 1024, // 8 lines
+                write_set_bytes: 1024,    // 4 lines
+            },
+            ..MachineProfile::zec12()
+        }
+    }
+
     /// A generic machine for unit tests and examples: `cores` single-SMT
     /// cores, 64-byte lines, small capacities so tests can trigger overflow
     /// cheaply.
@@ -301,6 +320,19 @@ mod tests {
         assert_eq!(g.read_set_lines(), 16);
         assert_eq!(g.write_set_lines(), 4);
         assert_eq!(MachineProfile::zec12().cache.line_shift(), 5); // 256 B / 8 B words
+    }
+
+    #[test]
+    fn constrained_profile_is_zec12_with_tiny_capacities() {
+        let c = MachineProfile::constrained();
+        let z = MachineProfile::zec12();
+        assert_eq!(c.name, "constrained");
+        assert_eq!(c.cache.read_set_lines(), 8);
+        assert_eq!(c.cache.write_set_lines(), 4);
+        assert_eq!(c.cache.line_bytes, z.cache.line_bytes, "same line size as zEC12");
+        assert_eq!((c.cores, c.smt_per_core), (z.cores, z.smt_per_core));
+        assert_eq!(c.cost, z.cost, "cost table must match zEC12 — capacity is the only axis");
+        assert_eq!(c.htm, z.htm);
     }
 
     #[test]

@@ -190,6 +190,58 @@ fn interrupt_model_kills_transactions_but_preserves_output() {
 }
 
 #[test]
+fn constrained_profile_chaos_point_converges_and_matches_the_oracle() {
+    // FORTH-style constrained machine (8 read / 4 write lines,
+    // DESIGN.md §15): real capacity aborts dominate, stacked with random
+    // injection. The retry ladder plus watchdog must still converge and
+    // the oracle must still hold — graceful degradation on hardware
+    // whose transactions barely fit anything.
+    let p = MachineProfile::constrained();
+    // Injection-free first: the tiny geometry alone must produce *real*
+    // capacity aborts while the retry ladder still lands every iteration
+    // (no fault plan involved — these overflows come from the read set).
+    let clean_cfg = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &p);
+    let clean = check_against_gil(GLOBALS_SRC, VmConfig::default(), p.clone(), clean_cfg)
+        .expect("constrained clean run failed");
+    assert!(clean.matches(), "{}", clean.mismatch.unwrap());
+    assert_eq!(clean.subject.stdout, "72600");
+    assert!(
+        clean.subject.htm.overflow_read + clean.subject.htm.overflow_write > 0,
+        "the constrained geometry must produce real capacity aborts"
+    );
+    assert!(clean.subject.htm.commits > 0, "some transactions must still fit the tiny sets");
+    // Now stack random injection on top: nothing commits (every retry is
+    // killed before the tiny sets even fill), the watchdog escalates and
+    // parks speculation, and the run still finishes on the oracle.
+    let mut chaos = ExecConfig::new(RuntimeMode::Htm { length: LengthPolicy::Dynamic }, &p);
+    chaos.fault_plan =
+        Some(FaultPlan { seed: SEED, spurious_rate: 0.1, shrink_rate: 0.0, restricted_rate: 0.0 });
+    chaos.watchdog = WatchdogConstants::enabled();
+    let v = check_against_gil(GLOBALS_SRC, VmConfig::default(), p, chaos)
+        .expect("constrained chaos run failed");
+    assert!(v.matches(), "{}", v.mismatch.unwrap());
+    assert_eq!(v.subject.stdout, "72600");
+    assert!(v.subject.htm.spurious > 0, "injection must fire");
+    assert!(
+        v.subject.watchdog_escalations > 0,
+        "injection on the constrained profile must trip the watchdog"
+    );
+}
+
+#[test]
+fn lazy_guarded_chaos_point_matches_the_oracle() {
+    // The commit-guard policy under the mixed fault plan: the lock
+    // monitor's acquire-time dooms stack with injected aborts and timer
+    // interrupts, and the oracle must not notice any of it.
+    let mut cfg = chaos_cfg(0.3, 0.1, 0.05, 20_000);
+    cfg.subscription = htm_gil::SubscriptionPolicy::LazyGuarded;
+    let v = check_against_gil(GLOBALS_SRC, VmConfig::default(), profile(), cfg)
+        .expect("lazy-guarded chaos run failed");
+    assert!(v.matches(), "{}", v.mismatch.unwrap());
+    assert!(v.subject.htm.spurious > 0, "injection must fire");
+}
+
+#[test]
 fn taskserver_chaos_point_matches_the_gil_oracle() {
     // The fixed-seed taskserver chaos point: fault injection *and* timer
     // interrupts at once, against the full queue machinery (bounded ring,

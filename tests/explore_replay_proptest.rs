@@ -41,6 +41,7 @@ puts($sum)
         threads: 2,
         mode,
         profile: MachineProfile::generic(4),
+        subscription: htm_gil::SubscriptionPolicy::Eager,
         interrupts: true,
         bug_dirty_read: false,
         max_cycles: 500_000_000,

@@ -7,7 +7,11 @@
 //! counters, disjoint array slots) so every generated program has exactly
 //! one correct output; the property is that all modes produce it.
 
-use htm_gil::{ExecConfig, Executor, LengthPolicy, MachineProfile, RuntimeMode, VmConfig};
+use htm_gil::core::heap_digest;
+use htm_gil::{
+    ExecConfig, Executor, LengthPolicy, MachineProfile, RunReport, RuntimeMode, SubscriptionPolicy,
+    VmConfig,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -102,12 +106,26 @@ end
 }
 
 fn run(src: &str, mode: RuntimeMode, threads: usize) -> String {
+    run_subscribed(src, mode, threads, SubscriptionPolicy::Eager).0.stdout
+}
+
+/// Full-fidelity run: report plus the address-free heap digest, under an
+/// explicit GIL-subscription policy (DESIGN.md §15).
+fn run_subscribed(
+    src: &str,
+    mode: RuntimeMode,
+    threads: usize,
+    subscription: SubscriptionPolicy,
+) -> (RunReport, String) {
     let profile = MachineProfile::generic(4);
     let vm_config = VmConfig { max_threads: threads + 2, ..VmConfig::default() };
     let mut cfg = ExecConfig::new(mode, &profile);
     cfg.max_cycles = 3_000_000_000; // hang guard
+    cfg.subscription = subscription;
     let mut ex = Executor::new(src, vm_config, profile, cfg).expect("boot");
-    ex.run().unwrap_or_else(|e| panic!("{}: {e}\n{src}", mode.label())).stdout
+    let report = ex.run().unwrap_or_else(|e| panic!("{}: {e}\n{src}", mode.label()));
+    let digest = heap_digest(&ex.vm);
+    (report, digest)
 }
 
 proptest! {
@@ -131,6 +149,54 @@ proptest! {
                 got.clone(), expected.clone(),
                 "mode {} body {:?} threads {}", mode.label(), body, threads
             );
+        }
+    }
+
+    /// `LazyGuarded` is observably identical to `Eager`: the GIL-acquire
+    /// lock monitor dooms exactly the transactions Eager's in-window
+    /// subscription read would have killed, so random programs produce
+    /// the same stdout, the same final heap digest, and the same HTM
+    /// counters. `Lazy` is deliberately absent here — it is the unsafe
+    /// ablation whose divergence the schedule explorer pins in
+    /// `tests/schedule_regressions.rs`; equivalence is not a property it
+    /// is supposed to have.
+    ///
+    /// Exact counter/timing parity requires no read-set overflow:
+    /// Eager's subscription read occupies a read-set slot and
+    /// LazyGuarded's lock monitor does not, so a run that dies of
+    /// ReadOverflow sees the abort one access later under LazyGuarded.
+    /// Result equivalence (stdout + heap digest) is asserted
+    /// unconditionally; the counter comparison is gated on the
+    /// no-overflow runs where it is exact.
+    #[test]
+    fn lazy_guarded_is_observably_eager(
+        threads in 1usize..4,
+        body in body_strategy(),
+    ) {
+        let (src, expected) = render(threads, &body);
+        for mode in [
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(4) },
+            RuntimeMode::Htm { length: LengthPolicy::Fixed(16) },
+            RuntimeMode::Htm { length: LengthPolicy::Dynamic },
+        ] {
+            let (eager, eager_heap) =
+                run_subscribed(&src, mode, threads, SubscriptionPolicy::Eager);
+            let (guarded, guarded_heap) =
+                run_subscribed(&src, mode, threads, SubscriptionPolicy::LazyGuarded);
+            prop_assert_eq!(
+                eager.stdout.clone(), expected.clone(),
+                "eager {} body {:?} threads {}", mode.label(), body, threads
+            );
+            prop_assert_eq!(eager.stdout.clone(), guarded.stdout.clone(),
+                "stdout diverged under {}", mode.label());
+            prop_assert_eq!(eager_heap, guarded_heap,
+                "heap digest diverged under {}", mode.label());
+            if eager.htm.overflow_read == 0 && guarded.htm.overflow_read == 0 {
+                prop_assert_eq!(eager.htm.clone(), guarded.htm.clone(),
+                    "HTM counters diverged under {}", mode.label());
+                prop_assert_eq!(eager.elapsed_cycles, guarded.elapsed_cycles,
+                    "timing diverged under {}", mode.label());
+            }
         }
     }
 }

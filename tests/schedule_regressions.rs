@@ -19,7 +19,10 @@
 //!    and the windows must actually be exercised (spurious aborts and
 //!    epoch bumps observed).
 
-use bench::explore::{bug_demo_target, clean_targets, dfs, torn_pair_clean_target, SearchParams};
+use bench::explore::{
+    bug_demo_target, clean_targets, dfs, lazy_sub_clean_targets, lazy_sub_demo_target,
+    torn_pair_clean_target, SearchParams,
+};
 use htm_gil::core::explore::{check_path, gil_expected, run_path};
 use htm_gil::SchedPath;
 
@@ -29,6 +32,19 @@ use htm_gil::SchedPath;
 /// force its pair-load into the non-speculative GIL-fallback window,
 /// where the dirty read commits a torn `$x != $y` observation.
 const PINNED_TORN_PAIR_HEX: &str = "0001000000000001";
+
+/// The shrinker's minimized counterexample for the lazy-subscription
+/// demo (DESIGN.md §15) — the first *real* (non-injected) unsafety the
+/// explorer caught. A single scheduling deviation (`S1` at decision 18)
+/// delays the writer so that one of its HTM-1 constant-store toggle
+/// transactions survives into the watcher's GIL-fallback tenure and
+/// commits between the watcher's two non-transactional global loads.
+/// Under `Lazy` the transaction never subscribed to the GIL word, so
+/// the commit goes through and the watcher observes the torn pair
+/// `$x != $y` — impossible under any GIL schedule. `Eager` kills the
+/// same transaction at the subscription read; `LazyGuarded` dooms it
+/// from the lock monitor at GIL-acquire time.
+const PINNED_LAZY_SUB_HEX: &str = "00000000000000000000000000000000000001";
 
 fn smoke_params() -> SearchParams {
     SearchParams {
@@ -81,6 +97,59 @@ fn pinned_counterexample_is_clean_with_the_bug_off() {
         "fixed semantics regressed under the pinned schedule: {}",
         mismatch.unwrap()
     );
+}
+
+/// Dynamic find for the real bug: the same smoke-budget bounded DFS
+/// that rediscovers the injected dirty read must also rediscover the
+/// lazy-subscription unsafety — no test-only bug flag involved, just
+/// `SubscriptionPolicy::Lazy` on a production code path.
+#[test]
+fn bounded_dfs_finds_the_lazy_subscription_violation_within_smoke_budget() {
+    let target = lazy_sub_demo_target(true);
+    let out = dfs(&target, &smoke_params(), 2);
+    assert!(out.stats.violations > 0, "DFS lost the lazy-subscription unsafety");
+    let v = &out.violations[0];
+    assert!(
+        v.minimized.len() <= 24,
+        "shrinker regressed: minimized to {} branches (> 24): {}",
+        v.minimized.len(),
+        v.minimized.to_hex()
+    );
+    let expected = gil_expected(&target);
+    let (_, mismatch) = check_path(&target, &expected, &v.minimized);
+    assert!(mismatch.is_some(), "minimized path no longer reproduces");
+}
+
+#[test]
+fn pinned_lazy_counterexample_still_violates_under_lazy_subscription() {
+    let target = lazy_sub_demo_target(true);
+    let path = SchedPath::from_hex(PINNED_LAZY_SUB_HEX).unwrap();
+    let expected = gil_expected(&target);
+    assert_eq!(expected.stdout, "\n0", "the GIL oracle must never see a torn pair");
+    let (run, mismatch) = check_path(&target, &expected, &path);
+    let m = mismatch.expect("pinned counterexample stopped reproducing the lazy unsafety");
+    assert!(m.contains("stdout diverged"), "unexpected violation shape: {m}");
+    assert!(run.preemptions >= 1, "the pinned path's deviation was not consumed");
+}
+
+/// The same schedule is harmless under both safe policies: `Eager`
+/// subscribes inside the transaction window, `LazyGuarded` dooms the
+/// transaction from the GIL-acquire lock monitor. A violation here
+/// means one of the safe policies regressed into the lazy hole.
+#[test]
+fn pinned_lazy_counterexample_is_clean_under_eager_and_lazy_guarded() {
+    let path = SchedPath::from_hex(PINNED_LAZY_SUB_HEX).unwrap();
+    for target in lazy_sub_clean_targets(true) {
+        let expected = gil_expected(&target);
+        assert_eq!(expected.stdout, "\n0");
+        let (_, mismatch) = check_path(&target, &expected, &path);
+        assert!(
+            mismatch.is_none(),
+            "{} regressed under the pinned lazy schedule: {}",
+            target.id,
+            mismatch.unwrap()
+        );
+    }
 }
 
 /// Flip-heavy hand-written paths across the whole clean corpus (every
